@@ -1,0 +1,30 @@
+//! # hpmdr-baselines — comparison systems for the HP-MDR evaluation
+//!
+//! Figure 11 compares HP-MDR against five progressive-retrieval setups:
+//! the original CPU MDR \[24\] and the multi-component progressive
+//! framework of Magri & Lindstrom \[31\] instantiated with four
+//! error-bounded compressor backends (ZFP fixed-rate "GPU", ZFP
+//! fixed-accuracy "CPU", SZ3, MGARD). None of those codebases is
+//! available here, so this crate re-implements the algorithmic families
+//! from scratch:
+//!
+//! * [`zfp_like`] — 4ᵈ block transform codec with per-block exponent
+//!   alignment, integer lifting decorrelation, negabinary bitplane
+//!   truncation; fixed-rate and fixed-accuracy modes.
+//! * [`sz_like`] — Lorenzo-predictor + error-bounded linear quantization +
+//!   Huffman entropy stage with exact-outlier fallback.
+//! * [`mgard_codec`] — classic compress-once MGARD: multilevel
+//!   decomposition, level-scaled uniform quantization, entropy coding.
+//! * [`multi_component`] — the residual-cascade progressive framework
+//!   \[31\] over any [`multi_component::ResidualCodec`].
+//! * [`mdr_cpu`] — the single-thread / few-thread CPU execution of the
+//!   MDR pipeline (the paper's direct baseline), sharing HP-MDR's
+//!   refactoring code but executed inside a bounded thread pool.
+
+pub mod mdr_cpu;
+pub mod mgard_codec;
+pub mod multi_component;
+pub mod sz_like;
+pub mod zfp_like;
+
+pub use multi_component::{ComponentSpec, MultiComponent, ResidualCodec};

@@ -1,0 +1,151 @@
+//! Classic compress-once MGARD codec.
+//!
+//! The non-progressive MGARD baseline \[13, 25\]: multilevel
+//! decomposition, level-scaled uniform quantization (so the propagated
+//! reconstruction error stays below the requested bound), and an entropy
+//! stage over the zig-zag varint code stream. This is the backend the
+//! paper's strongest multi-component baseline ("M-MGARD") wraps.
+
+use hpmdr_lossless::huffman;
+use hpmdr_mgard::quantize::{bytes_to_codes, codes_to_bytes, dequantize, group_error_bounds, quantize};
+use hpmdr_mgard::{decompose, extract_levels, inject_levels, recompose, Hierarchy};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    shape: Vec<usize>,
+    eb: f64,
+    correction: bool,
+    group_lens: Vec<usize>,
+    code_bytes: usize,
+}
+
+/// The MGARD-style error-bounded codec.
+#[derive(Debug, Clone, Copy)]
+pub struct MgardCodec {
+    /// Absolute pointwise error bound on the reconstruction.
+    pub eb: f64,
+    /// Apply the L2 correction during decomposition.
+    pub correction: bool,
+}
+
+impl MgardCodec {
+    /// Codec with absolute bound `eb`.
+    pub fn new(eb: f64) -> Self {
+        assert!(eb > 0.0, "error bound must be positive");
+        MgardCodec { eb, correction: true }
+    }
+
+    /// Compress `data` (row-major, up to 3 dims).
+    pub fn compress(&self, data: &[f64], shape: &[usize]) -> Vec<u8> {
+        let h = Hierarchy::full(shape);
+        assert_eq!(data.len(), h.len());
+        let mut work = data.to_vec();
+        decompose(&mut work, &h, self.correction);
+        let groups = extract_levels(&work, &h);
+        let bounds = group_error_bounds(&h, self.correction, self.eb);
+
+        let mut codes: Vec<i64> = Vec::with_capacity(data.len());
+        let mut group_lens = Vec::with_capacity(groups.len());
+        for (g, &eb_g) in groups.iter().zip(&bounds) {
+            group_lens.push(g.len());
+            codes.extend(quantize(g, eb_g));
+        }
+        let code_bytes = codes_to_bytes(&codes);
+        let entropy = huffman::compress(&code_bytes);
+        let header = Header {
+            shape: shape.to_vec(),
+            eb: self.eb,
+            correction: self.correction,
+            group_lens,
+            code_bytes: code_bytes.len(),
+        };
+        let json = serde_json::to_vec(&header).expect("header serializes");
+        let mut out = Vec::with_capacity(8 + json.len() + entropy.len());
+        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        out.extend_from_slice(&json);
+        out.extend_from_slice(&entropy);
+        out
+    }
+
+    /// Decompress a stream produced by [`Self::compress`].
+    ///
+    /// # Panics
+    /// Panics on corrupt streams.
+    pub fn decompress(bytes: &[u8]) -> (Vec<f64>, Vec<usize>) {
+        let json_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
+        let header: Header =
+            serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
+        let code_bytes = huffman::decompress(&bytes[8 + json_len..]);
+        assert_eq!(code_bytes.len(), header.code_bytes);
+        let total: usize = header.group_lens.iter().sum();
+        let codes = bytes_to_codes(&code_bytes, total);
+
+        let h = Hierarchy::full(&header.shape);
+        let bounds = group_error_bounds(&h, header.correction, header.eb);
+        let mut groups: Vec<Vec<f64>> = Vec::with_capacity(header.group_lens.len());
+        let mut off = 0usize;
+        for (len, &eb_g) in header.group_lens.iter().zip(&bounds) {
+            groups.push(dequantize(&codes[off..off + len], eb_g));
+            off += len;
+        }
+        let mut data = inject_levels(&groups, &h);
+        recompose(&mut data, &h, header.correction);
+        (data, header.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(shape: &[usize]) -> Vec<f64> {
+        let n: usize = shape.iter().product();
+        (0..n)
+            .map(|i| ((i % 33) as f64 * 0.2).sin() * 2.0 + ((i / 33) as f64 * 0.09).cos())
+            .collect()
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        let shape = [33usize, 33];
+        let data = field(&shape);
+        for eb in [1e-1, 1e-3, 1e-5] {
+            let c = MgardCodec::new(eb).compress(&data, &shape);
+            let (back, s) = MgardCodec::decompress(&c);
+            assert_eq!(s, shape);
+            for (a, b) in data.iter().zip(&back) {
+                assert!((a - b).abs() <= eb, "eb={eb} err={}", (a - b).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let shape = [65usize, 65];
+        let data = field(&shape);
+        let c = MgardCodec::new(1e-3).compress(&data, &shape);
+        let ratio = (data.len() * 8) as f64 / c.len() as f64;
+        assert!(ratio > 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let shape = [9usize, 12, 15];
+        let data = field(&shape);
+        let c = MgardCodec::new(1e-4).compress(&data, &shape);
+        let (back, _) = MgardCodec::decompress(&c);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn tighter_bound_bigger_stream() {
+        let shape = [33usize, 33];
+        let data = field(&shape);
+        let a = MgardCodec::new(1e-2).compress(&data, &shape).len();
+        let b = MgardCodec::new(1e-6).compress(&data, &shape).len();
+        assert!(b > a);
+    }
+}

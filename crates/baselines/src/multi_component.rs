@@ -1,0 +1,326 @@
+//! The multi-component progressive framework of Magri & Lindstrom \[31\].
+//!
+//! Progressiveness is bolted onto a conventional error-bounded compressor
+//! by compressing a cascade of residuals with geometrically decaying error
+//! bounds: component 0 compresses the data at bound `e₀`, component `k`
+//! compresses the residual left by components `0..k` at bound
+//! `e₀ · rᵏ`. Retrieval to tolerance `τ` sums decompressed components
+//! until the *measured* cumulative error is below `τ`.
+//!
+//! The paper's observation — that this approach suffers at low error
+//! bounds because lossy compressors are poor at residual (noise-like)
+//! data — emerges naturally here and is what Figure 11's retrieval-ratio
+//! comparison shows.
+
+use crate::mgard_codec::MgardCodec;
+use crate::sz_like::SzLike;
+use crate::zfp_like::ZfpLike;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one cascade component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ComponentSpec {
+    /// Error-bounded component with absolute bound `eb`.
+    ErrorBound(f64),
+    /// Fixed-rate component storing `bits_per_value` bits per value.
+    Rate(f64),
+}
+
+/// An error-bounded (or fixed-rate) compressor usable as a cascade
+/// backend.
+pub trait ResidualCodec: Send + Sync {
+    /// Backend name for reports (e.g. `"M-SZ3"`).
+    fn name(&self) -> &'static str;
+    /// Compress `data` under `spec`.
+    fn compress(&self, data: &[f64], shape: &[usize], spec: ComponentSpec) -> Vec<u8>;
+    /// Decompress one component stream.
+    fn decompress(&self, bytes: &[u8]) -> Vec<f64>;
+}
+
+/// SZ3-like backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SzBackend;
+
+impl ResidualCodec for SzBackend {
+    fn name(&self) -> &'static str {
+        "M-SZ3"
+    }
+    fn compress(&self, data: &[f64], shape: &[usize], spec: ComponentSpec) -> Vec<u8> {
+        let eb = match spec {
+            ComponentSpec::ErrorBound(e) => e,
+            ComponentSpec::Rate(_) => panic!("SZ backend is error-bounded only"),
+        };
+        SzLike::new(eb).compress(data, shape)
+    }
+    fn decompress(&self, bytes: &[u8]) -> Vec<f64> {
+        SzLike::decompress(bytes).0
+    }
+}
+
+/// MGARD backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MgardBackend;
+
+impl ResidualCodec for MgardBackend {
+    fn name(&self) -> &'static str {
+        "M-MGARD"
+    }
+    fn compress(&self, data: &[f64], shape: &[usize], spec: ComponentSpec) -> Vec<u8> {
+        let eb = match spec {
+            ComponentSpec::ErrorBound(e) => e,
+            ComponentSpec::Rate(_) => panic!("MGARD backend is error-bounded only"),
+        };
+        MgardCodec::new(eb).compress(data, shape)
+    }
+    fn decompress(&self, bytes: &[u8]) -> Vec<f64> {
+        MgardCodec::decompress(bytes).0
+    }
+}
+
+/// ZFP fixed-accuracy backend (the paper's "ZFP-CPU").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZfpAccuracyBackend;
+
+impl ResidualCodec for ZfpAccuracyBackend {
+    fn name(&self) -> &'static str {
+        "M-ZFP-CPU"
+    }
+    fn compress(&self, data: &[f64], shape: &[usize], spec: ComponentSpec) -> Vec<u8> {
+        match spec {
+            ComponentSpec::ErrorBound(e) => ZfpLike::fixed_accuracy(e).compress(data, shape),
+            ComponentSpec::Rate(r) => ZfpLike::fixed_rate(r).compress(data, shape),
+        }
+    }
+    fn decompress(&self, bytes: &[u8]) -> Vec<f64> {
+        ZfpLike::decompress(bytes).0
+    }
+}
+
+/// ZFP fixed-rate backend (the paper's "ZFP-GPU").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZfpRateBackend;
+
+impl ResidualCodec for ZfpRateBackend {
+    fn name(&self) -> &'static str {
+        "M-ZFP-GPU"
+    }
+    fn compress(&self, data: &[f64], shape: &[usize], spec: ComponentSpec) -> Vec<u8> {
+        match spec {
+            ComponentSpec::Rate(r) => ZfpLike::fixed_rate(r).compress(data, shape),
+            ComponentSpec::ErrorBound(_) => {
+                panic!("fixed-rate backend takes Rate components")
+            }
+        }
+    }
+    fn decompress(&self, bytes: &[u8]) -> Vec<f64> {
+        ZfpLike::decompress(bytes).0
+    }
+}
+
+/// One stored cascade component.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Component spec used.
+    pub spec: ComponentSpec,
+    /// Compressed bytes.
+    pub bytes: Vec<u8>,
+    /// Measured cumulative L∞ error after applying components `0..=k`.
+    pub cumulative_error: f64,
+}
+
+/// A progressive multi-component archive over backend `C`.
+pub struct MultiComponent<C: ResidualCodec> {
+    codec: C,
+    shape: Vec<usize>,
+    /// Stored components, coarse to fine.
+    pub components: Vec<Component>,
+}
+
+impl<C: ResidualCodec> MultiComponent<C> {
+    /// Build the cascade: component `k` compresses the residual after
+    /// components `0..k` under `schedule[k]`.
+    pub fn build(codec: C, data: &[f64], shape: &[usize], schedule: &[ComponentSpec]) -> Self {
+        assert!(!schedule.is_empty(), "at least one component required");
+        let mut residual = data.to_vec();
+        let mut reconstruction = vec![0.0f64; data.len()];
+        let mut components = Vec::with_capacity(schedule.len());
+        for &spec in schedule {
+            let bytes = codec.compress(&residual, shape, spec);
+            let part = codec.decompress(&bytes);
+            let mut cum_err = 0.0f64;
+            for ((rec, res), part_v) in
+                reconstruction.iter_mut().zip(residual.iter_mut()).zip(part.iter())
+            {
+                *rec += part_v;
+                *res -= part_v;
+                cum_err = cum_err.max(res.abs());
+            }
+            components.push(Component { spec, bytes, cumulative_error: cum_err });
+        }
+        MultiComponent { codec, shape: shape.to_vec(), components }
+    }
+
+    /// Grid shape of the archive.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.components.iter().map(|c| c.bytes.len()).sum()
+    }
+
+    /// Number of leading components needed to reach tolerance `tau`
+    /// (all components if unreachable).
+    pub fn components_for(&self, tau: f64) -> usize {
+        for (k, c) in self.components.iter().enumerate() {
+            if c.cumulative_error <= tau {
+                return k + 1;
+            }
+        }
+        self.components.len()
+    }
+
+    /// Retrieve to tolerance `tau`: returns the reconstruction, the bytes
+    /// fetched, and the measured error of what was returned.
+    pub fn retrieve(&self, tau: f64) -> (Vec<f64>, usize, f64) {
+        let k = self.components_for(tau);
+        let n: usize = self.shape.iter().product();
+        let mut rec = vec![0.0f64; n];
+        let mut bytes = 0usize;
+        for c in &self.components[..k] {
+            bytes += c.bytes.len();
+            let part = self.codec.decompress(&c.bytes);
+            for (r, p) in rec.iter_mut().zip(part) {
+                *r += p;
+            }
+        }
+        (rec, bytes, self.components[k - 1].cumulative_error)
+    }
+}
+
+/// Geometric error-bound schedule `e₀ · rᵏ` (the practice of \[31\]).
+pub fn geometric_schedule(e0: f64, r: f64, count: usize) -> Vec<ComponentSpec> {
+    (0..count)
+        .map(|k| ComponentSpec::ErrorBound(e0 * r.powi(k as i32)))
+        .collect()
+}
+
+/// Fixed-rate schedule for the ZFP-GPU backend.
+pub fn rate_schedule(rates: &[f64]) -> Vec<ComponentSpec> {
+    rates.iter().map(|&r| ComponentSpec::Rate(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(shape: &[usize]) -> Vec<f64> {
+        let n: usize = shape.iter().product();
+        (0..n)
+            .map(|i| ((i % 37) as f64 * 0.23).sin() * 5.0 + ((i / 37) as f64 * 0.05).cos())
+            .collect()
+    }
+
+    #[test]
+    fn cascade_errors_decrease_monotonically() {
+        let shape = [24usize, 24];
+        let data = field(&shape);
+        let mc = MultiComponent::build(
+            SzBackend,
+            &data,
+            &shape,
+            &geometric_schedule(1.0, 1e-2, 4),
+        );
+        for w in mc.components.windows(2) {
+            assert!(w[1].cumulative_error <= w[0].cumulative_error);
+        }
+        assert!(mc.components.last().expect("some").cumulative_error <= 1e-6);
+    }
+
+    #[test]
+    fn retrieval_meets_tolerance_and_fetches_prefix() {
+        let shape = [24usize, 24];
+        let data = field(&shape);
+        for backend_errors in [true, false] {
+            let mc = if backend_errors {
+                MultiComponent::build(SzBackend, &data, &shape, &geometric_schedule(1.0, 1e-2, 4))
+            } else {
+                MultiComponent::build(SzBackend, &data, &shape, &geometric_schedule(0.5, 1e-1, 6))
+            };
+            for tau in [1e-1, 1e-3, 1e-5] {
+                let (rec, bytes, measured) = mc.retrieve(tau);
+                let err = data
+                    .iter()
+                    .zip(&rec)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!((err - measured).abs() < 1e-9, "measured error consistent");
+                assert!(bytes <= mc.total_bytes());
+                if tau >= mc.components.last().expect("some").cumulative_error {
+                    assert!(err <= tau, "tau={tau} err={err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_tolerance_fetches_more_components() {
+        let shape = [20usize, 20];
+        let data = field(&shape);
+        let mc = MultiComponent::build(
+            MgardBackend,
+            &data,
+            &shape,
+            &geometric_schedule(1.0, 1e-2, 4),
+        );
+        let (_, b1, _) = mc.retrieve(1e-1);
+        let (_, b2, _) = mc.retrieve(1e-5);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn residual_compression_is_inefficient_at_low_bounds() {
+        // The paper's key observation: later components (noise-like
+        // residuals) compress far worse per bit of precision gained.
+        let shape = [32usize, 32];
+        let data = field(&shape);
+        let mc = MultiComponent::build(
+            SzBackend,
+            &data,
+            &shape,
+            &geometric_schedule(1.0, 1e-2, 3),
+        );
+        let first = mc.components[0].bytes.len();
+        let last = mc.components.last().expect("some").bytes.len();
+        assert!(last > first, "residual components should be larger: {first} vs {last}");
+    }
+
+    #[test]
+    fn fixed_rate_cascade_improves_with_components() {
+        let shape = [16usize, 16];
+        let data = field(&shape);
+        let mc = MultiComponent::build(
+            ZfpRateBackend,
+            &data,
+            &shape,
+            &rate_schedule(&[8.0, 8.0, 8.0]),
+        );
+        for w in mc.components.windows(2) {
+            assert!(w[1].cumulative_error < w[0].cumulative_error);
+        }
+    }
+
+    #[test]
+    fn zfp_accuracy_backend_cascades() {
+        let shape = [16usize, 16];
+        let data = field(&shape);
+        let mc = MultiComponent::build(
+            ZfpAccuracyBackend,
+            &data,
+            &shape,
+            &geometric_schedule(1e-1, 1e-2, 3),
+        );
+        assert!(mc.components.last().expect("some").cumulative_error <= 1e-5);
+    }
+}

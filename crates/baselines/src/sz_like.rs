@@ -1,0 +1,246 @@
+//! SZ3-like prediction-based error-bounded compressor.
+//!
+//! Follows the SZ family's structure \[23, 26\]: a first-order Lorenzo
+//! predictor decorrelates the data (prediction from already-decoded
+//! neighbors, so decompression replays the identical recurrence), a
+//! linear quantizer with bin width `2·eb` encodes the prediction
+//! residuals, and the quantization codes go through the workspace Huffman
+//! entropy stage. Residuals falling outside the code range are stored
+//! exactly ("unpredictable data" in SZ terms), preserving the pointwise
+//! error bound unconditionally.
+
+use hpmdr_lossless::huffman;
+use serde::{Deserialize, Serialize};
+
+/// Quantization codes are clamped to this symmetric range; anything
+/// outside is stored exactly.
+const CODE_RANGE: i64 = 1 << 15;
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    shape: Vec<usize>,
+    eb: f64,
+    n_outliers: usize,
+    code_bytes: usize,
+}
+
+/// The SZ3-like codec.
+#[derive(Debug, Clone, Copy)]
+pub struct SzLike {
+    /// Absolute pointwise error bound.
+    pub eb: f64,
+}
+
+impl SzLike {
+    /// Codec with absolute bound `eb`.
+    pub fn new(eb: f64) -> Self {
+        assert!(eb > 0.0, "error bound must be positive");
+        SzLike { eb }
+    }
+
+    /// Compress `data` (row-major, up to 3 dims).
+    pub fn compress(&self, data: &[f64], shape: &[usize]) -> Vec<u8> {
+        let nd = shape.len();
+        assert!((1..=3).contains(&nd));
+        assert_eq!(data.len(), shape.iter().product::<usize>());
+        let dims = {
+            let mut d = [1usize; 3];
+            d[..nd].copy_from_slice(shape);
+            d
+        };
+        let strides = [dims[1] * dims[2], dims[2], 1];
+        let mut decoded = vec![0.0f64; data.len()];
+        let mut codes: Vec<i64> = Vec::with_capacity(data.len());
+        let mut outliers: Vec<(u64, f64)> = Vec::new();
+        let two_eb = 2.0 * self.eb;
+
+        for x in 0..dims[0] {
+            for y in 0..dims[1] {
+                for z in 0..dims[2] {
+                    let i = x * strides[0] + y * strides[1] + z * strides[2];
+                    let pred = lorenzo_pred(&decoded, &dims, strides, x, y, z);
+                    let code = ((data[i] - pred) / two_eb).round() as i64;
+                    if code.abs() >= CODE_RANGE {
+                        outliers.push((i as u64, data[i]));
+                        codes.push(CODE_RANGE); // sentinel
+                        decoded[i] = data[i];
+                    } else {
+                        codes.push(code);
+                        decoded[i] = pred + code as f64 * two_eb;
+                    }
+                }
+            }
+        }
+
+        // Zig-zag varint bytes, then Huffman.
+        let code_bytes = hpmdr_mgard::quantize::codes_to_bytes(&codes);
+        let entropy = huffman::compress(&code_bytes);
+        let header = Header {
+            shape: shape.to_vec(),
+            eb: self.eb,
+            n_outliers: outliers.len(),
+            code_bytes: code_bytes.len(),
+        };
+        let json = serde_json::to_vec(&header).expect("header serializes");
+        let mut out = Vec::with_capacity(16 + json.len() + entropy.len() + outliers.len() * 16);
+        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        out.extend_from_slice(&json);
+        for (i, v) in &outliers {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&entropy);
+        out
+    }
+
+    /// Decompress a stream produced by [`Self::compress`].
+    ///
+    /// # Panics
+    /// Panics on corrupt streams.
+    pub fn decompress(bytes: &[u8]) -> (Vec<f64>, Vec<usize>) {
+        let json_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
+        let header: Header =
+            serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
+        let mut off = 8 + json_len;
+        let mut outliers = Vec::with_capacity(header.n_outliers);
+        for _ in 0..header.n_outliers {
+            let i = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("sized"));
+            let v = f64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("sized"));
+            outliers.push((i as usize, v));
+            off += 16;
+        }
+        let code_bytes = huffman::decompress(&bytes[off..]);
+        assert_eq!(code_bytes.len(), header.code_bytes, "code stream length mismatch");
+        let n: usize = header.shape.iter().product();
+        let codes = hpmdr_mgard::quantize::bytes_to_codes(&code_bytes, n);
+
+        let nd = header.shape.len();
+        let dims = {
+            let mut d = [1usize; 3];
+            d[..nd].copy_from_slice(&header.shape);
+            d
+        };
+        let strides = [dims[1] * dims[2], dims[2], 1];
+        let two_eb = 2.0 * header.eb;
+        let mut decoded = vec![0.0f64; n];
+        let mut outlier_iter = outliers.iter();
+        let mut next_outlier = outlier_iter.next();
+        let mut c = 0usize;
+        for x in 0..dims[0] {
+            for y in 0..dims[1] {
+                for z in 0..dims[2] {
+                    let i = x * strides[0] + y * strides[1] + z * strides[2];
+                    let code = codes[c];
+                    c += 1;
+                    if code == CODE_RANGE {
+                        let (oi, ov) = *next_outlier.expect("outlier recorded");
+                        assert_eq!(oi, i, "outlier order");
+                        decoded[i] = ov;
+                        next_outlier = outlier_iter.next();
+                    } else {
+                        let pred = lorenzo_pred(&decoded, &dims, strides, x, y, z);
+                        decoded[i] = pred + code as f64 * two_eb;
+                    }
+                }
+            }
+        }
+        (decoded, header.shape)
+    }
+}
+
+/// First-order Lorenzo prediction from already-decoded neighbors.
+#[inline]
+fn lorenzo_pred(
+    d: &[f64],
+    _dims: &[usize; 3],
+    s: [usize; 3],
+    x: usize,
+    y: usize,
+    z: usize,
+) -> f64 {
+    let at = |dx: usize, dy: usize, dz: usize| -> f64 {
+        if x < dx || y < dy || z < dz {
+            0.0
+        } else {
+            d[(x - dx) * s[0] + (y - dy) * s[1] + (z - dz) * s[2]]
+        }
+    };
+    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1)
+        + at(1, 1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(shape: &[usize]) -> Vec<f64> {
+        let n: usize = shape.iter().product();
+        (0..n)
+            .map(|i| ((i % 29) as f64 * 0.31).sin() * 3.0 + ((i / 29) as f64 * 0.17).cos())
+            .collect()
+    }
+
+    #[test]
+    fn error_bound_holds_across_dims() {
+        for shape in [vec![257usize], vec![33, 21], vec![9, 11, 13]] {
+            let data = field(&shape);
+            for eb in [1e-1, 1e-3, 1e-5] {
+                let c = SzLike::new(eb).compress(&data, &shape);
+                let (back, s) = SzLike::decompress(&c);
+                assert_eq!(s, shape);
+                for (a, b) in data.iter().zip(&back) {
+                    assert!((a - b).abs() <= eb + 1e-12, "{shape:?} eb={eb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let shape = [32usize, 32, 32];
+        let data = field(&shape);
+        let c = SzLike::new(1e-3).compress(&data, &shape);
+        let ratio = (data.len() * 8) as f64 / c.len() as f64;
+        assert!(ratio > 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tighter_bound_larger_stream() {
+        let shape = [24usize, 24, 24];
+        let data = field(&shape);
+        let a = SzLike::new(1e-2).compress(&data, &shape).len();
+        let b = SzLike::new(1e-6).compress(&data, &shape).len();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn outliers_are_stored_exactly() {
+        let shape = [64usize];
+        let mut data = field(&shape);
+        data[17] = 1e12; // far outside the code range for small eb
+        let c = SzLike::new(1e-6).compress(&data, &shape);
+        let (back, _) = SzLike::decompress(&c);
+        assert_eq!(back[17], 1e12);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_field_is_tiny() {
+        let shape = [40usize, 40];
+        let data = vec![5.5f64; 1600];
+        let c = SzLike::new(1e-4).compress(&data, &shape);
+        assert!(c.len() < 3000, "constant field stream {} bytes", c.len());
+        let (back, _) = SzLike::decompress(&c);
+        for v in back {
+            assert!((v - 5.5).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_eb_rejected() {
+        SzLike::new(0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the native bitplane codecs (the §4 claim
+//! carriers): encode/decode wall-clock per layout and size, plus prefix
+//! decoding cost as a function of retained planes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpmdr_bitplane::{decode_prefix, encode, Layout, Reconstruction};
+
+fn field(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i % 8191) as f32 * 0.173).sin() * 3.0).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitplane_encode");
+    for &n in &[1usize << 16, 1 << 20] {
+        let data = field(n);
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        for layout in [Layout::Natural, Layout::Interleaved32] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{layout:?}"), n),
+                &data,
+                |b, data| b.iter(|| encode(data, 32, layout)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitplane_decode");
+    let n = 1usize << 20;
+    let data = field(n);
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    for layout in [Layout::Natural, Layout::Interleaved32] {
+        let chunk = encode(&data, 32, layout);
+        g.bench_with_input(
+            BenchmarkId::new(format!("{layout:?}_full"), n),
+            &chunk,
+            |b, chunk| b.iter(|| decode_prefix::<f32>(chunk, 32, Reconstruction::Truncate)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_prefix_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitplane_prefix");
+    let n = 1usize << 20;
+    let data = field(n);
+    let chunk = encode(&data, 32, Layout::Interleaved32);
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    for k in [4usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("planes", k), &k, |b, &k| {
+            b.iter(|| decode_prefix::<f32>(&chunk, k, Reconstruction::Truncate))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode, bench_decode, bench_prefix_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the lossless stage: Huffman, RLE, and the
+//! hybrid selector over representative bitplane-group payloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpmdr_lossless::{huffman, rle, Codec, HybridCompressor, HybridConfig};
+
+/// High-order-plane-like payload: heavily zero-dominated.
+fn sparse_payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| if i % 37 == 0 { (i % 7 + 1) as u8 } else { 0 }).collect()
+}
+
+/// Low-order-plane-like payload: near-random bits.
+fn noisy_payload(n: usize) -> Vec<u8> {
+    let mut s = 0x12345u32;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            (s >> 24) as u8
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let payloads = [("sparse", sparse_payload(n)), ("noisy", noisy_payload(n))];
+    let mut g = c.benchmark_group("lossless_compress");
+    g.throughput(Throughput::Bytes(n as u64));
+    for (name, data) in &payloads {
+        g.bench_with_input(BenchmarkId::new("huffman", name), data, |b, d| {
+            b.iter(|| huffman::compress(d))
+        });
+        g.bench_with_input(BenchmarkId::new("rle", name), data, |b, d| {
+            b.iter(|| rle::compress(d))
+        });
+        let hybrid = HybridCompressor::new(HybridConfig::with_rc(1.0));
+        g.bench_with_input(BenchmarkId::new("hybrid_rc1", name), data, |b, d| {
+            b.iter(|| hybrid.compress(d))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("lossless_decompress");
+    g.throughput(Throughput::Bytes(n as u64));
+    for (name, data) in &payloads {
+        let hc = huffman::compress(data);
+        let rc = rle::compress(data);
+        g.bench_with_input(BenchmarkId::new("huffman", name), &hc, |b, d| {
+            b.iter(|| huffman::decompress(d))
+        });
+        g.bench_with_input(BenchmarkId::new("rle", name), &rc, |b, d| {
+            b.iter(|| rle::decompress(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let n = 1usize << 20;
+    let data = sparse_payload(n);
+    let mut g = c.benchmark_group("lossless_estimate");
+    g.throughput(Throughput::Bytes(n as u64));
+    g.bench_function("huffman_cr", |b| {
+        b.iter(|| hpmdr_lossless::estimate_huffman_cr(&data))
+    });
+    g.bench_function("rle_cr", |b| b.iter(|| hpmdr_lossless::estimate_rle_cr(&data)));
+    let hybrid = HybridCompressor::new(HybridConfig::with_rc(1.0));
+    g.bench_function("select", |b| {
+        b.iter(|| {
+            let c = hybrid.select(&data);
+            assert_ne!(c, Codec::Rle); // sparse payload routes to Huffman
+            c
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codecs, bench_estimators
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # hpmdr-bench — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation (§7); run
+//! them all with `scripts` or individually:
+//!
+//! ```text
+//! cargo run -p hpmdr-bench --release --bin table1
+//! cargo run -p hpmdr-bench --release --bin fig6     # ... fig7..fig14, table2_3
+//! ```
+//!
+//! Measurement policy (also documented in EXPERIMENTS.md):
+//!
+//! * **Algorithmic results** (retrieval sizes, bitrates, iteration counts,
+//!   error-control validation) are *exact reproductions* — they depend
+//!   only on the algorithms, which are fully implemented.
+//! * **GPU kernel throughput** comes from the warp-level cost model of
+//!   `hpmdr-device` evaluated on closed-form kernel event counts; CPU
+//!   wall-clock of the same kernels is reported alongside as a sanity
+//!   signal. Expect *shape* agreement with the paper (orderings,
+//!   crossovers, relative factors), not absolute GB/s.
+//! * **Pipeline and multi-device results** replay the Figure 4 DAGs in
+//!   the discrete-event simulator with stage durations from [`model`].
+
+pub mod model;
+pub mod report;
+
+pub use model::{qoi_loop_time, reconstruct_stage_times, refactor_stage_times};
+pub use report::{write_json, Table};

@@ -1,0 +1,145 @@
+//! Encoded bitplane streams.
+
+use crate::fixed::BitplaneFloat;
+use crate::layout::{Layout, WORD_BITS};
+use serde::{Deserialize, Serialize};
+
+/// The bitplane-encoded form of one chunk of aligned coefficients
+/// (Algorithm 1's output stream `S`).
+///
+/// `planes[0]` is the most significant magnitude plane; `signs` is the
+/// dedicated sign plane, always retrieved together with the first
+/// magnitude plane. All planes of one chunk share a [`Layout`] and the
+/// alignment exponent `exp`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitplaneChunk {
+    /// Number of encoded elements.
+    pub n: usize,
+    /// Alignment exponent (`i32::MIN` for an all-zero chunk).
+    pub exp: i32,
+    /// Bit-placement rule of every plane.
+    pub layout: Layout,
+    /// Element type name (`"f32"` / `"f64"`), for stream validation.
+    pub dtype: String,
+    /// Sign plane (one bit per element, same layout as magnitude planes).
+    pub signs: Vec<u32>,
+    /// Magnitude planes, most significant first.
+    pub planes: Vec<Vec<u32>>,
+}
+
+impl BitplaneChunk {
+    /// An empty chunk for `n` elements of type `F` (used for all-zero
+    /// input, where no planes are needed).
+    pub fn zero<F: BitplaneFloat>(n: usize, layout: Layout) -> Self {
+        BitplaneChunk {
+            n,
+            exp: i32::MIN,
+            layout,
+            dtype: F::TYPE_NAME.to_string(),
+            signs: vec![0; layout.words_per_plane(n)],
+            planes: Vec::new(),
+        }
+    }
+
+    /// Number of magnitude planes held.
+    pub fn num_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Words per plane (identical for every plane of the chunk).
+    pub fn words_per_plane(&self) -> usize {
+        self.layout.words_per_plane(self.n)
+    }
+
+    /// Payload bytes of one magnitude plane.
+    pub fn plane_bytes(&self) -> usize {
+        self.words_per_plane() * 4
+    }
+
+    /// Total payload bytes: sign plane plus all magnitude planes.
+    pub fn total_bytes(&self) -> usize {
+        self.plane_bytes() * (self.num_planes() + 1)
+    }
+
+    /// Payload bytes needed to retrieve the first `k` magnitude planes
+    /// (the sign plane ships with the first).
+    pub fn prefix_bytes(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            self.plane_bytes() * (k.min(self.num_planes()) + 1)
+        }
+    }
+
+    /// Check internal consistency (plane lengths, padding-bit hygiene).
+    pub fn validate(&self) -> Result<(), String> {
+        let words = self.words_per_plane();
+        if self.signs.len() != words {
+            return Err(format!(
+                "sign plane has {} words, expected {words}",
+                self.signs.len()
+            ));
+        }
+        for (b, p) in self.planes.iter().enumerate() {
+            if p.len() != words {
+                return Err(format!("plane {b} has {} words, expected {words}", p.len()));
+            }
+        }
+        // Bits beyond `n` must be zero so lossless sizes are layout-stable.
+        for word in 0..words {
+            for bit in 0..WORD_BITS {
+                if self.layout.element(word, bit) < self.n {
+                    continue;
+                }
+                let mask = 1u32 << bit;
+                if self.signs[word] & mask != 0 {
+                    return Err(format!("padding sign bit set at word {word} bit {bit}"));
+                }
+                for (b, p) in self.planes.iter().enumerate() {
+                    if p[word] & mask != 0 {
+                        return Err(format!("padding bit set in plane {b} word {word} bit {bit}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_chunk_has_no_planes_and_validates() {
+        let c = BitplaneChunk::zero::<f32>(100, Layout::Natural);
+        assert_eq!(c.num_planes(), 0);
+        assert_eq!(c.total_bytes(), c.plane_bytes());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn prefix_bytes_includes_sign_plane_once() {
+        let mut c = BitplaneChunk::zero::<f32>(64, Layout::Natural);
+        c.planes = vec![vec![0; 2]; 8];
+        assert_eq!(c.prefix_bytes(0), 0);
+        assert_eq!(c.prefix_bytes(1), 2 * 4 * 2); // sign + 1 plane
+        assert_eq!(c.prefix_bytes(8), 2 * 4 * 9);
+        assert_eq!(c.prefix_bytes(100), c.total_bytes());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_plane_length() {
+        let mut c = BitplaneChunk::zero::<f32>(64, Layout::Natural);
+        c.planes = vec![vec![0; 3]];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_dirty_padding() {
+        let mut c = BitplaneChunk::zero::<f32>(33, Layout::Natural);
+        // Elements 33..64 are padding in word 1.
+        c.signs = vec![0, 1 << 5];
+        assert!(c.validate().is_err());
+    }
+}

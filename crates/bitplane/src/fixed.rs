@@ -1,0 +1,254 @@
+//! Exponent alignment and fixed-point conversion (Algorithm 1, step 1).
+//!
+//! All elements of a chunk are aligned to the chunk-wide maximum exponent
+//! `e` (the smallest power of two strictly greater than every `|v|`), then
+//! scaled to a `B`-bit unsigned magnitude plus a sign bit. After alignment,
+//! magnitude bitplane `k` (0 = most significant) carries weight
+//! `2^(e-1-k)`, so truncating to a `k`-plane prefix bounds the pointwise
+//! error by `2^(e-k)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Floating-point element type refactorable by HP-MDR.
+///
+/// Implemented for `f32` and `f64`. The associated fixed-point type is wide
+/// enough to hold the maximum plane count (`32` and `64` respectively).
+pub trait BitplaneFloat: Copy + PartialOrd + Send + Sync + 'static {
+    /// Maximum number of magnitude bitplanes this type supports.
+    const MAX_PLANES: usize;
+    /// Identifying name (`"f32"` / `"f64"`), stored in stream metadata.
+    const TYPE_NAME: &'static str;
+
+    /// Absolute value.
+    fn abs_val(self) -> Self;
+    /// Is the value negative (sign bit set)?
+    fn is_neg(self) -> bool;
+    /// Convert to f64 for exponent math.
+    fn to_f64(self) -> f64;
+    /// Convert from f64 after reconstruction.
+    fn from_f64(v: f64) -> Self;
+
+    /// Align `|self|` to exponent `exp` and truncate to a `planes`-bit
+    /// magnitude: `floor(|v| * 2^(planes - exp))`, guaranteed `< 2^planes`
+    /// when `|v| < 2^exp`.
+    fn to_fixed(self, exp: i32, planes: usize) -> u64 {
+        let scaled = self.abs_val().to_f64() * exp2(planes as i32 - exp);
+        // |v| < 2^exp ⇒ scaled < 2^planes; clamp defends against rounding
+        // at the very top of the range.
+        let max = if planes >= 64 { u64::MAX } else { (1u64 << planes) - 1 };
+        (scaled as u64).min(max)
+    }
+
+    /// Inverse of [`Self::to_fixed`] for a possibly truncated magnitude.
+    fn from_fixed(sign: bool, fixed: u64, exp: i32, planes: usize) -> Self {
+        let mag = fixed as f64 * exp2(exp - planes as i32);
+        Self::from_f64(if sign { -mag } else { mag })
+    }
+}
+
+/// `2^e` as f64 without going through `powi` (exact for the full exponent
+/// range used by alignment).
+#[inline]
+pub fn exp2(e: i32) -> f64 {
+    f64::exp2(e as f64)
+}
+
+impl BitplaneFloat for f32 {
+    const MAX_PLANES: usize = 32;
+    const TYPE_NAME: &'static str = "f32";
+
+    #[inline]
+    fn abs_val(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn is_neg(self) -> bool {
+        self.is_sign_negative()
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl BitplaneFloat for f64 {
+    const MAX_PLANES: usize = 64;
+    const TYPE_NAME: &'static str = "f64";
+
+    #[inline]
+    fn abs_val(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn is_neg(self) -> bool {
+        self.is_sign_negative()
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// Alignment metadata of one encoded chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Chunk exponent: smallest `e` with `|v| < 2^e` for all elements
+    /// (`i32::MIN` for an all-zero chunk).
+    pub exp: i32,
+    /// Number of magnitude bitplanes encoded.
+    pub planes: usize,
+}
+
+/// Compute the chunk alignment exponent: the smallest `e` such that
+/// `|v| < 2^e` for every element. Returns `i32::MIN` when every element is
+/// zero (nothing to encode). Non-finite values are rejected.
+///
+/// # Panics
+/// Panics if any element is NaN or infinite — refactoring is only defined
+/// for finite scientific data, and silently encoding NaN would corrupt the
+/// stream for *all* elements sharing the chunk.
+pub fn align_exponent<F: BitplaneFloat>(data: &[F]) -> i32 {
+    let mut max_abs = 0.0f64;
+    for &v in data {
+        let a = v.abs_val().to_f64();
+        assert!(a.is_finite(), "bitplane encoding requires finite data");
+        if a > max_abs {
+            max_abs = a;
+        }
+    }
+    if max_abs == 0.0 {
+        return i32::MIN;
+    }
+    // Smallest e with max_abs < 2^e; for exact powers of two we need e+1.
+    let e = max_abs.log2().floor() as i32;
+    if exp2(e + 1) > max_abs {
+        e + 1
+    } else {
+        // log2 rounding placed us one too low (max_abs == 2^(e+1)).
+        e + 2
+    }
+}
+
+/// Upper bound on the pointwise reconstruction error after decoding the
+/// first `k` of the chunk's magnitude bitplanes (truncation reconstruction).
+///
+/// `k = 0` (nothing retrieved) bounds by the magnitude range `2^exp`.
+pub fn prefix_error_bound(exp: i32, k: usize) -> f64 {
+    if exp == i32::MIN {
+        return 0.0;
+    }
+    exp2(exp - k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_covers_all_values() {
+        let data = [0.3f32, -1.7, 0.01, 1.99];
+        let e = align_exponent(&data);
+        assert_eq!(e, 1); // all |v| < 2^1
+        for v in data {
+            assert!((v.abs() as f64) < exp2(e));
+        }
+    }
+
+    #[test]
+    fn exponent_of_exact_power_of_two_is_strict() {
+        // |v| = 4.0 requires 2^e > 4 ⇒ e = 3.
+        let e = align_exponent(&[4.0f64]);
+        assert_eq!(e, 3);
+        assert!(4.0 < exp2(e));
+    }
+
+    #[test]
+    fn zero_chunk_sentinel() {
+        assert_eq!(align_exponent::<f32>(&[0.0, -0.0]), i32::MIN);
+        assert_eq!(prefix_error_bound(i32::MIN, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        align_exponent(&[1.0f32, f32::NAN]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn infinity_rejected() {
+        align_exponent(&[f64::INFINITY]);
+    }
+
+    #[test]
+    fn fixed_roundtrip_error_within_one_ulp_of_grid() {
+        let data = [0.37f64, -0.9999, 0.5, -0.0001, 0.000244140625];
+        let e = align_exponent(&data);
+        let planes = 52;
+        for &v in &data {
+            let fixed = v.to_fixed(e, planes);
+            let back = f64::from_fixed(v.is_neg(), fixed, e, planes);
+            let quantum = exp2(e - planes as i32);
+            assert!(
+                (back - v).abs() <= quantum,
+                "v={v} back={back} quantum={quantum}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_is_monotone_in_magnitude() {
+        let e = 2;
+        let planes = 24;
+        let a = 0.5f32.to_fixed(e, planes);
+        let b = 1.5f32.to_fixed(e, planes);
+        let c = 3.9f32.to_fixed(e, planes);
+        assert!(a < b && b < c);
+        assert!(c < 1u64 << planes);
+    }
+
+    #[test]
+    fn full_width_f32_fixed_fits() {
+        // 32 planes of an f32 near the top of its range must not overflow.
+        let data = [1.999_999f32];
+        let e = align_exponent(&data);
+        let fixed = data[0].to_fixed(e, 32);
+        assert!(fixed <= u32::MAX as u64);
+    }
+
+    #[test]
+    fn prefix_bound_halves_per_plane() {
+        let e = 3;
+        for k in 0..20 {
+            let b0 = prefix_error_bound(e, k);
+            let b1 = prefix_error_bound(e, k + 1);
+            assert!((b0 / b1 - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_error_respects_prefix_bound() {
+        let data: Vec<f64> = (0..256).map(|i| (i as f64 * 0.013).sin() * 7.3).collect();
+        let e = align_exponent(&data);
+        for k in [1usize, 4, 9, 17, 30] {
+            let bound = prefix_error_bound(e, k);
+            for &v in &data {
+                let fixed = v.to_fixed(e, 60);
+                let kept = fixed >> (60 - k);
+                let back = f64::from_fixed(v.is_neg(), kept << (60 - k), e, 60);
+                assert!(
+                    (back - v).abs() <= bound,
+                    "k={k} v={v} back={back} bound={bound}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # hpmdr-bitplane — portable bitplane encoding/decoding (HP-MDR §4)
+//!
+//! Bitplane encoding is the stage that turns exponent-aligned fixed-point
+//! coefficients into independently retrievable bitplanes, enabling the
+//! fine-grained progressiveness of MDR. This crate implements:
+//!
+//! * **Exponent alignment** ([`fixed`]): all values of a chunk are aligned
+//!   to the chunk's maximum exponent so bitplane `k` always carries weight
+//!   `2^(exp-1-k)`, giving closed-form error bounds for any plane prefix.
+//! * **Two stream layouts** ([`layout`]): `Natural` (bit *i* of plane word
+//!   *g* is element `32g+i`, produced by the locality-block and
+//!   register-shuffling designs) and `Interleaved32` (bit-transposed within
+//!   32×32-element tiles, produced by the register-block design). Layouts
+//!   are *device independent*: a 64-lane wavefront device produces byte-
+//!   identical streams to a 32-lane device, which is the portability
+//!   property HP-MDR's refactored data relies on.
+//! * **Fast native codecs** ([`native`]): rayon-parallel encoders built on
+//!   a 32×32 bit-matrix transpose, used for wall-clock benchmarking and by
+//!   the end-to-end pipelines.
+//! * **The paper's three parallelization designs** ([`designs`]): locality
+//!   block, register shuffling (with the four instruction variants of
+//!   Figure 3: ballot, shift, match-any, reduce-add) and register block,
+//!   executed warp-accurately on a simulated device and accounted by the
+//!   cost model, reproducing Figures 6 and 7.
+
+pub mod chunk;
+pub mod designs;
+pub mod fixed;
+pub mod layout;
+pub mod native;
+pub mod transpose;
+
+pub use chunk::BitplaneChunk;
+pub use designs::{DesignKind, EncodeOutcome, ShuffleInstr};
+pub use fixed::{align_exponent, prefix_error_bound, BitplaneFloat};
+pub use layout::Layout;
+pub use native::{decode_prefix, encode, Reconstruction};

@@ -1,0 +1,445 @@
+//! Fast native (CPU) bitplane codecs.
+//!
+//! Both stream layouts are produced by the same engine: each output word
+//! column is a 32×32 bit-tile transpose of 32 aligned values gathered
+//! according to the layout's `element(word, row)` rule. Units (word
+//! columns) are independent, so encoding parallelizes over rayon with no
+//! synchronization; this is the same structure that makes the paper's
+//! register-block GPU kernel communication-free.
+
+use crate::chunk::BitplaneChunk;
+use crate::fixed::{align_exponent, BitplaneFloat};
+use crate::layout::{Layout, WORD_BITS};
+use crate::transpose::transpose32;
+use rayon::prelude::*;
+
+/// How truncated magnitudes are turned back into floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reconstruction {
+    /// Keep the truncated magnitude (error `< 2^(exp-k)`).
+    Truncate,
+    /// Add half of the dropped quantum to non-zero prefixes, halving the
+    /// expected error (worst case unchanged).
+    #[default]
+    Midpoint,
+}
+
+/// Column pointers into the plane vectors, letting disjoint unit indices be
+/// written from rayon workers without locks. Soundness: every unit index is
+/// processed by exactly one worker, and workers only write word `u` of each
+/// plane.
+struct PlaneColumns {
+    ptrs: Vec<*mut u32>,
+}
+unsafe impl Send for PlaneColumns {}
+unsafe impl Sync for PlaneColumns {}
+
+impl PlaneColumns {
+    fn new(planes: &mut [Vec<u32>]) -> Self {
+        PlaneColumns { ptrs: planes.iter_mut().map(|p| p.as_mut_ptr()).collect() }
+    }
+    /// # Safety
+    /// `word` must be in-bounds and written by only one thread.
+    #[inline]
+    unsafe fn set(&self, plane: usize, word: usize, val: u32) {
+        *self.ptrs[plane].add(word) = val;
+    }
+}
+
+/// Raw output pointer for decode scatter; each unit writes a disjoint
+/// element set (layouts are injective), so concurrent writes never alias.
+struct ElemWriter<F> {
+    ptr: *mut F,
+}
+unsafe impl<F> Send for ElemWriter<F> {}
+unsafe impl<F> Sync for ElemWriter<F> {}
+
+impl<F> ElemWriter<F> {
+    /// # Safety
+    /// `idx` must be in-bounds and written by only one thread.
+    #[inline]
+    unsafe fn write(&self, idx: usize, val: F) {
+        *self.ptr.add(idx) = val;
+    }
+}
+
+/// Encode `data` into `planes` magnitude bitplanes plus a sign plane.
+///
+/// `planes` is clamped to `F::MAX_PLANES`. All-zero input produces a
+/// plane-less chunk whose reconstruction is exact.
+pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> BitplaneChunk {
+    let b = planes.min(F::MAX_PLANES).max(1);
+    let exp = align_exponent(data);
+    if exp == i32::MIN {
+        return BitplaneChunk::zero::<F>(data.len(), layout);
+    }
+    let n = data.len();
+    let words = layout.words_per_plane(n);
+    let mut plane_bufs: Vec<Vec<u32>> = (0..b).map(|_| vec![0u32; words]).collect();
+    let mut signs = vec![0u32; words];
+    let b_hi = b.min(32);
+
+    {
+        let cols = PlaneColumns::new(&mut plane_bufs);
+        let signs_col = ElemWriter { ptr: signs.as_mut_ptr() };
+        (0..words).into_par_iter().with_min_len(32).for_each(|u| {
+            let mut hi = [0u32; 32];
+            let mut lo = [0u32; 32];
+            let mut sign_word = 0u32;
+            for r in 0..WORD_BITS {
+                let e = layout.element(u, r);
+                if e >= n {
+                    continue;
+                }
+                let v = data[e];
+                // Left-align into 64 bits so plane 0 is always bit 63.
+                let aligned = v.to_fixed(exp, b) << (64 - b);
+                hi[r] = (aligned >> 32) as u32;
+                lo[r] = aligned as u32;
+                sign_word |= (v.is_neg() as u32) << r;
+            }
+            transpose32(&mut hi);
+            for (p, col) in hi.iter().rev().take(b_hi).enumerate() {
+                unsafe { cols.set(p, u, *col) };
+            }
+            if b > 32 {
+                transpose32(&mut lo);
+                for (p, col) in lo.iter().rev().take(b - 32).enumerate() {
+                    unsafe { cols.set(32 + p, u, *col) };
+                }
+            }
+            unsafe { signs_col.write(u, sign_word) };
+        });
+    }
+
+    BitplaneChunk {
+        n,
+        exp,
+        layout,
+        dtype: F::TYPE_NAME.to_string(),
+        signs,
+        planes: plane_bufs,
+    }
+}
+
+/// Decode the first `k` magnitude planes of `chunk` into values.
+///
+/// `k` is clamped to the number of available planes. The pointwise error is
+/// bounded by [`crate::fixed::prefix_error_bound`]`(chunk.exp, k)`.
+///
+/// # Panics
+/// Panics if the chunk was encoded from a different element type.
+pub fn decode_prefix<F: BitplaneFloat>(
+    chunk: &BitplaneChunk,
+    k: usize,
+    recon: Reconstruction,
+) -> Vec<F> {
+    assert_eq!(chunk.dtype, F::TYPE_NAME, "chunk dtype mismatch");
+    let n = chunk.n;
+    let mut out: Vec<F> = vec![F::from_f64(0.0); n];
+    if chunk.exp == i32::MIN || n == 0 {
+        return out;
+    }
+    let b = chunk.num_planes();
+    let k = k.min(b);
+    if k == 0 {
+        return out;
+    }
+    let words = chunk.words_per_plane();
+    let layout = chunk.layout;
+    let exp = chunk.exp;
+    let k_hi = k.min(32);
+    // Midpoint offset: half of the first dropped plane's quantum.
+    let midpoint: u64 = if k < b && matches!(recon, Reconstruction::Midpoint) {
+        1u64 << (b - k - 1)
+    } else {
+        0
+    };
+
+    let writer = ElemWriter { ptr: out.as_mut_ptr() };
+    (0..words).into_par_iter().with_min_len(32).for_each(|u| {
+        let mut hi = [0u32; 32];
+        let mut lo = [0u32; 32];
+        for (p, row) in hi.iter_mut().rev().take(k_hi).enumerate() {
+            *row = chunk.planes[p][u];
+        }
+        if k > 32 {
+            for (p, row) in lo.iter_mut().rev().take(k - 32).enumerate() {
+                *row = chunk.planes[32 + p][u];
+            }
+        }
+        transpose32(&mut hi);
+        if k > 32 {
+            transpose32(&mut lo);
+        }
+        let sign_word = chunk.signs[u];
+        for r in 0..WORD_BITS {
+            let e = layout.element(u, r);
+            if e >= n {
+                continue;
+            }
+            let aligned = ((hi[r] as u64) << 32) | lo[r] as u64;
+            let mut fixed = aligned >> (64 - b);
+            if fixed != 0 {
+                fixed |= midpoint;
+            }
+            let sign = (sign_word >> r) & 1 == 1;
+            // Safety: layouts are injective, so element `e` is written by
+            // exactly this unit.
+            unsafe { writer.write(e, F::from_fixed(sign, fixed, exp, b)) };
+        }
+    });
+    out
+}
+
+/// Incremental decoder: accumulates plane prefixes across progressive
+/// retrieval iterations so each round only touches the newly fetched
+/// planes (the recompose step of Algorithm 3).
+///
+/// `total_planes` is the plane count of the *full* stream, not of the
+/// (possibly partial) chunks handed to [`Self::advance`]: bit weights must
+/// stay stable across refinements even when earlier chunks carried fewer
+/// planes.
+#[derive(Debug, Clone)]
+pub struct ProgressiveDecoder {
+    fixed: Vec<u64>,
+    applied: usize,
+    total_planes: usize,
+}
+
+impl ProgressiveDecoder {
+    /// Fresh state for a stream of `chunk.num_planes()` planes.
+    pub fn new(chunk: &BitplaneChunk) -> Self {
+        Self::with_total_planes(chunk.n, chunk.num_planes())
+    }
+
+    /// Fresh state for `n` elements of a stream with `total_planes`
+    /// magnitude planes.
+    pub fn with_total_planes(n: usize, total_planes: usize) -> Self {
+        ProgressiveDecoder { fixed: vec![0u64; n], applied: 0, total_planes }
+    }
+
+    /// Number of planes applied so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Apply planes `applied..k` of `chunk` to the accumulator. The chunk
+    /// must carry at least `k` planes of the same stream.
+    pub fn advance(&mut self, chunk: &BitplaneChunk, k: usize) {
+        let k = k.min(self.total_planes);
+        if chunk.exp == i32::MIN {
+            self.applied = k;
+            return;
+        }
+        assert!(
+            chunk.num_planes() >= k,
+            "chunk carries {} planes, {} requested",
+            chunk.num_planes(),
+            k
+        );
+        let layout = chunk.layout;
+        let n = chunk.n;
+        for p in self.applied..k {
+            let weight_shift = (self.total_planes - 1 - p) as u32;
+            let plane = &chunk.planes[p];
+            for (u, &word) in plane.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let r = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let e = layout.element(u, r);
+                    if e < n {
+                        self.fixed[e] |= 1u64 << weight_shift;
+                    }
+                }
+            }
+        }
+        self.applied = k;
+    }
+
+    /// Materialize current values (signs/exp/layout read from `chunk`).
+    pub fn materialize<F: BitplaneFloat>(
+        &self,
+        chunk: &BitplaneChunk,
+        recon: Reconstruction,
+    ) -> Vec<F> {
+        assert_eq!(chunk.dtype, F::TYPE_NAME, "chunk dtype mismatch");
+        let b = self.total_planes;
+        if chunk.exp == i32::MIN || b == 0 {
+            return vec![F::from_f64(0.0); chunk.n];
+        }
+        let midpoint: u64 = if self.applied < b && matches!(recon, Reconstruction::Midpoint) {
+            1u64 << (b - self.applied - 1)
+        } else {
+            0
+        };
+        let layout = chunk.layout;
+        (0..chunk.n)
+            .into_par_iter()
+            .with_min_len(1024)
+            .map(|e| {
+                let (u, r) = layout.position(e);
+                let sign = (chunk.signs[u] >> r) & 1 == 1;
+                let mut fixed = self.fixed[e];
+                if fixed != 0 {
+                    fixed |= midpoint;
+                }
+                F::from_fixed(sign, fixed, chunk.exp, b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::prefix_error_bound;
+
+    fn wave(n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * scale + (i as f64 * 0.011).cos()).collect()
+    }
+
+    fn wave32(n: usize) -> Vec<f32> {
+        wave(n, 3.7).into_iter().map(|v| v as f32).collect()
+    }
+
+    #[test]
+    fn full_decode_is_near_lossless_f32() {
+        for layout in [Layout::Natural, Layout::Interleaved32] {
+            let data = wave32(1000);
+            let c = encode(&data, 32, layout);
+            c.validate().unwrap();
+            let back: Vec<f32> = decode_prefix(&c, 32, Reconstruction::Truncate);
+            let bound = prefix_error_bound(c.exp, 32);
+            for (a, b) in data.iter().zip(&back) {
+                assert!((a - b).abs() as f64 <= bound, "{layout:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_decode_is_near_lossless_f64() {
+        for layout in [Layout::Natural, Layout::Interleaved32] {
+            let data = wave(1027, 123.0);
+            let c = encode(&data, 64, layout);
+            c.validate().unwrap();
+            let back: Vec<f64> = decode_prefix(&c, 64, Reconstruction::Truncate);
+            let bound = prefix_error_bound(c.exp, 64);
+            for (a, b) in data.iter().zip(&back) {
+                assert!((a - b).abs() <= bound.max(1e-12), "{layout:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_error_within_bound_all_k() {
+        let data = wave32(513);
+        for layout in [Layout::Natural, Layout::Interleaved32] {
+            let c = encode(&data, 32, layout);
+            for k in [0usize, 1, 2, 5, 9, 16, 25, 32] {
+                let bound = prefix_error_bound(c.exp, k);
+                let back: Vec<f32> = decode_prefix(&c, k, Reconstruction::Truncate);
+                for (a, b) in data.iter().zip(&back) {
+                    assert!(
+                        ((a - b).abs() as f64) <= bound,
+                        "layout={layout:?} k={k} a={a} b={b} bound={bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_never_worse_bound_and_better_mse() {
+        let data = wave32(4096);
+        let c = encode(&data, 32, Layout::Interleaved32);
+        let k = 8;
+        let t: Vec<f32> = decode_prefix(&c, k, Reconstruction::Truncate);
+        let m: Vec<f32> = decode_prefix(&c, k, Reconstruction::Midpoint);
+        let mse = |xs: &[f32]| {
+            xs.iter().zip(&data).map(|(x, d)| ((x - d) as f64).powi(2)).sum::<f64>()
+        };
+        assert!(mse(&m) < mse(&t), "midpoint should reduce MSE");
+        let bound = prefix_error_bound(c.exp, k);
+        for (a, b) in data.iter().zip(&m) {
+            assert!(((a - b).abs() as f64) <= bound);
+        }
+    }
+
+    #[test]
+    fn layouts_reconstruct_identically() {
+        let data = wave32(2500);
+        let a = encode(&data, 32, Layout::Natural);
+        let b = encode(&data, 32, Layout::Interleaved32);
+        for k in [1usize, 7, 32] {
+            let da: Vec<f32> = decode_prefix(&a, k, Reconstruction::Truncate);
+            let db: Vec<f32> = decode_prefix(&b, k, Reconstruction::Truncate);
+            assert_eq!(da, db, "k={k}");
+        }
+    }
+
+    #[test]
+    fn odd_sizes_roundtrip() {
+        for n in [1usize, 31, 32, 33, 1023, 1024, 1025, 2049] {
+            let data = wave32(n);
+            let c = encode(&data, 32, Layout::Interleaved32);
+            c.validate().unwrap();
+            let back: Vec<f32> = decode_prefix(&c, 32, Reconstruction::Truncate);
+            let bound = prefix_error_bound(c.exp, 32);
+            for (a, b) in data.iter().zip(&back) {
+                assert!(((a - b).abs() as f64) <= bound, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_input_reconstructs_exactly() {
+        let data = vec![0.0f32; 777];
+        let c = encode(&data, 32, Layout::Natural);
+        assert_eq!(c.num_planes(), 0);
+        let back: Vec<f32> = decode_prefix(&c, 32, Reconstruction::Midpoint);
+        assert!(back.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn negative_values_keep_sign_at_any_prefix() {
+        let data: Vec<f32> = (0..256).map(|i| if i % 2 == 0 { -1.5 } else { 1.5 }).collect();
+        let c = encode(&data, 32, Layout::Interleaved32);
+        let back: Vec<f32> = decode_prefix(&c, 3, Reconstruction::Truncate);
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn progressive_decoder_matches_direct_decode() {
+        let data = wave(3000, 9.0);
+        let c = encode(&data, 48, Layout::Interleaved32);
+        let mut pd = ProgressiveDecoder::new(&c);
+        for k in [4usize, 12, 33, 48] {
+            pd.advance(&c, k);
+            let inc: Vec<f64> = pd.materialize(&c, Reconstruction::Truncate);
+            let direct: Vec<f64> = decode_prefix(&c, k, Reconstruction::Truncate);
+            assert_eq!(inc, direct, "k={k}");
+        }
+    }
+
+    #[test]
+    fn fewer_planes_than_requested_is_clamped() {
+        let data = wave32(128);
+        let c = encode(&data, 10, Layout::Natural);
+        assert_eq!(c.num_planes(), 10);
+        let a: Vec<f32> = decode_prefix(&c, 10, Reconstruction::Truncate);
+        let b: Vec<f32> = decode_prefix(&c, 99, Reconstruction::Truncate);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dtype_mismatch_panics() {
+        let data = wave32(64);
+        let c = encode(&data, 32, Layout::Natural);
+        let _: Vec<f64> = decode_prefix(&c, 32, Reconstruction::Truncate);
+    }
+}

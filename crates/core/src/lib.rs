@@ -1,0 +1,50 @@
+//! # hpmdr-core — HP-MDR data refactoring and progressive retrieval
+//!
+//! The paper's primary contribution: an end-to-end, portable, GPU-shaped
+//! pipeline that *refactors* scientific floating-point fields into
+//! multi-precision streams and *progressively retrieves* just enough of
+//! them to satisfy a requested error bound — on raw data or on derived
+//! Quantities of Interest.
+//!
+//! Dataflow (Figure 1):
+//!
+//! ```text
+//! refactor:  data ──MGARD decompose──► level coefficients
+//!                 ──bitplane encode──► planes (register-block layout)
+//!                 ──hybrid lossless──► compressed plane groups + metadata
+//!
+//! retrieve:  pick plane prefixes per level (error planner / QoI loop)
+//!                 ──lossless decode──► planes ──bitplane decode──►
+//!            coefficients ──MGARD recompose──► approximation + bound
+//! ```
+//!
+//! Modules:
+//!
+//! * [`refactor`] — variable refactoring into [`refactor::Refactored`];
+//! * [`retrieve`] — greedy error-driven plane planning and incremental
+//!   reconstruction sessions;
+//! * [`qoi_retrieval`] — Algorithm 3 with the CP / MA / MAPE error-bound
+//!   estimators (§6.2);
+//! * [`pipeline`] — the Figure 4 refactoring/reconstruction pipelines:
+//!   sequential, overlapped (real threads + DMA engines), and
+//!   discrete-event simulated;
+//! * [`multi_device`] — weak-scaling and CPU-vs-GPU end-to-end studies
+//!   (Figures 10 and 14);
+//! * [`serialize`] — portable on-disk framing of refactored artifacts;
+//! * [`storage`] — unit-file stores retrieving exactly the files a plan
+//!   needs (the paper's small-object I/O pattern).
+
+pub mod multi_device;
+pub mod pipeline;
+pub mod qoi_retrieval;
+pub mod refactor;
+pub mod retrieve;
+pub mod serialize;
+pub mod storage;
+
+pub use qoi_retrieval::{
+    retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,
+    MultiQoiRetrievalOutcome, QoiRetrievalOutcome,
+};
+pub use refactor::{refactor, Refactored, RefactorConfig};
+pub use retrieve::{RetrievalPlan, RetrievalSession};

@@ -1,0 +1,373 @@
+//! Variable refactoring: decompose → bitplane-encode → hybrid compress.
+
+use hpmdr_bitplane::{encode, BitplaneChunk, BitplaneFloat, Layout};
+use hpmdr_lossless::{CompressedGroup, HybridCompressor, HybridConfig};
+use hpmdr_mgard::{decompose, extract_levels, level_error_weights, Hierarchy, Real};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Refactoring configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefactorConfig {
+    /// Magnitude bitplanes per level group (clamped to the dtype's width).
+    pub num_planes: usize,
+    /// Stream layout (register-block interleaved by default — the paper's
+    /// fastest design; both layouts decode identically).
+    pub layout: Layout,
+    /// Apply MGARD's L2 correction during decomposition.
+    pub correction: bool,
+    /// Cap on decomposition levels (`None` = full hierarchy).
+    pub max_levels: Option<usize>,
+    /// Hybrid lossless configuration (group size `m`, `T_s`, `T_cr`).
+    pub hybrid: HybridConfig,
+}
+
+impl Default for RefactorConfig {
+    fn default() -> Self {
+        RefactorConfig {
+            num_planes: 64,
+            layout: Layout::Interleaved32,
+            correction: true,
+            max_levels: None,
+            hybrid: HybridConfig::default(),
+        }
+    }
+}
+
+/// One level group's encoded-and-compressed bitplane streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStream {
+    /// Element count of the group.
+    pub n: usize,
+    /// Alignment exponent of the group (`i32::MIN` = all zero).
+    pub exp: i32,
+    /// Magnitude planes encoded.
+    pub num_planes: usize,
+    /// Stream layout.
+    pub layout: Layout,
+    /// Compressed merged units; unit 0 additionally carries the sign
+    /// plane, so unit `u` holds planes `u*m - (u>0 ? 0 : 0) …` — concretely
+    /// unit 0 = [signs, planes 0..m-1], unit u>0 = planes `u*m..(u+1)*m`.
+    pub units: Vec<CompressedGroup>,
+    /// Planes per merged unit (`m`).
+    pub group_size: usize,
+    /// Uncompressed bytes of one plane (layout-padded).
+    pub plane_bytes: usize,
+}
+
+impl LevelStream {
+    /// Number of merged units available.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Magnitude planes contained in the first `u` units.
+    pub fn planes_in_units(&self, u: usize) -> usize {
+        (u * self.group_size).min(self.num_planes)
+    }
+
+    /// Units needed to obtain at least `k` magnitude planes.
+    pub fn units_for_planes(&self, k: usize) -> usize {
+        if k == 0 {
+            0
+        } else {
+            k.min(self.num_planes).div_ceil(self.group_size)
+        }
+    }
+
+    /// Compressed bytes of the first `u` units (what retrieval fetches).
+    pub fn fetch_bytes(&self, u: usize) -> usize {
+        self.units.iter().take(u).map(|g| g.stored_len()).sum()
+    }
+
+    /// Total compressed bytes of the stream.
+    pub fn total_bytes(&self) -> usize {
+        self.fetch_bytes(self.units.len())
+    }
+}
+
+/// A fully refactored variable: metadata plus per-level compressed streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Refactored {
+    /// Grid shape of the variable.
+    pub shape: Vec<usize>,
+    /// Element type name (`"f32"` / `"f64"`).
+    pub dtype: String,
+    /// Decomposition hierarchy.
+    pub hierarchy: Hierarchy,
+    /// Whether the L2 correction was applied.
+    pub correction: bool,
+    /// Per-group L∞ propagation weights (group 0 = coarsest nodal).
+    pub weights: Vec<f64>,
+    /// Per-group encoded streams (group 0 = coarsest nodal).
+    pub streams: Vec<LevelStream>,
+    /// Value range of the original data (used by QoI initialization).
+    pub value_range: f64,
+}
+
+impl Refactored {
+    /// Total element count.
+    pub fn num_elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Total compressed size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.streams.iter().map(LevelStream::total_bytes).sum()
+    }
+
+    /// Error bound when retrieving `units[g]` merged units of each group.
+    pub fn error_bound_for_units(&self, units: &[usize]) -> f64 {
+        assert_eq!(units.len(), self.streams.len());
+        self.streams
+            .iter()
+            .zip(units)
+            .zip(&self.weights)
+            .map(|((s, &u), w)| {
+                let k = s.planes_in_units(u);
+                w * hpmdr_bitplane::prefix_error_bound(s.exp, k)
+            })
+            .sum()
+    }
+}
+
+/// Refactor one variable of shape `shape`.
+///
+/// # Panics
+/// Panics if `data.len()` does not match `shape`, or on non-finite input.
+pub fn refactor<F: BitplaneFloat + Real>(
+    data: &[F],
+    shape: &[usize],
+    config: &RefactorConfig,
+) -> Refactored {
+    let hierarchy = match config.max_levels {
+        Some(l) => Hierarchy::with_levels(shape, l),
+        None => Hierarchy::full(shape),
+    };
+    assert_eq!(data.len(), hierarchy.len(), "data length must match shape");
+
+    let mut value_min = f64::INFINITY;
+    let mut value_max = f64::NEG_INFINITY;
+    for v in data {
+        let x = Real::to_f64(*v);
+        value_min = value_min.min(x);
+        value_max = value_max.max(x);
+    }
+    let value_range = (value_max - value_min).max(0.0);
+
+    let mut work = data.to_vec();
+    decompose(&mut work, &hierarchy, config.correction);
+    let groups = extract_levels(&work, &hierarchy);
+
+    let planes = config.num_planes.min(F::MAX_PLANES).max(1);
+    let compressor = HybridCompressor::new(config.hybrid);
+    let m = config.hybrid.group_size.max(1);
+
+    let streams: Vec<LevelStream> = groups
+        .par_iter()
+        .map(|g| {
+            let chunk = encode(g, planes, config.layout);
+            compress_chunk(&chunk, m, &compressor)
+        })
+        .collect();
+
+    Refactored {
+        shape: shape.to_vec(),
+        dtype: F::TYPE_NAME.to_string(),
+        correction: config.correction,
+        weights: level_error_weights(&hierarchy, config.correction),
+        hierarchy,
+        streams,
+        value_range,
+    }
+}
+
+/// Merge a chunk's planes into units of `m` and compress each unit.
+fn compress_chunk(chunk: &BitplaneChunk, m: usize, compressor: &HybridCompressor) -> LevelStream {
+    let plane_bytes = chunk.plane_bytes();
+    let b = chunk.num_planes();
+    let num_units = b.div_ceil(m);
+    let units: Vec<CompressedGroup> = (0..num_units)
+        .into_par_iter()
+        .map(|u| {
+            let lo = u * m;
+            let hi = ((u + 1) * m).min(b);
+            // Unit 0 carries the sign plane ahead of its magnitude planes.
+            let mut merged =
+                Vec::with_capacity((hi - lo + usize::from(u == 0)) * plane_bytes);
+            if u == 0 {
+                extend_words(&mut merged, &chunk.signs);
+            }
+            for p in lo..hi {
+                extend_words(&mut merged, &chunk.planes[p]);
+            }
+            compressor.compress(&merged)
+        })
+        .collect();
+    LevelStream {
+        n: chunk.n,
+        exp: chunk.exp,
+        num_planes: b,
+        layout: chunk.layout,
+        units,
+        group_size: m,
+        plane_bytes,
+    }
+}
+
+/// Rebuild a (possibly partial) [`BitplaneChunk`] from the first
+/// `units` merged units of `stream`.
+///
+/// # Panics
+/// Panics if the stream is structurally corrupt.
+pub fn decompress_units(
+    stream: &LevelStream,
+    units: usize,
+    compressor: &HybridCompressor,
+    dtype: &str,
+) -> BitplaneChunk {
+    let units = units.min(stream.num_units());
+    let k = stream.planes_in_units(units);
+    let words = stream.plane_bytes / 4;
+    let mut signs = vec![0u32; words];
+    let mut planes: Vec<Vec<u32>> = Vec::with_capacity(k);
+    for u in 0..units {
+        let raw = compressor.decompress(&stream.units[u]);
+        let lo = u * stream.group_size;
+        let hi = ((u + 1) * stream.group_size).min(stream.num_planes);
+        let expect = (hi - lo + usize::from(u == 0)) * stream.plane_bytes;
+        assert_eq!(raw.len(), expect, "unit {u} has wrong decompressed size");
+        let mut off = 0usize;
+        if u == 0 {
+            read_words(&raw[..stream.plane_bytes], &mut signs);
+            off = stream.plane_bytes;
+        }
+        for _ in lo..hi {
+            let mut plane = vec![0u32; words];
+            read_words(&raw[off..off + stream.plane_bytes], &mut plane);
+            off += stream.plane_bytes;
+            planes.push(plane);
+        }
+    }
+    BitplaneChunk {
+        n: stream.n,
+        exp: stream.exp,
+        layout: stream.layout,
+        dtype: dtype.to_string(),
+        signs,
+        planes,
+    }
+}
+
+fn extend_words(out: &mut Vec<u8>, words: &[u32]) {
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+fn read_words(bytes: &[u8], out: &mut [u32]) {
+    for (i, w) in out.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().expect("sized"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_2d(nx: usize, ny: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(nx * ny);
+        for x in 0..nx {
+            for y in 0..ny {
+                v.push(((x as f32 * 0.21).sin() * (y as f32 * 0.13).cos()) * 4.0);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn refactor_produces_one_stream_per_group() {
+        let data = field_2d(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        assert_eq!(r.streams.len(), r.hierarchy.levels + 1);
+        assert_eq!(r.weights.len(), r.streams.len());
+        let total_n: usize = r.streams.iter().map(|s| s.n).sum();
+        assert_eq!(total_n, 33 * 33);
+    }
+
+    #[test]
+    fn units_decompress_to_original_planes() {
+        let data = field_2d(17, 16);
+        let cfg = RefactorConfig::default();
+        let r = refactor(&data, &[17, 16], &cfg);
+        let comp = HybridCompressor::new(cfg.hybrid);
+        for s in &r.streams {
+            let full = decompress_units(s, s.num_units(), &comp, "f32");
+            full.validate().unwrap();
+            assert_eq!(full.num_planes(), s.num_planes);
+        }
+    }
+
+    #[test]
+    fn partial_units_give_plane_prefix() {
+        let data = field_2d(33, 32);
+        let cfg = RefactorConfig::default();
+        let r = refactor(&data, &[33, 32], &cfg);
+        let comp = HybridCompressor::new(cfg.hybrid);
+        let s = r.streams.last().expect("streams");
+        let partial = decompress_units(s, 2, &comp, "f32");
+        let full = decompress_units(s, s.num_units(), &comp, "f32");
+        assert_eq!(partial.num_planes(), s.planes_in_units(2));
+        for p in 0..partial.num_planes() {
+            assert_eq!(partial.planes[p], full.planes[p], "plane {p}");
+        }
+        assert_eq!(partial.signs, full.signs);
+    }
+
+    #[test]
+    fn error_bound_decreases_with_units() {
+        let data = field_2d(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let g = r.streams.len();
+        let b0 = r.error_bound_for_units(&vec![0; g]);
+        let b1 = r.error_bound_for_units(&vec![1; g]);
+        let b4 = r.error_bound_for_units(&vec![4; g]);
+        assert!(b0 > b1 && b1 > b4);
+    }
+
+    #[test]
+    fn compressed_smaller_than_raw_for_smooth_data() {
+        let data = field_2d(65, 65);
+        let r = refactor(&data, &[65, 65], &RefactorConfig::default());
+        // Smooth data: multilevel coefficients are tiny, so most planes are
+        // zero-dominated and the hybrid compressor should beat raw planes.
+        let raw: usize = r
+            .streams
+            .iter()
+            .map(|s| (s.num_planes + 1) * s.plane_bytes)
+            .sum();
+        assert!(r.total_bytes() < raw, "{} vs raw {}", r.total_bytes(), raw);
+    }
+
+    #[test]
+    fn value_range_recorded() {
+        let data = field_2d(16, 16);
+        let r = refactor(&data, &[16, 16], &RefactorConfig::default());
+        assert!(r.value_range > 0.0 && r.value_range <= 8.0 + 1e-6);
+    }
+
+    #[test]
+    fn refactor_f64_uses_wide_planes() {
+        let data: Vec<f64> = field_2d(17, 17).into_iter().map(|v| v as f64).collect();
+        let r = refactor(&data, &[17, 17], &RefactorConfig::default());
+        assert_eq!(r.dtype, "f64");
+        assert!(r.streams.iter().any(|s| s.num_planes == 64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let data = vec![0.0f32; 10];
+        refactor(&data, &[3, 4], &RefactorConfig::default());
+    }
+}

@@ -1,0 +1,547 @@
+//! Progressive retrieval: plane planning and incremental reconstruction.
+//!
+//! Retrieval fetches a *prefix of merged units* per level group. The
+//! planner picks the cheapest prefix whose guaranteed L∞ bound
+//! `Σ_g w_g · 2^(exp_g − k_g)` meets the request; the session caches
+//! decoded plane state across refinements so each Algorithm-3 iteration
+//! only pays for the newly fetched units (the paper's recompose step).
+
+use crate::refactor::{decompress_units, Refactored};
+use hpmdr_bitplane::native::ProgressiveDecoder;
+use hpmdr_bitplane::{prefix_error_bound, BitplaneFloat, Reconstruction};
+use hpmdr_lossless::{HybridCompressor, HybridConfig};
+use hpmdr_mgard::{extract_active_grid, inject_levels, recompose_to_level, Real};
+use serde::{Deserialize, Serialize};
+
+/// A retrieval decision: merged units to fetch per level group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrievalPlan {
+    /// Units per group (same order as [`Refactored::streams`]).
+    pub units: Vec<usize>,
+}
+
+impl RetrievalPlan {
+    /// The empty plan (nothing fetched).
+    pub fn empty(r: &Refactored) -> Self {
+        RetrievalPlan { units: vec![0; r.streams.len()] }
+    }
+
+    /// Plan fetching everything (near-lossless reconstruction).
+    pub fn full(r: &Refactored) -> Self {
+        RetrievalPlan { units: r.streams.iter().map(|s| s.num_units()).collect() }
+    }
+
+    /// Greedy minimal plan meeting the absolute error target `eb`:
+    /// repeatedly refine the group with the largest weighted bound term.
+    /// Returns the plan and its guaranteed bound (which may exceed `eb`
+    /// only when every plane is already fetched).
+    pub fn for_error(r: &Refactored, eb: f64) -> (Self, f64) {
+        assert!(eb >= 0.0, "error target must be non-negative");
+        let g = r.streams.len();
+        let mut units = vec![0usize; g];
+        let term = |gi: usize, u: usize| -> f64 {
+            let s = &r.streams[gi];
+            let k = s.planes_in_units(u);
+            r.weights[gi] * prefix_error_bound(s.exp, k)
+        };
+        let mut terms: Vec<f64> = (0..g).map(|gi| term(gi, 0)).collect();
+        loop {
+            let total: f64 = terms.iter().sum();
+            if total <= eb {
+                break;
+            }
+            // Largest refinable term.
+            let mut best: Option<(f64, usize)> = None;
+            for gi in 0..g {
+                if units[gi] >= r.streams[gi].num_units() {
+                    continue;
+                }
+                let gain = terms[gi] - term(gi, units[gi] + 1);
+                if gain <= 0.0 {
+                    continue;
+                }
+                if best.map_or(true, |(t, _)| terms[gi] > t) {
+                    best = Some((terms[gi], gi));
+                }
+            }
+            match best {
+                Some((_, gi)) => {
+                    units[gi] += 1;
+                    terms[gi] = term(gi, units[gi]);
+                }
+                None => break, // everything fetched; bound is the floor
+            }
+        }
+        let bound = terms.iter().sum();
+        (RetrievalPlan { units }, bound)
+    }
+
+    /// Greedy *rate-distortion* plan meeting a root-mean-square error
+    /// target: each step fetches the unit with the best squared-error
+    /// reduction per compressed byte. Returns the plan and its RMSE
+    /// *estimate* `√(Σ_g (w_g · 2^(e_g−k_g))²)`.
+    ///
+    /// This is the L2-oriented retrieval mode of MDR. Unlike
+    /// [`Self::for_error`] the returned figure is an estimator, not a hard
+    /// bound: it relies on the near-orthogonality of the multilevel
+    /// decomposition (group error fields are close to uncorrelated, and
+    /// each group's mean-square error is below its pointwise-max square).
+    /// The guaranteed L∞ bound of the resulting plan is still available
+    /// through [`Refactored::error_bound_for_units`], and RMSE ≤ that
+    /// bound unconditionally.
+    pub fn for_rmse(r: &Refactored, rmse: f64) -> (Self, f64) {
+        assert!(rmse >= 0.0, "rmse target must be non-negative");
+        let g = r.streams.len();
+        let mut units = vec![0usize; g];
+        // Squared contribution of group gi at u units: pointwise-max
+        // square of the error field the group induces anywhere on the
+        // grid (coarse errors spread through prolongation, so no n_g/n
+        // discount applies).
+        let sq = |gi: usize, u: usize| -> f64 {
+            let s = &r.streams[gi];
+            let k = s.planes_in_units(u);
+            let e = r.weights[gi] * prefix_error_bound(s.exp, k);
+            e * e
+        };
+        let mut terms: Vec<f64> = (0..g).map(|gi| sq(gi, 0)).collect();
+        let target_sq = rmse * rmse;
+        loop {
+            let total: f64 = terms.iter().sum();
+            if total <= target_sq {
+                break;
+            }
+            // Best squared-error reduction per compressed byte.
+            let mut best: Option<(f64, usize)> = None;
+            for gi in 0..g {
+                let s = &r.streams[gi];
+                if units[gi] >= s.num_units() {
+                    continue;
+                }
+                let gain = terms[gi] - sq(gi, units[gi] + 1);
+                let cost = s.units[units[gi]].stored_len().max(1) as f64;
+                let density = gain / cost;
+                if density <= 0.0 {
+                    continue;
+                }
+                if best.map_or(true, |(d, _)| density > d) {
+                    best = Some((density, gi));
+                }
+            }
+            match best {
+                Some((_, gi)) => {
+                    units[gi] += 1;
+                    terms[gi] = sq(gi, units[gi]);
+                }
+                None => break,
+            }
+        }
+        let estimate = terms.iter().sum::<f64>().sqrt();
+        (RetrievalPlan { units }, estimate)
+    }
+
+    /// Bytes this plan fetches from storage.
+    pub fn fetch_bytes(&self, r: &Refactored) -> usize {
+        r.streams
+            .iter()
+            .zip(&self.units)
+            .map(|(s, &u)| s.fetch_bytes(u))
+            .sum()
+    }
+
+    /// Whether every unit of every group is fetched.
+    pub fn is_full(&self, r: &Refactored) -> bool {
+        self.units
+            .iter()
+            .zip(&r.streams)
+            .all(|(&u, s)| u >= s.num_units())
+    }
+}
+
+/// Incremental reconstruction state for one refactored variable.
+///
+/// Holds the per-group decoded bitplane accumulators; refining to a larger
+/// plan decompresses and applies only the new units.
+pub struct RetrievalSession<'a> {
+    refactored: &'a Refactored,
+    compressor: HybridCompressor,
+    decoders: Vec<Option<(hpmdr_bitplane::BitplaneChunk, ProgressiveDecoder)>>,
+    units_applied: Vec<usize>,
+    fetched_bytes: usize,
+}
+
+impl<'a> RetrievalSession<'a> {
+    /// Open a session over `refactored` (no units fetched yet).
+    pub fn new(refactored: &'a Refactored) -> Self {
+        let g = refactored.streams.len();
+        RetrievalSession {
+            refactored,
+            compressor: HybridCompressor::new(HybridConfig::default()),
+            decoders: (0..g).map(|_| None).collect(),
+            units_applied: vec![0; g],
+            fetched_bytes: 0,
+        }
+    }
+
+    /// The variable this session reconstructs.
+    pub fn refactored(&self) -> &Refactored {
+        self.refactored
+    }
+
+    /// Units currently applied per group.
+    pub fn units(&self) -> &[usize] {
+        &self.units_applied
+    }
+
+    /// Compressed bytes fetched so far.
+    pub fn fetched_bytes(&self) -> usize {
+        self.fetched_bytes
+    }
+
+    /// Guaranteed L∞ bound of the current state.
+    pub fn error_bound(&self) -> f64 {
+        self.refactored.error_bound_for_units(&self.units_applied)
+    }
+
+    /// Advance to `plan` (only fetching units not yet applied; plans never
+    /// shrink — smaller entries are ignored).
+    pub fn refine_to(&mut self, plan: &RetrievalPlan) {
+        assert_eq!(plan.units.len(), self.decoders.len(), "plan shape mismatch");
+        for (gi, &target) in plan.units.iter().enumerate() {
+            let target = target.min(self.refactored.streams[gi].num_units());
+            let current = self.units_applied[gi];
+            if target <= current {
+                continue;
+            }
+            let stream = &self.refactored.streams[gi];
+            for u in current..target {
+                self.fetched_bytes += stream.units[u].stored_len();
+            }
+            // Decompress the prefix [0, target) — cheap relative to decode;
+            // the plane accumulators only apply the new planes.
+            let chunk = decompress_units(stream, target, &self.compressor, &self.refactored.dtype);
+            let k = stream.planes_in_units(target);
+            match &mut self.decoders[gi] {
+                Some((stored, dec)) => {
+                    *stored = chunk;
+                    dec.advance(stored, k);
+                }
+                slot @ None => {
+                    let mut dec =
+                        ProgressiveDecoder::with_total_planes(stream.n, stream.num_planes);
+                    dec.advance(&chunk, k);
+                    *slot = Some((chunk, dec));
+                }
+            }
+            self.units_applied[gi] = target;
+        }
+    }
+
+    /// Advance every group by `extra` merged units.
+    pub fn advance_all(&mut self, extra: usize) {
+        let plan = RetrievalPlan {
+            units: self
+                .units_applied
+                .iter()
+                .zip(&self.refactored.streams)
+                .map(|(&u, s)| (u + extra).min(s.num_units()))
+                .collect(),
+        };
+        self.refine_to(&plan);
+    }
+
+    /// Fetch exactly `steps` more merged units, each chosen greedily as the
+    /// unit with the largest current contribution to the error bound — the
+    /// MA estimator's "one more merged bitplane" refinement.
+    pub fn advance_greedy(&mut self, steps: usize) {
+        for _ in 0..steps {
+            let mut best: Option<(f64, usize)> = None;
+            for (gi, s) in self.refactored.streams.iter().enumerate() {
+                if self.units_applied[gi] >= s.num_units() {
+                    continue;
+                }
+                let k = s.planes_in_units(self.units_applied[gi]);
+                let term = self.refactored.weights[gi] * prefix_error_bound(s.exp, k);
+                if best.map_or(true, |(t, _)| term > t) {
+                    best = Some((term, gi));
+                }
+            }
+            let Some((_, gi)) = best else { return };
+            let mut units = self.units_applied.clone();
+            units[gi] += 1;
+            self.refine_to(&RetrievalPlan { units });
+        }
+    }
+
+    /// Whether every unit of every group has been applied.
+    pub fn exhausted(&self) -> bool {
+        self.units_applied
+            .iter()
+            .zip(&self.refactored.streams)
+            .all(|(&u, s)| u >= s.num_units())
+    }
+
+    /// Materialize the current approximation.
+    pub fn reconstruct<F: BitplaneFloat + Real>(&self) -> Vec<F> {
+        self.reconstruct_at_resolution(0).0
+    }
+
+    /// Materialize a *coarser-resolution* approximation: recompose only the
+    /// levels above `level` and return the dense level-`level` grid plus
+    /// its shape. `level = 0` is the full grid; higher levels halve each
+    /// dimension (the resolution-progressive access mode of the MDR line —
+    /// a quick-look rendering needs neither the fine coefficients nor the
+    /// fine recomposition passes).
+    ///
+    /// # Panics
+    /// Panics on dtype mismatch or a level beyond the hierarchy.
+    pub fn reconstruct_at_resolution<F: BitplaneFloat + Real>(
+        &self,
+        level: usize,
+    ) -> (Vec<F>, Vec<usize>) {
+        assert_eq!(F::TYPE_NAME, self.refactored.dtype, "dtype mismatch");
+        let h = &self.refactored.hierarchy;
+        assert!(level <= h.levels, "resolution level beyond hierarchy");
+        let groups: Vec<Vec<F>> = self
+            .refactored
+            .streams
+            .iter()
+            .zip(&self.decoders)
+            .enumerate()
+            .map(|(g, (s, d))| {
+                // Groups finer than the target level cannot influence the
+                // coarse grid; skip their decode entirely.
+                let needed = g + level <= h.levels;
+                match d {
+                    Some((chunk, dec)) if needed => {
+                        dec.materialize::<F>(chunk, Reconstruction::Truncate)
+                    }
+                    _ => vec![<F as Real>::from_f64(0.0); s.n],
+                }
+            })
+            .collect();
+        let mut data = inject_levels(&groups, h);
+        recompose_to_level(&mut data, h, self.refactored.correction, level);
+        let shape = h.shape_at_level(level);
+        if level == 0 {
+            (data, shape)
+        } else {
+            (extract_active_grid(&data, h, level), shape)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refactor::{refactor, RefactorConfig};
+
+    fn field(nx: usize, ny: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(nx * ny);
+        for x in 0..nx {
+            for y in 0..ny {
+                v.push((x as f32 * 0.17).sin() * 3.0 + (y as f32 * 0.23).cos());
+            }
+        }
+        v
+    }
+
+    fn max_err(a: &[f32], b: &[f32]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x - y).abs()) as f64)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn reconstruction_error_within_requested_bound() {
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        for eb in [1.0, 1e-1, 1e-2, 1e-4, 1e-6] {
+            let (plan, bound) = RetrievalPlan::for_error(&r, eb);
+            let mut sess = RetrievalSession::new(&r);
+            sess.refine_to(&plan);
+            let rec: Vec<f32> = sess.reconstruct();
+            let err = max_err(&data, &rec);
+            assert!(err <= bound.max(eb), "eb={eb}: err {err} bound {bound}");
+            if !plan.is_full(&r) {
+                assert!(bound <= eb, "planner bound {bound} exceeds target {eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_bounds_fetch_more_bytes() {
+        let data = field(65, 65);
+        let r = refactor(&data, &[65, 65], &RefactorConfig::default());
+        let (p1, _) = RetrievalPlan::for_error(&r, 1e-1);
+        let (p2, _) = RetrievalPlan::for_error(&r, 1e-3);
+        let (p3, _) = RetrievalPlan::for_error(&r, 1e-5);
+        let b1 = p1.fetch_bytes(&r);
+        let b2 = p2.fetch_bytes(&r);
+        let b3 = p3.fetch_bytes(&r);
+        assert!(b1 < b2 && b2 < b3, "{b1} {b2} {b3}");
+    }
+
+    #[test]
+    fn incremental_refinement_matches_fresh_session() {
+        let data = field(33, 20);
+        let r = refactor(&data, &[33, 20], &RefactorConfig::default());
+        let (coarse, _) = RetrievalPlan::for_error(&r, 1e-1);
+        let (fine, _) = RetrievalPlan::for_error(&r, 1e-4);
+
+        let mut inc = RetrievalSession::new(&r);
+        inc.refine_to(&coarse);
+        let _ = inc.reconstruct::<f32>();
+        inc.refine_to(&fine);
+        let a: Vec<f32> = inc.reconstruct();
+
+        let mut fresh = RetrievalSession::new(&r);
+        fresh.refine_to(&fine);
+        let b: Vec<f32> = fresh.reconstruct();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fetched_bytes_counts_each_unit_once() {
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let (fine, _) = RetrievalPlan::for_error(&r, 1e-4);
+        let mut inc = RetrievalSession::new(&r);
+        inc.refine_to(&fine);
+        let direct = fine.fetch_bytes(&r);
+        assert_eq!(inc.fetched_bytes(), direct);
+
+        // Refining through an intermediate plan must not double-count.
+        let (coarse, _) = RetrievalPlan::for_error(&r, 1e-1);
+        let mut two_step = RetrievalSession::new(&r);
+        two_step.refine_to(&coarse);
+        two_step.refine_to(&fine);
+        assert_eq!(two_step.fetched_bytes(), direct);
+    }
+
+    #[test]
+    fn full_plan_is_near_lossless() {
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let mut sess = RetrievalSession::new(&r);
+        sess.refine_to(&RetrievalPlan::full(&r));
+        assert!(sess.exhausted());
+        let rec: Vec<f32> = sess.reconstruct();
+        // 32 planes of f32 data: error at the quantization floor.
+        let scale = data.iter().fold(0.0f32, |m, v| m.max(v.abs())) as f64;
+        assert!(max_err(&data, &rec) <= scale * 1e-6);
+    }
+
+    #[test]
+    fn advance_all_progresses_every_group() {
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let mut sess = RetrievalSession::new(&r);
+        sess.advance_all(1);
+        assert!(sess.units().iter().all(|&u| u == 1));
+        let b1 = sess.error_bound();
+        sess.advance_all(1);
+        assert!(sess.error_bound() < b1);
+    }
+
+    #[test]
+    fn rmse_plan_meets_target_and_is_byte_frugal() {
+        let data = field(65, 65);
+        let r = refactor(&data, &[65, 65], &RefactorConfig::default());
+        for target in [1e-1f64, 1e-3, 1e-5] {
+            let (plan, bound) = RetrievalPlan::for_rmse(&r, target);
+            let mut sess = RetrievalSession::new(&r);
+            sess.refine_to(&plan);
+            let rec: Vec<f32> = sess.reconstruct();
+            let mse: f64 = data
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                / data.len() as f64;
+            let rmse = mse.sqrt();
+            assert!(rmse <= bound.max(target), "target={target} rmse={rmse} bound={bound}");
+            if !plan.is_full(&r) {
+                assert!(bound <= target, "planner bound {bound} exceeds {target}");
+            }
+            // The RMSE plan must not fetch more than the L∞ plan needs for
+            // the equivalent worst-case guarantee.
+            let (linf_plan, _) = RetrievalPlan::for_error(&r, target);
+            assert!(
+                plan.fetch_bytes(&r) <= linf_plan.fetch_bytes(&r),
+                "target={target}: rd {} vs linf {}",
+                plan.fetch_bytes(&r),
+                linf_plan.fetch_bytes(&r)
+            );
+        }
+    }
+
+    #[test]
+    fn rmse_plans_grow_monotonically() {
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let (a, _) = RetrievalPlan::for_rmse(&r, 1e-2);
+        let (b, _) = RetrievalPlan::for_rmse(&r, 1e-4);
+        assert!(a.fetch_bytes(&r) < b.fetch_bytes(&r));
+        for (x, y) in a.units.iter().zip(&b.units) {
+            assert!(x <= y, "refinement must be monotone per group");
+        }
+    }
+
+    #[test]
+    fn resolution_progressive_shapes_and_energy() {
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let mut sess = RetrievalSession::new(&r);
+        sess.refine_to(&RetrievalPlan::full(&r));
+        let h = r.hierarchy.clone();
+        // Full resolution equals the plain reconstruct.
+        let (full, shape0) = sess.reconstruct_at_resolution::<f32>(0);
+        assert_eq!(shape0, vec![33, 33]);
+        assert_eq!(full, sess.reconstruct::<f32>());
+        // Each coarser level has the hierarchy's shape and stays in the
+        // data's value envelope (coarse nodal values are projections).
+        let lo = data.iter().cloned().fold(f32::MAX, f32::min) as f64;
+        let hi = data.iter().cloned().fold(f32::MIN, f32::max) as f64;
+        let margin = (hi - lo) * 0.5 + 1e-6;
+        for level in 1..=h.levels {
+            let (coarse, shape) = sess.reconstruct_at_resolution::<f32>(level);
+            assert_eq!(shape, h.shape_at_level(level));
+            assert_eq!(coarse.len(), shape.iter().product::<usize>());
+            for v in &coarse {
+                let v = *v as f64;
+                assert!(v >= lo - margin && v <= hi + margin, "level {level}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_resolution_needs_no_fine_groups() {
+        // Fetch nothing: coarse reconstructions are still exact zeros; fetch
+        // only the coarsest groups and verify finer groups are not required
+        // for a level-max reconstruction.
+        let data = field(33, 33);
+        let r = refactor(&data, &[33, 33], &RefactorConfig::default());
+        let levels = r.hierarchy.levels;
+        // Plan that fully fetches only groups 0 and 1.
+        let mut units = vec![0usize; r.streams.len()];
+        units[0] = r.streams[0].num_units();
+        units[1] = r.streams[1].num_units();
+        let mut sess = RetrievalSession::new(&r);
+        sess.refine_to(&RetrievalPlan { units });
+        let (coarse, shape) = sess.reconstruct_at_resolution::<f32>(levels - 1);
+        assert_eq!(shape, r.hierarchy.shape_at_level(levels - 1));
+        assert!(coarse.iter().any(|&v| v != 0.0), "coarse grid carries data");
+    }
+
+    #[test]
+    fn empty_plan_reconstructs_zeros_with_range_bound() {
+        let data = field(17, 17);
+        let r = refactor(&data, &[17, 17], &RefactorConfig::default());
+        let sess = RetrievalSession::new(&r);
+        let rec: Vec<f32> = sess.reconstruct();
+        assert!(rec.iter().all(|&v| v == 0.0));
+        let bound = sess.error_bound();
+        assert!(max_err(&data, &rec) <= bound);
+    }
+}

@@ -1,0 +1,214 @@
+//! Portable binary framing of refactored artifacts.
+//!
+//! Layout: an 8-byte magic, a JSON metadata header (everything except the
+//! compressed payload bytes), then the unit payloads concatenated raw.
+//! JSON keeps the header human-inspectable and schema-evolvable; payloads
+//! stay binary so serialization is a straight copy. The format is
+//! byte-identical regardless of the producing device — the portability
+//! guarantee data refactored on one architecture needs to be retrievable
+//! on any other.
+
+use crate::refactor::{LevelStream, Refactored};
+use hpmdr_bitplane::Layout;
+use hpmdr_lossless::{Codec, CompressedGroup};
+use hpmdr_mgard::Hierarchy;
+use serde::{Deserialize, Serialize};
+
+/// Stream magic: `HPMDR` + format version 1.
+pub const MAGIC: &[u8; 8] = b"HPMDR\x01\0\0";
+
+#[derive(Serialize, Deserialize)]
+struct UnitMeta {
+    codec: Codec,
+    original_len: usize,
+    payload_len: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct StreamMeta {
+    n: usize,
+    exp: i32,
+    num_planes: usize,
+    layout: Layout,
+    group_size: usize,
+    plane_bytes: usize,
+    units: Vec<UnitMeta>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct HeaderMeta {
+    shape: Vec<usize>,
+    dtype: String,
+    hierarchy: Hierarchy,
+    correction: bool,
+    weights: Vec<f64>,
+    value_range: f64,
+    streams: Vec<StreamMeta>,
+}
+
+/// Serialize a refactored variable to the portable byte format.
+pub fn to_bytes(r: &Refactored) -> Vec<u8> {
+    let header = HeaderMeta {
+        shape: r.shape.clone(),
+        dtype: r.dtype.clone(),
+        hierarchy: r.hierarchy.clone(),
+        correction: r.correction,
+        weights: r.weights.clone(),
+        value_range: r.value_range,
+        streams: r
+            .streams
+            .iter()
+            .map(|s| StreamMeta {
+                n: s.n,
+                exp: s.exp,
+                num_planes: s.num_planes,
+                layout: s.layout,
+                group_size: s.group_size,
+                plane_bytes: s.plane_bytes,
+                units: s
+                    .units
+                    .iter()
+                    .map(|u| UnitMeta {
+                        codec: u.codec,
+                        original_len: u.original_len,
+                        payload_len: u.payload.len(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    };
+    let json = serde_json::to_vec(&header).expect("header serializes");
+    let payload_len: usize = r
+        .streams
+        .iter()
+        .flat_map(|s| s.units.iter())
+        .map(|u| u.payload.len())
+        .sum();
+    let mut out = Vec::with_capacity(16 + json.len() + payload_len);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+    out.extend_from_slice(&json);
+    for s in &r.streams {
+        for u in &s.units {
+            out.extend_from_slice(&u.payload);
+        }
+    }
+    out
+}
+
+/// Parse a refactored variable from the portable byte format.
+pub fn from_bytes(bytes: &[u8]) -> Result<Refactored, String> {
+    if bytes.len() < 16 {
+        return Err("truncated: missing header".to_string());
+    }
+    if &bytes[..8] != MAGIC {
+        return Err("bad magic (not an HPMDR stream)".to_string());
+    }
+    let json_len =
+        u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
+    let header_end = 16usize
+        .checked_add(json_len)
+        .ok_or_else(|| "corrupt: metadata length overflows".to_string())?;
+    if bytes.len() < header_end {
+        return Err("truncated: incomplete metadata".to_string());
+    }
+    let header: HeaderMeta = serde_json::from_slice(&bytes[16..16 + json_len])
+        .map_err(|e| format!("metadata parse error: {e}"))?;
+    let mut off = 16 + json_len;
+    let mut streams = Vec::with_capacity(header.streams.len());
+    for sm in &header.streams {
+        let mut units = Vec::with_capacity(sm.units.len());
+        for um in &sm.units {
+            let end = off
+                .checked_add(um.payload_len)
+                .ok_or_else(|| "corrupt: unit length overflows".to_string())?;
+            if bytes.len() < end {
+                return Err("truncated: incomplete unit payload".to_string());
+            }
+            units.push(CompressedGroup {
+                codec: um.codec,
+                payload: bytes[off..off + um.payload_len].to_vec(),
+                original_len: um.original_len,
+            });
+            off += um.payload_len;
+        }
+        streams.push(LevelStream {
+            n: sm.n,
+            exp: sm.exp,
+            num_planes: sm.num_planes,
+            layout: sm.layout,
+            units,
+            group_size: sm.group_size,
+            plane_bytes: sm.plane_bytes,
+        });
+    }
+    let r = Refactored {
+        shape: header.shape,
+        dtype: header.dtype,
+        hierarchy: header.hierarchy,
+        correction: header.correction,
+        weights: header.weights,
+        streams,
+        value_range: header.value_range,
+    };
+    if r.streams.len() != r.hierarchy.levels + 1 {
+        return Err("inconsistent stream count".to_string());
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refactor::{refactor, RefactorConfig};
+
+    fn sample() -> Refactored {
+        let data: Vec<f32> = (0..33 * 20)
+            .map(|i| ((i % 33) as f32 * 0.3).sin() * ((i / 33) as f32 * 0.2).cos())
+            .collect();
+        refactor(&data, &[33, 20], &RefactorConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let r = sample();
+        let bytes = to_bytes(&r);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn header_is_json_inspectable() {
+        let r = sample();
+        let bytes = to_bytes(&r);
+        let json_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let v: serde_json::Value = serde_json::from_slice(&bytes[16..16 + json_len]).unwrap();
+        assert_eq!(v["dtype"], "f32");
+        assert_eq!(v["shape"][0], 33);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let r = sample();
+        let mut bytes = to_bytes(&r);
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn truncation_detected_not_panicking() {
+        let r = sample();
+        let bytes = to_bytes(&r);
+        for cut in [0usize, 8, 15, 40, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_metadata_detected() {
+        let r = sample();
+        let mut bytes = to_bytes(&r);
+        bytes[20] = b'!'; // inside the JSON header
+        assert!(from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! File-backed unit storage.
+//!
+//! HP-MDR's retrieval advantage comes from fetching only a *prefix of
+//! merged units per level group* — which on a real system means the
+//! archive is laid out as many independently addressable objects. This
+//! module stores one file per compressed unit plus a JSON manifest, and
+//! retrieves by reading exactly the files a [`RetrievalPlan`] needs (the
+//! "many small files" I/O pattern whose overhead the paper's Figure 14
+//! discussion calls out).
+//!
+//! Layout:
+//! ```text
+//! <dir>/manifest.json        # Refactored metadata, payloads elided
+//! <dir>/g<G>_u<U>.bin        # payload of unit U of level group G
+//! ```
+
+use crate::refactor::Refactored;
+use crate::retrieve::RetrievalPlan;
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn unit_path(dir: &Path, g: usize, u: usize) -> PathBuf {
+    dir.join(format!("g{g}_u{u}.bin"))
+}
+
+/// Write `r` as a unit-file store under `dir` (created if absent).
+/// Returns the number of unit files written.
+pub fn write_store(r: &Refactored, dir: &Path) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut skeleton = r.clone();
+    let mut files = 0usize;
+    for (g, s) in skeleton.streams.iter_mut().enumerate() {
+        for (u, unit) in s.units.iter_mut().enumerate() {
+            std::fs::write(unit_path(dir, g, u), &unit.payload)?;
+            files += 1;
+            unit.payload = Vec::new(); // manifest stores only metadata
+        }
+    }
+    let manifest = crate::serialize::to_bytes(&skeleton);
+    std::fs::write(dir.join("manifest.json"), manifest)?;
+    Ok(files)
+}
+
+/// Reader over a unit-file store.
+pub struct StoreReader {
+    dir: PathBuf,
+    skeleton: Refactored,
+    /// Payload bytes read so far.
+    bytes_read: usize,
+    /// Unit files opened so far.
+    files_read: usize,
+}
+
+impl StoreReader {
+    /// Open the store at `dir`, validating the manifest.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        let manifest = std::fs::read(dir.join("manifest.json"))
+            .map_err(|e| format!("manifest unreadable: {e}"))?;
+        let skeleton = crate::serialize::from_bytes(&manifest)?;
+        Ok(StoreReader {
+            dir: dir.to_path_buf(),
+            skeleton,
+            bytes_read: 0,
+            files_read: 0,
+        })
+    }
+
+    /// Archive metadata (all unit payloads empty).
+    pub fn skeleton(&self) -> &Refactored {
+        &self.skeleton
+    }
+
+    /// Payload bytes fetched from storage so far.
+    pub fn bytes_read(&self) -> usize {
+        self.bytes_read
+    }
+
+    /// Unit files opened so far.
+    pub fn files_read(&self) -> usize {
+        self.files_read
+    }
+
+    /// Materialize an in-memory [`Refactored`] containing exactly the
+    /// units `plan` needs (other units keep empty payloads and must not
+    /// be touched by retrieval).
+    pub fn load_plan(&mut self, plan: &RetrievalPlan) -> Result<Refactored, String> {
+        let mut out = self.skeleton.clone();
+        if plan.units.len() != out.streams.len() {
+            return Err("plan does not match archive shape".to_string());
+        }
+        for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
+            let want = want.min(s.units.len());
+            for u in 0..want {
+                let bytes = std::fs::read(unit_path(&self.dir, g, u))
+                    .map_err(|e| format!("unit g{g}_u{u} unreadable: {e}"))?;
+                self.bytes_read += bytes.len();
+                self.files_read += 1;
+                s.units[u].payload = bytes;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refactor::{refactor, RefactorConfig};
+    use crate::retrieve::RetrievalSession;
+
+    fn sample() -> (Vec<f32>, Refactored) {
+        let data: Vec<f32> = (0..33 * 20)
+            .map(|i| ((i % 33) as f32 * 0.29).sin() * 2.0)
+            .collect();
+        let r = refactor(&data, &[33, 20], &RefactorConfig::default());
+        (data, r)
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpmdr_store_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_open_roundtrip_metadata() {
+        let (_, r) = sample();
+        let dir = scratch("meta");
+        let files = write_store(&r, &dir).unwrap();
+        let expected: usize = r.streams.iter().map(|s| s.num_units()).sum();
+        assert_eq!(files, expected);
+        let reader = StoreReader::open(&dir).unwrap();
+        assert_eq!(reader.skeleton().shape, r.shape);
+        assert_eq!(reader.skeleton().streams.len(), r.streams.len());
+        // Skeleton must not carry payloads.
+        assert!(reader
+            .skeleton()
+            .streams
+            .iter()
+            .all(|s| s.units.iter().all(|u| u.payload.is_empty())));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_load_reads_only_needed_files() {
+        let (data, r) = sample();
+        let dir = scratch("partial");
+        write_store(&r, &dir).unwrap();
+        let mut reader = StoreReader::open(&dir).unwrap();
+
+        let eb = 1e-2 * r.value_range;
+        let (plan, bound) = RetrievalPlan::for_error(&r, eb);
+        let loaded = reader.load_plan(&plan).unwrap();
+        let wanted: usize = plan.units.iter().sum();
+        assert_eq!(reader.files_read(), wanted);
+        assert_eq!(reader.bytes_read(), plan.fetch_bytes(&r));
+
+        let mut sess = RetrievalSession::new(&loaded);
+        sess.refine_to(&plan);
+        let rec: Vec<f32> = sess.reconstruct();
+        for (a, b) in data.iter().zip(&rec) {
+            assert!(((a - b).abs() as f64) <= bound.max(eb));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_load_matches_in_memory_archive() {
+        let (_, r) = sample();
+        let dir = scratch("full");
+        write_store(&r, &dir).unwrap();
+        let mut reader = StoreReader::open(&dir).unwrap();
+        let loaded = reader.load_plan(&RetrievalPlan::full(&r)).unwrap();
+        assert_eq!(loaded, r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_unit_file_is_reported() {
+        let (_, r) = sample();
+        let dir = scratch("missing");
+        write_store(&r, &dir).unwrap();
+        std::fs::remove_file(dir.join("g0_u0.bin")).unwrap();
+        let mut reader = StoreReader::open(&dir).unwrap();
+        let err = reader.load_plan(&RetrievalPlan::full(&r)).unwrap_err();
+        assert!(err.contains("g0_u0"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported() {
+        let dir = scratch("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.json"), b"garbage").unwrap();
+        assert!(StoreReader::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,24 @@
+//! # hpmdr-datasets — synthetic evaluation datasets and metrics
+//!
+//! The paper evaluates on five real scientific datasets (Table 1): NYX
+//! (cosmology), LETKF (ensemble weather), Miranda (hydrodynamics, f64),
+//! Hurricane ISABEL (climate), and JHTDB (isotropic turbulence). Those
+//! archives are multi-GB downloads unavailable here, so this crate
+//! generates *seeded synthetic equivalents* that reproduce the structural
+//! properties the evaluation actually exercises — smoothness spectra,
+//! multiscale turbulence, sharp material interfaces, vortex structure, and
+//! multi-variable velocity fields — at laptop-scale grids (extents are
+//! configurable; defaults keep full runs in seconds).
+//!
+//! Every generator is deterministic given its seed, so experiments are
+//! reproducible bit-for-bit across runs and platforms.
+//!
+//! [`metrics`] adds the error/rate measures used across EXPERIMENTS.md
+//! (L∞, RMSE, PSNR, bitrate, compression ratio).
+
+pub mod fields;
+pub mod metrics;
+pub mod suite;
+
+pub use fields::FieldSpec;
+pub use suite::{Dataset, DatasetKind, Variable};

@@ -1,0 +1,110 @@
+//! Error and rate metrics used across the experiment harness.
+
+/// Maximum absolute (L∞) error between two fields.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "field length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square error.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "field length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB (`∞` for identical fields).
+pub fn psnr(a: &[f64], b: &[f64]) -> f64 {
+    let range = value_range(a);
+    let e = rmse(a, b);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (range / e).log10()
+}
+
+/// Value range `max − min` of a field (0 for empty input).
+pub fn value_range(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in a {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    hi - lo
+}
+
+/// Compression ratio `original / compressed`.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if compressed_bytes == 0 {
+        return f64::INFINITY;
+    }
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Bitrate in bits per element.
+pub fn bitrate(fetched_bytes: usize, elements: usize) -> f64 {
+    if elements == 0 {
+        return 0.0;
+    }
+    fetched_bytes as f64 * 8.0 / elements as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_fields_have_zero_error_infinite_psnr() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn linf_dominates_rmse() {
+        let a = vec![0.0; 100];
+        let mut b = a.clone();
+        b[3] = 1.0;
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+        assert!(rmse(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn psnr_improves_with_smaller_error() {
+        let a: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let noisy = |eps: f64| -> Vec<f64> {
+            a.iter()
+                .enumerate()
+                .map(|(i, v)| v + if i % 2 == 0 { eps } else { -eps })
+                .collect()
+        };
+        assert!(psnr(&a, &noisy(1e-4)) > psnr(&a, &noisy(1e-2)));
+    }
+
+    #[test]
+    fn rate_helpers() {
+        assert_eq!(compression_ratio(1000, 100), 10.0);
+        assert_eq!(compression_ratio(1000, 0), f64::INFINITY);
+        assert_eq!(bitrate(400, 100), 32.0);
+        assert_eq!(bitrate(0, 0), 0.0);
+    }
+
+    #[test]
+    fn value_range_basic() {
+        assert_eq!(value_range(&[-2.0, 3.0, 0.5]), 5.0);
+        assert_eq!(value_range(&[]), 0.0);
+    }
+}

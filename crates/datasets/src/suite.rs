@@ -1,0 +1,280 @@
+//! The Table-1 dataset suite, scaled for laptop reproduction.
+
+use crate::fields;
+use serde::{Deserialize, Serialize};
+
+/// Which evaluation dataset to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Cosmology (6 variables, f32): lognormal baryon density, temperature,
+    /// and a 3-component velocity field plus dark-matter density.
+    Nyx,
+    /// Ensemble weather assimilation (3 members, f32), smooth large-scale.
+    Letkf,
+    /// Hydrodynamics with sharp mixing interfaces (3 variables, f64).
+    Miranda,
+    /// Hurricane fields with vortex structure (3 variables, f32).
+    HurricaneIsabel,
+    /// Isotropic turbulence velocity (3 components, f32), largest grid.
+    Jhtdb,
+    /// Cropped JHTDB region used for single-GPU QoI studies.
+    MiniJhtdb,
+}
+
+impl DatasetKind {
+    /// All five Table-1 datasets.
+    pub const TABLE1: [DatasetKind; 5] = [
+        DatasetKind::Nyx,
+        DatasetKind::Letkf,
+        DatasetKind::Miranda,
+        DatasetKind::HurricaneIsabel,
+        DatasetKind::Jhtdb,
+    ];
+
+    /// Display name matching Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Nyx => "NYX",
+            DatasetKind::Letkf => "LETKF",
+            DatasetKind::Miranda => "Miranda",
+            DatasetKind::HurricaneIsabel => "Hurricane ISABEL",
+            DatasetKind::Jhtdb => "JHTDB",
+            DatasetKind::MiniJhtdb => "mini-JHTDB",
+        }
+    }
+
+    /// Grid extents in the paper (for the Table 1 harness).
+    pub fn paper_shape(&self) -> Vec<usize> {
+        match self {
+            DatasetKind::Nyx => vec![512, 512, 512],
+            DatasetKind::Letkf => vec![98, 1200, 1200],
+            DatasetKind::Miranda => vec![256, 384, 384],
+            DatasetKind::HurricaneIsabel => vec![100, 500, 500],
+            DatasetKind::Jhtdb => vec![1024, 2048, 2048],
+            DatasetKind::MiniJhtdb => vec![512, 1024, 1024],
+        }
+    }
+
+    /// Scaled-down default extents for this reproduction, preserving each
+    /// dataset's aspect ratio.
+    pub fn default_shape(&self) -> Vec<usize> {
+        match self {
+            DatasetKind::Nyx => vec![48, 48, 48],
+            DatasetKind::Letkf => vec![13, 96, 96],
+            DatasetKind::Miranda => vec![32, 48, 48],
+            DatasetKind::HurricaneIsabel => vec![16, 64, 64],
+            DatasetKind::Jhtdb => vec![64, 64, 64],
+            DatasetKind::MiniJhtdb => vec![32, 48, 48],
+        }
+    }
+
+    /// Element type name per Table 1.
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            DatasetKind::Miranda => "f64",
+            _ => "f32",
+        }
+    }
+
+    /// Variable count per Table 1.
+    pub fn num_variables(&self) -> usize {
+        match self {
+            DatasetKind::Nyx => 6,
+            _ => 3,
+        }
+    }
+}
+
+/// One generated variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Variable name (e.g. `"velocity_x"`).
+    pub name: String,
+    /// Values as f64 (convert with [`Variable::as_f32`] for f32 datasets).
+    pub data: Vec<f64>,
+}
+
+impl Variable {
+    /// The values converted to f32 (the storage precision of most
+    /// Table 1 datasets).
+    pub fn as_f32(&self) -> Vec<f32> {
+        self.data.iter().map(|&v| v as f32).collect()
+    }
+}
+
+/// A generated dataset instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Which dataset this mimics.
+    pub kind: DatasetKind,
+    /// Grid extents used.
+    pub shape: Vec<usize>,
+    /// Variables in a stable order.
+    pub variables: Vec<Variable>,
+}
+
+impl Dataset {
+    /// Generate `kind` at its default (scaled) extents.
+    pub fn generate(kind: DatasetKind, seed: u64) -> Self {
+        Self::generate_with_shape(kind, &kind.default_shape(), seed)
+    }
+
+    /// Generate `kind` over explicit extents.
+    pub fn generate_with_shape(kind: DatasetKind, shape: &[usize], seed: u64) -> Self {
+        let mut variables = Vec::new();
+        match kind {
+            DatasetKind::Nyx => {
+                variables.push(Variable {
+                    name: "baryon_density".into(),
+                    data: fields::lognormal_density(shape, seed, 1.2, 1.0),
+                });
+                variables.push(Variable {
+                    name: "dark_matter_density".into(),
+                    data: fields::lognormal_density(shape, seed ^ 0x10, 1.5, 0.8),
+                });
+                variables.push(Variable {
+                    name: "temperature".into(),
+                    data: fields::lognormal_density(shape, seed ^ 0x20, 0.6, 1e4),
+                });
+                for (i, axis) in ["x", "y", "z"].iter().enumerate() {
+                    variables.push(Variable {
+                        name: format!("velocity_{axis}"),
+                        data: fields::velocity_component(shape, seed ^ (0x30 + i as u64))
+                            .into_iter()
+                            .map(|v| v * 1e3)
+                            .collect(),
+                    });
+                }
+            }
+            DatasetKind::Letkf => {
+                for m in 0..3 {
+                    variables.push(Variable {
+                        name: format!("member_{m}"),
+                        data: fields::ensemble_field(shape, seed, m),
+                    });
+                }
+            }
+            DatasetKind::Miranda => {
+                variables.push(Variable {
+                    name: "density".into(),
+                    data: fields::interface_field(shape, seed, 3, 150.0),
+                });
+                variables.push(Variable {
+                    name: "pressure".into(),
+                    data: fields::interface_field(shape, seed ^ 0x40, 2, 90.0),
+                });
+                variables.push(Variable {
+                    name: "diffusivity".into(),
+                    data: fields::interface_field(shape, seed ^ 0x50, 4, 200.0),
+                });
+            }
+            DatasetKind::HurricaneIsabel => {
+                variables.push(Variable {
+                    name: "wind_speed".into(),
+                    data: fields::vortex_field(shape, seed),
+                });
+                variables.push(Variable {
+                    name: "pressure".into(),
+                    data: fields::vortex_field(shape, seed ^ 0x60)
+                        .into_iter()
+                        .map(|v| 1000.0 - 2.0 * v)
+                        .collect(),
+                });
+                variables.push(Variable {
+                    name: "precipitation".into(),
+                    data: fields::lognormal_density(shape, seed ^ 0x70, 0.9, 0.1),
+                });
+            }
+            DatasetKind::Jhtdb | DatasetKind::MiniJhtdb => {
+                for (i, axis) in ["x", "y", "z"].iter().enumerate() {
+                    variables.push(Variable {
+                        name: format!("velocity_{axis}"),
+                        data: fields::velocity_component(shape, seed ^ (0x80 + i as u64)),
+                    });
+                }
+            }
+        }
+        Dataset { kind, shape: shape.to_vec(), variables }
+    }
+
+    /// Elements per variable.
+    pub fn elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Total bytes at the dataset's native precision.
+    pub fn native_bytes(&self) -> usize {
+        let elem = if self.kind.dtype() == "f64" { 8 } else { 4 };
+        self.elements() * elem * self.variables.len()
+    }
+
+    /// The velocity components (for QoI experiments), if present.
+    pub fn velocity_triplet(&self) -> Option<[&Variable; 3]> {
+        let find = |suffix: &str| {
+            self.variables
+                .iter()
+                .find(|v| v.name.ends_with(suffix))
+        };
+        match (find("_x"), find("_y"), find("_z")) {
+            (Some(x), Some(y), Some(z)) => Some([x, y, z]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_paper() {
+        assert_eq!(DatasetKind::Nyx.num_variables(), 6);
+        assert_eq!(DatasetKind::Jhtdb.num_variables(), 3);
+        assert_eq!(DatasetKind::Miranda.dtype(), "f64");
+        assert_eq!(DatasetKind::Nyx.paper_shape(), vec![512, 512, 512]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetKind::MiniJhtdb, 7);
+        let b = Dataset::generate(DatasetKind::MiniJhtdb, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn variable_counts_respected() {
+        for kind in DatasetKind::TABLE1 {
+            let shape: Vec<usize> = kind.default_shape().iter().map(|&n| n.min(16)).collect();
+            let d = Dataset::generate_with_shape(kind, &shape, 3);
+            assert_eq!(d.variables.len(), kind.num_variables(), "{}", kind.name());
+            for v in &d.variables {
+                assert_eq!(v.data.len(), d.elements());
+                assert!(v.data.iter().all(|x| x.is_finite()), "{}", v.name);
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_triplet_found_where_expected() {
+        let jh = Dataset::generate_with_shape(DatasetKind::MiniJhtdb, &[8, 8, 8], 1);
+        assert!(jh.velocity_triplet().is_some());
+        let mi = Dataset::generate_with_shape(DatasetKind::Miranda, &[8, 8, 8], 1);
+        assert!(mi.velocity_triplet().is_none());
+    }
+
+    #[test]
+    fn nyx_velocity_scaled_to_km_s_range() {
+        let d = Dataset::generate_with_shape(DatasetKind::Nyx, &[12, 12, 12], 2);
+        let [vx, _, _] = d.velocity_triplet().unwrap();
+        let max = vx.data.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 100.0, "velocities should be O(1e3), got max {max}");
+    }
+
+    #[test]
+    fn native_bytes_accounts_dtype() {
+        let mi = Dataset::generate_with_shape(DatasetKind::Miranda, &[8, 8, 8], 1);
+        assert_eq!(mi.native_bytes(), 8 * 8 * 8 * 8 * 3);
+        let ny = Dataset::generate_with_shape(DatasetKind::Nyx, &[8, 8, 8], 1);
+        assert_eq!(ny.native_bytes(), 8 * 8 * 8 * 4 * 6);
+    }
+}

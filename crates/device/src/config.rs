@@ -1,0 +1,224 @@
+//! Device architecture descriptions.
+//!
+//! A [`DeviceConfig`] captures the handful of architectural parameters that
+//! drive both the functional behaviour (warp width, availability of the
+//! `reduce_add` warp intrinsic) and the analytic cost model (compute-unit
+//! count, clock, memory and host-link bandwidth, cache reuse, cross-lane
+//! contention, scalar-access latency exposure).
+
+use serde::{Deserialize, Serialize};
+
+/// Broad GPU architecture family.
+///
+/// The family decides which warp intrinsics exist natively: the paper notes
+/// that the `redux` (reduce-add) instruction is implemented on NVIDIA Hopper
+/// but not on AMD CDNA2, which is why the MI250X evaluation in Figure 6 has
+/// only three register-shuffling variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// NVIDIA-like: 32-wide warps, native warp reduction (Hopper `redux`).
+    Cuda,
+    /// AMD-like: 64-wide wavefronts, no native warp reduction.
+    Rocm,
+    /// Host CPU fallback (single "lane"); the most-compatible processor the
+    /// paper mentions users fall back to for portability.
+    Cpu,
+}
+
+/// Architectural parameters of one (simulated) device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable name, e.g. `"H100-like"`.
+    pub name: String,
+    /// Architecture family.
+    pub arch: Arch,
+    /// SIMT width (lanes per warp/wavefront). 32 for CUDA, 64 for ROCm.
+    pub warp_size: usize,
+    /// Number of streaming multiprocessors / compute units.
+    pub num_cus: usize,
+    /// Warp instructions issued per CU per cycle (dual-issue ≈ 2).
+    pub issue_width: f64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Device (HBM) memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Host link (PCIe / xGMI) bandwidth in GB/s, per direction.
+    pub host_link_gbps: f64,
+    /// Whether the warp-level `reduce_add` intrinsic is native.
+    pub has_reduce_add: bool,
+    /// Memory transaction sector size in bytes (traffic granularity).
+    pub sector_bytes: usize,
+    /// Fraction of *redundant* load-sector traffic served by the L2 cache
+    /// (mitigates uncoalesced loads that re-touch recently fetched lines,
+    /// the effect the paper credits for small locality blocks).
+    pub l2_load_reuse: f64,
+    /// Same for store traffic; much lower in practice because scattered
+    /// stores defeat write coalescing.
+    pub l2_store_reuse: f64,
+    /// Extra issue slots consumed by each cross-lane operation relative to
+    /// a plain ALU instruction.
+    pub comm_extra: f64,
+    /// Extra issue-slot cost of a load issued by a single lane (latency
+    /// exposure that warp-wide accesses hide).
+    pub scalar_load_penalty: f64,
+    /// Extra issue-slot cost of a single-lane store (fire-and-forget, so
+    /// much cheaper than scalar loads).
+    pub scalar_store_penalty: f64,
+    /// Occupancy-dependent extra cycles per cross-lane op; models the
+    /// communication contention the paper observes on MI250X for large
+    /// inputs (Figure 6, right panel).
+    pub shuffle_contention: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA H100-like preset (Talapas node in the paper).
+    pub fn h100_like() -> Self {
+        DeviceConfig {
+            name: "H100-like".to_string(),
+            arch: Arch::Cuda,
+            warp_size: 32,
+            num_cus: 132,
+            issue_width: 2.0,
+            clock_ghz: 1.98,
+            mem_bw_gbps: 3350.0,
+            host_link_gbps: 64.0,
+            has_reduce_add: true,
+            sector_bytes: 32,
+            l2_load_reuse: 0.97,
+            l2_store_reuse: 0.35,
+            comm_extra: 2.0,
+            scalar_load_penalty: 14.0,
+            scalar_store_penalty: 1.0,
+            shuffle_contention: 0.01,
+        }
+    }
+
+    /// AMD MI250X-like preset (one GCD of a Frontier node device).
+    pub fn mi250x_like() -> Self {
+        DeviceConfig {
+            name: "MI250X-like".to_string(),
+            arch: Arch::Rocm,
+            warp_size: 64,
+            num_cus: 110,
+            issue_width: 1.0,
+            clock_ghz: 1.7,
+            mem_bw_gbps: 1638.0,
+            host_link_gbps: 36.0,
+            has_reduce_add: false,
+            sector_bytes: 64,
+            l2_load_reuse: 0.92,
+            l2_store_reuse: 0.50,
+            comm_extra: 2.5,
+            // Wave64 with fewer resident waves hides far less of the
+            // ~500-cycle global-load latency of serialized scalar loads.
+            scalar_load_penalty: 100.0,
+            scalar_store_penalty: 2.0,
+            shuffle_contention: 0.03,
+        }
+    }
+
+    /// Single-core CPU preset: the "most compatible processor" fallback.
+    pub fn cpu_single_core() -> Self {
+        DeviceConfig {
+            name: "CPU-1core".to_string(),
+            arch: Arch::Cpu,
+            warp_size: 1,
+            num_cus: 1,
+            issue_width: 4.0,
+            clock_ghz: 3.0,
+            mem_bw_gbps: 25.0,
+            host_link_gbps: 25.0,
+            has_reduce_add: false,
+            sector_bytes: 64,
+            l2_load_reuse: 0.99,
+            l2_store_reuse: 0.9,
+            comm_extra: 1.0,
+            scalar_load_penalty: 0.0,
+            scalar_store_penalty: 0.0,
+            shuffle_contention: 0.0,
+        }
+    }
+
+    /// 64-core CPU preset (the Frontier host processor used as the
+    /// multi-core baseline of Figure 14).
+    pub fn cpu_epyc_like() -> Self {
+        DeviceConfig {
+            name: "EPYC-64c-like".to_string(),
+            num_cus: 64,
+            clock_ghz: 2.0,
+            mem_bw_gbps: 205.0,
+            host_link_gbps: 205.0,
+            ..Self::cpu_single_core()
+        }
+    }
+
+    /// Peak simulated instruction throughput, in warp-instructions/second.
+    pub fn peak_ips(&self) -> f64 {
+        self.num_cus as f64 * self.issue_width * self.clock_ghz * 1e9
+    }
+
+    /// Seconds to move `bytes` through the device memory system.
+    pub fn mem_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.mem_bw_gbps * 1e9)
+    }
+
+    /// Seconds to move `bytes` across the host link (one direction).
+    pub fn link_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.host_link_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_widths() {
+        assert_eq!(DeviceConfig::h100_like().warp_size, 32);
+        assert_eq!(DeviceConfig::mi250x_like().warp_size, 64);
+        assert_eq!(DeviceConfig::cpu_single_core().warp_size, 1);
+    }
+
+    #[test]
+    fn reduce_add_only_on_cuda_preset() {
+        assert!(DeviceConfig::h100_like().has_reduce_add);
+        assert!(!DeviceConfig::mi250x_like().has_reduce_add);
+    }
+
+    #[test]
+    fn mem_time_scales_linearly() {
+        let d = DeviceConfig::h100_like();
+        let t1 = d.mem_time(1 << 20);
+        let t2 = d.mem_time(2 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_ips_positive() {
+        for d in [
+            DeviceConfig::h100_like(),
+            DeviceConfig::mi250x_like(),
+            DeviceConfig::cpu_single_core(),
+            DeviceConfig::cpu_epyc_like(),
+        ] {
+            assert!(d.peak_ips() > 0.0, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn reuse_fractions_are_valid() {
+        for d in [DeviceConfig::h100_like(), DeviceConfig::mi250x_like()] {
+            assert!((0.0..=1.0).contains(&d.l2_load_reuse));
+            assert!((0.0..=1.0).contains(&d.l2_store_reuse));
+            assert!(d.l2_store_reuse < d.l2_load_reuse);
+        }
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let d = DeviceConfig::mi250x_like();
+        let s = serde_json::to_string(&d).unwrap();
+        let d2: DeviceConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hpmdr-device — Host-Device Execution Model (HDEM) simulator
+//!
+//! HP-MDR (SC'25) targets heterogeneous nodes with advanced GPUs (NVIDIA
+//! H100, AMD MI250X). This crate provides the execution substrate the rest
+//! of the workspace builds on, substituting real GPU hardware with:
+//!
+//! * **Warp-accurate functional simulation** ([`warp`]): kernels are written
+//!   against lane-level intrinsics (`ballot`, `shfl_down`, `match_any`,
+//!   `reduce_add`) with exactly the semantics of a 32-lane (CUDA-like) or
+//!   64-lane (ROCm-like) device, so the *bit-exact portability* claims of
+//!   the paper are directly testable on CPU.
+//! * **A first-order analytic cost model** ([`cost`]): memory transactions
+//!   (coalesced vs. strided), shuffle/ballot instruction counts, and
+//!   native-vs-emulated reductions are accumulated by the simulated kernels
+//!   and converted to simulated cycles/seconds, reproducing the *shape* of
+//!   the paper's throughput comparisons (Figures 6 and 7).
+//! * **Real host/device buffering and DMA engines** ([`buffer`], [`queue`]):
+//!   the Host-Device Execution Model of HPDR (one compute engine plus two
+//!   independent DMA engines) is realized with OS threads doing real
+//!   `memcpy`s, so pipeline overlap (Figure 9) is measured, not modeled.
+//! * **A discrete-event simulator** ([`des`]): replays task DAGs (Figure 4)
+//!   against modeled resources, used for multi-device weak scaling
+//!   (Figures 10 and 14) beyond the physical core count of the host.
+//!
+//! The two bundled device presets are deliberately named `*_like`: they are
+//! calibrated to the published characteristics of the H100 and MI250X
+//! (warp width, CU count, HBM bandwidth, host-link bandwidth, native warp
+//! reduction support), not to microarchitectural ground truth.
+
+pub mod buffer;
+pub mod config;
+pub mod cost;
+pub mod counters;
+pub mod des;
+pub mod device;
+pub mod queue;
+pub mod warp;
+
+pub use buffer::{BufferPool, DeviceBuffer};
+pub use config::{Arch, DeviceConfig};
+pub use cost::CostModel;
+pub use counters::KernelCounters;
+pub use des::{DesSim, Resource, SimOutcome, TaskSpec};
+pub use device::{Device, MultiDevice};
+pub use queue::{DmaDirection, Event, ExecQueue};
+pub use warp::{Warp, MAX_WARP};

@@ -1,0 +1,269 @@
+//! Warp-accurate lane intrinsics.
+//!
+//! Simulated kernels are written *warp-synchronously*: a [`Warp`] holds the
+//! per-lane register values as slices and every cross-lane intrinsic
+//! (`ballot`, `shfl_down`, `match_any`, `reduce_add`) has exactly the
+//! semantics of the corresponding CUDA/HIP primitive, for any lane width up
+//! to [`MAX_WARP`]. This makes the encoded output of a kernel a pure
+//! function of the *stream layout parameters*, never of the executing
+//! architecture — the portability property HP-MDR needs so that data
+//! refactored on one processor type can be reconstructed on another.
+//!
+//! Every intrinsic and memory helper also books its architectural cost into
+//! [`KernelCounters`], which the analytic model in [`crate::cost`] turns
+//! into simulated time.
+
+use crate::counters::KernelCounters;
+
+/// Maximum supported lane count (AMD wavefront width).
+pub const MAX_WARP: usize = 64;
+
+/// One warp's execution context: lane width plus event counters.
+#[derive(Debug)]
+pub struct Warp {
+    width: usize,
+    /// Architectural event counters accumulated by this warp.
+    pub counters: KernelCounters,
+}
+
+impl Warp {
+    /// Create a warp context with `width` lanes (1..=64).
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or exceeds [`MAX_WARP`].
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1 && width <= MAX_WARP, "warp width {width} out of range");
+        let mut counters = KernelCounters::new();
+        counters.warps_launched = 1;
+        Warp { width, counters }
+    }
+
+    /// Lane count of this warp.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Warp vote: bit `i` of the result is `preds[i]`.
+    ///
+    /// Matches `__ballot_sync` / `__ballot`: every active lane receives the
+    /// full mask (the paper notes this broadcast is wasted work when only
+    /// one lane keeps the result).
+    #[inline]
+    pub fn ballot(&mut self, preds: &[bool]) -> u64 {
+        debug_assert_eq!(preds.len(), self.width);
+        self.counters.ballot_ops += 1;
+        let mut mask = 0u64;
+        for (i, &p) in preds.iter().enumerate() {
+            mask |= (p as u64) << i;
+        }
+        mask
+    }
+
+    /// Shuffle-down: lane `i` receives `vals[i + delta]`; lanes whose source
+    /// would fall off the warp keep their own value (CUDA semantics).
+    #[inline]
+    pub fn shfl_down(&mut self, vals: &mut [u64], delta: usize) {
+        debug_assert_eq!(vals.len(), self.width);
+        self.counters.shuffle_ops += 1;
+        for i in 0..self.width {
+            if i + delta < self.width {
+                vals[i] = vals[i + delta];
+            }
+        }
+    }
+
+    /// `match_any`: for each lane, the mask of lanes holding an equal value.
+    ///
+    /// Matches `__match_any_sync`. Output is written into `out[..width]`.
+    pub fn match_any(&mut self, vals: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(vals.len(), self.width);
+        debug_assert!(out.len() >= self.width);
+        self.counters.ballot_ops += 1;
+        for i in 0..self.width {
+            let mut mask = 0u64;
+            for (j, &v) in vals.iter().enumerate() {
+                mask |= ((v == vals[i]) as u64) << j;
+            }
+            out[i] = mask;
+        }
+    }
+
+    /// Warp-wide integer sum, broadcast to all lanes.
+    ///
+    /// On hardware with the `redux` instruction (NVIDIA Hopper) this is a
+    /// single operation; elsewhere the cost model expands it into a
+    /// `log2(width)` shuffle tree (see [`KernelCounters::total_instructions`]).
+    #[inline]
+    pub fn reduce_add(&mut self, vals: &[u64]) -> u64 {
+        debug_assert_eq!(vals.len(), self.width);
+        self.counters.reduce_ops += 1;
+        vals.iter().copied().fold(0u64, u64::wrapping_add)
+    }
+
+    /// Book `n` plain ALU warp instructions (shifts, masks, adds).
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.counters.alu_ops += n;
+    }
+
+    /// Book a warp load where lane `i` reads `elem_bytes` at byte address
+    /// `base + i * stride_bytes`. Transactions are counted per distinct
+    /// `segment_bytes`-aligned segment touched, the standard coalescing
+    /// rule on both vendors.
+    pub fn load_strided(
+        &mut self,
+        base: usize,
+        stride_bytes: usize,
+        elem_bytes: usize,
+        segment_bytes: usize,
+    ) {
+        let tx = strided_transactions(self.width, base, stride_bytes, elem_bytes, segment_bytes);
+        self.counters.load_transactions += tx;
+        self.counters.load_bytes += (self.width * elem_bytes) as u64;
+    }
+
+    /// Book a warp store with the same addressing rule as [`Self::load_strided`].
+    pub fn store_strided(
+        &mut self,
+        base: usize,
+        stride_bytes: usize,
+        elem_bytes: usize,
+        segment_bytes: usize,
+    ) {
+        let tx = strided_transactions(self.width, base, stride_bytes, elem_bytes, segment_bytes);
+        self.counters.store_transactions += tx;
+        self.counters.store_bytes += (self.width * elem_bytes) as u64;
+    }
+
+    /// Book a load issued by a *single lane* of this warp (the degenerate
+    /// per-plane word fetch of the shuffling decoder): one transaction per
+    /// call, plus latency exposure tracked via `scalar_loads`.
+    pub fn load_scalar(&mut self, elem_bytes: usize) {
+        self.counters.load_transactions += 1;
+        self.counters.load_bytes += elem_bytes as u64;
+        self.counters.scalar_loads += 1;
+    }
+
+    /// Book a store issued by a single lane: one transaction per call.
+    pub fn store_scalar(&mut self, elem_bytes: usize) {
+        self.counters.store_transactions += 1;
+        self.counters.store_bytes += elem_bytes as u64;
+        self.counters.scalar_stores += 1;
+    }
+}
+
+/// Number of `segment_bytes`-aligned memory segments touched by a warp of
+/// `width` lanes reading `elem_bytes` each at stride `stride_bytes` from
+/// `base`. Fully-coalesced unit-stride 4-byte accesses by a 32-lane warp on
+/// 128-byte segments yield exactly one transaction.
+pub fn strided_transactions(
+    width: usize,
+    base: usize,
+    stride_bytes: usize,
+    elem_bytes: usize,
+    segment_bytes: usize,
+) -> u64 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    let mut segments = [usize::MAX; MAX_WARP * 2];
+    let mut n_seg = 0usize;
+    for lane in 0..width {
+        let lo = base + lane * stride_bytes;
+        let hi = lo + elem_bytes.max(1) - 1;
+        for seg in (lo / segment_bytes)..=(hi / segment_bytes) {
+            if !segments[..n_seg].contains(&seg) {
+                segments[n_seg] = seg;
+                n_seg += 1;
+            }
+        }
+    }
+    n_seg as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_packs_lane_bits() {
+        let mut w = Warp::new(8);
+        let preds = [true, false, true, true, false, false, false, true];
+        assert_eq!(w.ballot(&preds), 0b1000_1101);
+        assert_eq!(w.counters.ballot_ops, 1);
+    }
+
+    #[test]
+    fn shfl_down_keeps_tail_values() {
+        let mut w = Warp::new(4);
+        let mut v = [10u64, 20, 30, 40];
+        w.shfl_down(&mut v, 1);
+        assert_eq!(v, [20, 30, 40, 40]);
+        assert_eq!(w.counters.shuffle_ops, 1);
+    }
+
+    #[test]
+    fn shfl_down_zero_is_identity() {
+        let mut w = Warp::new(4);
+        let mut v = [1u64, 2, 3, 4];
+        w.shfl_down(&mut v, 0);
+        assert_eq!(v, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn match_any_groups_equal_values() {
+        let mut w = Warp::new(4);
+        let vals = [7u64, 3, 7, 3];
+        let mut out = [0u64; 4];
+        w.match_any(&vals, &mut out);
+        assert_eq!(out[0], 0b0101);
+        assert_eq!(out[1], 0b1010);
+        assert_eq!(out[2], 0b0101);
+        assert_eq!(out[3], 0b1010);
+    }
+
+    #[test]
+    fn reduce_add_sums_all_lanes() {
+        let mut w = Warp::new(32);
+        let vals: Vec<u64> = (0..32).map(|i| i as u64).collect();
+        assert_eq!(w.reduce_add(&vals), 31 * 32 / 2);
+        assert_eq!(w.counters.reduce_ops, 1);
+    }
+
+    #[test]
+    fn unit_stride_warp_load_is_one_transaction() {
+        // 32 lanes * 4B = 128B = exactly one 128B segment.
+        assert_eq!(strided_transactions(32, 0, 4, 4, 128), 1);
+    }
+
+    #[test]
+    fn misaligned_unit_stride_spills_into_two_segments() {
+        assert_eq!(strided_transactions(32, 64, 4, 4, 128), 2);
+    }
+
+    #[test]
+    fn large_stride_hits_one_segment_per_lane() {
+        // Stride of 256B: every lane lands in its own segment.
+        assert_eq!(strided_transactions(32, 0, 256, 4, 128), 32);
+    }
+
+    #[test]
+    fn strided_load_books_transactions_and_bytes() {
+        let mut w = Warp::new(32);
+        w.load_strided(0, 4, 4, 128);
+        assert_eq!(w.counters.load_transactions, 1);
+        assert_eq!(w.counters.load_bytes, 128);
+        w.load_strided(0, 128, 4, 128);
+        assert_eq!(w.counters.load_transactions, 1 + 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_warp_rejected() {
+        let _ = Warp::new(0);
+    }
+
+    #[test]
+    fn width_65_rejected() {
+        assert!(std::panic::catch_unwind(|| Warp::new(65)).is_err());
+    }
+}

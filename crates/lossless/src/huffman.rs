@@ -1,0 +1,417 @@
+//! Chunked canonical Huffman coding over byte symbols.
+//!
+//! The format is built for parallel (de)compression, mirroring the
+//! GPU-optimized Huffman design HP-MDR adopts: the input is split into
+//! fixed-size chunks that are encoded independently against one shared
+//! canonical code table, so both directions parallelize over chunks with
+//! no cross-chunk bit dependencies.
+//!
+//! Stream format (little-endian):
+//! ```text
+//! [orig_len u64][chunk_size u32][n_chunks u32][256 × code length u8]
+//! [n_chunks × compressed byte length u32][chunk payloads, byte aligned]
+//! ```
+
+use rayon::prelude::*;
+
+/// Chunk granularity for parallel encode/decode.
+pub const CHUNK_SIZE: usize = 1 << 16;
+
+/// Maximum admissible code length; histograms are rescaled if the optimal
+/// tree exceeds it (only possible for adversarial distributions).
+pub const MAX_CODE_LEN: usize = 56;
+
+/// Compute the byte histogram of `data` (parallel).
+pub fn histogram(data: &[u8]) -> [u64; 256] {
+    data.par_chunks(1 << 20)
+        .map(|chunk| {
+            let mut h = [0u64; 256];
+            for &b in chunk {
+                h[b as usize] += 1;
+            }
+            h
+        })
+        .reduce(
+            || [0u64; 256],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Optimal prefix-code lengths for `hist` (0 for absent symbols).
+///
+/// Uses the standard two-queue Huffman construction; rescales the
+/// histogram if the depth exceeds [`MAX_CODE_LEN`].
+pub fn code_lengths(hist: &[u64; 256]) -> [u8; 256] {
+    let mut scaled = *hist;
+    loop {
+        let lens = try_code_lengths(&scaled);
+        if lens.iter().all(|&l| (l as usize) <= MAX_CODE_LEN) {
+            return lens;
+        }
+        for c in scaled.iter_mut() {
+            *c = (*c).div_ceil(2);
+        }
+    }
+}
+
+fn try_code_lengths(hist: &[u64; 256]) -> [u8; 256] {
+    let mut lens = [0u8; 256];
+    let symbols: Vec<usize> = (0..256).filter(|&s| hist[s] > 0).collect();
+    match symbols.len() {
+        0 => return lens,
+        1 => {
+            lens[symbols[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    // Heap of (count, node id); internal nodes get ids ≥ 256.
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        count: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap; tie-break on id for determinism.
+            other.count.cmp(&self.count).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut parents: Vec<usize> = vec![usize::MAX; 256 + symbols.len()];
+    for &s in &symbols {
+        heap.push(Node { count: hist[s], id: s });
+    }
+    let mut next_id = 256;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap len > 1");
+        let b = heap.pop().expect("heap len > 1");
+        parents[a.id] = next_id;
+        parents[b.id] = next_id;
+        heap.push(Node { count: a.count + b.count, id: next_id });
+        next_id += 1;
+    }
+    for &s in &symbols {
+        let mut depth = 0u8;
+        let mut node = s;
+        while parents[node] != usize::MAX {
+            node = parents[node];
+            depth += 1;
+        }
+        lens[s] = depth;
+    }
+    lens
+}
+
+/// Canonical code assignment: symbols sorted by (length, value).
+pub fn canonical_codes(lens: &[u8; 256]) -> [u64; 256] {
+    let mut codes = [0u64; 256];
+    let mut order: Vec<usize> = (0..256).filter(|&s| lens[s] > 0).collect();
+    order.sort_by_key(|&s| (lens[s], s));
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &s in &order {
+        code <<= lens[s] - prev_len;
+        codes[s] = code;
+        code += 1;
+        prev_len = lens[s];
+    }
+    codes
+}
+
+/// Compress `data`; the result decompresses with [`decompress`].
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let hist = histogram(data);
+    let lens = code_lengths(&hist);
+    let codes = canonical_codes(&lens);
+    let n_chunks = data.len().div_ceil(CHUNK_SIZE).max(1);
+
+    let payloads: Vec<Vec<u8>> = data
+        .par_chunks(CHUNK_SIZE.max(1))
+        .map(|chunk| {
+            let mut out = Vec::with_capacity(chunk.len() / 2 + 8);
+            let mut acc = 0u64;
+            let mut nbits = 0u32;
+            for &b in chunk {
+                let len = lens[b as usize] as u32;
+                acc = (acc << len) | codes[b as usize];
+                nbits += len;
+                while nbits >= 8 {
+                    nbits -= 8;
+                    out.push((acc >> nbits) as u8);
+                }
+            }
+            if nbits > 0 {
+                out.push((acc << (8 - nbits)) as u8);
+            }
+            out
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(
+        8 + 4 + 4 + 256 + 4 * n_chunks + payloads.iter().map(Vec::len).sum::<usize>(),
+    );
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(CHUNK_SIZE as u32).to_le_bytes());
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lens);
+    for p in &payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+    }
+    for p in &payloads {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Decoding table derived from canonical code lengths.
+struct DecodeTable {
+    /// For each length 1..=MAX: first canonical code of that length.
+    first_code: [u64; MAX_CODE_LEN + 1],
+    /// Index into `symbols` of the first code of each length.
+    first_index: [usize; MAX_CODE_LEN + 1],
+    /// Symbols ordered by (length, value).
+    symbols: Vec<u8>,
+    /// Per-length symbol counts.
+    count: [usize; MAX_CODE_LEN + 1],
+}
+
+impl DecodeTable {
+    fn new(lens: &[u8; 256]) -> Self {
+        let mut order: Vec<usize> = (0..256).filter(|&s| lens[s] > 0).collect();
+        order.sort_by_key(|&s| (lens[s], s));
+        let mut count = [0usize; MAX_CODE_LEN + 1];
+        for &s in &order {
+            count[lens[s] as usize] += 1;
+        }
+        let mut first_code = [0u64; MAX_CODE_LEN + 1];
+        let mut first_index = [0usize; MAX_CODE_LEN + 1];
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for len in 1..=MAX_CODE_LEN {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += count[len] as u64;
+            index += count[len];
+        }
+        DecodeTable {
+            first_code,
+            first_index,
+            symbols: order.iter().map(|&s| s as u8).collect(),
+            count,
+        }
+    }
+
+    #[inline]
+    fn decode_one(&self, bits: &mut BitReader<'_>) -> u8 {
+        let mut code = 0u64;
+        let mut len = 0usize;
+        loop {
+            code = (code << 1) | bits.next_bit() as u64;
+            len += 1;
+            if self.count[len] > 0 {
+                let offset = code.wrapping_sub(self.first_code[len]);
+                if (offset as usize) < self.count[len] {
+                    return self.symbols[self.first_index[len] + offset as usize];
+                }
+            }
+            assert!(len < MAX_CODE_LEN, "corrupt Huffman stream");
+        }
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    byte: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, byte: 0, bit: 0 }
+    }
+    #[inline]
+    fn next_bit(&mut self) -> u8 {
+        let b = (self.data[self.byte] >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+        b
+    }
+}
+
+/// Decompress a stream produced by [`compress`].
+///
+/// # Panics
+/// Panics on truncated or structurally corrupt streams.
+pub fn decompress(stream: &[u8]) -> Vec<u8> {
+    assert!(stream.len() >= 16 + 256, "truncated Huffman header");
+    let orig_len = u64::from_le_bytes(stream[0..8].try_into().expect("sized")) as usize;
+    let chunk_size = u32::from_le_bytes(stream[8..12].try_into().expect("sized")) as usize;
+    let n_chunks = u32::from_le_bytes(stream[12..16].try_into().expect("sized")) as usize;
+    let mut lens = [0u8; 256];
+    lens.copy_from_slice(&stream[16..16 + 256]);
+    let mut off = 16 + 256;
+    let mut chunk_lens = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        chunk_lens.push(u32::from_le_bytes(
+            stream[off..off + 4].try_into().expect("sized"),
+        ) as usize);
+        off += 4;
+    }
+    let mut chunk_spans = Vec::with_capacity(n_chunks);
+    for &cl in &chunk_lens {
+        chunk_spans.push((off, cl));
+        off += cl;
+    }
+    assert!(off <= stream.len(), "truncated Huffman payload");
+
+    let table = DecodeTable::new(&lens);
+    let mut chunks: Vec<(usize, usize, usize)> = Vec::with_capacity(n_chunks); // (start, len, out_len)
+    for (i, &(s, l)) in chunk_spans.iter().enumerate() {
+        let out_len = if i + 1 == n_chunks {
+            orig_len - chunk_size * (n_chunks - 1)
+        } else {
+            chunk_size
+        };
+        chunks.push((s, l, out_len));
+    }
+
+    let parts: Vec<Vec<u8>> = chunks
+        .par_iter()
+        .map(|&(s, l, out_len)| {
+            let mut out = Vec::with_capacity(out_len);
+            let mut bits = BitReader::new(&stream[s..s + l]);
+            for _ in 0..out_len {
+                out.push(table.decode_one(&mut bits));
+            }
+            out
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(orig_len);
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_bytes(n: usize, mut s: u32) -> Vec<u8> {
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = compress(&[]);
+        assert_eq!(decompress(&c), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_single_byte() {
+        let c = compress(&[42]);
+        assert_eq!(decompress(&c), vec![42]);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol_run() {
+        let data = vec![7u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "single-symbol data must compress hard");
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_random_bytes() {
+        let data = xorshift_bytes(300_000, 0x1234);
+        let c = compress(&data);
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        let data: Vec<u8> = (0..200_000u32)
+            .map(|i| if i % 10 == 0 { (i % 256) as u8 } else { 0 })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2);
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_exact_chunk_boundaries() {
+        for n in [CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 2 * CHUNK_SIZE] {
+            let data = xorshift_bytes(n, 7);
+            assert_eq!(decompress(&compress(&data)), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut hist = [0u64; 256];
+        for (i, h) in hist.iter_mut().enumerate() {
+            *h = (i as u64 % 7) * 100 + 1;
+        }
+        let lens = code_lengths(&hist);
+        let codes = canonical_codes(&lens);
+        for a in 0..256 {
+            for b in 0..256 {
+                if a == b || lens[a] == 0 || lens[b] == 0 || lens[a] > lens[b] {
+                    continue;
+                }
+                let prefix = codes[b] >> (lens[b] - lens[a]);
+                assert!(
+                    prefix != codes[a] || a == b,
+                    "code {a} is a prefix of {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let hist = {
+            let mut h = [0u64; 256];
+            for (i, x) in h.iter_mut().enumerate() {
+                *x = (i * i + 1) as u64;
+            }
+            h
+        };
+        let lens = code_lengths(&hist);
+        let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn compressed_size_close_to_entropy() {
+        // Two symbols, 90/10 split: entropy ≈ 0.469 bits/byte, Huffman ≥ 1
+        // bit/byte (prefix codes can't go below 1 bit per symbol).
+        let data: Vec<u8> = (0..400_000).map(|i| if i % 10 == 0 { 1 } else { 0 }).collect();
+        let c = compress(&data);
+        let bits_per_sym = (c.len() * 8) as f64 / data.len() as f64;
+        assert!(bits_per_sym < 1.1, "got {bits_per_sym}");
+    }
+}

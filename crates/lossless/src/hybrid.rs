@@ -1,0 +1,238 @@
+//! Hybrid lossless compression strategy (Algorithm 2).
+//!
+//! Every merged group of bitplanes is size-gated and then routed to the
+//! encoder whose *estimated* compression ratio clears the configured
+//! threshold: Huffman first (best ratios on concentrated distributions),
+//! then RLE (cheap, good on structured sparsity), with direct copy as the
+//! fallback that keeps incompressible groups at full throughput.
+
+use crate::{estimate, huffman, rle};
+use serde::{Deserialize, Serialize};
+
+/// Lossless method selected for one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Codec {
+    /// Canonical Huffman ([`crate::huffman`]).
+    Huffman,
+    /// Run-length encoding ([`crate::rle`]).
+    Rle,
+    /// Stored as-is.
+    Direct,
+}
+
+/// Tuning knobs of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Bitplanes merged per group (`m` in the paper; default 4).
+    pub group_size: usize,
+    /// Minimum group byte size worth compressing (`T_s`).
+    pub size_threshold: usize,
+    /// Estimated-CR threshold an encoder must clear (`T_cr`, the `rc`
+    /// values 1.0 / 2.0 / 4.0 swept in Figure 8).
+    pub cr_threshold: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { group_size: 4, size_threshold: 1024, cr_threshold: 1.0 }
+    }
+}
+
+impl HybridConfig {
+    /// Paper configuration with a specific `rc` threshold.
+    pub fn with_rc(cr_threshold: f64) -> Self {
+        HybridConfig { cr_threshold, ..Default::default() }
+    }
+}
+
+/// One losslessly compressed bitplane group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedGroup {
+    /// Encoder that produced `payload`.
+    pub codec: Codec,
+    /// Encoded bytes.
+    pub payload: Vec<u8>,
+    /// Original (uncompressed) byte count.
+    pub original_len: usize,
+}
+
+impl CompressedGroup {
+    /// Stored size in bytes (payload only; the one-byte codec tag and
+    /// framing live in the stream metadata).
+    pub fn stored_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Achieved compression ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.payload.is_empty() {
+            return 1.0;
+        }
+        self.original_len as f64 / self.payload.len() as f64
+    }
+}
+
+/// Stateless hybrid compressor implementing Algorithm 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridCompressor {
+    /// Selection configuration.
+    pub config: HybridConfig,
+}
+
+impl HybridCompressor {
+    /// Compressor with the given configuration.
+    pub fn new(config: HybridConfig) -> Self {
+        HybridCompressor { config }
+    }
+
+    /// Decide which codec Algorithm 2 would pick for `group` without
+    /// encoding it.
+    pub fn select(&self, group: &[u8]) -> Codec {
+        if group.len() <= self.config.size_threshold {
+            return Codec::Direct;
+        }
+        let r_h = estimate::estimate_huffman_cr(group);
+        if r_h > self.config.cr_threshold {
+            return Codec::Huffman;
+        }
+        let r_r = estimate::estimate_rle_cr(group);
+        if r_r > self.config.cr_threshold {
+            return Codec::Rle;
+        }
+        Codec::Direct
+    }
+
+    /// Compress one merged bitplane group.
+    pub fn compress(&self, group: &[u8]) -> CompressedGroup {
+        let codec = self.select(group);
+        let payload = match codec {
+            Codec::Huffman => huffman::compress(group),
+            Codec::Rle => rle::compress(group),
+            Codec::Direct => group.to_vec(),
+        };
+        CompressedGroup { codec, payload, original_len: group.len() }
+    }
+
+    /// Compress with a forced codec (used by the Figure 8 all-Huffman and
+    /// all-RLE baselines).
+    pub fn compress_with(&self, group: &[u8], codec: Codec) -> CompressedGroup {
+        let payload = match codec {
+            Codec::Huffman => huffman::compress(group),
+            Codec::Rle => rle::compress(group),
+            Codec::Direct => group.to_vec(),
+        };
+        CompressedGroup { codec, payload, original_len: group.len() }
+    }
+
+    /// Decompress a group produced by [`Self::compress`].
+    pub fn decompress(&self, group: &CompressedGroup) -> Vec<u8> {
+        match group.codec {
+            Codec::Huffman => huffman::decompress(&group.payload),
+            Codec::Rle => rle::decompress(&group.payload),
+            Codec::Direct => group.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compressor(rc: f64) -> HybridCompressor {
+        HybridCompressor::new(HybridConfig::with_rc(rc))
+    }
+
+    fn xorshift_bytes(n: usize, mut s: u32) -> Vec<u8> {
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_groups_are_direct_copied() {
+        let c = compressor(1.0);
+        let data = vec![0u8; 512]; // below default size threshold
+        assert_eq!(c.select(&data), Codec::Direct);
+    }
+
+    #[test]
+    fn zero_heavy_groups_pick_huffman() {
+        let c = compressor(1.0);
+        let data: Vec<u8> = (0..100_000).map(|i| if i % 50 == 0 { 3 } else { 0 }).collect();
+        assert_eq!(c.select(&data), Codec::Huffman);
+    }
+
+    #[test]
+    fn random_groups_fall_back_to_direct() {
+        let c = compressor(1.0);
+        let data = xorshift_bytes(100_000, 5);
+        assert_eq!(c.select(&data), Codec::Direct);
+    }
+
+    #[test]
+    fn high_threshold_routes_runs_to_rle() {
+        // Long runs over many symbols: Huffman caps at 8x-ish here (1
+        // bit/byte floor), RLE collapses runs entirely.
+        let mut data = Vec::new();
+        for i in 0..256 {
+            data.extend(std::iter::repeat(i as u8).take(4096));
+        }
+        let c = compressor(16.0);
+        assert_eq!(c.select(&data), Codec::Rle);
+    }
+
+    #[test]
+    fn all_codecs_roundtrip() {
+        let c = compressor(1.0);
+        let datasets = [
+            vec![0u8; 50_000],
+            xorshift_bytes(50_000, 17),
+            (0..50_000).map(|i| (i / 300) as u8).collect::<Vec<u8>>(),
+            Vec::new(),
+        ];
+        for data in datasets {
+            for codec in [Codec::Huffman, Codec::Rle, Codec::Direct] {
+                let g = c.compress_with(&data, codec);
+                assert_eq!(c.decompress(&g), data, "{codec:?}");
+            }
+            let auto = c.compress(&data);
+            assert_eq!(c.decompress(&auto), data, "auto ({:?})", auto.codec);
+        }
+    }
+
+    #[test]
+    fn selected_codec_never_loses_to_threshold() {
+        // Whatever Algorithm 2 selects, a non-Direct choice must actually
+        // achieve a ratio near or above the threshold.
+        let c = compressor(2.0);
+        let data: Vec<u8> = (0..200_000).map(|i| if i % 20 == 0 { 9 } else { 0 }).collect();
+        let g = c.compress(&data);
+        if g.codec != Codec::Direct {
+            assert!(g.ratio() > 1.8, "ratio {} for {:?}", g.ratio(), g.codec);
+        }
+    }
+
+    #[test]
+    fn raising_rc_reduces_compression_effort() {
+        // With a huge threshold everything becomes direct copy.
+        let c = compressor(1e9);
+        let data: Vec<u8> = (0..100_000).map(|i| if i % 50 == 0 { 3 } else { 0 }).collect();
+        assert_eq!(c.select(&data), Codec::Direct);
+    }
+
+    #[test]
+    fn compressed_group_accounting() {
+        let c = compressor(1.0);
+        let data = vec![0u8; 100_000];
+        let g = c.compress(&data);
+        assert_eq!(g.original_len, 100_000);
+        // All-zero data under Huffman hits the 1-bit/byte floor (CR ≈ 8).
+        assert!(g.stored_len() < 15_000);
+        assert!(g.ratio() > 6.0);
+    }
+}

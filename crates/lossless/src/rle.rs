@@ -1,0 +1,210 @@
+//! Run-length encoding with varint run lengths.
+//!
+//! RLE excels on lower-order bitplanes where quantization and truncation
+//! leave long zero runs, at a fraction of Huffman's computational cost.
+//! Runs are stored as `(value: u8, length: LEB128 varint)` pairs; the input
+//! is chunked so compression and decompression parallelize like the
+//! Huffman path.
+//!
+//! Stream format (little-endian):
+//! ```text
+//! [orig_len u64][chunk_size u32][n_chunks u32]
+//! [n_chunks × compressed byte length u32][chunk payloads]
+//! ```
+
+use rayon::prelude::*;
+
+/// Chunk granularity for parallel encode/decode.
+pub const CHUNK_SIZE: usize = 1 << 16;
+
+/// Append `v` as a LEB128 varint.
+#[inline]
+pub fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, returning `(value, bytes_consumed)`.
+#[inline]
+pub fn read_varint(data: &[u8]) -> (u64, usize) {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in data.iter().enumerate() {
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return (v, i + 1);
+        }
+        shift += 7;
+        assert!(shift < 64, "varint overflow");
+    }
+    panic!("truncated varint");
+}
+
+/// Encoded byte size of `v` as a varint.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    ((64 - v.leading_zeros() as usize) + 6) / 7
+}
+
+fn compress_chunk(chunk: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(chunk.len() / 4 + 8);
+    let mut i = 0;
+    while i < chunk.len() {
+        let v = chunk[i];
+        let mut j = i + 1;
+        while j < chunk.len() && chunk[j] == v {
+            j += 1;
+        }
+        out.push(v);
+        push_varint(&mut out, (j - i) as u64);
+        i = j;
+    }
+    out
+}
+
+/// Compress `data`; the result decompresses with [`decompress`].
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let payloads: Vec<Vec<u8>> = data
+        .par_chunks(CHUNK_SIZE.max(1))
+        .map(compress_chunk)
+        .collect();
+    let mut out = Vec::with_capacity(
+        16 + 4 * payloads.len() + payloads.iter().map(Vec::len).sum::<usize>(),
+    );
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(CHUNK_SIZE as u32).to_le_bytes());
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for p in &payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+    }
+    for p in &payloads {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Decompress a stream produced by [`compress`].
+///
+/// # Panics
+/// Panics on truncated or structurally corrupt streams.
+pub fn decompress(stream: &[u8]) -> Vec<u8> {
+    assert!(stream.len() >= 16, "truncated RLE header");
+    let orig_len = u64::from_le_bytes(stream[0..8].try_into().expect("sized")) as usize;
+    let chunk_size = u32::from_le_bytes(stream[8..12].try_into().expect("sized")) as usize;
+    let n_chunks = u32::from_le_bytes(stream[12..16].try_into().expect("sized")) as usize;
+    let mut off = 16;
+    let mut spans = Vec::with_capacity(n_chunks);
+    let mut lens = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        lens.push(u32::from_le_bytes(stream[off..off + 4].try_into().expect("sized")) as usize);
+        off += 4;
+    }
+    for &l in &lens {
+        spans.push((off, l));
+        off += l;
+    }
+    assert!(off <= stream.len(), "truncated RLE payload");
+
+    let parts: Vec<Vec<u8>> = spans
+        .par_iter()
+        .enumerate()
+        .map(|(i, &(s, l))| {
+            let out_len = if i + 1 == n_chunks {
+                orig_len - chunk_size * (n_chunks - 1)
+            } else {
+                chunk_size
+            };
+            let mut out = Vec::with_capacity(out_len);
+            let payload = &stream[s..s + l];
+            let mut p = 0;
+            while out.len() < out_len {
+                let v = payload[p];
+                p += 1;
+                let (run, used) = read_varint(&payload[p..]);
+                p += used;
+                out.resize(out.len() + run as usize, v);
+            }
+            assert_eq!(out.len(), out_len, "RLE run overshoots chunk");
+            out
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(orig_len);
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len for {v}");
+            let (back, used) = read_varint(&buf);
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decompress(&compress(&[])), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_all_zero() {
+        let data = vec![0u8; 500_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "all-zero data must collapse: {} bytes", c.len());
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_alternating_worst_case() {
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 2) as u8).collect();
+        let c = compress(&data);
+        // Worst case: RLE expands (2 bytes per 1-byte run).
+        assert!(c.len() > data.len());
+        assert_eq!(decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_structured_runs() {
+        let mut data = Vec::new();
+        for i in 0..1000u32 {
+            data.extend(std::iter::repeat((i % 5) as u8).take(17 + (i as usize % 300)));
+        }
+        assert_eq!(decompress(&compress(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_chunk_boundaries() {
+        for n in [CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1] {
+            let data: Vec<u8> = (0..n).map(|i| (i / 1000) as u8).collect();
+            assert_eq!(decompress(&compress(&data)), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn runs_do_not_cross_chunks() {
+        // A run spanning the chunk boundary must still decode exactly.
+        let data = vec![9u8; CHUNK_SIZE + 100];
+        assert_eq!(decompress(&compress(&data)), data);
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-level coefficient extraction and error propagation.
+//!
+//! After [`crate::transform::decompose`], coefficients stay interleaved at
+//! their original grid positions. MDR encodes each *level group*
+//! independently, so this module enumerates the groups:
+//!
+//! * group 0 — nodal values of the coarsest grid;
+//! * group `k` (1..=levels) — the detail coefficients introduced when
+//!   refining from level `levels-k+1` to `levels-k`.
+//!
+//! [`level_error_weights`] provides the conservative L∞ propagation
+//! factors the retrieval planner uses to split a target error across
+//! groups: the correction solve amplifies detail errors by at most
+//! `‖M⁻¹‖∞ ≤ 3`, so a unit detail error grows to at most 4 after one
+//! recomposition step and does not grow further on later steps.
+
+use crate::grid::Hierarchy;
+use crate::Real;
+use serde::{Deserialize, Serialize};
+
+/// Flat element indices of each level group, in deterministic row-major
+/// order (the order `extract`/`inject` use).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelSet {
+    /// `indices[k]` holds the flat positions of group `k`.
+    pub indices: Vec<Vec<usize>>,
+}
+
+impl LevelSet {
+    /// Enumerate the level groups of `h`.
+    pub fn new(h: &Hierarchy) -> Self {
+        let nd = h.ndims();
+        let row_major = h.strides();
+        let mut indices = Vec::with_capacity(h.levels + 1);
+
+        // Group 0: the coarsest active grid.
+        indices.push(enumerate_active(h, h.levels, &row_major));
+
+        // Group k: active(l) \ active(l+1) for l = levels-k.
+        for k in 1..=h.levels {
+            let l = h.levels - k;
+            let all = enumerate_active(h, l, &row_major);
+            let next_strides: Vec<usize> = (0..nd).map(|d| h.stride_at_level(d, l + 1)).collect();
+            let kept: Vec<usize> = {
+                let dims = h.shape_at_level(l);
+                let strides_l: Vec<usize> = (0..nd).map(|d| h.stride_at_level(d, l)).collect();
+                all.iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(pos_id, _)| {
+                        // Decode the level-local coordinates of pos_id.
+                        let mut rem = pos_id;
+                        let mut in_next = true;
+                        for d in (0..nd).rev() {
+                            let j = rem % dims[d];
+                            rem /= dims[d];
+                            let orig = j * strides_l[d];
+                            if orig % next_strides[d] != 0
+                                || orig / next_strides[d] >= h.dim_at_level(d, l + 1)
+                            {
+                                in_next = false;
+                            }
+                        }
+                        !in_next
+                    })
+                    .map(|(_, flat)| flat)
+                    .collect()
+            };
+            indices.push(kept);
+        }
+        LevelSet { indices }
+    }
+
+    /// Number of groups (`levels + 1`).
+    pub fn num_groups(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Total element count across groups (must equal the grid size).
+    pub fn total_len(&self) -> usize {
+        self.indices.iter().map(Vec::len).sum()
+    }
+}
+
+fn enumerate_active(h: &Hierarchy, l: usize, row_major: &[usize]) -> Vec<usize> {
+    let nd = h.ndims();
+    let dims = h.shape_at_level(l);
+    let strides: Vec<usize> = (0..nd).map(|d| h.stride_at_level(d, l)).collect();
+    let count: usize = dims.iter().product();
+    let mut out = Vec::with_capacity(count);
+    let mut coord = vec![0usize; nd];
+    for _ in 0..count {
+        let flat: usize = (0..nd).map(|d| coord[d] * strides[d] * row_major[d]).sum();
+        out.push(flat);
+        // Row-major increment.
+        for d in (0..nd).rev() {
+            coord[d] += 1;
+            if coord[d] < dims[d] {
+                break;
+            }
+            coord[d] = 0;
+        }
+    }
+    out
+}
+
+/// Pull the per-level coefficient groups out of a decomposed array.
+pub fn extract_levels<F: Real>(data: &[F], h: &Hierarchy) -> Vec<Vec<F>> {
+    let ls = LevelSet::new(h);
+    ls.indices
+        .iter()
+        .map(|idx| idx.iter().map(|&i| data[i]).collect())
+        .collect()
+}
+
+/// Inverse of [`extract_levels`]: scatter groups back into a full array.
+///
+/// # Panics
+/// Panics if group shapes do not match the hierarchy.
+pub fn inject_levels<F: Real>(groups: &[Vec<F>], h: &Hierarchy) -> Vec<F> {
+    let ls = LevelSet::new(h);
+    assert_eq!(groups.len(), ls.num_groups(), "group count mismatch");
+    let mut out = vec![F::ZERO; h.len()];
+    for (g, idx) in groups.iter().zip(&ls.indices) {
+        assert_eq!(g.len(), idx.len(), "group length mismatch");
+        for (&v, &i) in g.iter().zip(idx) {
+            out[i] = v;
+        }
+    }
+    out
+}
+
+/// Conservative L∞ error propagation weight of each level group: a
+/// pointwise error `e_k` on group `k`'s coefficients perturbs the final
+/// reconstruction by at most `weight[k] · e_k`.
+pub fn level_error_weights(h: &Hierarchy, correction: bool) -> Vec<f64> {
+    let kappa = if correction { 3.0 } else { 0.0 };
+    let mut w = Vec::with_capacity(h.levels + 1);
+    w.push(1.0); // nodal values propagate through interpolation unamplified
+    for _ in 1..=h.levels {
+        w.push(1.0 + kappa);
+    }
+    w
+}
+
+/// Total reconstruction error bound given per-group pointwise bounds.
+pub fn reconstruction_error_bound(h: &Hierarchy, correction: bool, group_errors: &[f64]) -> f64 {
+    let w = level_error_weights(h, correction);
+    assert_eq!(group_errors.len(), w.len(), "one error per group required");
+    w.iter().zip(group_errors).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{decompose, recompose};
+
+    #[test]
+    fn groups_partition_the_grid() {
+        for shape in [vec![17usize], vec![9, 12], vec![5, 7, 9]] {
+            let h = Hierarchy::full(&shape);
+            let ls = LevelSet::new(&h);
+            assert_eq!(ls.total_len(), h.len(), "{shape:?}");
+            let mut seen = vec![false; h.len()];
+            for idx in &ls.indices {
+                for &i in idx {
+                    assert!(!seen[i], "duplicate index {i} in {shape:?}");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn group_zero_is_coarsest_grid() {
+        let h = Hierarchy::full(&[17, 17]);
+        let ls = LevelSet::new(&h);
+        assert_eq!(ls.indices[0].len(), h.len_at_level(h.levels));
+    }
+
+    #[test]
+    fn finest_group_is_largest() {
+        let h = Hierarchy::full(&[65, 65]);
+        let ls = LevelSet::new(&h);
+        let finest = ls.indices.last().expect("non-empty");
+        // Refining 33x33 -> 65x65 adds 65*65 - 33*33 coefficients.
+        assert_eq!(finest.len(), 65 * 65 - 33 * 33);
+    }
+
+    #[test]
+    fn extract_inject_roundtrip() {
+        let h = Hierarchy::full(&[9, 8, 7]);
+        let data: Vec<f64> = (0..h.len()).map(|i| i as f64 * 0.31).collect();
+        let groups = extract_levels(&data, &h);
+        let back = inject_levels(&groups, &h);
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn full_pipeline_decompose_extract_inject_recompose() {
+        let h = Hierarchy::full(&[33, 21]);
+        let orig: Vec<f64> = (0..h.len())
+            .map(|i| ((i % 33) as f64 * 0.2).sin() + ((i / 33) as f64 * 0.15).cos())
+            .collect();
+        let mut data = orig.clone();
+        decompose(&mut data, &h, true);
+        let groups = extract_levels(&data, &h);
+        let mut rebuilt = inject_levels(&groups, &h);
+        recompose(&mut rebuilt, &h, true);
+        for (a, b) in orig.iter().zip(&rebuilt) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_under_coefficient_perturbation() {
+        // Perturb every group coefficient by ±e_k; reconstruction error
+        // must stay below the advertised bound.
+        let h = Hierarchy::full(&[33, 33]);
+        let orig: Vec<f64> = (0..h.len())
+            .map(|i| ((i % 33) as f64 * 0.7).sin() * 2.0 + ((i / 33) as f64 * 0.9).cos())
+            .collect();
+        let mut data = orig.clone();
+        decompose(&mut data, &h, true);
+        let mut groups = extract_levels(&data, &h);
+        let errs: Vec<f64> = (0..groups.len()).map(|k| 1e-3 / (k + 1) as f64).collect();
+        // Adversarial-ish deterministic perturbation.
+        for (k, g) in groups.iter_mut().enumerate() {
+            for (j, v) in g.iter_mut().enumerate() {
+                let sign = if (j * 2654435761usize) & 1 == 0 { 1.0 } else { -1.0 };
+                *v += sign * errs[k];
+            }
+        }
+        let mut rebuilt = inject_levels(&groups, &h);
+        recompose(&mut rebuilt, &h, true);
+        let bound = reconstruction_error_bound(&h, true, &errs);
+        let max_err = orig
+            .iter()
+            .zip(&rebuilt)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err <= bound, "max_err {max_err} vs bound {bound}");
+    }
+
+    #[test]
+    fn weights_shrink_without_correction() {
+        let h = Hierarchy::full(&[17]);
+        let with = level_error_weights(&h, true);
+        let without = level_error_weights(&h, false);
+        assert!(with[1] > without[1]);
+        assert_eq!(with[0], 1.0);
+        assert_eq!(without[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inject_wrong_group_count_panics() {
+        let h = Hierarchy::full(&[9]);
+        inject_levels(&[vec![0.0f64; 3]], &h);
+    }
+}

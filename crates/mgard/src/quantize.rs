@@ -1,0 +1,141 @@
+//! Uniform error-bounded quantization of multilevel coefficients.
+//!
+//! HP-MDR's own path keeps full-precision coefficients and lets bitplane
+//! truncation control the error; this module exists for the evaluation's
+//! *MGARD baseline codec* (classic compress-once MGARD: decompose →
+//! level-scaled linear quantization → lossless encoding) and for the
+//! multi-component baseline built on top of it.
+
+use crate::grid::Hierarchy;
+use crate::levels::level_error_weights;
+use crate::Real;
+
+/// Quantize with bin width `2*eb`: round-to-nearest guarantees
+/// `|v - deq(q)| ≤ eb`.
+pub fn quantize<F: Real>(values: &[F], eb: f64) -> Vec<i64> {
+    assert!(eb > 0.0, "error bound must be positive");
+    let inv = 1.0 / (2.0 * eb);
+    values
+        .iter()
+        .map(|v| {
+            let q = v.to_f64() * inv;
+            q.round() as i64
+        })
+        .collect()
+}
+
+/// Inverse of [`quantize`].
+pub fn dequantize<F: Real>(q: &[i64], eb: f64) -> Vec<F> {
+    q.iter().map(|&qi| F::from_f64(qi as f64 * 2.0 * eb)).collect()
+}
+
+/// Per-group error bounds that make the *reconstruction* error at most
+/// `eb`: the target is split equally across groups after weighting by the
+/// propagation factors of [`level_error_weights`].
+pub fn group_error_bounds(h: &Hierarchy, correction: bool, eb: f64) -> Vec<f64> {
+    let w = level_error_weights(h, correction);
+    // Equal share of the target per group, divided by the group's
+    // amplification factor so that Σ w_k · e_k = eb.
+    let per_group = eb / w.len() as f64;
+    w.iter().map(|wi| per_group / wi).collect()
+}
+
+/// Map signed quantization codes to bytes with zig-zag + LEB128 varints
+/// (small magnitudes dominate for smooth data, so this is compact and
+/// feeds well into the lossless crate's entropy coders).
+pub fn codes_to_bytes(codes: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(codes.len() * 2);
+    for &c in codes {
+        let z = ((c << 1) ^ (c >> 63)) as u64; // zig-zag
+        let mut v = z;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+    out
+}
+
+/// Inverse of [`codes_to_bytes`]; `count` is the number of codes expected.
+///
+/// # Panics
+/// Panics on truncated input.
+pub fn bytes_to_codes(bytes: &[u8], count: usize) -> Vec<i64> {
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0usize;
+    for _ in 0..count {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            assert!(i < bytes.len(), "truncated code stream");
+            let b = bytes[i];
+            i += 1;
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        let c = ((v >> 1) as i64) ^ -((v & 1) as i64); // un-zig-zag
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_respects_error_bound() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.17).sin() * 9.0).collect();
+        for eb in [1e-1, 1e-3, 1e-6] {
+            let q = quantize(&vals, eb);
+            let back: Vec<f64> = dequantize(&q, eb);
+            for (a, b) in vals.iter().zip(&back) {
+                assert!((a - b).abs() <= eb + 1e-15, "eb={eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        let codes = vec![0i64, 1, -1, 2, -2, 1000, -1000, i32::MAX as i64, i32::MIN as i64];
+        let bytes = codes_to_bytes(&codes);
+        assert_eq!(bytes_to_codes(&bytes, codes.len()), codes);
+    }
+
+    #[test]
+    fn small_codes_are_one_byte() {
+        let codes = vec![0i64, 1, -1, 63, -63];
+        let bytes = codes_to_bytes(&codes);
+        assert_eq!(bytes.len(), codes.len());
+    }
+
+    #[test]
+    fn group_bounds_sum_to_target_under_weights() {
+        let h = Hierarchy::full(&[65, 65]);
+        let eb = 0.01;
+        let bounds = group_error_bounds(&h, true, eb);
+        let w = level_error_weights(&h, true);
+        let total: f64 = w.iter().zip(&bounds).map(|(a, b)| a * b).sum();
+        assert!((total - eb).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_error_bound_rejected() {
+        quantize(&[1.0f64], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_code_stream_panics() {
+        bytes_to_codes(&[0x80], 1);
+    }
+}

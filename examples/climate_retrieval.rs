@@ -1,0 +1,72 @@
+//! Write-once / read-many access on an ensemble-weather dataset.
+//!
+//! Climate analysts touch the same archived fields repeatedly with very
+//! different precision needs: a quick-look plot tolerates 1e-1, a bias
+//! correction needs 1e-4. This example refactors the LETKF-like ensemble
+//! once, persists it to disk in the portable stream format, then serves
+//! three "analysis campaigns" from the same file — each fetching only the
+//! incremental planes it needs.
+//!
+//! ```text
+//! cargo run -p hpmdr-examples --release --bin climate_retrieval
+//! ```
+
+use hpmdr_core::serialize::{from_bytes, to_bytes};
+use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use hpmdr_datasets::{Dataset, DatasetKind};
+use hpmdr_examples::{human_bytes, linf_f32};
+
+fn main() {
+    let ds = Dataset::generate(DatasetKind::Letkf, 7);
+    println!("dataset: {} ({:?}), {} ensemble members", ds.kind.name(), ds.shape, ds.variables.len());
+
+    // --- Write path (runs once, e.g. at simulation time) ---------------
+    let config = RefactorConfig::default();
+    let dir = std::env::temp_dir().join("hpmdr_climate_example");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let mut stored = 0usize;
+    for member in &ds.variables {
+        let data = member.as_f32();
+        let refactored = refactor(&data, &ds.shape, &config);
+        let bytes = to_bytes(&refactored);
+        stored += bytes.len();
+        std::fs::write(dir.join(format!("{}.hpmdr", member.name)), bytes).expect("write");
+    }
+    println!(
+        "archived {} members: {} (native {})\n",
+        ds.variables.len(),
+        human_bytes(stored),
+        human_bytes(ds.native_bytes())
+    );
+
+    // --- Read path (runs many times) ------------------------------------
+    // Tolerances are relative to each member's value range (the archive
+    // stores the range in its metadata).
+    let campaigns = [
+        ("quick-look visualization", 1e-1),
+        ("ensemble spread analysis", 1e-3),
+        ("bias correction study", 1e-5),
+    ];
+    for member in &ds.variables {
+        let bytes =
+            std::fs::read(dir.join(format!("{}.hpmdr", member.name))).expect("read archive");
+        let refactored = from_bytes(&bytes).expect("valid archive");
+        let truth = member.as_f32();
+        let mut session = RetrievalSession::new(&refactored);
+        println!("member `{}` (value range {:.2}):", member.name, refactored.value_range);
+        for (label, rel) in campaigns {
+            let eb = rel * refactored.value_range;
+            let (plan, bound) = RetrievalPlan::for_error(&refactored, eb);
+            session.refine_to(&plan);
+            let rec: Vec<f32> = session.reconstruct();
+            let err = linf_f32(&truth, &rec);
+            println!(
+                "  {label:<28} rel tol {rel:>8.0e}: fetched {:>10} total, L-inf {err:.2e}",
+                human_bytes(session.fetched_bytes())
+            );
+            assert!(err <= bound.max(eb), "guarantee violated: {err} > {bound}");
+        }
+    }
+    println!("\nEach campaign reused all planes fetched by the previous one.");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,69 @@
+//! Tiled refactoring through the device pipeline, with and without the
+//! Figure 4 overlap optimization.
+//!
+//! Datasets larger than device memory are processed as sub-domain tiles
+//! staged through a bounded buffer pool. With overlap enabled, the next
+//! tile's host→device copy is prefetched by a dedicated DMA-engine thread
+//! while the compute engine refactors the current tile.
+//!
+//! ```text
+//! cargo run -p hpmdr-examples --release --bin out_of_core_pipeline
+//! ```
+
+use hpmdr_core::pipeline::{refactor_pipeline, PipelineMode};
+use hpmdr_core::RefactorConfig;
+use hpmdr_datasets::{Dataset, DatasetKind};
+use hpmdr_device::{Device, DeviceConfig};
+use hpmdr_examples::human_bytes;
+use std::sync::Arc;
+
+fn main() {
+    let shape = vec![128usize, 64, 64];
+    let ds = Dataset::generate_with_shape(DatasetKind::Jhtdb, &shape, 5);
+    let data = Arc::new(ds.variables[0].as_f32());
+    let tile_rows = 16;
+    let tile_bytes = tile_rows * shape[1] * shape[2] * 4;
+    println!(
+        "input {} ({:?}), tiles of {} rows ({} each)\n",
+        human_bytes(data.len() * 4),
+        shape,
+        tile_rows,
+        human_bytes(tile_bytes)
+    );
+
+    let config = RefactorConfig::default();
+    // Three staging buffers: current tile, prefetched tile, draining tile.
+    let device = Device::new(DeviceConfig::h100_like(), tile_bytes + 4096, 3);
+
+    let seq = refactor_pipeline(
+        data.clone(),
+        &shape,
+        &config,
+        &device,
+        PipelineMode::Sequential,
+        tile_rows,
+    );
+    let ovl = refactor_pipeline(
+        data.clone(),
+        &shape,
+        &config,
+        &device,
+        PipelineMode::Overlapped,
+        tile_rows,
+    );
+
+    println!("{:<12} {:>10} {:>12} {:>10}", "mode", "wall", "throughput", "output");
+    for (name, rep) in [("sequential", &seq), ("overlapped", &ovl)] {
+        println!(
+            "{name:<12} {:>9.3}s {:>9.3} GB/s {:>10}",
+            rep.wall_seconds,
+            rep.throughput_gbps,
+            human_bytes(rep.bytes_out)
+        );
+    }
+    println!(
+        "\noverlap speedup: {:.2}x (identical artifacts: {})",
+        seq.wall_seconds / ovl.wall_seconds,
+        seq.artifacts == ovl.artifacts
+    );
+}

@@ -1,0 +1,18 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use hpmdr_datasets::{Dataset, DatasetKind};
+
+/// A small deterministic dataset instance for integration tests.
+pub fn small_dataset(kind: DatasetKind) -> Dataset {
+    let shape: Vec<usize> = kind.default_shape().iter().map(|&n| n.clamp(8, 24)).collect();
+    Dataset::generate_with_shape(kind, &shape, 0xC0FFEE)
+}
+
+/// L∞ between an f32 reconstruction and f64 truth.
+pub fn linf_vs_truth(truth: &[f64], rec: &[f32]) -> f64 {
+    truth
+        .iter()
+        .zip(rec)
+        .map(|(t, r)| (t - *r as f64).abs())
+        .fold(0.0, f64::max)
+}

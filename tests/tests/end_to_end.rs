@@ -1,0 +1,103 @@
+//! End-to-end refactor → persist → retrieve integration tests across the
+//! full dataset suite.
+
+use hpmdr_core::serialize::{from_bytes, to_bytes};
+use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use hpmdr_datasets::metrics;
+use hpmdr_datasets::DatasetKind;
+use hpmdr_tests::small_dataset;
+
+#[test]
+fn every_table1_dataset_roundtrips_through_disk_format() {
+    for kind in DatasetKind::TABLE1 {
+        let ds = small_dataset(kind);
+        let var = &ds.variables[0];
+        let config = RefactorConfig::default();
+
+        if kind.dtype() == "f64" {
+            let refactored = refactor(&var.data, &ds.shape, &config);
+            let restored = from_bytes(&to_bytes(&refactored)).expect("parse");
+            assert_eq!(refactored, restored, "{}", kind.name());
+        } else {
+            let data = var.as_f32();
+            let refactored = refactor(&data, &ds.shape, &config);
+            let restored = from_bytes(&to_bytes(&refactored)).expect("parse");
+            assert_eq!(refactored, restored, "{}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn retrieval_bounds_hold_for_all_datasets_and_tolerances() {
+    for kind in DatasetKind::TABLE1 {
+        let ds = small_dataset(kind);
+        let var = &ds.variables[0];
+        let data = var.as_f32();
+        let refactored = refactor(&data, &ds.shape, &RefactorConfig::default());
+        let range = refactored.value_range.max(1e-12);
+        let mut session = RetrievalSession::new(&refactored);
+        for rel in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let eb = rel * range;
+            let (plan, bound) = RetrievalPlan::for_error(&refactored, eb);
+            session.refine_to(&plan);
+            let rec: Vec<f32> = session.reconstruct();
+            let err = data
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| ((a - b).abs()) as f64)
+                .fold(0.0, f64::max);
+            assert!(
+                err <= bound.max(eb),
+                "{}: rel={rel} err={err} bound={bound}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn f64_dataset_reaches_deep_tolerances() {
+    let ds = small_dataset(DatasetKind::Miranda);
+    let var = &ds.variables[0];
+    let refactored = refactor(&var.data, &ds.shape, &RefactorConfig::default());
+    let range = refactored.value_range;
+    let mut session = RetrievalSession::new(&refactored);
+    let eb = 1e-9 * range;
+    let (plan, bound) = RetrievalPlan::for_error(&refactored, eb);
+    session.refine_to(&plan);
+    let rec: Vec<f64> = session.reconstruct();
+    let err = metrics::max_abs_error(&var.data, &rec);
+    assert!(bound <= eb, "f64 streams must reach 1e-9 relative: bound {bound}");
+    assert!(err <= bound);
+}
+
+#[test]
+fn psnr_improves_monotonically_with_budget() {
+    let ds = small_dataset(DatasetKind::Jhtdb);
+    let truth = &ds.variables[0].data;
+    let data = ds.variables[0].as_f32();
+    let refactored = refactor(&data, &ds.shape, &RefactorConfig::default());
+    let mut session = RetrievalSession::new(&refactored);
+    let mut last_psnr = -f64::INFINITY;
+    for units in 1..=6usize {
+        session.advance_all(1);
+        let rec: Vec<f32> = session.reconstruct();
+        let rec64: Vec<f64> = rec.iter().map(|&v| v as f64).collect();
+        let p = metrics::psnr(truth, &rec64);
+        assert!(p >= last_psnr - 1e-9, "units={units}: psnr {p} < {last_psnr}");
+        last_psnr = p;
+    }
+    assert!(last_psnr > 60.0, "near-lossless PSNR expected, got {last_psnr}");
+}
+
+#[test]
+fn fetch_accounting_matches_plan_sizes() {
+    let ds = small_dataset(DatasetKind::Nyx);
+    let data = ds.variables[0].as_f32();
+    let refactored = refactor(&data, &ds.shape, &RefactorConfig::default());
+    let (plan, _) = RetrievalPlan::for_error(&refactored, 1e-3 * refactored.value_range);
+    let mut session = RetrievalSession::new(&refactored);
+    session.refine_to(&plan);
+    assert_eq!(session.fetched_bytes(), plan.fetch_bytes(&refactored));
+    assert!(session.fetched_bytes() <= refactored.total_bytes());
+}

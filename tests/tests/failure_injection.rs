@@ -1,0 +1,110 @@
+//! Failure injection: corrupt inputs and damaged streams must fail loudly
+//! and precisely, never silently reconstruct wrong data.
+
+use hpmdr_core::serialize::{from_bytes, to_bytes};
+use hpmdr_core::{refactor, RefactorConfig};
+use hpmdr_tests::small_dataset;
+
+fn sample_bytes() -> Vec<u8> {
+    let ds = small_dataset(hpmdr_datasets::DatasetKind::Jhtdb);
+    let data = ds.variables[0].as_f32();
+    to_bytes(&refactor(&data, &ds.shape, &RefactorConfig::default()))
+}
+
+#[test]
+fn nan_input_is_rejected_at_refactor_time() {
+    let mut data = vec![1.0f32; 64];
+    data[17] = f32::NAN;
+    let result = std::panic::catch_unwind(|| {
+        refactor(&data, &[8, 8], &RefactorConfig::default())
+    });
+    assert!(result.is_err(), "NaN must be rejected, not encoded");
+}
+
+#[test]
+fn infinity_input_is_rejected() {
+    let mut data = vec![1.0f64; 27];
+    data[0] = f64::INFINITY;
+    let result = std::panic::catch_unwind(|| {
+        refactor(&data, &[3, 3, 3], &RefactorConfig::default())
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn every_truncation_point_is_detected() {
+    let bytes = sample_bytes();
+    // Cut at a spread of points through header and payload.
+    for frac in [0.0, 0.001, 0.01, 0.3, 0.7, 0.999] {
+        let cut = (bytes.len() as f64 * frac) as usize;
+        assert!(
+            from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} must error",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn header_bitflips_are_detected_or_harmless() {
+    let bytes = sample_bytes();
+    let json_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    // Flip bytes inside the JSON header; each flip must either fail to
+    // parse or produce a structurally valid header (never panic).
+    for pos in (16..16 + json_len).step_by(97) {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 0xff;
+        let _ = from_bytes(&corrupted); // must not panic
+    }
+}
+
+#[test]
+fn magic_and_version_are_enforced() {
+    let bytes = sample_bytes();
+    let mut wrong = bytes.clone();
+    wrong[5] = 0x7f; // version byte
+    assert!(from_bytes(&wrong).is_err());
+    assert!(from_bytes(b"not a stream").is_err());
+    assert!(from_bytes(&[]).is_err());
+}
+
+#[test]
+fn oversized_json_length_is_rejected() {
+    let bytes = sample_bytes();
+    let mut huge = bytes.clone();
+    huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(from_bytes(&huge).is_err());
+}
+
+#[test]
+fn corrupted_payload_fails_on_decode_not_silently() {
+    let bytes = sample_bytes();
+    let parsed = from_bytes(&bytes).expect("intact parses");
+    // Corrupt a compressed Huffman/RLE payload and attempt reconstruction:
+    // structural decoders must panic (caught here), not return garbage of
+    // the wrong length.
+    let mut damaged = parsed.clone();
+    let mut corrupted_any = false;
+    for s in &mut damaged.streams {
+        for u in &mut s.units {
+            if u.codec != hpmdr_lossless::Codec::Direct && u.payload.len() > 64 {
+                let mid = u.payload.len() / 2;
+                u.payload.truncate(mid);
+                corrupted_any = true;
+                break;
+            }
+        }
+        if corrupted_any {
+            break;
+        }
+    }
+    if corrupted_any {
+        let outcome = std::panic::catch_unwind(|| {
+            use hpmdr_core::{RetrievalPlan, RetrievalSession};
+            let mut sess = RetrievalSession::new(&damaged);
+            sess.refine_to(&RetrievalPlan::full(&damaged));
+            sess.reconstruct::<f32>()
+        });
+        assert!(outcome.is_err(), "damaged payload must not decode quietly");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based invariants over the whole stack (proptest).
+
+use hpmdr_bitplane::{align_exponent, decode_prefix, encode, prefix_error_bound, Layout, Reconstruction};
+use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use hpmdr_lossless::{Codec, HybridCompressor, HybridConfig};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1e6f32..1e6f32),
+        (-1.0f32..1.0f32),
+        (-1e-6f32..1e-6f32),
+        Just(0.0f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitplane_prefix_error_bound_holds(
+        data in prop::collection::vec(finite_f32(), 1..600),
+        planes in 1usize..=32,
+        k_frac in 0.0f64..=1.0,
+        natural in any::<bool>(),
+    ) {
+        let layout = if natural { Layout::Natural } else { Layout::Interleaved32 };
+        let chunk = encode(&data, planes, layout);
+        prop_assert!(chunk.validate().is_ok());
+        let k = ((planes as f64) * k_frac) as usize;
+        let rec: Vec<f32> = decode_prefix(&chunk, k, Reconstruction::Truncate);
+        let bound = prefix_error_bound(chunk.exp, k.min(chunk.num_planes()));
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!(((a - b).abs() as f64) <= bound,
+                "err {} > bound {bound} (k={k}, planes={planes})", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn bitplane_layouts_agree(
+        data in prop::collection::vec(finite_f32(), 1..400),
+        k in 0usize..=32,
+    ) {
+        let a = encode(&data, 32, Layout::Natural);
+        let b = encode(&data, 32, Layout::Interleaved32);
+        let da: Vec<f32> = decode_prefix(&a, k, Reconstruction::Truncate);
+        let db: Vec<f32> = decode_prefix(&b, k, Reconstruction::Truncate);
+        prop_assert_eq!(da, db);
+    }
+
+    #[test]
+    fn exponent_alignment_covers_all_values(
+        data in prop::collection::vec(finite_f32(), 1..200),
+    ) {
+        let e = align_exponent(&data);
+        if e != i32::MIN {
+            for v in &data {
+                prop_assert!((v.abs() as f64) < f64::exp2(e as f64));
+            }
+        } else {
+            prop_assert!(data.iter().all(|v| *v == 0.0));
+        }
+    }
+
+    #[test]
+    fn hybrid_lossless_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..20_000),
+        rc in 0.5f64..8.0,
+    ) {
+        let c = HybridCompressor::new(HybridConfig::with_rc(rc));
+        for codec in [Codec::Huffman, Codec::Rle, Codec::Direct] {
+            let g = c.compress_with(&data, codec);
+            prop_assert_eq!(c.decompress(&g), data.clone());
+        }
+        let auto = c.compress(&data);
+        prop_assert_eq!(c.decompress(&auto), data);
+    }
+
+    #[test]
+    fn mgard_transform_roundtrips(
+        nx in 1usize..24,
+        ny in 1usize..24,
+        seed in any::<u32>(),
+    ) {
+        use hpmdr_mgard::{decompose, recompose, Hierarchy};
+        let h = Hierarchy::full(&[nx, ny]);
+        let mut s = seed;
+        let orig: Vec<f64> = (0..nx * ny)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s as f64 / u32::MAX as f64 - 0.5) * 10.0
+            })
+            .collect();
+        let mut data = orig.clone();
+        decompose(&mut data, &h, true);
+        recompose(&mut data, &h, true);
+        for (a, b) in orig.iter().zip(&data) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refactor_retrieve_bound_holds_on_random_fields(
+        nx in 4usize..20,
+        ny in 4usize..20,
+        rel in 1e-5f64..1e-1,
+        seed in any::<u32>(),
+    ) {
+        let mut s = seed | 1;
+        let data: Vec<f32> = (0..nx * ny)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s as f32 / u32::MAX as f32 - 0.5) * 8.0
+            })
+            .collect();
+        let r = refactor(&data, &[nx, ny], &RefactorConfig::default());
+        let eb = rel * r.value_range.max(1e-9);
+        let (plan, bound) = RetrievalPlan::for_error(&r, eb);
+        let mut sess = RetrievalSession::new(&r);
+        sess.refine_to(&plan);
+        let rec: Vec<f32> = sess.reconstruct();
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!(((a - b).abs() as f64) <= bound.max(eb));
+        }
+    }
+
+    #[test]
+    fn qoi_interval_bound_sound_for_random_points(
+        v in prop::collection::vec(-100.0f64..100.0, 3),
+        e in prop::collection::vec(0.0f64..5.0, 3),
+        frac in prop::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        use hpmdr_qoi::QoiExpr;
+        let q = QoiExpr::vector_magnitude(3);
+        let bound = q.error_bound(&v, &e);
+        let p: Vec<f64> = v.iter().zip(&e).zip(&frac)
+            .map(|((vi, ei), fi)| vi + ei * fi)
+            .collect();
+        prop_assert!((q.eval(&p) - q.eval(&v)).abs() <= bound + 1e-9);
+    }
+}

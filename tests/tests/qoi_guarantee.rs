@@ -1,0 +1,113 @@
+//! QoI error-control guarantees across estimators, datasets, and QoIs
+//! (the Figure 13 invariant: actual ≤ estimated ≤ requested tolerance).
+
+use hpmdr_core::{refactor, retrieve_with_qoi_control, EbEstimator, RefactorConfig};
+use hpmdr_datasets::DatasetKind;
+use hpmdr_qoi::{actual_max_error, eval_field, QoiExpr};
+use hpmdr_tests::small_dataset;
+
+fn run_case(kind: DatasetKind, qoi: &QoiExpr, rel_tau: f64, est: EbEstimator) {
+    let ds = small_dataset(kind);
+    let vars: Vec<Vec<f32>> = ds.variables.iter().take(3).map(|v| v.as_f32()).collect();
+    let refs: Vec<_> = vars
+        .iter()
+        .map(|v| refactor(v, &ds.shape, &RefactorConfig::default()))
+        .collect();
+    let rr: Vec<&_> = refs.iter().collect();
+
+    let truth: Vec<Vec<f64>> = vars
+        .iter()
+        .map(|v| v.iter().map(|&x| x as f64).collect())
+        .collect();
+    let tr: Vec<&[f64]> = truth.iter().map(|v| v.as_slice()).collect();
+    let q_range = {
+        let f = eval_field(qoi, &tr);
+        let hi = f.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = f.iter().cloned().fold(f64::MAX, f64::min);
+        (hi - lo).max(1e-12)
+    };
+    let tau = rel_tau * q_range;
+
+    let out = retrieve_with_qoi_control::<f32>(&rr, qoi, tau, est);
+    assert!(!out.exhausted, "{}: streams exhausted", est.label());
+    assert!(
+        out.final_estimate <= tau,
+        "{} on {}: estimate {} > tau {}",
+        est.label(),
+        kind.name(),
+        out.final_estimate,
+        tau
+    );
+    let ap: Vec<&[f64]> = out.vars.iter().map(|v| v.as_slice()).collect();
+    let actual = actual_max_error(qoi, &tr, &ap);
+    assert!(
+        actual <= out.final_estimate + 1e-12,
+        "{} on {}: actual {} > estimate {}",
+        est.label(),
+        kind.name(),
+        actual,
+        out.final_estimate
+    );
+}
+
+#[test]
+fn v_total_guarantee_on_turbulence() {
+    let q = QoiExpr::vector_magnitude(3);
+    for est in [EbEstimator::Cp, EbEstimator::Ma, EbEstimator::Mape { c: 10.0 }] {
+        run_case(DatasetKind::MiniJhtdb, &q, 1e-3, est);
+    }
+}
+
+#[test]
+fn v_total_guarantee_on_cosmology_velocities() {
+    // NYX velocities are O(1e3); exercises large-magnitude scaling.
+    let ds = small_dataset(DatasetKind::Nyx);
+    let [vx, vy, vz] = ds.velocity_triplet().expect("velocities");
+    let vars = [vx.as_f32(), vy.as_f32(), vz.as_f32()];
+    let refs: Vec<_> = vars
+        .iter()
+        .map(|v| refactor(v, &ds.shape, &RefactorConfig::default()))
+        .collect();
+    let rr: Vec<&_> = refs.iter().collect();
+    let q = QoiExpr::vector_magnitude(3);
+
+    let truth = [vx.data.clone(), vy.data.clone(), vz.data.clone()];
+    let tr: Vec<&[f64]> = truth.iter().map(|v| v.as_slice()).collect();
+    let max_q = eval_field(&q, &tr).iter().cloned().fold(f64::MIN, f64::max);
+    let tau = 1e-2 * max_q;
+
+    let out = retrieve_with_qoi_control::<f32>(&rr, &q, tau, EbEstimator::Mape { c: 10.0 });
+    assert!(out.final_estimate <= tau);
+    let ap: Vec<&[f64]> = out.vars.iter().map(|v| v.as_slice()).collect();
+    assert!(actual_max_error(&q, &tr, &ap) <= out.final_estimate + 1e-9);
+}
+
+#[test]
+fn kinetic_energy_qoi_also_guaranteed() {
+    let q = QoiExpr::kinetic_energy(3);
+    run_case(DatasetKind::MiniJhtdb, &q, 1e-2, EbEstimator::Mape { c: 10.0 });
+}
+
+#[test]
+fn linear_qoi_also_guaranteed() {
+    let q = QoiExpr::linear(&[1.0, -2.0, 0.5]);
+    run_case(DatasetKind::MiniJhtdb, &q, 1e-3, EbEstimator::Cp);
+}
+
+#[test]
+fn tighter_tolerances_fetch_monotonically_more() {
+    let ds = small_dataset(DatasetKind::MiniJhtdb);
+    let vars: Vec<Vec<f32>> = ds.variables.iter().map(|v| v.as_f32()).collect();
+    let refs: Vec<_> = vars
+        .iter()
+        .map(|v| refactor(v, &ds.shape, &RefactorConfig::default()))
+        .collect();
+    let rr: Vec<&_> = refs.iter().collect();
+    let q = QoiExpr::vector_magnitude(3);
+    let mut last = 0usize;
+    for tau in [1e-1, 1e-2, 1e-3, 1e-4] {
+        let out = retrieve_with_qoi_control::<f32>(&rr, &q, tau, EbEstimator::Ma);
+        assert!(out.fetched_bytes >= last, "tau={tau}");
+        last = out.fetched_bytes;
+    }
+}
