@@ -4,21 +4,23 @@
 //! the workspace's refactoring code but executes it the way the original
 //! system does: on host CPU threads (the paper's comparison uses 32 OpenMP
 //! threads; a laptop reproduction uses however many cores exist). The
-//! wrapper pins all rayon parallelism to a dedicated bounded pool so
-//! benchmark comparisons against the (simulated) GPU pipeline are honest
-//! about the compute resource used — and so the "most compatible
-//! processor" single-thread configuration the paper mentions is
-//! measurable too.
+//! wrapper runs everything on a thread-bounded
+//! [`hpmdr_core::ParallelBackend`] so benchmark comparisons against the
+//! (simulated) GPU pipeline are honest about the compute resource used —
+//! and so the "most compatible processor" single-thread configuration the
+//! paper mentions is measurable too (`threads = 1` behaves exactly like
+//! the portable [`hpmdr_core::ScalarBackend`]).
 
 use hpmdr_bitplane::BitplaneFloat;
-use hpmdr_core::refactor::{refactor, RefactorConfig, Refactored};
+use hpmdr_core::refactor::{refactor_with, RefactorConfig, Refactored};
 use hpmdr_core::retrieve::{RetrievalPlan, RetrievalSession};
+use hpmdr_core::{ExecCtx, ParallelBackend};
 use hpmdr_mgard::Real;
 
 /// CPU MDR baseline executor.
 pub struct MdrCpuBaseline {
-    pool: rayon::ThreadPool,
-    threads: usize,
+    backend: ParallelBackend,
+    ctx: ExecCtx,
     config: RefactorConfig,
 }
 
@@ -26,38 +28,36 @@ impl MdrCpuBaseline {
     /// Baseline running on `threads` CPU threads (1 = the fully portable
     /// single-core configuration).
     pub fn new(threads: usize, config: RefactorConfig) -> Self {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads.max(1))
-            .thread_name(|i| format!("mdr-cpu-{i}"))
-            .build()
-            .expect("pool builds");
-        MdrCpuBaseline { pool, threads: threads.max(1), config }
+        MdrCpuBaseline {
+            backend: ParallelBackend::with_threads(threads.max(1)),
+            ctx: ExecCtx::default(),
+            config,
+        }
     }
 
-    /// Thread count of the pool.
+    /// Thread count of the backend.
     pub fn threads(&self) -> usize {
-        self.threads
+        use hpmdr_core::Backend;
+        self.backend.threads()
     }
 
-    /// Refactor on the bounded pool.
+    /// Refactor on the bounded backend.
     pub fn refactor<F: BitplaneFloat + Real>(&self, data: &[F], shape: &[usize]) -> Refactored {
-        self.pool.install(|| refactor(data, shape, &self.config))
+        refactor_with(data, shape, &self.config, &self.backend, &self.ctx)
     }
 
-    /// Retrieve to an absolute error target on the bounded pool, returning
-    /// the reconstruction and the fetched byte count.
+    /// Retrieve to an absolute error target on the bounded backend,
+    /// returning the reconstruction and the fetched byte count.
     pub fn retrieve<F: BitplaneFloat + Real>(
         &self,
         refactored: &Refactored,
         eb: f64,
     ) -> (Vec<F>, usize) {
-        self.pool.install(|| {
-            let (plan, _) = RetrievalPlan::for_error(refactored, eb);
-            let mut sess = RetrievalSession::new(refactored);
-            sess.refine_to(&plan);
-            let rec = sess.reconstruct::<F>();
-            (rec, sess.fetched_bytes())
-        })
+        let (plan, _) = RetrievalPlan::for_error(refactored, eb);
+        let mut sess = RetrievalSession::with_backend(refactored, self.backend.clone());
+        sess.refine_to(&plan);
+        let rec = sess.reconstruct::<F>();
+        (rec, sess.fetched_bytes())
     }
 }
 

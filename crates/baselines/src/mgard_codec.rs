@@ -7,7 +7,9 @@
 //! paper's strongest multi-component baseline ("M-MGARD") wraps.
 
 use hpmdr_lossless::huffman;
-use hpmdr_mgard::quantize::{bytes_to_codes, codes_to_bytes, dequantize, group_error_bounds, quantize};
+use hpmdr_mgard::quantize::{
+    bytes_to_codes, codes_to_bytes, dequantize, group_error_bounds, quantize,
+};
 use hpmdr_mgard::{decompose, extract_levels, inject_levels, recompose, Hierarchy};
 use serde::{Deserialize, Serialize};
 
@@ -33,7 +35,10 @@ impl MgardCodec {
     /// Codec with absolute bound `eb`.
     pub fn new(eb: f64) -> Self {
         assert!(eb > 0.0, "error bound must be positive");
-        MgardCodec { eb, correction: true }
+        MgardCodec {
+            eb,
+            correction: true,
+        }
     }
 
     /// Compress `data` (row-major, up to 3 dims).
@@ -74,8 +79,7 @@ impl MgardCodec {
     /// Panics on corrupt streams.
     pub fn decompress(bytes: &[u8]) -> (Vec<f64>, Vec<usize>) {
         let json_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
-        let header: Header =
-            serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
+        let header: Header = serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
         let code_bytes = huffman::decompress(&bytes[8 + json_len..]);
         assert_eq!(code_bytes.len(), header.code_bytes);
         let total: usize = header.group_lens.iter().sum();

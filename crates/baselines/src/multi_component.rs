@@ -148,16 +148,26 @@ impl<C: ResidualCodec> MultiComponent<C> {
             let bytes = codec.compress(&residual, shape, spec);
             let part = codec.decompress(&bytes);
             let mut cum_err = 0.0f64;
-            for ((rec, res), part_v) in
-                reconstruction.iter_mut().zip(residual.iter_mut()).zip(part.iter())
+            for ((rec, res), part_v) in reconstruction
+                .iter_mut()
+                .zip(residual.iter_mut())
+                .zip(part.iter())
             {
                 *rec += part_v;
                 *res -= part_v;
                 cum_err = cum_err.max(res.abs());
             }
-            components.push(Component { spec, bytes, cumulative_error: cum_err });
+            components.push(Component {
+                spec,
+                bytes,
+                cumulative_error: cum_err,
+            });
         }
-        MultiComponent { codec, shape: shape.to_vec(), components }
+        MultiComponent {
+            codec,
+            shape: shape.to_vec(),
+            components,
+        }
     }
 
     /// Grid shape of the archive.
@@ -226,12 +236,7 @@ mod tests {
     fn cascade_errors_decrease_monotonically() {
         let shape = [24usize, 24];
         let data = field(&shape);
-        let mc = MultiComponent::build(
-            SzBackend,
-            &data,
-            &shape,
-            &geometric_schedule(1.0, 1e-2, 4),
-        );
+        let mc = MultiComponent::build(SzBackend, &data, &shape, &geometric_schedule(1.0, 1e-2, 4));
         for w in mc.components.windows(2) {
             assert!(w[1].cumulative_error <= w[0].cumulative_error);
         }
@@ -285,15 +290,13 @@ mod tests {
         // residuals) compress far worse per bit of precision gained.
         let shape = [32usize, 32];
         let data = field(&shape);
-        let mc = MultiComponent::build(
-            SzBackend,
-            &data,
-            &shape,
-            &geometric_schedule(1.0, 1e-2, 3),
-        );
+        let mc = MultiComponent::build(SzBackend, &data, &shape, &geometric_schedule(1.0, 1e-2, 3));
         let first = mc.components[0].bytes.len();
         let last = mc.components.last().expect("some").bytes.len();
-        assert!(last > first, "residual components should be larger: {first} vs {last}");
+        assert!(
+            last > first,
+            "residual components should be larger: {first} vs {last}"
+        );
     }
 
     #[test]

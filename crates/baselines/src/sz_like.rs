@@ -99,8 +99,7 @@ impl SzLike {
     /// Panics on corrupt streams.
     pub fn decompress(bytes: &[u8]) -> (Vec<f64>, Vec<usize>) {
         let json_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
-        let header: Header =
-            serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
+        let header: Header = serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
         let mut off = 8 + json_len;
         let mut outliers = Vec::with_capacity(header.n_outliers);
         for _ in 0..header.n_outliers {
@@ -110,7 +109,11 @@ impl SzLike {
             off += 16;
         }
         let code_bytes = huffman::decompress(&bytes[off..]);
-        assert_eq!(code_bytes.len(), header.code_bytes, "code stream length mismatch");
+        assert_eq!(
+            code_bytes.len(),
+            header.code_bytes,
+            "code stream length mismatch"
+        );
         let n: usize = header.shape.iter().product();
         let codes = hpmdr_mgard::quantize::bytes_to_codes(&code_bytes, n);
 
@@ -150,14 +153,7 @@ impl SzLike {
 
 /// First-order Lorenzo prediction from already-decoded neighbors.
 #[inline]
-fn lorenzo_pred(
-    d: &[f64],
-    _dims: &[usize; 3],
-    s: [usize; 3],
-    x: usize,
-    y: usize,
-    z: usize,
-) -> f64 {
+fn lorenzo_pred(d: &[f64], _dims: &[usize; 3], s: [usize; 3], x: usize, y: usize, z: usize) -> f64 {
     let at = |dx: usize, dy: usize, dz: usize| -> f64 {
         if x < dx || y < dy || z < dz {
             0.0
@@ -165,8 +161,7 @@ fn lorenzo_pred(
             d[(x - dx) * s[0] + (y - dy) * s[1] + (z - dz) * s[2]]
         }
     };
-    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1)
-        + at(1, 1, 1)
+    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1) + at(1, 1, 1)
 }
 
 #[cfg(test)]

@@ -126,13 +126,7 @@ fn gather_block(data: &[f64], shape: &[usize], origin: &[usize; 3], nd: usize, o
     }
 }
 
-fn scatter_block(
-    data: &mut [f64],
-    shape: &[usize],
-    origin: &[usize; 3],
-    nd: usize,
-    block: &[f64],
-) {
+fn scatter_block(data: &mut [f64], shape: &[usize], origin: &[usize; 3], nd: usize, block: &[f64]) {
     let dims = padded_dims(shape);
     let strides = [dims[1] * dims[2], dims[2], 1];
     let mut i = 0;
@@ -262,12 +256,16 @@ pub struct ZfpLike {
 impl ZfpLike {
     /// Fixed-rate codec (`bits_per_value` bits per value).
     pub fn fixed_rate(bits_per_value: f64) -> Self {
-        ZfpLike { mode: ZfpMode::FixedRate { bits_per_value } }
+        ZfpLike {
+            mode: ZfpMode::FixedRate { bits_per_value },
+        }
     }
 
     /// Fixed-accuracy codec (absolute bound `eb`).
     pub fn fixed_accuracy(eb: f64) -> Self {
-        ZfpLike { mode: ZfpMode::FixedAccuracy { eb } }
+        ZfpLike {
+            mode: ZfpMode::FixedAccuracy { eb },
+        }
     }
 
     /// Compress `data` (row-major, `shape` up to 3 dims).
@@ -338,7 +336,11 @@ impl ZfpLike {
                 }
             }
         }
-        let header = Header { shape: shape.to_vec(), mode: self.mode, blocks: headers };
+        let header = Header {
+            shape: shape.to_vec(),
+            mode: self.mode,
+            blocks: headers,
+        };
         let json = serde_json::to_vec(&header).expect("header serializes");
         let payload = bits.finish();
         let mut out = Vec::with_capacity(8 + json.len() + payload.len());
@@ -354,8 +356,7 @@ impl ZfpLike {
     /// Panics on truncated or corrupt streams.
     pub fn decompress(bytes: &[u8]) -> (Vec<f64>, Vec<usize>) {
         let json_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
-        let header: Header =
-            serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
+        let header: Header = serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
         let shape = header.shape.clone();
         let nd = shape.len();
         let ne = block_elems(nd);
@@ -366,7 +367,10 @@ impl ZfpLike {
             dims[2].div_ceil(ext(nd, 2)),
         ];
         let mut out = vec![0.0f64; shape.iter().product()];
-        let mut reader = BitReader { data: &bytes[8 + json_len..], pos: 0 };
+        let mut reader = BitReader {
+            data: &bytes[8 + json_len..],
+            pos: 0,
+        };
         let mut iblock = vec![0i64; ne];
         let mut fblock = vec![0.0f64; ne];
         let mut block_idx = 0usize;
@@ -494,7 +498,10 @@ mod tests {
         let hi = ZfpLike::fixed_rate(24.0).compress(&data, &shape);
         let (back_hi, _) = ZfpLike::decompress(&hi);
         let err = |b: &[f64]| {
-            data.iter().zip(b).map(|(a, x)| (a - x).abs()).fold(0.0f64, f64::max)
+            data.iter()
+                .zip(b)
+                .map(|(a, x)| (a - x).abs())
+                .fold(0.0f64, f64::max)
         };
         assert!(err(&back_hi) < err(&back));
     }

@@ -30,8 +30,7 @@ fn ablation_block_size(c: &mut Criterion) {
     // Print the sweep itself once for the record.
     println!("\nlocality-block simulated encode throughput (H100-like, 2^24 elems):");
     for m in [32usize, 64, 128, 256, 512] {
-        let counters =
-            DesignKind::LocalityBlock { block_elems: m }.encode_counters(&cfg, n, 32, 4);
+        let counters = DesignKind::LocalityBlock { block_elems: m }.encode_counters(&cfg, n, 32, 4);
         println!(
             "  block {m:>4}: {:>7.1} GB/s",
             CostModel::throughput_gbps(&cfg, &counters, n * 4)
@@ -47,8 +46,13 @@ fn ablation_group_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_group_size");
     g.throughput(Throughput::Bytes((data.len() * 4) as u64));
     for m in [1usize, 2, 4, 8] {
-        let mut cfg = RefactorConfig::default();
-        cfg.hybrid = HybridConfig { group_size: m, ..HybridConfig::default() };
+        let cfg = RefactorConfig {
+            hybrid: HybridConfig {
+                group_size: m,
+                ..HybridConfig::default()
+            },
+            ..RefactorConfig::default()
+        };
         g.bench_with_input(BenchmarkId::new("refactor", m), &cfg, |b, cfg| {
             b.iter(|| refactor(&data, &ds.shape, cfg))
         });
@@ -64,8 +68,10 @@ fn ablation_correction(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_correction");
     g.throughput(Throughput::Bytes((data.len() * 4) as u64));
     for correction in [true, false] {
-        let mut cfg = RefactorConfig::default();
-        cfg.correction = correction;
+        let cfg = RefactorConfig {
+            correction,
+            ..RefactorConfig::default()
+        };
         g.bench_with_input(BenchmarkId::new("refactor", correction), &cfg, |b, cfg| {
             b.iter(|| refactor(&data, &ds.shape, cfg))
         });
@@ -75,7 +81,9 @@ fn ablation_correction(c: &mut Criterion) {
 
 /// Midpoint vs truncation reconstruction (decode-side only).
 fn ablation_midpoint(c: &mut Criterion) {
-    let data: Vec<f32> = (0..1 << 18).map(|i| ((i % 511) as f32 * 0.11).sin()).collect();
+    let data: Vec<f32> = (0..1 << 18)
+        .map(|i| ((i % 511) as f32 * 0.11).sin())
+        .collect();
     let chunk = encode(&data, 32, Layout::Interleaved32);
     let mut g = c.benchmark_group("ablation_midpoint");
     g.throughput(Throughput::Bytes((data.len() * 4) as u64));

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use hpmdr_bitplane::{decode_prefix, encode, Layout, Reconstruction};
 
 fn field(n: usize) -> Vec<f32> {
-    (0..n).map(|i| ((i % 8191) as f32 * 0.173).sin() * 3.0).collect()
+    (0..n)
+        .map(|i| ((i % 8191) as f32 * 0.173).sin() * 3.0)
+        .collect()
 }
 
 fn bench_encode(c: &mut Criterion) {

@@ -6,7 +6,9 @@ use hpmdr_lossless::{huffman, rle, Codec, HybridCompressor, HybridConfig};
 
 /// High-order-plane-like payload: heavily zero-dominated.
 fn sparse_payload(n: usize) -> Vec<u8> {
-    (0..n).map(|i| if i % 37 == 0 { (i % 7 + 1) as u8 } else { 0 }).collect()
+    (0..n)
+        .map(|i| if i % 37 == 0 { (i % 7 + 1) as u8 } else { 0 })
+        .collect()
 }
 
 /// Low-order-plane-like payload: near-random bits.
@@ -64,7 +66,9 @@ fn bench_estimators(c: &mut Criterion) {
     g.bench_function("huffman_cr", |b| {
         b.iter(|| hpmdr_lossless::estimate_huffman_cr(&data))
     });
-    g.bench_function("rle_cr", |b| b.iter(|| hpmdr_lossless::estimate_rle_cr(&data)));
+    g.bench_function("rle_cr", |b| {
+        b.iter(|| hpmdr_lossless::estimate_rle_cr(&data))
+    });
     let hybrid = HybridCompressor::new(HybridConfig::with_rc(1.0));
     g.bench_function("select", |b| {
         b.iter(|| {

@@ -2,8 +2,11 @@
 //! pipeline modes (wall-clock on the host).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hpmdr_core::pipeline::{refactor_pipeline, PipelineMode};
-use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use hpmdr_core::pipeline::{refactor_pipeline, refactor_pipeline_with, PipelineMode};
+use hpmdr_core::{
+    refactor, refactor_with, ExecCtx, ParallelBackend, RefactorConfig, RetrievalPlan,
+    RetrievalSession, ScalarBackend,
+};
 use hpmdr_datasets::{Dataset, DatasetKind};
 use hpmdr_device::{Device, DeviceConfig};
 use std::sync::Arc;
@@ -28,14 +31,18 @@ fn bench_retrieve(c: &mut Criterion) {
     g.throughput(Throughput::Bytes((data.len() * 4) as u64));
     for rel in [1e-2f64, 1e-4, 1e-6] {
         let eb = rel * refactored.value_range;
-        g.bench_with_input(BenchmarkId::new("to_tolerance", format!("{rel:.0e}")), &eb, |b, &eb| {
-            b.iter(|| {
-                let (plan, _) = RetrievalPlan::for_error(&refactored, eb);
-                let mut sess = RetrievalSession::new(&refactored);
-                sess.refine_to(&plan);
-                sess.reconstruct::<f32>()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("to_tolerance", format!("{rel:.0e}")),
+            &eb,
+            |b, &eb| {
+                b.iter(|| {
+                    let (plan, _) = RetrievalPlan::for_error(&refactored, eb);
+                    let mut sess = RetrievalSession::new(&refactored);
+                    sess.refine_to(&plan);
+                    sess.reconstruct::<f32>()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -61,9 +68,80 @@ fn bench_pipeline_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// Grid extent per dimension for the backend comparison. Defaults to a
+/// laptop-friendly 160³; set `HPMDR_BENCH_EXTENT=512` for the full
+/// 512³-element acceptance run on a multi-core host.
+fn backend_bench_extent() -> usize {
+    std::env::var("HPMDR_BENCH_EXTENT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(160)
+        .max(8) // zero/tiny extents have no valid hierarchy
+}
+
+/// ScalarBackend vs ParallelBackend on the same refactoring workload —
+/// the executor-layer speedup claim. Artifacts are bit-identical (see
+/// tests/tests/backend_equivalence.rs); only wall-clock may differ, and
+/// on a multi-core host the parallel backend must win.
+fn bench_backends(c: &mut Criterion) {
+    let e = backend_bench_extent();
+    let shape = vec![e, e, e];
+    let ds = Dataset::generate_with_shape(DatasetKind::Jhtdb, &shape, 5);
+    let data = ds.variables[0].as_f32();
+    let cfg = RefactorConfig::default();
+    let ctx = ExecCtx::default();
+    let mut g = c.benchmark_group("backend_refactor");
+    g.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    g.bench_function(BenchmarkId::new("scalar", e), |b| {
+        let backend = ScalarBackend::new();
+        b.iter(|| refactor_with(&data, &shape, &cfg, &backend, &ctx))
+    });
+    g.bench_function(BenchmarkId::new("parallel", e), |b| {
+        let backend = ParallelBackend::new();
+        b.iter(|| refactor_with(&data, &shape, &cfg, &backend, &ctx))
+    });
+    g.finish();
+
+    // The same comparison through the overlapped device pipeline: backend
+    // kernels scheduled on the compute engine, copies on the DMA engines.
+    let tile_rows = (e / 8).max(1);
+    let tile_bytes = tile_rows * shape[1] * shape[2] * 4 + 4096;
+    let device = Device::new(DeviceConfig::h100_like(), tile_bytes, 3);
+    let arc_data = Arc::new(data);
+    let mut g = c.benchmark_group("backend_pipeline");
+    g.throughput(Throughput::Bytes((arc_data.len() * 4) as u64));
+    g.bench_function(BenchmarkId::new("scalar_overlapped", e), |b| {
+        b.iter(|| {
+            refactor_pipeline_with(
+                arc_data.clone(),
+                &shape,
+                &cfg,
+                &device,
+                PipelineMode::Overlapped,
+                tile_rows,
+                ScalarBackend::new(),
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("parallel_overlapped", e), |b| {
+        b.iter(|| {
+            refactor_pipeline_with(
+                arc_data.clone(),
+                &shape,
+                &cfg,
+                &device,
+                PipelineMode::Overlapped,
+                tile_rows,
+                ParallelBackend::new(),
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_refactor, bench_retrieve, bench_pipeline_modes
+    targets = bench_refactor, bench_retrieve, bench_pipeline_modes, bench_backends
 );
 criterion_main!(benches);

@@ -13,8 +13,8 @@
 //! better than) the best baseline.
 
 use hpmdr_baselines::multi_component::{
-    geometric_schedule, rate_schedule, MgardBackend, MultiComponent, SzBackend,
-    ZfpAccuracyBackend, ZfpRateBackend,
+    geometric_schedule, rate_schedule, MgardBackend, MultiComponent, SzBackend, ZfpAccuracyBackend,
+    ZfpRateBackend,
 };
 use hpmdr_bench::{reconstruct_stage_times, Table};
 use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
@@ -122,7 +122,9 @@ fn main() {
     for panel in ["throughput", "retrieval"] {
         let mut t = Table::new(
             &format!("Figure 11 ({panel}): HP-MDR vs baselines"),
-            &["dataset", "system", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5", "1e-6"],
+            &[
+                "dataset", "system", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5", "1e-6",
+            ],
         );
         let systems: Vec<String> = {
             let mut seen = Vec::new();

@@ -30,12 +30,15 @@ fn main() {
         let truth = [vx.data.clone(), vy.data.clone(), vz.data.clone()];
         let tr: Vec<&[f64]> = truth.iter().map(|v| v.as_slice()).collect();
         let f = eval_field(&qoi, &tr);
-        let q_range = f.iter().cloned().fold(f64::MIN, f64::max)
-            - f.iter().cloned().fold(f64::MAX, f64::min);
+        let q_range =
+            f.iter().cloned().fold(f64::MIN, f64::max) - f.iter().cloned().fold(f64::MAX, f64::min);
         let native = vars[0].len() * 4 * 3;
 
         let mut t = Table::new(
-            &format!("Figure 12: QoI kernel throughput (GB/s, MI250X model), {}", kind.name()),
+            &format!(
+                "Figure 12: QoI kernel throughput (GB/s, MI250X model), {}",
+                kind.name()
+            ),
             &["rel tau", "CP", "MA", "MAPE(c=2)", "MAPE(c=10)"],
         );
         for rel in REL_TAUS {
@@ -48,9 +51,14 @@ fn main() {
                 EbEstimator::Mape { c: 10.0 },
             ] {
                 let out = retrieve_with_qoi_control::<f32>(&rr, &qoi, tau, est);
-                let avg_planes =
-                    ((out.bitrate / 3.0).ceil() as usize).clamp(4, 32);
-                let time = qoi_loop_time(&cfg, out.recompose_elements, out.fetched_bytes, 4, avg_planes);
+                let avg_planes = ((out.bitrate / 3.0).ceil() as usize).clamp(4, 32);
+                let time = qoi_loop_time(
+                    &cfg,
+                    out.recompose_elements,
+                    out.fetched_bytes,
+                    4,
+                    avg_planes,
+                );
                 let gbps = native as f64 / time / 1e9;
                 cells.push(format!("{gbps:.1}"));
                 json.push(serde_json::json!({

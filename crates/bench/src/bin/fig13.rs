@@ -27,8 +27,8 @@ fn main() {
         let truth = [vx.data.clone(), vy.data.clone(), vz.data.clone()];
         let tr: Vec<&[f64]> = truth.iter().map(|v| v.as_slice()).collect();
         let f = eval_field(&qoi, &tr);
-        let q_range = f.iter().cloned().fold(f64::MIN, f64::max)
-            - f.iter().cloned().fold(f64::MAX, f64::min);
+        let q_range =
+            f.iter().cloned().fold(f64::MIN, f64::max) - f.iter().cloned().fold(f64::MAX, f64::min);
 
         let mut t = Table::new(
             &format!("Figure 13: QoI error control validation, {}", kind.name()),
@@ -45,7 +45,11 @@ fn main() {
                 format!("{tau:.3e}"),
                 format!("{:.3e}", out.final_estimate),
                 format!("{actual:.3e}"),
-                if holds { "yes".into() } else { "VIOLATED".into() },
+                if holds {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]);
             assert!(holds, "error-control invariant violated");
             json.push(serde_json::json!({

@@ -41,8 +41,8 @@ fn main() {
     let truth = [vx.data.clone(), vy.data.clone(), vz.data.clone()];
     let tr: Vec<&[f64]> = truth.iter().map(|v| v.as_slice()).collect();
     let f = eval_field(&qoi, &tr);
-    let q_range = f.iter().cloned().fold(f64::MIN, f64::max)
-        - f.iter().cloned().fold(f64::MAX, f64::min);
+    let q_range =
+        f.iter().cloned().fold(f64::MIN, f64::max) - f.iter().cloned().fold(f64::MAX, f64::min);
     let tau = 1e-3 * q_range;
 
     // Measure the retrieval *work* once on the scaled shard.

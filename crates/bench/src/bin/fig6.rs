@@ -16,7 +16,10 @@ fn main() {
     let mut json = Vec::new();
     for cfg in [DeviceConfig::h100_like(), DeviceConfig::mi250x_like()] {
         let mut t = Table::new(
-            &format!("Figure 6: shuffle-variant encode throughput (GB/s), {}", cfg.name),
+            &format!(
+                "Figure 6: shuffle-variant encode throughput (GB/s), {}",
+                cfg.name
+            ),
             &{
                 let mut h = vec!["elements"];
                 for i in ShuffleInstr::ALL {

@@ -12,7 +12,9 @@ use hpmdr_device::{CostModel, DeviceConfig};
 use std::time::Instant;
 
 fn wall_encode(layout: Layout, n: usize) -> f64 {
-    let data: Vec<f32> = (0..n).map(|i| ((i % 4093) as f32 * 0.37).sin() * 2.0).collect();
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((i % 4093) as f32 * 0.37).sin() * 2.0)
+        .collect();
     let t0 = Instant::now();
     let chunk = encode(&data, 32, layout);
     let dt = t0.elapsed().as_secs_f64();
@@ -23,7 +25,10 @@ fn wall_encode(layout: Layout, n: usize) -> f64 {
 fn main() {
     let designs = [
         ("locality-block", DesignKind::locality_default()),
-        ("reg-shuffle", DesignKind::RegisterShuffle(ShuffleInstr::Ballot)),
+        (
+            "reg-shuffle",
+            DesignKind::RegisterShuffle(ShuffleInstr::Ballot),
+        ),
         ("register-block", DesignKind::RegisterBlock),
     ];
     let sizes: Vec<usize> = (16..=26).step_by(2).map(|p| 1usize << p).collect();
@@ -51,7 +56,12 @@ fn main() {
         for dir in ["encode", "decode"] {
             let mut t = Table::new(
                 &format!("Figure 7: {dir} throughput (GB/s), {}", cfg.name),
-                &["elements", "locality-block", "reg-shuffle", "register-block"],
+                &[
+                    "elements",
+                    "locality-block",
+                    "reg-shuffle",
+                    "register-block",
+                ],
             );
             for &n in &sizes {
                 let mut cells = vec![format!("2^{}", n.trailing_zeros())];

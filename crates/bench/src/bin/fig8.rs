@@ -24,8 +24,14 @@ fn raw_units(kind: DatasetKind) -> (Vec<Vec<u8>>, hpmdr_core::refactor::Refactor
     let ds = Dataset::generate(kind, 11);
     let data = ds.variables[0].as_f32();
     // Store-direct configuration exposes the raw merged planes.
-    let mut cfg = RefactorConfig::default();
-    cfg.hybrid = HybridConfig { group_size: 4, size_threshold: usize::MAX, cr_threshold: 1.0 };
+    let cfg = RefactorConfig {
+        hybrid: HybridConfig {
+            group_size: 4,
+            size_threshold: usize::MAX,
+            cr_threshold: 1.0,
+        },
+        ..RefactorConfig::default()
+    };
     let r = refactor(&data, &ds.shape, &cfg);
     let mut units = Vec::new();
     for s in &r.streams {
@@ -133,7 +139,15 @@ fn main() {
     // ---------- (b) incremental retrieval size --------------------------
     let mut t = Table::new(
         "Figure 8b: retrieval size vs tolerance (bytes; % over Huffman)",
-        &["dataset", "rel tol", "Huffman", "RLE", "Hybrid-rc1", "Hybrid-rc2", "Hybrid-rc4"],
+        &[
+            "dataset",
+            "rel tol",
+            "Huffman",
+            "RLE",
+            "Hybrid-rc1",
+            "Hybrid-rc2",
+            "Hybrid-rc4",
+        ],
     );
     for (kind, dataset_compressed) in &per_strategy_units {
         let (_, r, _) = raw_units(*kind);

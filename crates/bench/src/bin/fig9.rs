@@ -22,7 +22,13 @@ fn main() {
     let out_ratio = 0.85; // compressed stream size per tile (measured below)
     let mut t = Table::new(
         "Figure 9: end-to-end throughput ±pipeline optimization (DES, GB/s)",
-        &["device", "direction", "w/o pipeline", "w/ pipeline", "speedup"],
+        &[
+            "device",
+            "direction",
+            "w/o pipeline",
+            "w/ pipeline",
+            "speedup",
+        ],
     );
     for cfg in [DeviceConfig::h100_like(), DeviceConfig::mi250x_like()] {
         for dir in ["refactor", "reconstruct"] {
@@ -73,15 +79,44 @@ fn main() {
     let tile_bytes = tile_rows * shape[1] * shape[2] * 4 + 4096;
     let device = Device::new(DeviceConfig::h100_like(), tile_bytes, 3);
     // Warm-up, then measure.
-    let _ = refactor_pipeline(data.clone(), &shape, &cfg, &device, PipelineMode::Sequential, tile_rows);
-    let seq = refactor_pipeline(data.clone(), &shape, &cfg, &device, PipelineMode::Sequential, tile_rows);
-    let ovl = refactor_pipeline(data.clone(), &shape, &cfg, &device, PipelineMode::Overlapped, tile_rows);
+    let _ = refactor_pipeline(
+        data.clone(),
+        &shape,
+        &cfg,
+        &device,
+        PipelineMode::Sequential,
+        tile_rows,
+    );
+    let seq = refactor_pipeline(
+        data.clone(),
+        &shape,
+        &cfg,
+        &device,
+        PipelineMode::Sequential,
+        tile_rows,
+    );
+    let ovl = refactor_pipeline(
+        data.clone(),
+        &shape,
+        &cfg,
+        &device,
+        PipelineMode::Overlapped,
+        tile_rows,
+    );
     let mut t = Table::new(
         "Host-CPU wall-clock refactoring ±overlap (sanity measurement)",
         &["mode", "seconds", "GB/s"],
     );
-    t.row(&["sequential".into(), format!("{:.3}", seq.wall_seconds), format!("{:.3}", seq.throughput_gbps)]);
-    t.row(&["overlapped".into(), format!("{:.3}", ovl.wall_seconds), format!("{:.3}", ovl.throughput_gbps)]);
+    t.row(&[
+        "sequential".into(),
+        format!("{:.3}", seq.wall_seconds),
+        format!("{:.3}", seq.throughput_gbps),
+    ]);
+    t.row(&[
+        "overlapped".into(),
+        format!("{:.3}", ovl.wall_seconds),
+        format!("{:.3}", ovl.throughput_gbps),
+    ]);
     t.print();
     println!(
         "CPU overlap speedup {:.2}x (copies are tiny relative to CPU compute,\nso most of the paper's gain only materializes at GPU kernel speeds)",

@@ -8,15 +8,22 @@ use hpmdr_datasets::{Dataset, DatasetKind};
 fn main() {
     let mut t = Table::new(
         "Table 1: evaluation datasets (synthetic equivalents)",
-        &["Dataset", "n_v", "Paper dims", "Repro dims", "Type", "Paper size", "Repro size"],
+        &[
+            "Dataset",
+            "n_v",
+            "Paper dims",
+            "Repro dims",
+            "Type",
+            "Paper size",
+            "Repro size",
+        ],
     );
     let mut rows = Vec::new();
     for kind in DatasetKind::TABLE1 {
         let ds = Dataset::generate(kind, 2026);
         let paper = kind.paper_shape();
         let elem: usize = if kind.dtype() == "f64" { 8 } else { 4 };
-        let paper_bytes: usize =
-            paper.iter().product::<usize>() * elem * kind.num_variables();
+        let paper_bytes: usize = paper.iter().product::<usize>() * elem * kind.num_variables();
         t.row(&[
             kind.name().to_string(),
             kind.num_variables().to_string(),

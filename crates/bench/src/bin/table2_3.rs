@@ -12,8 +12,7 @@ use hpmdr_datasets::{Dataset, DatasetKind};
 use hpmdr_qoi::{eval_field, QoiExpr};
 
 /// Relative tolerances in the paper's column order.
-pub const REL_TAUS: [f64; 10] =
-    [1e-1, 5e-2, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4, 5e-5, 1e-5, 5e-6];
+pub const REL_TAUS: [f64; 10] = [1e-1, 5e-2, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4, 5e-5, 1e-5, 5e-6];
 
 fn estimators() -> Vec<EbEstimator> {
     vec![
@@ -102,7 +101,19 @@ fn main() {
             .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
-    println!("\naverage bitrate:   CP {:.2}  MA {:.2}  MAPE(2) {:.2}  MAPE(10) {:.2}", avg("CP"), avg("MA"), avg("MAPE(c=2)"), avg("MAPE(c=10)"));
-    println!("average iterations: CP {:.1}  MA {:.1}  MAPE(2) {:.1}  MAPE(10) {:.1}", iters("CP"), iters("MA"), iters("MAPE(c=2)"), iters("MAPE(c=10)"));
+    println!(
+        "\naverage bitrate:   CP {:.2}  MA {:.2}  MAPE(2) {:.2}  MAPE(10) {:.2}",
+        avg("CP"),
+        avg("MA"),
+        avg("MAPE(c=2)"),
+        avg("MAPE(c=10)")
+    );
+    println!(
+        "average iterations: CP {:.1}  MA {:.1}  MAPE(2) {:.1}  MAPE(10) {:.1}",
+        iters("CP"),
+        iters("MA"),
+        iters("MAPE(c=2)"),
+        iters("MAPE(c=10)")
+    );
     println!("(paper: MA best bitrates / most iterations; CP opposite; MAPE between)");
 }

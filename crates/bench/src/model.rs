@@ -116,8 +116,12 @@ pub fn qoi_loop_time(
     avg_planes: usize,
 ) -> f64 {
     let recompose = MGARD_PASSES * cfg.mem_time(recompose_elements as usize * elem_bytes);
-    let dec =
-        DesignKind::RegisterBlock.decode_counters(cfg, recompose_elements as usize, avg_planes, elem_bytes);
+    let dec = DesignKind::RegisterBlock.decode_counters(
+        cfg,
+        recompose_elements as usize,
+        avg_planes,
+        elem_bytes,
+    );
     let decode = CostModel::kernel_time(cfg, &dec);
     let lossless = fetched_bytes as f64 / (cfg.mem_bw_gbps * 1e9 * lossless_decompress_eff(cfg));
     let qoi = QOI_OPS_PER_ELEM * recompose_elements as f64 / cfg.peak_ips();

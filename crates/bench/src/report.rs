@@ -44,7 +44,10 @@ impl Table {
             println!("{}", s.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             line(r);
         }

@@ -97,7 +97,9 @@ impl BitplaneChunk {
                 }
                 for (b, p) in self.planes.iter().enumerate() {
                     if p[word] & mask != 0 {
-                        return Err(format!("padding bit set in plane {b} word {word} bit {bit}"));
+                        return Err(format!(
+                            "padding bit set in plane {b} word {word} bit {bit}"
+                        ));
                     }
                 }
             }

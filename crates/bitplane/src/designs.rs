@@ -46,8 +46,12 @@ pub enum ShuffleInstr {
 
 impl ShuffleInstr {
     /// All four variants, in the paper's presentation order.
-    pub const ALL: [ShuffleInstr; 4] =
-        [ShuffleInstr::Ballot, ShuffleInstr::Shift, ShuffleInstr::MatchAny, ShuffleInstr::ReduceAdd];
+    pub const ALL: [ShuffleInstr; 4] = [
+        ShuffleInstr::Ballot,
+        ShuffleInstr::Shift,
+        ShuffleInstr::MatchAny,
+        ShuffleInstr::ReduceAdd,
+    ];
 }
 
 /// One of the paper's three parallelization designs.
@@ -129,12 +133,16 @@ impl DesignKind {
         data: &[F],
         planes: usize,
     ) -> EncodeOutcome {
-        assert!(self.supported_on(cfg), "{} unsupported on {}", self.label(), cfg.name);
+        assert!(
+            self.supported_on(cfg),
+            "{} unsupported on {}",
+            self.label(),
+            cfg.name
+        );
         let planes = planes.min(F::MAX_PLANES).max(1);
         let chunk = native::encode(data, planes, self.layout());
         let b = chunk.num_planes();
-        let counters =
-            self.encode_counters(cfg, data.len(), b, std::mem::size_of::<F>().max(4));
+        let counters = self.encode_counters(cfg, data.len(), b, std::mem::size_of::<F>().max(4));
         EncodeOutcome { chunk, counters }
     }
 
@@ -146,7 +154,12 @@ impl DesignKind {
         k: usize,
         recon: Reconstruction,
     ) -> DecodeOutcome<F> {
-        assert!(self.supported_on(cfg), "{} unsupported on {}", self.label(), cfg.name);
+        assert!(
+            self.supported_on(cfg),
+            "{} unsupported on {}",
+            self.label(),
+            cfg.name
+        );
         assert_eq!(
             chunk.layout,
             self.layout(),
@@ -156,8 +169,7 @@ impl DesignKind {
         );
         let values = native::decode_prefix::<F>(chunk, k, recon);
         let k = k.min(chunk.num_planes());
-        let counters =
-            self.decode_counters(cfg, chunk.n, k, std::mem::size_of::<F>().max(4));
+        let counters = self.decode_counters(cfg, chunk.n, k, std::mem::size_of::<F>().max(4));
         DecodeOutcome { values, counters }
     }
 
@@ -179,7 +191,10 @@ impl DesignKind {
         let p = (b + 1) as u64; // magnitude planes + sign plane
         match *self {
             DesignKind::LocalityBlock { block_elems: m } => {
-                assert!(m >= 32 && m % 32 == 0, "block must be a positive multiple of 32");
+                assert!(
+                    m >= 32 && m % 32 == 0,
+                    "block must be a positive multiple of 32"
+                );
                 let elems_per_warp = w * m;
                 let warps = n.div_ceil(elems_per_warp) as u64;
                 c.warps_launched = warps;
@@ -203,8 +218,7 @@ impl DesignKind {
                 c.warps_launched = warps;
                 c.load_transactions = warps * strided_transactions(w, 0, s, s, sector);
                 c.load_bytes = warps * (w * s) as u64;
-                c.alu_ops = warps * 3 * (w as u64 / w as u64); // fixed conversion (per lane): 3
-                c.alu_ops = warps * 3;
+                c.alu_ops = warps * 3; // fixed conversion (per lane): 3
                 let log32 = 5u64; // reduction rounds within each 32-lane group
                 match instr {
                     ShuffleInstr::Ballot => {
@@ -267,7 +281,10 @@ impl DesignKind {
         let p = (k + 1) as u64;
         match *self {
             DesignKind::LocalityBlock { block_elems: m } => {
-                assert!(m >= 32 && m % 32 == 0, "block must be a positive multiple of 32");
+                assert!(
+                    m >= 32 && m % 32 == 0,
+                    "block must be a positive multiple of 32"
+                );
                 let elems_per_warp = w * m;
                 let warps = n.div_ceil(elems_per_warp) as u64;
                 c.warps_launched = warps;
@@ -331,7 +348,12 @@ pub fn shuffle_encode_warp_exact<F: BitplaneFloat>(
     planes: usize,
 ) -> EncodeOutcome {
     let design = DesignKind::RegisterShuffle(instr);
-    assert!(design.supported_on(cfg), "{} unsupported on {}", design.label(), cfg.name);
+    assert!(
+        design.supported_on(cfg),
+        "{} unsupported on {}",
+        design.label(),
+        cfg.name
+    );
     let b = planes.min(F::MAX_PLANES).max(1);
     let exp = align_exponent(data);
     if exp == i32::MIN {
@@ -393,7 +415,7 @@ pub fn shuffle_encode_warp_exact<F: BitplaneFloat>(
     }
 
     // Mask padding bits so streams match the native encoder exactly.
-    if n % WORD_BITS != 0 {
+    if !n.is_multiple_of(WORD_BITS) {
         let mask = (1u32 << (n % WORD_BITS)) - 1;
         let last = words - 1;
         signs[last] &= mask;
@@ -574,7 +596,9 @@ mod tests {
     use hpmdr_device::CostModel;
 
     fn field(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i as f32) * 0.173).sin() * 5.0 - 1.0).collect()
+        (0..n)
+            .map(|i| ((i as f32) * 0.173).sin() * 5.0 - 1.0)
+            .collect()
     }
 
     fn h100() -> DeviceConfig {
@@ -643,7 +667,11 @@ mod tests {
     #[test]
     fn warp_exact_shuffle_matches_native_stream_mi250x() {
         let data = field(1024 + 63);
-        for instr in [ShuffleInstr::Ballot, ShuffleInstr::Shift, ShuffleInstr::MatchAny] {
+        for instr in [
+            ShuffleInstr::Ballot,
+            ShuffleInstr::Shift,
+            ShuffleInstr::MatchAny,
+        ] {
             let out = shuffle_encode_warp_exact(&mi250x(), instr, &data, 32);
             let native = native::encode(&data, 32, Layout::Natural);
             assert_eq!(out.chunk, native, "{instr:?}");
@@ -660,7 +688,10 @@ mod tests {
             assert_eq!(exact.counters.ballot_ops, closed.ballot_ops, "{instr:?}");
             assert_eq!(exact.counters.shuffle_ops, closed.shuffle_ops, "{instr:?}");
             assert_eq!(exact.counters.reduce_ops, closed.reduce_ops, "{instr:?}");
-            assert_eq!(exact.counters.warps_launched, closed.warps_launched, "{instr:?}");
+            assert_eq!(
+                exact.counters.warps_launched, closed.warps_launched,
+                "{instr:?}"
+            );
             assert_eq!(exact.counters.store_bytes, closed.store_bytes, "{instr:?}");
         }
     }
@@ -704,8 +735,8 @@ mod tests {
         for cfg in [h100(), mi250x()] {
             let rb = DesignKind::RegisterBlock.encode_counters(&cfg, n, 32, 4);
             let lb = DesignKind::locality_default().encode_counters(&cfg, n, 32, 4);
-            let rs = DesignKind::RegisterShuffle(ShuffleInstr::Ballot)
-                .encode_counters(&cfg, n, 32, 4);
+            let rs =
+                DesignKind::RegisterShuffle(ShuffleInstr::Ballot).encode_counters(&cfg, n, 32, 4);
             let t_rb = CostModel::kernel_time(&cfg, &rb);
             let t_lb = CostModel::kernel_time(&cfg, &lb);
             let t_rs = CostModel::kernel_time(&cfg, &rs);
@@ -720,10 +751,22 @@ mod tests {
         // larger for decoding than encoding (scattered stores).
         let n = 1 << 22;
         let cfg = h100();
-        let rb_e = CostModel::kernel_time(&cfg, &DesignKind::RegisterBlock.encode_counters(&cfg, n, 32, 4));
-        let lb_e = CostModel::kernel_time(&cfg, &DesignKind::locality_default().encode_counters(&cfg, n, 32, 4));
-        let rb_d = CostModel::kernel_time(&cfg, &DesignKind::RegisterBlock.decode_counters(&cfg, n, 32, 4));
-        let lb_d = CostModel::kernel_time(&cfg, &DesignKind::locality_default().decode_counters(&cfg, n, 32, 4));
+        let rb_e = CostModel::kernel_time(
+            &cfg,
+            &DesignKind::RegisterBlock.encode_counters(&cfg, n, 32, 4),
+        );
+        let lb_e = CostModel::kernel_time(
+            &cfg,
+            &DesignKind::locality_default().encode_counters(&cfg, n, 32, 4),
+        );
+        let rb_d = CostModel::kernel_time(
+            &cfg,
+            &DesignKind::RegisterBlock.decode_counters(&cfg, n, 32, 4),
+        );
+        let lb_d = CostModel::kernel_time(
+            &cfg,
+            &DesignKind::locality_default().decode_counters(&cfg, n, 32, 4),
+        );
         assert!(lb_d / rb_d > lb_e / rb_e);
     }
 

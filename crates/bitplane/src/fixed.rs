@@ -35,7 +35,11 @@ pub trait BitplaneFloat: Copy + PartialOrd + Send + Sync + 'static {
         let scaled = self.abs_val().to_f64() * exp2(planes as i32 - exp);
         // |v| < 2^exp ⇒ scaled < 2^planes; clamp defends against rounding
         // at the very top of the range.
-        let max = if planes >= 64 { u64::MAX } else { (1u64 << planes) - 1 };
+        let max = if planes >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << planes) - 1
+        };
         (scaled as u64).min(max)
     }
 

@@ -36,7 +36,9 @@ unsafe impl Sync for PlaneColumns {}
 
 impl PlaneColumns {
     fn new(planes: &mut [Vec<u32>]) -> Self {
-        PlaneColumns { ptrs: planes.iter_mut().map(|p| p.as_mut_ptr()).collect() }
+        PlaneColumns {
+            ptrs: planes.iter_mut().map(|p| p.as_mut_ptr()).collect(),
+        }
     }
     /// # Safety
     /// `word` must be in-bounds and written by only one thread.
@@ -81,7 +83,9 @@ pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> Bi
 
     {
         let cols = PlaneColumns::new(&mut plane_bufs);
-        let signs_col = ElemWriter { ptr: signs.as_mut_ptr() };
+        let signs_col = ElemWriter {
+            ptr: signs.as_mut_ptr(),
+        };
         (0..words).into_par_iter().with_min_len(32).for_each(|u| {
             let mut hi = [0u32; 32];
             let mut lo = [0u32; 32];
@@ -156,7 +160,9 @@ pub fn decode_prefix<F: BitplaneFloat>(
         0
     };
 
-    let writer = ElemWriter { ptr: out.as_mut_ptr() };
+    let writer = ElemWriter {
+        ptr: out.as_mut_ptr(),
+    };
     (0..words).into_par_iter().with_min_len(32).for_each(|u| {
         let mut hi = [0u32; 32];
         let mut lo = [0u32; 32];
@@ -216,7 +222,11 @@ impl ProgressiveDecoder {
     /// Fresh state for `n` elements of a stream with `total_planes`
     /// magnitude planes.
     pub fn with_total_planes(n: usize, total_planes: usize) -> Self {
-        ProgressiveDecoder { fixed: vec![0u64; n], applied: 0, total_planes }
+        ProgressiveDecoder {
+            fixed: vec![0u64; n],
+            applied: 0,
+            total_planes,
+        }
     }
 
     /// Number of planes applied so far.
@@ -297,7 +307,9 @@ mod tests {
     use crate::fixed::prefix_error_bound;
 
     fn wave(n: usize, scale: f64) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() * scale + (i as f64 * 0.011).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * scale + (i as f64 * 0.011).cos())
+            .collect()
     }
 
     fn wave32(n: usize) -> Vec<f32> {
@@ -358,7 +370,10 @@ mod tests {
         let t: Vec<f32> = decode_prefix(&c, k, Reconstruction::Truncate);
         let m: Vec<f32> = decode_prefix(&c, k, Reconstruction::Midpoint);
         let mse = |xs: &[f32]| {
-            xs.iter().zip(&data).map(|(x, d)| ((x - d) as f64).powi(2)).sum::<f64>()
+            xs.iter()
+                .zip(&data)
+                .map(|(x, d)| ((x - d) as f64).powi(2))
+                .sum::<f64>()
         };
         assert!(mse(&m) < mse(&t), "midpoint should reduce MSE");
         let bound = prefix_error_bound(c.exp, k);
@@ -404,7 +419,9 @@ mod tests {
 
     #[test]
     fn negative_values_keep_sign_at_any_prefix() {
-        let data: Vec<f32> = (0..256).map(|i| if i % 2 == 0 { -1.5 } else { 1.5 }).collect();
+        let data: Vec<f32> = (0..256)
+            .map(|i| if i % 2 == 0 { -1.5 } else { 1.5 })
+            .collect();
         let c = encode(&data, 32, Layout::Interleaved32);
         let back: Vec<f32> = decode_prefix(&c, 3, Reconstruction::Truncate);
         for (a, b) in data.iter().zip(&back) {

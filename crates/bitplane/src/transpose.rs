@@ -41,8 +41,8 @@ pub fn transposed32(m: &[u32; 32]) -> [u32; 32] {
 pub fn transpose32_naive(m: &[u32; 32]) -> [u32; 32] {
     let mut out = [0u32; 32];
     for (r, out_word) in out.iter_mut().enumerate() {
-        for c in 0..32 {
-            *out_word |= ((m[c] >> r) & 1) << c;
+        for (c, &col) in m.iter().enumerate() {
+            *out_word |= ((col >> r) & 1) << c;
         }
     }
     out

@@ -33,6 +33,15 @@
 //! * [`serialize`] — portable on-disk framing of refactored artifacts;
 //! * [`storage`] — unit-file stores retrieving exactly the files a plan
 //!   needs (the paper's small-object I/O pattern).
+//!
+//! Every hot stage executes through the portable executor layer of
+//! [`hpmdr_exec`]: [`refactor`], [`RetrievalSession`], and both pipeline
+//! modes are generic over [`hpmdr_exec::Backend`], defaulting to the
+//! sequential [`hpmdr_exec::ScalarBackend`]; pass
+//! [`hpmdr_exec::ParallelBackend`] (via [`refactor_with`],
+//! [`RetrievalSession::with_backend`], or
+//! [`pipeline::refactor_pipeline_with`]) for multi-core execution with
+//! bit-identical artifacts.
 
 pub mod multi_device;
 pub mod pipeline;
@@ -42,9 +51,10 @@ pub mod retrieve;
 pub mod serialize;
 pub mod storage;
 
+pub use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
 pub use qoi_retrieval::{
     retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,
     MultiQoiRetrievalOutcome, QoiRetrievalOutcome,
 };
-pub use refactor::{refactor, Refactored, RefactorConfig};
+pub use refactor::{refactor, refactor_with, RefactorConfig, Refactored};
 pub use retrieve::{RetrievalPlan, RetrievalSession};

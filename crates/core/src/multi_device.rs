@@ -6,10 +6,15 @@
 //! first-order effect that keeps measured efficiency below ideal on real
 //! nodes (95% on 4×H100, 89% on 8×MI250X in the paper).
 
-use crate::pipeline::StageTimes;
+use crate::pipeline::{tile_shape, StageTimes};
+use crate::refactor::{refactor_with, RefactorConfig};
+use hpmdr_bitplane::BitplaneFloat;
 use hpmdr_device::des::ResourceKind;
 use hpmdr_device::{DesSim, Resource, SimOutcome};
+use hpmdr_exec::{Backend, ExecCtx};
+use hpmdr_mgard::Real;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Result of one weak-scaling point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,6 +100,46 @@ pub fn weak_scaling_sweep(
         .collect()
 }
 
+/// Measure per-tile [`StageTimes`] by running `backend`'s refactoring
+/// kernels on each tile of `data` and modeling the copies at
+/// `link_gbps` over the shared host link.
+///
+/// This grounds the weak-scaling DES replays in *measured* compute
+/// durations for a concrete backend instead of purely modeled ones: run
+/// it once per backend, then feed the tiles to [`weak_scaling_sweep`] to
+/// ask "how would N devices running this executor scale?".
+pub fn profile_stage_times<F: BitplaneFloat + Real, B: Backend>(
+    data: &[F],
+    shape: &[usize],
+    config: &RefactorConfig,
+    backend: &B,
+    ctx: &ExecCtx,
+    link_gbps: f64,
+) -> Vec<StageTimes> {
+    assert!(link_gbps > 0.0, "link bandwidth must be positive");
+    let tiling = tile_shape(shape, ctx.tile_rows());
+    let elem = std::mem::size_of::<F>();
+    tiling
+        .shapes
+        .iter()
+        .zip(&tiling.offsets)
+        .map(|(tshape, &off)| {
+            let len: usize = tshape.iter().product();
+            let tile = &data[off..off + len];
+            let t0 = Instant::now();
+            let refactored = refactor_with(tile, tshape, config, backend, ctx);
+            let compute = t0.elapsed().as_secs_f64();
+            let in_bytes = (len * elem) as f64;
+            let out_bytes = refactored.total_bytes() as f64;
+            StageTimes {
+                h2d: in_bytes / (link_gbps * 1e9),
+                compute,
+                d2h: out_bytes / (link_gbps * 1e9),
+            }
+        })
+        .collect()
+}
+
 /// End-to-end retrieval model for Figure 14: kernel time plus I/O time
 /// (reading many small unit files) and device bring-up overhead.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,7 +169,14 @@ mod tests {
     use super::*;
 
     fn tiles(compute: f64, copy: f64, n: usize) -> Vec<StageTimes> {
-        vec![StageTimes { h2d: copy, compute, d2h: copy / 2.0 }; n]
+        vec![
+            StageTimes {
+                h2d: copy,
+                compute,
+                d2h: copy / 2.0
+            };
+            n
+        ]
     }
 
     #[test]
@@ -153,8 +205,36 @@ mod tests {
     }
 
     #[test]
+    fn profiled_stage_times_feed_the_scaling_sweep() {
+        use hpmdr_exec::ScalarBackend;
+        let data: Vec<f32> = (0..48 * 16)
+            .map(|i| (i as f32 * 0.07).sin() * 2.0)
+            .collect();
+        let ctx = ExecCtx::new(16);
+        let tiles = profile_stage_times(
+            &data,
+            &[48, 16],
+            &RefactorConfig::default(),
+            &ScalarBackend::new(),
+            &ctx,
+            25.0,
+        );
+        assert_eq!(tiles.len(), 3, "48 rows / 16 per tile");
+        for t in &tiles {
+            assert!(t.compute > 0.0 && t.h2d > 0.0 && t.d2h > 0.0);
+        }
+        let pts = weak_scaling_sweep(&tiles, &[1, 4], true, 3);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        assert!(pts[1].efficiency <= 1.0 + 1e-9);
+    }
+
+    #[test]
     fn end_to_end_model_accounting() {
-        let m = EndToEndModel { kernel_seconds: 2.0, io_seconds: 1.0, overhead_seconds: 0.5 };
+        let m = EndToEndModel {
+            kernel_seconds: 2.0,
+            io_seconds: 1.0,
+            overhead_seconds: 0.5,
+        };
         assert!((m.total() - 3.5).abs() < 1e-12);
         assert!((m.kernel_throughput_gbps(4_000_000_000) - 2.0).abs() < 1e-9);
     }

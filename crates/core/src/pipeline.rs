@@ -16,11 +16,12 @@
 //! with modeled stage durations, which is how the figure harness evaluates
 //! H100-like / MI250X-like devices and multi-device scaling.
 
-use crate::refactor::{refactor, RefactorConfig, Refactored};
+use crate::refactor::{refactor_with, RefactorConfig, Refactored};
 use crate::serialize;
 use hpmdr_bitplane::BitplaneFloat;
 use hpmdr_device::des::ResourceKind;
 use hpmdr_device::{DesSim, Device, Resource, SimOutcome};
+use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
 use hpmdr_mgard::Real;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -46,10 +47,20 @@ pub struct Tiling {
 
 /// Split `shape` into slabs of at most `max_rows` leading-dimension rows.
 ///
+/// Degenerate inputs — an empty shape, zero rows, or any zero extent —
+/// produce an empty tiling (no tiles, nothing to process) instead of
+/// panicking.
+///
 /// # Panics
 /// Panics if `max_rows` is zero.
 pub fn tile_shape(shape: &[usize], max_rows: usize) -> Tiling {
     assert!(max_rows > 0, "tiles need at least one row");
+    if shape.is_empty() || shape.contains(&0) {
+        return Tiling {
+            shapes: Vec::new(),
+            offsets: Vec::new(),
+        };
+    }
     let rows = shape[0];
     let row_elems: usize = shape.iter().skip(1).product::<usize>().max(1);
     let mut shapes = Vec::new();
@@ -80,11 +91,13 @@ pub struct PipelineReport {
     pub throughput_gbps: f64,
 }
 
+/// Per-tile slots filled by the compute engine: the refactored artifact
+/// plus its serialized bytes.
+type TileResults = Mutex<Vec<Option<(Refactored, Vec<u8>)>>>;
+
 fn as_bytes<F>(v: &[F]) -> &[u8] {
     // Safety: plain-old-data floats reinterpreted as bytes for DMA copies.
-    unsafe {
-        std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v))
-    }
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
 }
 
 fn from_bytes_vec<F: Copy>(bytes: &[u8]) -> Vec<F> {
@@ -102,7 +115,8 @@ fn from_bytes_vec<F: Copy>(bytes: &[u8]) -> Vec<F> {
     out
 }
 
-/// Run the refactoring pipeline over `data` (shape `shape`) on `device`.
+/// Run the refactoring pipeline over `data` (shape `shape`) on `device`,
+/// computing tiles on the portable [`ScalarBackend`].
 ///
 /// Tiles of at most `tile_rows` leading rows are staged through the
 /// device's buffer pool; results are serialized back to host memory.
@@ -114,11 +128,37 @@ pub fn refactor_pipeline<F: BitplaneFloat + Real>(
     mode: PipelineMode,
     tile_rows: usize,
 ) -> PipelineReport {
+    refactor_pipeline_with(
+        data,
+        shape,
+        config,
+        device,
+        mode,
+        tile_rows,
+        ScalarBackend::new(),
+    )
+}
+
+/// Run the refactoring pipeline with tile kernels scheduled on `backend`.
+///
+/// The compute engine executes each tile as one backend kernel batch
+/// (decompose → encode → compress), so swapping `backend` swaps the
+/// execution strategy of every tile without touching the schedule. Both
+/// [`PipelineMode`]s and all backends produce identical artifacts.
+pub fn refactor_pipeline_with<F: BitplaneFloat + Real, B: Backend>(
+    data: Arc<Vec<F>>,
+    shape: &[usize],
+    config: &RefactorConfig,
+    device: &Device,
+    mode: PipelineMode,
+    tile_rows: usize,
+    backend: B,
+) -> PipelineReport {
+    let ctx = Arc::new(ExecCtx::new(tile_rows));
     let tiling = tile_shape(shape, tile_rows);
     let n_tiles = tiling.shapes.len();
     let elem = std::mem::size_of::<F>();
-    let results: Arc<Mutex<Vec<Option<(Refactored, Vec<u8>)>>>> =
-        Arc::new(Mutex::new((0..n_tiles).map(|_| None).collect()));
+    let results: Arc<TileResults> = Arc::new(Mutex::new((0..n_tiles).map(|_| None).collect()));
 
     let t0 = Instant::now();
     match mode {
@@ -144,14 +184,16 @@ pub fn refactor_pipeline<F: BitplaneFloat + Real>(
                     let taken = buf.lock().take();
                     taken.expect("upload completed")
                 };
-                // Compute on the compute engine.
+                // Compute on the compute engine: one backend kernel batch.
                 let cfg = config.clone();
                 let res = results.clone();
+                let be = backend.clone();
+                let cx = ctx.clone();
                 device
                     .compute
                     .submit(vec![], move || {
                         let tile: Vec<F> = from_bytes_vec(staged.buffer().as_slice());
-                        let r = refactor(&tile, &tile_shape, &cfg);
+                        let r = refactor_with(&tile, &tile_shape, &cfg, &be, &cx);
                         let bytes = serialize::to_bytes(&r);
                         res.lock()[i] = Some((r, bytes));
                     })
@@ -187,11 +229,13 @@ pub fn refactor_pipeline<F: BitplaneFloat + Real>(
                 }
                 let cfg = config.clone();
                 let res = results.clone();
+                let be = backend.clone();
+                let cx = ctx.clone();
                 let compute_done = device.compute.submit(deps, move || {
                     let buf = staged.lock().take().expect("staged buffer present");
                     let tile: Vec<F> = from_bytes_vec(buf.buffer().as_slice());
                     drop(buf); // release the staging slot for prefetch
-                    let r = refactor(&tile, &tile_shape, &cfg);
+                    let r = refactor_with(&tile, &tile_shape, &cfg, &be, &cx);
                     let bytes = serialize::to_bytes(&r);
                     res.lock()[i] = Some((r, bytes));
                 });
@@ -242,7 +286,12 @@ pub struct StageTimes {
 /// device processing `tiles` stages. With `overlapped = false` every tile
 /// is fully serialized (the baseline); with `true`, copies use the two DMA
 /// engines concurrently with compute, bounded by `buffers` staging slots.
-pub fn des_pipeline(tiles: &[StageTimes], overlapped: bool, device: usize, buffers: usize) -> SimOutcome {
+pub fn des_pipeline(
+    tiles: &[StageTimes],
+    overlapped: bool,
+    device: usize,
+    buffers: usize,
+) -> SimOutcome {
     let mut sim = DesSim::new();
     let dma1 = Resource::on(device, ResourceKind::Dma1);
     let dma2 = Resource::on(device, ResourceKind::Dma2);
@@ -293,6 +342,60 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_shapes_tile_to_nothing() {
+        for shape in [&[][..], &[0][..], &[0, 7][..], &[5, 0, 3][..]] {
+            let t = tile_shape(shape, 16);
+            assert!(t.shapes.is_empty(), "shape {shape:?}");
+            assert!(t.offsets.is_empty(), "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_tiling() {
+        let data: Arc<Vec<f32>> = Arc::new(Vec::new());
+        let dev = Device::new(DeviceConfig::h100_like(), 1024, 2);
+        let rep = refactor_pipeline(
+            data,
+            &[0, 8],
+            &RefactorConfig::default(),
+            &dev,
+            PipelineMode::Overlapped,
+            16,
+        );
+        assert_eq!(rep.artifacts.len(), 0);
+        assert_eq!(rep.bytes_out, 0);
+    }
+
+    #[test]
+    fn backends_produce_identical_pipeline_artifacts() {
+        use hpmdr_exec::ParallelBackend;
+        let shape = [48usize, 21];
+        let data = Arc::new(field(48 * 21));
+        let cfg = RefactorConfig::default();
+        let dev = Device::new(DeviceConfig::h100_like(), 48 * 21 * 4 + 1024, 3);
+        let a = refactor_pipeline_with(
+            data.clone(),
+            &shape,
+            &cfg,
+            &dev,
+            PipelineMode::Overlapped,
+            16,
+            ScalarBackend::new(),
+        );
+        let b = refactor_pipeline_with(
+            data,
+            &shape,
+            &cfg,
+            &dev,
+            PipelineMode::Overlapped,
+            16,
+            ParallelBackend::with_threads(4),
+        );
+        assert_eq!(a.artifacts, b.artifacts);
+        assert_eq!(a.bytes_out, b.bytes_out);
+    }
+
+    #[test]
     fn tiling_covers_the_array() {
         let t = tile_shape(&[100, 7], 32);
         assert_eq!(t.shapes.len(), 4);
@@ -308,7 +411,14 @@ mod tests {
         let data = Arc::new(field(64 * 33));
         let cfg = RefactorConfig::default();
         let dev = Device::new(DeviceConfig::h100_like(), 64 * 33 * 4 + 1024, 3);
-        let a = refactor_pipeline(data.clone(), &shape, &cfg, &dev, PipelineMode::Sequential, 16);
+        let a = refactor_pipeline(
+            data.clone(),
+            &shape,
+            &cfg,
+            &dev,
+            PipelineMode::Sequential,
+            16,
+        );
         let b = refactor_pipeline(data, &shape, &cfg, &dev, PipelineMode::Overlapped, 16);
         assert_eq!(a.artifacts.len(), b.artifacts.len());
         for (x, y) in a.artifacts.iter().zip(&b.artifacts) {
@@ -324,7 +434,14 @@ mod tests {
         let data = Arc::new(field(40 * 17));
         let cfg = RefactorConfig::default();
         let dev = Device::new(DeviceConfig::h100_like(), 40 * 17 * 4 + 1024, 3);
-        let rep = refactor_pipeline(data.clone(), &shape, &cfg, &dev, PipelineMode::Overlapped, 16);
+        let rep = refactor_pipeline(
+            data.clone(),
+            &shape,
+            &cfg,
+            &dev,
+            PipelineMode::Overlapped,
+            16,
+        );
         let mut rebuilt: Vec<f32> = Vec::new();
         for r in &rep.artifacts {
             let mut s = RetrievalSession::new(r);
@@ -340,7 +457,14 @@ mod tests {
 
     #[test]
     fn des_overlap_beats_sequential() {
-        let tiles = vec![StageTimes { h2d: 1.0, compute: 2.0, d2h: 0.5 }; 6];
+        let tiles = vec![
+            StageTimes {
+                h2d: 1.0,
+                compute: 2.0,
+                d2h: 0.5
+            };
+            6
+        ];
         let seq = des_pipeline(&tiles, false, 0, 3);
         let ovl = des_pipeline(&tiles, true, 0, 3);
         assert!(ovl.makespan < seq.makespan);
@@ -353,7 +477,14 @@ mod tests {
     fn des_buffer_limit_throttles_prefetch() {
         // Copies are fast; with only 1 staging buffer, copy i must wait for
         // compute i-1 to finish, serializing the pipeline.
-        let tiles = vec![StageTimes { h2d: 0.1, compute: 1.0, d2h: 0.1 }; 4];
+        let tiles = vec![
+            StageTimes {
+                h2d: 0.1,
+                compute: 1.0,
+                d2h: 0.1
+            };
+            4
+        ];
         let tight = des_pipeline(&tiles, true, 0, 1);
         let roomy = des_pipeline(&tiles, true, 0, 3);
         assert!(roomy.makespan <= tight.makespan);

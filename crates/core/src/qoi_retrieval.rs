@@ -201,13 +201,17 @@ pub fn retrieve_with_multi_qoi_control<F: BitplaneFloat + Real>(
         let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
         let maxima: Vec<_> = qois
             .iter()
-            .map(|(q, _)| max_qoi_error(q, &refs[..q.num_vars().max(1)], &bounds[..q.num_vars().max(1)]))
+            .map(|(q, _)| {
+                max_qoi_error(
+                    q,
+                    &refs[..q.num_vars().max(1)],
+                    &bounds[..q.num_vars().max(1)],
+                )
+            })
             .collect();
         estimates = maxima.iter().map(|m| m.value).collect();
         let worst = (0..qois.len())
-            .max_by(|&a, &b| {
-                (estimates[a] / qois[a].1).total_cmp(&(estimates[b] / qois[b].1))
-            })
+            .max_by(|&a, &b| (estimates[a] / qois[a].1).total_cmp(&(estimates[b] / qois[b].1)))
             .expect("non-empty QoI set");
         if estimates.iter().zip(qois).all(|(e, (_, tau))| e <= tau) {
             break;
@@ -224,8 +228,7 @@ pub fn retrieve_with_multi_qoi_control<F: BitplaneFloat + Real>(
         // Choose the next bounds from the most-violating QoI.
         match estimator {
             EbEstimator::Cp => {
-                let point: Vec<f64> =
-                    fields.iter().take(worst_nv).map(|f| f[m.argmax]).collect();
+                let point: Vec<f64> = fields.iter().take(worst_nv).map(|f| f[m.argmax]).collect();
                 let mut e = bounds.clone();
                 let mut guard = 0;
                 while worst_qoi.error_bound(&point, &e[..worst_nv]) > *worst_tau && guard < 200 {
@@ -279,8 +282,7 @@ mod tests {
         let mut v = Vec::with_capacity(nx * ny);
         for x in 0..nx {
             for y in 0..ny {
-                v.push((x as f32 * 0.11 + phase).sin() * 2.0
-                    + (y as f32 * 0.07 + phase).cos());
+                v.push((x as f32 * 0.11 + phase).sin() * 2.0 + (y as f32 * 0.07 + phase).cos());
             }
         }
         v
@@ -288,8 +290,9 @@ mod tests {
 
     fn setup() -> (Vec<Vec<f32>>, Vec<Refactored>) {
         let shape = [33usize, 33];
-        let raw: Vec<Vec<f32>> =
-            (0..3).map(|k| velocity(shape[0], shape[1], k as f32)).collect();
+        let raw: Vec<Vec<f32>> = (0..3)
+            .map(|k| velocity(shape[0], shape[1], k as f32))
+            .collect();
         let refs = raw
             .iter()
             .map(|d| refactor(d, &shape, &RefactorConfig::default()))
@@ -308,11 +311,20 @@ mod tests {
     #[test]
     fn all_estimators_enforce_the_tolerance() {
         let q = QoiExpr::vector_magnitude(3);
-        for est in [EbEstimator::Cp, EbEstimator::Ma, EbEstimator::Mape { c: 10.0 }] {
+        for est in [
+            EbEstimator::Cp,
+            EbEstimator::Ma,
+            EbEstimator::Mape { c: 10.0 },
+        ] {
             let tau = 1e-2;
             let (out, raw) = run(est, tau);
             assert!(!out.exhausted, "{}", est.label());
-            assert!(out.final_estimate <= tau, "{}: τ' {}", est.label(), out.final_estimate);
+            assert!(
+                out.final_estimate <= tau,
+                "{}: τ' {}",
+                est.label(),
+                out.final_estimate
+            );
             // Guaranteed: actual error ≤ estimated ≤ τ (Figure 13).
             let truth: Vec<Vec<f64>> = raw
                 .iter()
@@ -338,8 +350,18 @@ mod tests {
         let (ma, _) = run(EbEstimator::Ma, tau);
         let (mape, _) = run(EbEstimator::Mape { c: 10.0 }, tau);
         // Retrieval size: MA ≤ MAPE ≤ CP (Table 2/3 ordering).
-        assert!(ma.fetched_bytes <= mape.fetched_bytes, "ma {} mape {}", ma.fetched_bytes, mape.fetched_bytes);
-        assert!(mape.fetched_bytes <= cp.fetched_bytes, "mape {} cp {}", mape.fetched_bytes, cp.fetched_bytes);
+        assert!(
+            ma.fetched_bytes <= mape.fetched_bytes,
+            "ma {} mape {}",
+            ma.fetched_bytes,
+            mape.fetched_bytes
+        );
+        assert!(
+            mape.fetched_bytes <= cp.fetched_bytes,
+            "mape {} cp {}",
+            mape.fetched_bytes,
+            cp.fetched_bytes
+        );
         // Iterations: CP ≤ MAPE ≤ MA (Figure 12 throughput ordering).
         assert!(cp.iterations <= mape.iterations);
         assert!(mape.iterations <= ma.iterations);
@@ -377,11 +399,7 @@ mod tests {
             (QoiExpr::kinetic_energy(3), 1e-2),
             (QoiExpr::linear(&[1.0, -1.0, 0.5]), 1e-3),
         ];
-        let out = retrieve_with_multi_qoi_control::<f32>(
-            &rr,
-            &qois,
-            EbEstimator::Mape { c: 10.0 },
-        );
+        let out = retrieve_with_multi_qoi_control::<f32>(&rr, &qois, EbEstimator::Mape { c: 10.0 });
         assert!(!out.exhausted);
         assert_eq!(out.final_estimates.len(), 3);
         let truth: Vec<Vec<f64>> = raw

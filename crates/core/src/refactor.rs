@@ -1,9 +1,15 @@
 //! Variable refactoring: decompose → bitplane-encode → hybrid compress.
+//!
+//! Every hot stage routes through the [`hpmdr_exec::Backend`] trait:
+//! [`refactor`] runs on the portable [`ScalarBackend`] default, and
+//! [`refactor_with`] accepts any backend (e.g.
+//! [`hpmdr_exec::ParallelBackend`] for multi-core hosts), producing
+//! bit-identical artifacts either way.
 
-use hpmdr_bitplane::{encode, BitplaneChunk, BitplaneFloat, Layout};
+use hpmdr_bitplane::{BitplaneChunk, BitplaneFloat, Layout};
+use hpmdr_exec::{Backend, EncodedStream, ExecCtx, ScalarBackend, StreamView};
 use hpmdr_lossless::{CompressedGroup, HybridCompressor, HybridConfig};
-use hpmdr_mgard::{decompose, extract_levels, level_error_weights, Hierarchy, Real};
-use rayon::prelude::*;
+use hpmdr_mgard::{extract_levels, level_error_weights, Hierarchy, Real};
 use serde::{Deserialize, Serialize};
 
 /// Refactoring configuration.
@@ -131,7 +137,36 @@ impl Refactored {
     }
 }
 
-/// Refactor one variable of shape `shape`.
+impl LevelStream {
+    /// Borrow this stream as the backend-level view retrieval kernels
+    /// consume.
+    pub fn view(&self) -> StreamView<'_> {
+        StreamView {
+            n: self.n,
+            exp: self.exp,
+            num_planes: self.num_planes,
+            layout: self.layout,
+            group_size: self.group_size,
+            plane_bytes: self.plane_bytes,
+            units: &self.units,
+        }
+    }
+
+    fn from_encoded(s: EncodedStream) -> Self {
+        LevelStream {
+            n: s.n,
+            exp: s.exp,
+            num_planes: s.num_planes,
+            layout: s.layout,
+            units: s.units,
+            group_size: s.group_size,
+            plane_bytes: s.plane_bytes,
+        }
+    }
+}
+
+/// Refactor one variable of shape `shape` on the portable
+/// [`ScalarBackend`].
 ///
 /// # Panics
 /// Panics if `data.len()` does not match `shape`, or on non-finite input.
@@ -139,6 +174,28 @@ pub fn refactor<F: BitplaneFloat + Real>(
     data: &[F],
     shape: &[usize],
     config: &RefactorConfig,
+) -> Refactored {
+    refactor_with(
+        data,
+        shape,
+        config,
+        &ScalarBackend::new(),
+        &ExecCtx::default(),
+    )
+}
+
+/// Refactor one variable of shape `shape` on `backend`.
+///
+/// Artifacts are bit-identical across backends; only wall-clock differs.
+///
+/// # Panics
+/// Panics if `data.len()` does not match `shape`, or on non-finite input.
+pub fn refactor_with<F: BitplaneFloat + Real, B: Backend>(
+    data: &[F],
+    shape: &[usize],
+    config: &RefactorConfig,
+    backend: &B,
+    ctx: &ExecCtx,
 ) -> Refactored {
     let hierarchy = match config.max_levels {
         Some(l) => Hierarchy::with_levels(shape, l),
@@ -156,19 +213,17 @@ pub fn refactor<F: BitplaneFloat + Real>(
     let value_range = (value_max - value_min).max(0.0);
 
     let mut work = data.to_vec();
-    decompose(&mut work, &hierarchy, config.correction);
+    backend.decompose(ctx, &mut work, &hierarchy, config.correction);
     let groups = extract_levels(&work, &hierarchy);
 
     let planes = config.num_planes.min(F::MAX_PLANES).max(1);
     let compressor = HybridCompressor::new(config.hybrid);
     let m = config.hybrid.group_size.max(1);
 
-    let streams: Vec<LevelStream> = groups
-        .par_iter()
-        .map(|g| {
-            let chunk = encode(g, planes, config.layout);
-            compress_chunk(&chunk, m, &compressor)
-        })
+    let streams: Vec<LevelStream> = backend
+        .encode_and_compress(ctx, &groups, planes, config.layout, m, &compressor)
+        .into_iter()
+        .map(LevelStream::from_encoded)
         .collect();
 
     Refactored {
@@ -182,41 +237,8 @@ pub fn refactor<F: BitplaneFloat + Real>(
     }
 }
 
-/// Merge a chunk's planes into units of `m` and compress each unit.
-fn compress_chunk(chunk: &BitplaneChunk, m: usize, compressor: &HybridCompressor) -> LevelStream {
-    let plane_bytes = chunk.plane_bytes();
-    let b = chunk.num_planes();
-    let num_units = b.div_ceil(m);
-    let units: Vec<CompressedGroup> = (0..num_units)
-        .into_par_iter()
-        .map(|u| {
-            let lo = u * m;
-            let hi = ((u + 1) * m).min(b);
-            // Unit 0 carries the sign plane ahead of its magnitude planes.
-            let mut merged =
-                Vec::with_capacity((hi - lo + usize::from(u == 0)) * plane_bytes);
-            if u == 0 {
-                extend_words(&mut merged, &chunk.signs);
-            }
-            for p in lo..hi {
-                extend_words(&mut merged, &chunk.planes[p]);
-            }
-            compressor.compress(&merged)
-        })
-        .collect();
-    LevelStream {
-        n: chunk.n,
-        exp: chunk.exp,
-        num_planes: b,
-        layout: chunk.layout,
-        units,
-        group_size: m,
-        plane_bytes,
-    }
-}
-
 /// Rebuild a (possibly partial) [`BitplaneChunk`] from the first
-/// `units` merged units of `stream`.
+/// `units` merged units of `stream`, on the portable [`ScalarBackend`].
 ///
 /// # Panics
 /// Panics if the stream is structurally corrupt.
@@ -226,49 +248,7 @@ pub fn decompress_units(
     compressor: &HybridCompressor,
     dtype: &str,
 ) -> BitplaneChunk {
-    let units = units.min(stream.num_units());
-    let k = stream.planes_in_units(units);
-    let words = stream.plane_bytes / 4;
-    let mut signs = vec![0u32; words];
-    let mut planes: Vec<Vec<u32>> = Vec::with_capacity(k);
-    for u in 0..units {
-        let raw = compressor.decompress(&stream.units[u]);
-        let lo = u * stream.group_size;
-        let hi = ((u + 1) * stream.group_size).min(stream.num_planes);
-        let expect = (hi - lo + usize::from(u == 0)) * stream.plane_bytes;
-        assert_eq!(raw.len(), expect, "unit {u} has wrong decompressed size");
-        let mut off = 0usize;
-        if u == 0 {
-            read_words(&raw[..stream.plane_bytes], &mut signs);
-            off = stream.plane_bytes;
-        }
-        for _ in lo..hi {
-            let mut plane = vec![0u32; words];
-            read_words(&raw[off..off + stream.plane_bytes], &mut plane);
-            off += stream.plane_bytes;
-            planes.push(plane);
-        }
-    }
-    BitplaneChunk {
-        n: stream.n,
-        exp: stream.exp,
-        layout: stream.layout,
-        dtype: dtype.to_string(),
-        signs,
-        planes,
-    }
-}
-
-fn extend_words(out: &mut Vec<u8>, words: &[u32]) {
-    for w in words {
-        out.extend_from_slice(&w.to_le_bytes());
-    }
-}
-
-fn read_words(bytes: &[u8], out: &mut [u32]) {
-    for (i, w) in out.iter_mut().enumerate() {
-        *w = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().expect("sized"));
-    }
+    ScalarBackend::new().decode_units(&ExecCtx::default(), stream.view(), units, compressor, dtype)
 }
 
 #[cfg(test)]

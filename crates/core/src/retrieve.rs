@@ -6,11 +6,12 @@
 //! decoded plane state across refinements so each Algorithm-3 iteration
 //! only pays for the newly fetched units (the paper's recompose step).
 
-use crate::refactor::{decompress_units, Refactored};
+use crate::refactor::Refactored;
 use hpmdr_bitplane::native::ProgressiveDecoder;
 use hpmdr_bitplane::{prefix_error_bound, BitplaneFloat, Reconstruction};
+use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
 use hpmdr_lossless::{HybridCompressor, HybridConfig};
-use hpmdr_mgard::{extract_active_grid, inject_levels, recompose_to_level, Real};
+use hpmdr_mgard::{extract_active_grid, inject_levels, Real};
 use serde::{Deserialize, Serialize};
 
 /// A retrieval decision: merged units to fetch per level group.
@@ -23,12 +24,16 @@ pub struct RetrievalPlan {
 impl RetrievalPlan {
     /// The empty plan (nothing fetched).
     pub fn empty(r: &Refactored) -> Self {
-        RetrievalPlan { units: vec![0; r.streams.len()] }
+        RetrievalPlan {
+            units: vec![0; r.streams.len()],
+        }
     }
 
     /// Plan fetching everything (near-lossless reconstruction).
     pub fn full(r: &Refactored) -> Self {
-        RetrievalPlan { units: r.streams.iter().map(|s| s.num_units()).collect() }
+        RetrievalPlan {
+            units: r.streams.iter().map(|s| s.num_units()).collect(),
+        }
     }
 
     /// Greedy minimal plan meeting the absolute error target `eb`:
@@ -60,7 +65,7 @@ impl RetrievalPlan {
                 if gain <= 0.0 {
                     continue;
                 }
-                if best.map_or(true, |(t, _)| terms[gi] > t) {
+                if best.is_none_or(|(t, _)| terms[gi] > t) {
                     best = Some((terms[gi], gi));
                 }
             }
@@ -123,7 +128,7 @@ impl RetrievalPlan {
                 if density <= 0.0 {
                     continue;
                 }
-                if best.map_or(true, |(d, _)| density > d) {
+                if best.is_none_or(|(d, _)| density > d) {
                     best = Some((density, gi));
                 }
             }
@@ -160,26 +165,46 @@ impl RetrievalPlan {
 /// Incremental reconstruction state for one refactored variable.
 ///
 /// Holds the per-group decoded bitplane accumulators; refining to a larger
-/// plan decompresses and applies only the new units.
-pub struct RetrievalSession<'a> {
+/// plan decompresses and applies only the new units. All decode and
+/// recompose kernels route through the session's [`Backend`]
+/// (the portable [`ScalarBackend`] unless opened via
+/// [`RetrievalSession::with_backend`]).
+pub struct RetrievalSession<'a, B: Backend = ScalarBackend> {
     refactored: &'a Refactored,
+    backend: B,
+    ctx: ExecCtx,
     compressor: HybridCompressor,
     decoders: Vec<Option<(hpmdr_bitplane::BitplaneChunk, ProgressiveDecoder)>>,
     units_applied: Vec<usize>,
     fetched_bytes: usize,
 }
 
-impl<'a> RetrievalSession<'a> {
-    /// Open a session over `refactored` (no units fetched yet).
+impl<'a> RetrievalSession<'a, ScalarBackend> {
+    /// Open a session over `refactored` (no units fetched yet) on the
+    /// portable [`ScalarBackend`].
     pub fn new(refactored: &'a Refactored) -> Self {
+        RetrievalSession::with_backend(refactored, ScalarBackend::new())
+    }
+}
+
+impl<'a, B: Backend> RetrievalSession<'a, B> {
+    /// Open a session over `refactored` running its kernels on `backend`.
+    pub fn with_backend(refactored: &'a Refactored, backend: B) -> Self {
         let g = refactored.streams.len();
         RetrievalSession {
             refactored,
+            backend,
+            ctx: ExecCtx::default(),
             compressor: HybridCompressor::new(HybridConfig::default()),
             decoders: (0..g).map(|_| None).collect(),
             units_applied: vec![0; g],
             fetched_bytes: 0,
         }
+    }
+
+    /// The backend executing this session's kernels.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The variable this session reconstructs.
@@ -218,7 +243,13 @@ impl<'a> RetrievalSession<'a> {
             }
             // Decompress the prefix [0, target) — cheap relative to decode;
             // the plane accumulators only apply the new planes.
-            let chunk = decompress_units(stream, target, &self.compressor, &self.refactored.dtype);
+            let chunk = self.backend.decode_units(
+                &self.ctx,
+                stream.view(),
+                target,
+                &self.compressor,
+                &self.refactored.dtype,
+            );
             let k = stream.planes_in_units(target);
             match &mut self.decoders[gi] {
                 Some((stored, dec)) => {
@@ -261,7 +292,7 @@ impl<'a> RetrievalSession<'a> {
                 }
                 let k = s.planes_in_units(self.units_applied[gi]);
                 let term = self.refactored.weights[gi] * prefix_error_bound(s.exp, k);
-                if best.map_or(true, |(t, _)| term > t) {
+                if best.is_none_or(|(t, _)| term > t) {
                     best = Some((term, gi));
                 }
             }
@@ -312,15 +343,19 @@ impl<'a> RetrievalSession<'a> {
                 // coarse grid; skip their decode entirely.
                 let needed = g + level <= h.levels;
                 match d {
-                    Some((chunk, dec)) if needed => {
-                        dec.materialize::<F>(chunk, Reconstruction::Truncate)
-                    }
+                    Some((chunk, dec)) if needed => self.backend.materialize::<F>(
+                        &self.ctx,
+                        dec,
+                        chunk,
+                        Reconstruction::Truncate,
+                    ),
                     _ => vec![<F as Real>::from_f64(0.0); s.n],
                 }
             })
             .collect();
         let mut data = inject_levels(&groups, h);
-        recompose_to_level(&mut data, h, self.refactored.correction, level);
+        self.backend
+            .recompose_to_level(&self.ctx, &mut data, h, self.refactored.correction, level);
         let shape = h.shape_at_level(level);
         if level == 0 {
             (data, shape)
@@ -460,7 +495,10 @@ mod tests {
                 .sum::<f64>()
                 / data.len() as f64;
             let rmse = mse.sqrt();
-            assert!(rmse <= bound.max(target), "target={target} rmse={rmse} bound={bound}");
+            assert!(
+                rmse <= bound.max(target),
+                "target={target} rmse={rmse} bound={bound}"
+            );
             if !plan.is_full(&r) {
                 assert!(bound <= target, "planner bound {bound} exceeds {target}");
             }

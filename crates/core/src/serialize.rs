@@ -104,8 +104,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Refactored, String> {
     if &bytes[..8] != MAGIC {
         return Err("bad magic (not an HPMDR stream)".to_string());
     }
-    let json_len =
-        u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
+    let json_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
     let header_end = 16usize
         .checked_add(json_len)
         .ok_or_else(|| "corrupt: metadata length overflows".to_string())?;

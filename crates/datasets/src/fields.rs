@@ -118,11 +118,7 @@ pub fn spectral_field(spec: &FieldSpec) -> Vec<f64> {
             let z = idx % dims[2];
             let y = (idx / dims[2]) % dims[1];
             let x = idx / (dims[1] * dims[2]);
-            let pos = [
-                x as f64 * inv[0],
-                y as f64 * inv[1],
-                z as f64 * inv[2],
-            ];
+            let pos = [x as f64 * inv[0], y as f64 * inv[1], z as f64 * inv[2]];
             let mut acc = 0.0;
             for m in &modes {
                 let phase = std::f64::consts::TAU
@@ -138,7 +134,9 @@ pub fn spectral_field(spec: &FieldSpec) -> Vec<f64> {
 /// Lognormal density field (NYX-like baryon density): `ρ0 · exp(σ·g)`.
 pub fn lognormal_density(shape: &[usize], seed: u64, sigma: f64, rho0: f64) -> Vec<f64> {
     let g = spectral_field(&FieldSpec::turbulent(shape, seed));
-    g.into_par_iter().map(|v| rho0 * (sigma * v).exp()).collect()
+    g.into_par_iter()
+        .map(|v| rho0 * (sigma * v).exp())
+        .collect()
 }
 
 /// Mixing-layer field with sharp `tanh` interfaces (Miranda-like density).
@@ -259,7 +257,10 @@ mod tests {
             s.sort_by(f64::total_cmp);
             s[s.len() / 2]
         };
-        assert!(mean > median, "lognormal mean {mean} must exceed median {median}");
+        assert!(
+            mean > median,
+            "lognormal mean {mean} must exceed median {median}"
+        );
     }
 
     #[test]
@@ -273,7 +274,10 @@ mod tests {
             let b = f[(x + 1) * row_elems];
             max_jump = max_jump.max((b - a).abs());
         }
-        assert!(max_jump > 0.1, "expected sharp interface, max jump {max_jump}");
+        assert!(
+            max_jump > 0.1,
+            "expected sharp interface, max jump {max_jump}"
+        );
     }
 
     #[test]

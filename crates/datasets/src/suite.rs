@@ -194,7 +194,11 @@ impl Dataset {
                 }
             }
         }
-        Dataset { kind, shape: shape.to_vec(), variables }
+        Dataset {
+            kind,
+            shape: shape.to_vec(),
+            variables,
+        }
     }
 
     /// Elements per variable.
@@ -210,11 +214,7 @@ impl Dataset {
 
     /// The velocity components (for QoI experiments), if present.
     pub fn velocity_triplet(&self) -> Option<[&Variable; 3]> {
-        let find = |suffix: &str| {
-            self.variables
-                .iter()
-                .find(|v| v.name.ends_with(suffix))
-        };
+        let find = |suffix: &str| self.variables.iter().find(|v| v.name.ends_with(suffix));
         match (find("_x"), find("_y"), find("_z")) {
             (Some(x), Some(y), Some(z)) => Some([x, y, z]),
             _ => None,

@@ -26,7 +26,10 @@ pub struct DeviceBuffer {
 impl DeviceBuffer {
     /// Allocate a buffer with `capacity` bytes, zero-initialized.
     pub fn new(capacity: usize) -> Self {
-        DeviceBuffer { data: vec![0u8; capacity], len: 0 }
+        DeviceBuffer {
+            data: vec![0u8; capacity],
+            len: 0,
+        }
     }
 
     /// Total capacity in bytes.
@@ -49,7 +52,10 @@ impl DeviceBuffer {
     /// # Panics
     /// Panics if `src` exceeds capacity.
     pub fn upload(&mut self, src: &[u8]) {
-        assert!(src.len() <= self.capacity(), "upload overflows device buffer");
+        assert!(
+            src.len() <= self.capacity(),
+            "upload overflows device buffer"
+        );
         self.data[..src.len()].copy_from_slice(src);
         self.len = src.len();
     }
@@ -104,7 +110,9 @@ pub struct BufferPool {
 impl BufferPool {
     /// Create a pool of `count` buffers of `capacity_each` bytes.
     pub fn new(capacity_each: usize, count: usize) -> Self {
-        let free = (0..count).map(|_| DeviceBuffer::new(capacity_each)).collect();
+        let free = (0..count)
+            .map(|_| DeviceBuffer::new(capacity_each))
+            .collect();
         BufferPool {
             inner: Arc::new(PoolInner {
                 free: Mutex::new(free),
@@ -132,7 +140,10 @@ impl BufferPool {
         }
         let mut buf = free.pop().expect("non-empty after wait");
         buf.set_len(0);
-        PooledBuffer { buf: Some(buf), pool: self.inner.clone() }
+        PooledBuffer {
+            buf: Some(buf),
+            pool: self.inner.clone(),
+        }
     }
 
     /// Try to check out a buffer without blocking.
@@ -140,7 +151,10 @@ impl BufferPool {
         let mut free = self.inner.free.lock();
         free.pop().map(|mut buf| {
             buf.set_len(0);
-            PooledBuffer { buf: Some(buf), pool: self.inner.clone() }
+            PooledBuffer {
+                buf: Some(buf),
+                pool: self.inner.clone(),
+            }
         })
     }
 }

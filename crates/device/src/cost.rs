@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn reduce_cheaper_with_native_support() {
         let with = DeviceConfig::h100_like();
-        let without = DeviceConfig { has_reduce_add: false, ..DeviceConfig::h100_like() };
+        let without = DeviceConfig {
+            has_reduce_add: false,
+            ..DeviceConfig::h100_like()
+        };
         let mut c = coalesced_counters(1 << 22);
         c.reduce_ops = c.warps_launched * 32;
         // Force compute-bound so the instruction difference is visible.

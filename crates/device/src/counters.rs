@@ -52,7 +52,10 @@ impl KernelCounters {
             let log_w = usize::BITS - (warp_size.max(2) - 1).leading_zeros();
             self.reduce_ops * 2 * log_w as u64
         };
-        self.shuffle_ops + self.ballot_ops + self.alu_ops + reduce_cost
+        self.shuffle_ops
+            + self.ballot_ops
+            + self.alu_ops
+            + reduce_cost
             + self.load_transactions
             + self.store_transactions
     }
@@ -138,7 +141,10 @@ mod tests {
 
     #[test]
     fn emulated_reduce_costs_log_warp_shuffles() {
-        let c = KernelCounters { reduce_ops: 10, ..Default::default() };
+        let c = KernelCounters {
+            reduce_ops: 10,
+            ..Default::default()
+        };
         // Native: 10 instructions.
         assert_eq!(c.total_instructions(32, true), 10);
         // Emulated on 32 lanes: 2 * log2(32) = 10 per reduce.
@@ -150,9 +156,18 @@ mod tests {
     #[test]
     fn sum_over_iterator() {
         let parts = vec![
-            KernelCounters { alu_ops: 1, ..Default::default() },
-            KernelCounters { alu_ops: 2, ..Default::default() },
-            KernelCounters { alu_ops: 3, ..Default::default() },
+            KernelCounters {
+                alu_ops: 1,
+                ..Default::default()
+            },
+            KernelCounters {
+                alu_ops: 2,
+                ..Default::default()
+            },
+            KernelCounters {
+                alu_ops: 3,
+                ..Default::default()
+            },
         ];
         let total: KernelCounters = parts.into_iter().sum();
         assert_eq!(total.alu_ops, 6);
@@ -160,7 +175,11 @@ mod tests {
 
     #[test]
     fn comm_ops_expand_emulated_reduce() {
-        let c = KernelCounters { reduce_ops: 4, shuffle_ops: 1, ..Default::default() };
+        let c = KernelCounters {
+            reduce_ops: 4,
+            shuffle_ops: 1,
+            ..Default::default()
+        };
         // Native reductions use dedicated hardware: no shuffle traffic.
         assert_eq!(c.comm_ops(32, true), 1);
         assert_eq!(c.comm_ops(32, false), 1 + 4 * 5);

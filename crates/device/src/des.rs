@@ -111,9 +111,21 @@ impl DesSim {
     }
 
     /// Add a task, returning its id.
-    pub fn add(&mut self, resource: Resource, duration: f64, deps: Vec<usize>, label: &str) -> usize {
+    pub fn add(
+        &mut self,
+        resource: Resource,
+        duration: f64,
+        deps: Vec<usize>,
+        label: &str,
+    ) -> usize {
         let id = self.tasks.len();
-        self.tasks.push(TaskSpec { id, resource, duration, deps, label: label.to_string() });
+        self.tasks.push(TaskSpec {
+            id,
+            resource,
+            duration,
+            deps,
+            label: label.to_string(),
+        });
         id
     }
 
@@ -154,11 +166,7 @@ impl DesSim {
                 if done[t.id] || t.deps.iter().any(|&d| !done[d]) {
                     continue;
                 }
-                let dep_ready = t
-                    .deps
-                    .iter()
-                    .map(|&d| finish[d])
-                    .fold(0.0f64, f64::max);
+                let dep_ready = t.deps.iter().map(|&d| finish[d]).fold(0.0f64, f64::max);
                 let key = resource_key(t.resource);
                 let res_ready = resource_free.get(&key).copied().unwrap_or(0.0);
                 let s = dep_ready.max(res_ready);
@@ -185,9 +193,17 @@ impl DesSim {
 
         let makespan = finish.iter().copied().fold(0.0f64, f64::max);
         let tasks = (0..n)
-            .map(|id| ScheduledTask { id, start: start[id], finish: finish[id] })
+            .map(|id| ScheduledTask {
+                id,
+                start: start[id],
+                finish: finish[id],
+            })
             .collect();
-        SimOutcome { makespan, tasks, busy }
+        SimOutcome {
+            makespan,
+            tasks,
+            busy,
+        }
     }
 }
 
@@ -195,8 +211,14 @@ impl DesSim {
 mod tests {
     use super::*;
 
-    const COMPUTE: Resource = Resource { device: 0, kind: ResourceKind::Compute };
-    const DMA1: Resource = Resource { device: 0, kind: ResourceKind::Dma1 };
+    const COMPUTE: Resource = Resource {
+        device: 0,
+        kind: ResourceKind::Compute,
+    };
+    const DMA1: Resource = Resource {
+        device: 0,
+        kind: ResourceKind::Dma1,
+    };
 
     #[test]
     fn independent_tasks_on_one_resource_serialize() {
@@ -266,7 +288,12 @@ mod tests {
         let mut sim = DesSim::new();
         for dev in 0..4 {
             let c = sim.add(link, 1.0, vec![], &format!("link{dev}"));
-            sim.add(Resource::on(dev, ResourceKind::Compute), 1.0, vec![c], "compute");
+            sim.add(
+                Resource::on(dev, ResourceKind::Compute),
+                1.0,
+                vec![c],
+                "compute",
+            );
         }
         let out = sim.run();
         // Link serializes: last copy finishes at t=4, compute ends t=5.

@@ -76,7 +76,12 @@ pub struct MultiDevice {
 
 impl MultiDevice {
     /// Bring up `n` identical devices.
-    pub fn new_uniform(config: DeviceConfig, n: usize, pool_buffer_bytes: usize, pool_buffers: usize) -> Self {
+    pub fn new_uniform(
+        config: DeviceConfig,
+        n: usize,
+        pool_buffer_bytes: usize,
+        pool_buffers: usize,
+    ) -> Self {
         let devices = (0..n)
             .map(|i| {
                 let mut c = config.clone();
@@ -131,7 +136,11 @@ mod tests {
     #[test]
     fn multi_device_names_are_distinct() {
         let md = MultiDevice::new_uniform(DeviceConfig::mi250x_like(), 3, 64, 1);
-        let names: Vec<_> = md.devices().iter().map(|d| d.config().name.clone()).collect();
+        let names: Vec<_> = md
+            .devices()
+            .iter()
+            .map(|d| d.config().name.clone())
+            .collect();
         assert_eq!(names.len(), 3);
         assert_ne!(names[0], names[1]);
         md.sync_all();

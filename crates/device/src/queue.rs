@@ -102,7 +102,11 @@ impl ExecQueue {
                 }
             })
             .expect("spawn queue worker");
-        ExecQueue { sender: Some(tx), worker: Some(worker), name: name.to_string() }
+        ExecQueue {
+            sender: Some(tx),
+            worker: Some(worker),
+            name: name.to_string(),
+        }
     }
 
     /// Engine name (e.g. `"h2d"`, `"compute"`, `"d2h"`).
@@ -112,13 +116,13 @@ impl ExecQueue {
 
     /// Submit `work` to run after every event in `deps` signals; returns the
     /// completion event of this job.
-    pub fn submit(
-        &self,
-        deps: Vec<Event>,
-        work: impl FnOnce() + Send + 'static,
-    ) -> Event {
+    pub fn submit(&self, deps: Vec<Event>, work: impl FnOnce() + Send + 'static) -> Event {
         let done = Event::new();
-        let job = Job { deps, work: Box::new(work), done: done.clone() };
+        let job = Job {
+            deps,
+            work: Box::new(work),
+            done: done.clone(),
+        };
         self.sender
             .as_ref()
             .expect("queue alive")
@@ -191,7 +195,10 @@ mod tests {
         let e2 = q2.submit(vec![], || std::thread::sleep(Duration::from_millis(50)));
         e1.wait();
         e2.wait();
-        assert!(t0.elapsed() < Duration::from_millis(95), "queues serialized");
+        assert!(
+            t0.elapsed() < Duration::from_millis(95),
+            "queues serialized"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Warp {
     /// # Panics
     /// Panics if `width` is zero or exceeds [`MAX_WARP`].
     pub fn new(width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_WARP, "warp width {width} out of range");
+        assert!(
+            (1..=MAX_WARP).contains(&width),
+            "warp width {width} out of range"
+        );
         let mut counters = KernelCounters::new();
         counters.warps_launched = 1;
         Warp { width, counters }

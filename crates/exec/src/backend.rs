@@ -1,0 +1,264 @@
+//! The [`Backend`] trait: portable kernels for the pipeline's hot stages.
+
+use crate::ctx::ExecCtx;
+use hpmdr_bitplane::native::ProgressiveDecoder;
+use hpmdr_bitplane::{BitplaneChunk, BitplaneFloat, Layout, Reconstruction};
+use hpmdr_lossless::{CompressedGroup, HybridCompressor};
+use hpmdr_mgard::{Hierarchy, Real};
+
+/// One level group encoded to bitplanes and compressed into merged units.
+///
+/// This is the backend-level product of the encode + lossless stages;
+/// `hpmdr-core` wraps it into its serializable `LevelStream`. Unit 0
+/// additionally carries the sign plane ahead of its magnitude planes, so
+/// unit `u` holds planes `[signs?] u*m .. (u+1)*m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedStream {
+    /// Element count of the group.
+    pub n: usize,
+    /// Alignment exponent (`i32::MIN` = all zero).
+    pub exp: i32,
+    /// Magnitude planes encoded.
+    pub num_planes: usize,
+    /// Stream layout.
+    pub layout: Layout,
+    /// Planes per merged unit (`m`).
+    pub group_size: usize,
+    /// Uncompressed bytes of one plane (layout-padded).
+    pub plane_bytes: usize,
+    /// Compressed merged units.
+    pub units: Vec<CompressedGroup>,
+}
+
+/// Borrowed view of an encoded stream, as retrieval sees it (core's
+/// `LevelStream` lends its metadata and unit list through this).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamView<'a> {
+    /// Element count of the group.
+    pub n: usize,
+    /// Alignment exponent.
+    pub exp: i32,
+    /// Magnitude planes encoded.
+    pub num_planes: usize,
+    /// Stream layout.
+    pub layout: Layout,
+    /// Planes per merged unit.
+    pub group_size: usize,
+    /// Uncompressed bytes of one plane.
+    pub plane_bytes: usize,
+    /// Compressed merged units.
+    pub units: &'a [CompressedGroup],
+}
+
+impl<'a> StreamView<'a> {
+    /// Magnitude planes contained in the first `u` units.
+    pub fn planes_in_units(&self, u: usize) -> usize {
+        (u * self.group_size).min(self.num_planes)
+    }
+}
+
+/// Portable execution backend: the kernels every pipeline stage routes
+/// through. Implementations must be cheap to clone (the overlapped
+/// pipeline clones one handle per tile submission) and are expected to
+/// produce **bit-identical** outputs for identical inputs — parallelism
+/// may split independent work but never reassociate arithmetic.
+///
+/// The provided method bodies are the portable scalar kernels; a backend
+/// customizes execution by overriding [`Backend::install`] (worker
+/// budget) and whichever fan-out kernels it can run better.
+pub trait Backend: Clone + Default + Send + Sync + 'static {
+    /// Short human-readable name (`"scalar"`, `"parallel"`, `"cuda"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Worker threads this backend may occupy.
+    fn threads(&self) -> usize;
+
+    /// Run `f` under this backend's execution policy (worker budget,
+    /// device context, …). Every kernel body runs inside `install`.
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R;
+
+    /// Multilevel decomposition (MGARD forward transform), in place.
+    fn decompose<F: Real>(&self, _ctx: &ExecCtx, data: &mut [F], h: &Hierarchy, correction: bool) {
+        self.install(|| hpmdr_mgard::decompose(data, h, correction));
+    }
+
+    /// Recompose the levels above `level`, in place (`level = 0` is the
+    /// full inverse transform).
+    fn recompose_to_level<F: Real>(
+        &self,
+        _ctx: &ExecCtx,
+        data: &mut [F],
+        h: &Hierarchy,
+        correction: bool,
+        level: usize,
+    ) {
+        self.install(|| hpmdr_mgard::recompose_to_level(data, h, correction, level));
+    }
+
+    /// Bitplane-encode one coefficient group.
+    fn encode_group<F: BitplaneFloat>(
+        &self,
+        _ctx: &ExecCtx,
+        group: &[F],
+        planes: usize,
+        layout: Layout,
+    ) -> BitplaneChunk {
+        self.install(|| hpmdr_bitplane::encode(group, planes, layout))
+    }
+
+    /// Merge an encoded chunk's planes into units of `group_size` and
+    /// compress each unit.
+    fn compress_units(
+        &self,
+        ctx: &ExecCtx,
+        chunk: &BitplaneChunk,
+        group_size: usize,
+        compressor: &HybridCompressor,
+    ) -> Vec<CompressedGroup> {
+        let m = group_size.max(1);
+        let num_units = chunk.num_planes().div_ceil(m);
+        self.install(|| {
+            (0..num_units)
+                .map(|u| compress_one_unit(ctx, chunk, u, m, compressor))
+                .collect()
+        })
+    }
+
+    /// Encode and compress every level group of a decomposed variable —
+    /// the refactoring hot loop. Parallel backends fan this out per
+    /// group; the scalar kernel runs groups in order.
+    fn encode_and_compress<F: BitplaneFloat>(
+        &self,
+        ctx: &ExecCtx,
+        groups: &[Vec<F>],
+        planes: usize,
+        layout: Layout,
+        group_size: usize,
+        compressor: &HybridCompressor,
+    ) -> Vec<EncodedStream> {
+        groups
+            .iter()
+            .map(|g| {
+                let chunk = self.encode_group(ctx, g, planes, layout);
+                let units = self.compress_units(ctx, &chunk, group_size, compressor);
+                stream_from_chunk(&chunk, group_size.max(1), units)
+            })
+            .collect()
+    }
+
+    /// Decompress the first `take_units` merged units of a stream back
+    /// into a (possibly partial) [`BitplaneChunk`] — the retrieval-side
+    /// inverse of [`Backend::compress_units`].
+    ///
+    /// # Panics
+    /// Panics if the stream is structurally corrupt (wrong decompressed
+    /// unit sizes).
+    fn decode_units(
+        &self,
+        _ctx: &ExecCtx,
+        stream: StreamView<'_>,
+        take_units: usize,
+        compressor: &HybridCompressor,
+        dtype: &str,
+    ) -> BitplaneChunk {
+        let take_units = take_units.min(stream.units.len());
+        self.install(|| {
+            let k = stream.planes_in_units(take_units);
+            let words = stream.plane_bytes / 4;
+            let mut signs = vec![0u32; words];
+            let mut planes: Vec<Vec<u32>> = Vec::with_capacity(k);
+            for u in 0..take_units {
+                let raw = compressor.decompress(&stream.units[u]);
+                let lo = u * stream.group_size;
+                let hi = ((u + 1) * stream.group_size).min(stream.num_planes);
+                let expect = (hi - lo + usize::from(u == 0)) * stream.plane_bytes;
+                assert_eq!(raw.len(), expect, "unit {u} has wrong decompressed size");
+                let mut off = 0usize;
+                if u == 0 {
+                    read_words(&raw[..stream.plane_bytes], &mut signs);
+                    off = stream.plane_bytes;
+                }
+                for _ in lo..hi {
+                    let mut plane = vec![0u32; words];
+                    read_words(&raw[off..off + stream.plane_bytes], &mut plane);
+                    off += stream.plane_bytes;
+                    planes.push(plane);
+                }
+            }
+            BitplaneChunk {
+                n: stream.n,
+                exp: stream.exp,
+                layout: stream.layout,
+                dtype: dtype.to_string(),
+                signs,
+                planes,
+            }
+        })
+    }
+
+    /// Materialize a progressive decoder's current approximation.
+    fn materialize<F: BitplaneFloat>(
+        &self,
+        _ctx: &ExecCtx,
+        decoder: &ProgressiveDecoder,
+        chunk: &BitplaneChunk,
+        recon: Reconstruction,
+    ) -> Vec<F> {
+        self.install(|| decoder.materialize::<F>(chunk, recon))
+    }
+}
+
+/// Assemble the backend-level stream product from an encoded chunk and
+/// its compressed units.
+pub(crate) fn stream_from_chunk(
+    chunk: &BitplaneChunk,
+    group_size: usize,
+    units: Vec<CompressedGroup>,
+) -> EncodedStream {
+    EncodedStream {
+        n: chunk.n,
+        exp: chunk.exp,
+        num_planes: chunk.num_planes(),
+        layout: chunk.layout,
+        group_size,
+        plane_bytes: chunk.plane_bytes(),
+        units,
+    }
+}
+
+/// Merge and compress unit `u` of `chunk` (unit 0 carries the signs).
+/// The merge buffer is leased from the context pool.
+pub(crate) fn compress_one_unit(
+    ctx: &ExecCtx,
+    chunk: &BitplaneChunk,
+    u: usize,
+    m: usize,
+    compressor: &HybridCompressor,
+) -> CompressedGroup {
+    let b = chunk.num_planes();
+    let plane_bytes = chunk.plane_bytes();
+    let lo = u * m;
+    let hi = ((u + 1) * m).min(b);
+    ctx.with_buffer(|merged| {
+        merged.reserve((hi - lo + usize::from(u == 0)) * plane_bytes);
+        if u == 0 {
+            extend_words(merged, &chunk.signs);
+        }
+        for p in lo..hi {
+            extend_words(merged, &chunk.planes[p]);
+        }
+        compressor.compress(merged)
+    })
+}
+
+pub(crate) fn extend_words(out: &mut Vec<u8>, words: &[u32]) {
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+pub(crate) fn read_words(bytes: &[u8], out: &mut [u32]) {
+    for (i, w) in out.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().expect("sized"));
+    }
+}

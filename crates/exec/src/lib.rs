@@ -1,0 +1,40 @@
+//! # hpmdr-exec — portable executor layer (the HPDR abstraction)
+//!
+//! HP-MDR's portability claim rests on routing every hot pipeline stage
+//! through a backend-agnostic execution layer: the same refactoring /
+//! retrieval dataflow runs on CUDA, HIP, or SYCL devices (HPDR,
+//! arXiv:2503.06322), or on host CPUs. This crate is that seam for the
+//! workspace: a [`Backend`] trait whose kernels cover the hot stages —
+//! multilevel decompose/recompose, bitplane encode/decode, and hybrid
+//! lossless (de)compression of merged units — plus an [`ExecCtx`]
+//! carrying tiling parameters and reusable scratch buffers.
+//!
+//! Two backends ship today:
+//!
+//! * [`ScalarBackend`] — the portable reference: every kernel runs
+//!   sequentially on the calling thread (the paper's "most compatible
+//!   processor" configuration). This is the default everywhere, so
+//!   behavior is reproducible on any host.
+//! * [`ParallelBackend`] — multi-core host execution: level groups,
+//!   merged units, and element ranges fan out across a bounded worker
+//!   pool (per-tile parallelism comes from the pipeline layer driving one
+//!   tile per compute submission).
+//!
+//! Both produce **bit-identical artifacts**: parallelism only ever splits
+//! independent work (groups, units, elements), never reassociates
+//! arithmetic. `tests/tests/backend_equivalence.rs` property-tests that
+//! invariant, which is the portability property refactored data relies on.
+//!
+//! Adding a GPU/SIMD backend means implementing [`Backend`]'s kernels and
+//! nothing else; `hpmdr-core`'s refactor/retrieve/pipeline code is generic
+//! over `B: Backend`. See `ARCHITECTURE.md` at the workspace root.
+
+mod backend;
+mod ctx;
+mod parallel;
+mod scalar;
+
+pub use backend::{Backend, EncodedStream, StreamView};
+pub use ctx::ExecCtx;
+pub use parallel::ParallelBackend;
+pub use scalar::ScalarBackend;

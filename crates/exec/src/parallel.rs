@@ -1,0 +1,163 @@
+//! The multi-core host backend: fan-out over level groups and merged
+//! units.
+
+use crate::backend::{compress_one_unit, stream_from_chunk, Backend, EncodedStream};
+use crate::ctx::ExecCtx;
+use hpmdr_bitplane::{BitplaneChunk, BitplaneFloat, Layout};
+use hpmdr_lossless::{CompressedGroup, HybridCompressor};
+use rayon::prelude::*;
+
+/// Multi-threaded host execution.
+///
+/// Parallelism shape (mirroring the paper's GPU kernels, which assign
+/// independent tiles/planes/units to independent thread blocks):
+///
+/// * `encode_and_compress` fans out **per level group** — groups are
+///   fully independent streams;
+/// * `compress_units` fans out **per merged unit** — units compress
+///   disjoint plane ranges;
+/// * element-parallel leaf kernels (decompose lines, plane transposes,
+///   decoder materialization) run under the full worker budget via
+///   `install`.
+///
+/// Work is only ever *split*, never reassociated, so artifacts are
+/// bit-identical to [`crate::ScalarBackend`]'s (property-tested in
+/// `tests/tests/backend_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct ParallelBackend {
+    threads: usize,
+    /// Worker pool, built once per backend and shared by clones (the
+    /// pipeline clones one handle per tile submission; kernels must not
+    /// pay pool construction on the hot path).
+    pool: std::sync::Arc<rayon::ThreadPool>,
+}
+
+impl Default for ParallelBackend {
+    fn default() -> Self {
+        ParallelBackend::new()
+    }
+}
+
+impl ParallelBackend {
+    /// Backend using every available core.
+    pub fn new() -> Self {
+        Self::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Backend bounded to `threads` workers (1 behaves like
+    /// [`crate::ScalarBackend`]).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("hpmdr-exec-{i}"))
+            .build()
+            .expect("pool always builds");
+        ParallelBackend {
+            threads,
+            pool: std::sync::Arc::new(pool),
+        }
+    }
+}
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.pool.install(f)
+    }
+
+    fn compress_units(
+        &self,
+        ctx: &ExecCtx,
+        chunk: &BitplaneChunk,
+        group_size: usize,
+        compressor: &HybridCompressor,
+    ) -> Vec<CompressedGroup> {
+        let m = group_size.max(1);
+        let num_units = chunk.num_planes().div_ceil(m);
+        self.install(|| {
+            (0..num_units)
+                .into_par_iter()
+                .map(|u| compress_one_unit(ctx, chunk, u, m, compressor))
+                .collect()
+        })
+    }
+
+    fn encode_and_compress<F: BitplaneFloat>(
+        &self,
+        ctx: &ExecCtx,
+        groups: &[Vec<F>],
+        planes: usize,
+        layout: Layout,
+        group_size: usize,
+        compressor: &HybridCompressor,
+    ) -> Vec<EncodedStream> {
+        let m = group_size.max(1);
+        self.install(|| {
+            groups
+                .par_iter()
+                .map(|g| {
+                    let chunk = hpmdr_bitplane::encode(g, planes, layout);
+                    let num_units = chunk.num_planes().div_ceil(m);
+                    let units: Vec<CompressedGroup> = (0..num_units)
+                        .into_par_iter()
+                        .map(|u| compress_one_unit(ctx, &chunk, u, m, compressor))
+                        .collect();
+                    stream_from_chunk(&chunk, m, units)
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarBackend;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.17).sin() * 2.0 + (i as f32 * 0.013).cos())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_scalar_bit_for_bit() {
+        let ctx = ExecCtx::default();
+        let scalar = ScalarBackend::new();
+        let parallel = ParallelBackend::with_threads(4);
+        let compressor = HybridCompressor::new(Default::default());
+        let groups: Vec<Vec<f32>> = (0..5).map(|g| field(100 + 37 * g)).collect();
+        let a =
+            scalar.encode_and_compress(&ctx, &groups, 32, Layout::Interleaved32, 4, &compressor);
+        let b =
+            parallel.encode_and_compress(&ctx, &groups, 32, Layout::Interleaved32, 4, &compressor);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_budget_is_clamped() {
+        assert_eq!(ParallelBackend::with_threads(0).threads(), 1);
+        assert!(ParallelBackend::new().threads() >= 1);
+    }
+
+    #[test]
+    fn decompose_agrees_with_scalar() {
+        use hpmdr_mgard::Hierarchy;
+        let ctx = ExecCtx::default();
+        let h = Hierarchy::full(&[33, 20]);
+        let orig: Vec<f64> = field(33 * 20).into_iter().map(f64::from).collect();
+        let mut a = orig.clone();
+        let mut b = orig;
+        ScalarBackend::new().decompose(&ctx, &mut a, &h, true);
+        ParallelBackend::with_threads(4).decompose(&ctx, &mut b, &h, true);
+        assert_eq!(a, b, "decompose must be bit-identical across backends");
+    }
+}

@@ -1,0 +1,85 @@
+//! The portable single-threaded reference backend.
+
+use crate::backend::Backend;
+
+/// Sequential execution on the calling thread — the "most compatible
+/// processor" configuration the paper's portability story falls back to,
+/// and the default backend everywhere in the workspace.
+///
+/// All kernels run inside a one-thread worker budget, so even leaf
+/// kernels that know how to parallelize execute sequentially. This is
+/// also what makes the backend the semantics reference: no scheduling,
+/// no nondeterministic interleaving, one canonical execution order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScalarBackend;
+
+impl ScalarBackend {
+    /// Construct the scalar backend.
+    pub fn new() -> Self {
+        ScalarBackend
+    }
+}
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        // One shared one-thread pool pins every parallel-capable leaf
+        // kernel to sequential execution; built once, not per kernel.
+        use std::sync::OnceLock;
+        static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("one-thread pool always builds")
+        })
+        .install(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ExecCtx;
+    use hpmdr_bitplane::Layout;
+    use hpmdr_lossless::{HybridCompressor, HybridConfig};
+
+    #[test]
+    fn scalar_reports_one_thread() {
+        let b = ScalarBackend::new();
+        assert_eq!(b.threads(), 1);
+        assert_eq!(b.name(), "scalar");
+        b.install(|| assert_eq!(rayon::current_num_threads(), 1));
+    }
+
+    #[test]
+    fn encode_compress_decode_roundtrip() {
+        let ctx = ExecCtx::default();
+        let backend = ScalarBackend::new();
+        let data: Vec<f32> = (0..300).map(|i| (i as f32 * 0.21).sin() * 3.0).collect();
+        let compressor = HybridCompressor::new(HybridConfig::default());
+        let streams =
+            backend.encode_and_compress(&ctx, &[data], 32, Layout::Interleaved32, 4, &compressor);
+        assert_eq!(streams.len(), 1);
+        let s = &streams[0];
+        let view = crate::backend::StreamView {
+            n: s.n,
+            exp: s.exp,
+            num_planes: s.num_planes,
+            layout: s.layout,
+            group_size: s.group_size,
+            plane_bytes: s.plane_bytes,
+            units: &s.units,
+        };
+        let full = backend.decode_units(&ctx, view, s.units.len(), &compressor, "f32");
+        full.validate().unwrap();
+        assert_eq!(full.num_planes(), s.num_planes);
+    }
+}

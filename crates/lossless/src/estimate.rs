@@ -86,7 +86,9 @@ mod tests {
         for data in [
             vec![0u8; 200_000],
             xorshift_bytes(200_000, 3),
-            (0..200_000).map(|i| if i % 16 == 0 { 255 } else { 0 }).collect::<Vec<u8>>(),
+            (0..200_000)
+                .map(|i| if i % 16 == 0 { 255 } else { 0 })
+                .collect::<Vec<u8>>(),
         ] {
             let est_cr = estimate_huffman_cr(&data);
             let actual_cr = data.len() as f64 / hf::compress(&data).len() as f64;
@@ -142,7 +144,7 @@ mod tests {
         // RLE pays ~2 bytes per 4096-byte run.
         let mut data = Vec::new();
         for i in 0..256 {
-            data.extend(std::iter::repeat(i as u8).take(4096));
+            data.extend(std::iter::repeat_n(i as u8, 4096));
         }
         assert!(estimate_rle_cr(&data) > estimate_huffman_cr(&data));
     }

@@ -90,7 +90,10 @@ fn try_code_lengths(hist: &[u64; 256]) -> [u8; 256] {
     let mut heap = std::collections::BinaryHeap::new();
     let mut parents: Vec<usize> = vec![usize::MAX; 256 + symbols.len()];
     for &s in &symbols {
-        heap.push(Node { count: hist[s], id: s });
+        heap.push(Node {
+            count: hist[s],
+            id: s,
+        });
     }
     let mut next_id = 256;
     while heap.len() > 1 {
@@ -98,7 +101,10 @@ fn try_code_lengths(hist: &[u64; 256]) -> [u8; 256] {
         let b = heap.pop().expect("heap len > 1");
         parents[a.id] = next_id;
         parents[b.id] = next_id;
-        heap.push(Node { count: a.count + b.count, id: next_id });
+        heap.push(Node {
+            count: a.count + b.count,
+            id: next_id,
+        });
         next_id += 1;
     }
     for &s in &symbols {
@@ -239,7 +245,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, byte: 0, bit: 0 }
+        BitReader {
+            data,
+            byte: 0,
+            bit: 0,
+        }
     }
     #[inline]
     fn next_bit(&mut self) -> u8 {
@@ -267,9 +277,8 @@ pub fn decompress(stream: &[u8]) -> Vec<u8> {
     let mut off = 16 + 256;
     let mut chunk_lens = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
-        chunk_lens.push(u32::from_le_bytes(
-            stream[off..off + 4].try_into().expect("sized"),
-        ) as usize);
+        chunk_lens
+            .push(u32::from_le_bytes(stream[off..off + 4].try_into().expect("sized")) as usize);
         off += 4;
     }
     let mut chunk_spans = Vec::with_capacity(n_chunks);
@@ -340,7 +349,10 @@ mod tests {
     fn roundtrip_single_symbol_run() {
         let data = vec![7u8; 100_000];
         let c = compress(&data);
-        assert!(c.len() < data.len() / 4, "single-symbol data must compress hard");
+        assert!(
+            c.len() < data.len() / 4,
+            "single-symbol data must compress hard"
+        );
         assert_eq!(decompress(&c), data);
     }
 
@@ -383,10 +395,7 @@ mod tests {
                     continue;
                 }
                 let prefix = codes[b] >> (lens[b] - lens[a]);
-                assert!(
-                    prefix != codes[a] || a == b,
-                    "code {a} is a prefix of {b}"
-                );
+                assert!(prefix != codes[a] || a == b, "code {a} is a prefix of {b}");
             }
         }
     }
@@ -401,7 +410,11 @@ mod tests {
             h
         };
         let lens = code_lengths(&hist);
-        let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
         assert!(kraft <= 1.0 + 1e-9);
     }
 
@@ -409,7 +422,9 @@ mod tests {
     fn compressed_size_close_to_entropy() {
         // Two symbols, 90/10 split: entropy ≈ 0.469 bits/byte, Huffman ≥ 1
         // bit/byte (prefix codes can't go below 1 bit per symbol).
-        let data: Vec<u8> = (0..400_000).map(|i| if i % 10 == 0 { 1 } else { 0 }).collect();
+        let data: Vec<u8> = (0..400_000)
+            .map(|i| if i % 10 == 0 { 1 } else { 0 })
+            .collect();
         let c = compress(&data);
         let bits_per_sym = (c.len() * 8) as f64 / data.len() as f64;
         assert!(bits_per_sym < 1.1, "got {bits_per_sym}");

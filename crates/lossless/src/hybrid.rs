@@ -34,14 +34,21 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { group_size: 4, size_threshold: 1024, cr_threshold: 1.0 }
+        HybridConfig {
+            group_size: 4,
+            size_threshold: 1024,
+            cr_threshold: 1.0,
+        }
     }
 }
 
 impl HybridConfig {
     /// Paper configuration with a specific `rc` threshold.
     pub fn with_rc(cr_threshold: f64) -> Self {
-        HybridConfig { cr_threshold, ..Default::default() }
+        HybridConfig {
+            cr_threshold,
+            ..Default::default()
+        }
     }
 }
 
@@ -110,7 +117,11 @@ impl HybridCompressor {
             Codec::Rle => rle::compress(group),
             Codec::Direct => group.to_vec(),
         };
-        CompressedGroup { codec, payload, original_len: group.len() }
+        CompressedGroup {
+            codec,
+            payload,
+            original_len: group.len(),
+        }
     }
 
     /// Compress with a forced codec (used by the Figure 8 all-Huffman and
@@ -121,7 +132,11 @@ impl HybridCompressor {
             Codec::Rle => rle::compress(group),
             Codec::Direct => group.to_vec(),
         };
-        CompressedGroup { codec, payload, original_len: group.len() }
+        CompressedGroup {
+            codec,
+            payload,
+            original_len: group.len(),
+        }
     }
 
     /// Decompress a group produced by [`Self::compress`].
@@ -163,7 +178,9 @@ mod tests {
     #[test]
     fn zero_heavy_groups_pick_huffman() {
         let c = compressor(1.0);
-        let data: Vec<u8> = (0..100_000).map(|i| if i % 50 == 0 { 3 } else { 0 }).collect();
+        let data: Vec<u8> = (0..100_000)
+            .map(|i| if i % 50 == 0 { 3 } else { 0 })
+            .collect();
         assert_eq!(c.select(&data), Codec::Huffman);
     }
 
@@ -180,7 +197,7 @@ mod tests {
         // bit/byte floor), RLE collapses runs entirely.
         let mut data = Vec::new();
         for i in 0..256 {
-            data.extend(std::iter::repeat(i as u8).take(4096));
+            data.extend(std::iter::repeat_n(i as u8, 4096));
         }
         let c = compressor(16.0);
         assert_eq!(c.select(&data), Codec::Rle);
@@ -210,7 +227,9 @@ mod tests {
         // Whatever Algorithm 2 selects, a non-Direct choice must actually
         // achieve a ratio near or above the threshold.
         let c = compressor(2.0);
-        let data: Vec<u8> = (0..200_000).map(|i| if i % 20 == 0 { 9 } else { 0 }).collect();
+        let data: Vec<u8> = (0..200_000)
+            .map(|i| if i % 20 == 0 { 9 } else { 0 })
+            .collect();
         let g = c.compress(&data);
         if g.codec != Codec::Direct {
             assert!(g.ratio() > 1.8, "ratio {} for {:?}", g.ratio(), g.codec);
@@ -221,7 +240,9 @@ mod tests {
     fn raising_rc_reduces_compression_effort() {
         // With a huge threshold everything becomes direct copy.
         let c = compressor(1e9);
-        let data: Vec<u8> = (0..100_000).map(|i| if i % 50 == 0 { 3 } else { 0 }).collect();
+        let data: Vec<u8> = (0..100_000)
+            .map(|i| if i % 50 == 0 { 3 } else { 0 })
+            .collect();
         assert_eq!(c.select(&data), Codec::Direct);
     }
 

@@ -53,7 +53,7 @@ pub fn varint_len(v: u64) -> usize {
     if v == 0 {
         return 1;
     }
-    ((64 - v.leading_zeros() as usize) + 6) / 7
+    (64 - v.leading_zeros() as usize).div_ceil(7)
 }
 
 fn compress_chunk(chunk: &[u8]) -> Vec<u8> {
@@ -78,9 +78,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         .par_chunks(CHUNK_SIZE.max(1))
         .map(compress_chunk)
         .collect();
-    let mut out = Vec::with_capacity(
-        16 + 4 * payloads.len() + payloads.iter().map(Vec::len).sum::<usize>(),
-    );
+    let mut out =
+        Vec::with_capacity(16 + 4 * payloads.len() + payloads.iter().map(Vec::len).sum::<usize>());
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     out.extend_from_slice(&(CHUNK_SIZE as u32).to_le_bytes());
     out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
@@ -152,7 +151,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             push_varint(&mut buf, v);
             assert_eq!(buf.len(), varint_len(v), "len for {v}");
@@ -171,7 +180,11 @@ mod tests {
     fn roundtrip_all_zero() {
         let data = vec![0u8; 500_000];
         let c = compress(&data);
-        assert!(c.len() < 200, "all-zero data must collapse: {} bytes", c.len());
+        assert!(
+            c.len() < 200,
+            "all-zero data must collapse: {} bytes",
+            c.len()
+        );
         assert_eq!(decompress(&c), data);
     }
 
@@ -188,7 +201,7 @@ mod tests {
     fn roundtrip_structured_runs() {
         let mut data = Vec::new();
         for i in 0..1000u32 {
-            data.extend(std::iter::repeat((i % 5) as u8).take(17 + (i as usize % 300)));
+            data.extend(std::iter::repeat_n((i % 5) as u8, 17 + (i as usize % 300)));
         }
         assert_eq!(decompress(&compress(&data)), data);
     }

@@ -34,7 +34,10 @@ impl Hierarchy {
 
     /// Build a hierarchy with at most `max_levels` decomposition steps.
     pub fn with_levels(shape: &[usize], max_levels: usize) -> Self {
-        assert!(!shape.is_empty() && shape.len() <= MAX_DIMS, "1-3 dimensions supported");
+        assert!(
+            !shape.is_empty() && shape.len() <= MAX_DIMS,
+            "1-3 dimensions supported"
+        );
         assert!(shape.iter().all(|&n| n >= 1), "zero-sized dimension");
         let mut levels = 0usize;
         let mut dims: Vec<usize> = shape.to_vec();
@@ -46,7 +49,10 @@ impl Hierarchy {
             }
             levels += 1;
         }
-        Hierarchy { shape: shape.to_vec(), levels }
+        Hierarchy {
+            shape: shape.to_vec(),
+            levels,
+        }
     }
 
     /// Number of dimensions.

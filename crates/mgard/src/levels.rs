@@ -55,7 +55,7 @@ impl LevelSet {
                             let j = rem % dims[d];
                             rem /= dims[d];
                             let orig = j * strides_l[d];
-                            if orig % next_strides[d] != 0
+                            if !orig.is_multiple_of(next_strides[d])
                                 || orig / next_strides[d] >= h.dim_at_level(d, l + 1)
                             {
                                 in_next = false;
@@ -228,7 +228,11 @@ mod tests {
         // Adversarial-ish deterministic perturbation.
         for (k, g) in groups.iter_mut().enumerate() {
             for (j, v) in g.iter_mut().enumerate() {
-                let sign = if (j * 2654435761usize) & 1 == 0 { 1.0 } else { -1.0 };
+                let sign = if (j * 2654435761usize) & 1 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 *v += sign * errs[k];
             }
         }

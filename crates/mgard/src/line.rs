@@ -252,7 +252,11 @@ mod tests {
         let mut s = LineScratch::with_capacity(9);
         decompose_line(&mut line, &mut s, true);
         for i in 0..4 {
-            assert!(line[2 * i + 1].abs() < 1e-12, "detail {i} = {}", line[2 * i + 1]);
+            assert!(
+                line[2 * i + 1].abs() < 1e-12,
+                "detail {i} = {}",
+                line[2 * i + 1]
+            );
         }
     }
 
@@ -273,7 +277,9 @@ mod tests {
         // The corrected coarse grid is the L2 projection, so its
         // piecewise-linear interpolant must beat plain subsampling in L2.
         let n = 65;
-        let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.7).cos()).collect();
+        let vals: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.7).cos())
+            .collect();
         let l2_err = |correct: bool| {
             let mut line = vals.clone();
             let mut s = LineScratch::with_capacity(n);
@@ -283,7 +289,10 @@ mod tests {
                 line[2 * i + 1] = 0.0;
             }
             recompose_line(&mut line, &mut s, correct);
-            vals.iter().zip(&line).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            vals.iter()
+                .zip(&line)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
         };
         assert!(l2_err(true) < l2_err(false));
     }

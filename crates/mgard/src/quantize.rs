@@ -26,7 +26,9 @@ pub fn quantize<F: Real>(values: &[F], eb: f64) -> Vec<i64> {
 
 /// Inverse of [`quantize`].
 pub fn dequantize<F: Real>(q: &[i64], eb: f64) -> Vec<F> {
-    q.iter().map(|&qi| F::from_f64(qi as f64 * 2.0 * eb)).collect()
+    q.iter()
+        .map(|&qi| F::from_f64(qi as f64 * 2.0 * eb))
+        .collect()
 }
 
 /// Per-group error bounds that make the *reconstruction* error at most
@@ -105,7 +107,17 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        let codes = vec![0i64, 1, -1, 2, -2, 1000, -1000, i32::MAX as i64, i32::MIN as i64];
+        let codes = vec![
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            1000,
+            -1000,
+            i32::MAX as i64,
+            i32::MIN as i64,
+        ];
         let bytes = codes_to_bytes(&codes);
         assert_eq!(bytes_to_codes(&bytes, codes.len()), codes);
     }

@@ -106,7 +106,11 @@ fn level_geometry(h: &Hierarchy, l: usize) -> (Vec<usize>, Vec<usize>) {
 /// # Panics
 /// Panics if `data.len()` does not match the hierarchy.
 pub fn decompose<F: Real>(data: &mut [F], h: &Hierarchy, correct: bool) {
-    assert_eq!(data.len(), h.len(), "data length must match hierarchy shape");
+    assert_eq!(
+        data.len(),
+        h.len(),
+        "data length must match hierarchy shape"
+    );
     for l in 0..h.levels {
         let (dims, elem_strides) = level_geometry(h, l);
         for axis in 0..h.ndims() {
@@ -136,8 +140,15 @@ pub fn recompose_to_level<F: Real>(
     correct: bool,
     target_level: usize,
 ) {
-    assert_eq!(data.len(), h.len(), "data length must match hierarchy shape");
-    assert!(target_level <= h.levels, "level {target_level} beyond hierarchy");
+    assert_eq!(
+        data.len(),
+        h.len(),
+        "data length must match hierarchy shape"
+    );
+    assert!(
+        target_level <= h.levels,
+        "level {target_level} beyond hierarchy"
+    );
     for l in (target_level..h.levels).rev() {
         let (dims, elem_strides) = level_geometry(h, l);
         for axis in (0..h.ndims()).rev() {
@@ -149,7 +160,11 @@ pub fn recompose_to_level<F: Real>(
 /// Gather the active grid of `level` into a dense row-major array of
 /// shape [`Hierarchy::shape_at_level`].
 pub fn extract_active_grid<F: Real>(data: &[F], h: &Hierarchy, level: usize) -> Vec<F> {
-    assert_eq!(data.len(), h.len(), "data length must match hierarchy shape");
+    assert_eq!(
+        data.len(),
+        h.len(),
+        "data length must match hierarchy shape"
+    );
     assert!(level <= h.levels, "level {level} beyond hierarchy");
     let nd = h.ndims();
     let dims = h.shape_at_level(level);
@@ -286,7 +301,10 @@ mod tests {
         }
         let range = orig.iter().cloned().fold(f64::MIN, f64::max)
             - orig.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max_detail < 0.05 * range, "max detail {max_detail} vs range {range}");
+        assert!(
+            max_detail < 0.05 * range,
+            "max detail {max_detail} vs range {range}"
+        );
     }
 
     #[test]
@@ -367,6 +385,9 @@ mod tests {
         let h = Hierarchy::full(&[5, 5]);
         let data: Vec<f64> = (0..25).map(|i| i as f64).collect();
         let coarse = extract_active_grid(&data, &h, 1); // 3x3: indices 0,2,4
-        assert_eq!(coarse, vec![0.0, 2.0, 4.0, 10.0, 12.0, 14.0, 20.0, 22.0, 24.0]);
+        assert_eq!(
+            coarse,
+            vec![0.0, 2.0, 4.0, 10.0, 12.0, 14.0, 20.0, 22.0, 24.0]
+        );
     }
 }

@@ -69,7 +69,10 @@ impl QoiExpr {
 
     /// `log(x_0)` clamped at `floor` (a \[39\] base QoI family).
     pub fn log_density(floor: f64) -> Self {
-        QoiExpr::Ln { arg: Box::new(QoiExpr::Var(0)), floor }
+        QoiExpr::Ln {
+            arg: Box::new(QoiExpr::Var(0)),
+            floor,
+        }
     }
 
     /// Linear combination `Σ c_i x_i`.
@@ -77,7 +80,10 @@ impl QoiExpr {
         assert!(!coeffs.is_empty());
         let mut acc = QoiExpr::Scale(coeffs[0], Box::new(QoiExpr::Var(0)));
         for (i, &c) in coeffs.iter().enumerate().skip(1) {
-            acc = QoiExpr::Add(Box::new(acc), Box::new(QoiExpr::Scale(c, Box::new(QoiExpr::Var(i)))));
+            acc = QoiExpr::Add(
+                Box::new(acc),
+                Box::new(QoiExpr::Scale(c, Box::new(QoiExpr::Var(i)))),
+            );
         }
         acc
     }

@@ -26,7 +26,10 @@ impl Interval {
     /// The ball `[v - r, v + r]` (`r ≥ 0`).
     pub fn ball(v: f64, r: f64) -> Self {
         debug_assert!(r >= 0.0, "negative radius");
-        Interval { lo: v - r, hi: v + r }
+        Interval {
+            lo: v - r,
+            hi: v + r,
+        }
     }
 
     /// Construct from endpoints, normalizing order.
@@ -49,18 +52,32 @@ impl Interval {
     }
 
     /// Interval sum.
+    #[allow(clippy::should_implement_trait)] // interval algebra, not operator overloading
     pub fn add(self, o: Interval) -> Interval {
-        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
     }
 
     /// Interval difference.
+    #[allow(clippy::should_implement_trait)] // interval algebra, not operator overloading
     pub fn sub(self, o: Interval) -> Interval {
-        Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
+        Interval {
+            lo: self.lo - o.hi,
+            hi: self.hi - o.lo,
+        }
     }
 
     /// Interval product (max/min of the four endpoint products).
+    #[allow(clippy::should_implement_trait)] // interval algebra, not operator overloading
     pub fn mul(self, o: Interval) -> Interval {
-        let p = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        let p = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
         Interval {
             lo: p.iter().cloned().fold(f64::INFINITY, f64::min),
             hi: p.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
@@ -72,7 +89,10 @@ impl Interval {
         let a = self.lo * self.lo;
         let b = self.hi * self.hi;
         if self.lo <= 0.0 && self.hi >= 0.0 {
-            Interval { lo: 0.0, hi: a.max(b) }
+            Interval {
+                lo: 0.0,
+                hi: a.max(b),
+            }
         } else {
             Interval::new(a, b)
         }
@@ -82,7 +102,10 @@ impl Interval {
     /// QoIs defined as `√(non-negative combination)` where small negative
     /// excursions only arise from reconstruction error.
     pub fn sqrt(self) -> Interval {
-        Interval { lo: self.lo.max(0.0).sqrt(), hi: self.hi.max(0.0).sqrt() }
+        Interval {
+            lo: self.lo.max(0.0).sqrt(),
+            hi: self.hi.max(0.0).sqrt(),
+        }
     }
 
     /// Interval absolute value.
@@ -90,9 +113,15 @@ impl Interval {
         if self.lo >= 0.0 {
             self
         } else if self.hi <= 0.0 {
-            Interval { lo: -self.hi, hi: -self.lo }
+            Interval {
+                lo: -self.hi,
+                hi: -self.lo,
+            }
         } else {
-            Interval { lo: 0.0, hi: (-self.lo).max(self.hi) }
+            Interval {
+                lo: 0.0,
+                hi: (-self.lo).max(self.hi),
+            }
         }
     }
 
@@ -120,7 +149,10 @@ impl Interval {
         if self.lo > 0.0 || self.hi < 0.0 {
             Interval::new(1.0 / self.hi, 1.0 / self.lo)
         } else {
-            Interval { lo: -f64::MAX, hi: f64::MAX }
+            Interval {
+                lo: -f64::MAX,
+                hi: f64::MAX,
+            }
         }
     }
 
@@ -173,13 +205,22 @@ mod tests {
 
     #[test]
     fn abs_straddles_zero() {
-        assert_eq!(Interval::new(-3.0, 1.0).abs(), Interval { lo: 0.0, hi: 3.0 });
-        assert_eq!(Interval::new(-3.0, -1.0).abs(), Interval { lo: 1.0, hi: 3.0 });
+        assert_eq!(
+            Interval::new(-3.0, 1.0).abs(),
+            Interval { lo: 0.0, hi: 3.0 }
+        );
+        assert_eq!(
+            Interval::new(-3.0, -1.0).abs(),
+            Interval { lo: 1.0, hi: 3.0 }
+        );
     }
 
     #[test]
     fn scale_flips_on_negative_constant() {
-        assert_eq!(Interval::new(1.0, 2.0).scale(-2.0), Interval { lo: -4.0, hi: -2.0 });
+        assert_eq!(
+            Interval::new(1.0, 2.0).scale(-2.0),
+            Interval { lo: -4.0, hi: -2.0 }
+        );
     }
 
     #[test]

@@ -61,11 +61,11 @@ pub fn max_qoi_error(expr: &QoiExpr, vars: &[&[f64]], errs: &[f64]) -> MaxError 
             gather(vars, i, &mut point[..vars.len()]);
             (expr.error_bound(&point[..vars.len()], errs), i)
         })
-        .reduce(
-            || (0.0f64, 0usize),
-            |a, b| if b.0 > a.0 { b } else { a },
-        );
-    MaxError { value: best.0, argmax: best.1 }
+        .reduce(|| (0.0f64, 0usize), |a, b| if b.0 > a.0 { b } else { a });
+    MaxError {
+        value: best.0,
+        argmax: best.1,
+    }
 }
 
 /// Maximum actual QoI error between ground-truth variables and their
@@ -109,7 +109,9 @@ mod tests {
     use super::*;
 
     fn velocity_field(n: usize, phase: f64) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.013 + phase).sin() * 3.0).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.013 + phase).sin() * 3.0)
+            .collect()
     }
 
     #[test]
@@ -146,8 +148,7 @@ mod tests {
         // Perturb each variable within its bound; the actual QoI error
         // must never exceed the estimate (the Figure 13 invariant).
         let q = QoiExpr::vector_magnitude(3);
-        let truth: Vec<Vec<f64>> =
-            (0..3).map(|k| velocity_field(4096, k as f64)).collect();
+        let truth: Vec<Vec<f64>> = (0..3).map(|k| velocity_field(4096, k as f64)).collect();
         let errs = [0.02, 0.01, 0.03];
         let approx: Vec<Vec<f64>> = truth
             .iter()

@@ -18,7 +18,12 @@ use hpmdr_examples::{human_bytes, linf_f32};
 
 fn main() {
     let ds = Dataset::generate(DatasetKind::Letkf, 7);
-    println!("dataset: {} ({:?}), {} ensemble members", ds.kind.name(), ds.shape, ds.variables.len());
+    println!(
+        "dataset: {} ({:?}), {} ensemble members",
+        ds.kind.name(),
+        ds.shape,
+        ds.variables.len()
+    );
 
     // --- Write path (runs once, e.g. at simulation time) ---------------
     let config = RefactorConfig::default();
@@ -53,7 +58,10 @@ fn main() {
         let refactored = from_bytes(&bytes).expect("valid archive");
         let truth = member.as_f32();
         let mut session = RetrievalSession::new(&refactored);
-        println!("member `{}` (value range {:.2}):", member.name, refactored.value_range);
+        println!(
+            "member `{}` (value range {:.2}):",
+            member.name, refactored.value_range
+        );
         for (label, rel) in campaigns {
             let eb = rel * refactored.value_range;
             let (plan, bound) = RetrievalPlan::for_error(&refactored, eb);

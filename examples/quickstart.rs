@@ -14,7 +14,12 @@ fn main() {
     let ds = Dataset::generate(DatasetKind::Nyx, 2026);
     let var = &ds.variables[0];
     let data = var.as_f32();
-    println!("dataset      : {} ({:?}), variable `{}`", ds.kind.name(), ds.shape, var.name);
+    println!(
+        "dataset      : {} ({:?}), variable `{}`",
+        ds.kind.name(),
+        ds.shape,
+        var.name
+    );
     println!("original size: {}", human_bytes(data.len() * 4));
 
     // Refactor once (decompose -> bitplane encode -> hybrid lossless).
@@ -29,7 +34,10 @@ fn main() {
     // Retrieve progressively: each tolerance fetches only a prefix of the
     // stored bitplanes. One session reuses previously fetched planes.
     let mut session = RetrievalSession::new(&refactored);
-    println!("\n{:>10}  {:>14}  {:>14}  {:>12}", "tolerance", "fetched", "cumulative", "actual L-inf");
+    println!(
+        "\n{:>10}  {:>14}  {:>14}  {:>12}",
+        "tolerance", "fetched", "cumulative", "actual L-inf"
+    );
     let mut prev = 0usize;
     for eb in [1e0, 1e-1, 1e-2, 1e-3, 1e-4] {
         let (plan, bound) = RetrievalPlan::for_error(&refactored, eb);

@@ -19,7 +19,11 @@ use hpmdr_qoi::{actual_max_error, eval_field, QoiExpr};
 fn main() {
     let ds = Dataset::generate(DatasetKind::MiniJhtdb, 99);
     let [vx, vy, vz] = ds.velocity_triplet().expect("velocity components");
-    println!("dataset: {} ({:?}), QoI = V_total", ds.kind.name(), ds.shape);
+    println!(
+        "dataset: {} ({:?}), QoI = V_total",
+        ds.kind.name(),
+        ds.shape
+    );
 
     let config = RefactorConfig::default();
     let refs: Vec<_> = [vx, vy, vz]

@@ -1,0 +1,112 @@
+//! API-compatible subset of `rand`: the `RngCore` / `Rng` / `SeedableRng`
+//! traits and uniform sampling for the primitive types the workspace
+//! draws. Generators live in sibling shims (e.g. `rand_chacha`).
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types uniformly sampleable from an RNG (stand-in for
+/// `rand::distributions::Standard`).
+pub trait Sample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every word
+/// source.
+pub trait Rng: RngCore {
+    /// Draw a uniform value of type `T`.
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.gen::<f64>()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 step: decent equidistribution for the unit test.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn samples_cover_both_halves() {
+        let mut rng = Counter(3);
+        let mut lo = 0;
+        for _ in 0..1000 {
+            if rng.gen::<f64>() < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!(lo > 350 && lo < 650, "lo {lo}");
+    }
+}

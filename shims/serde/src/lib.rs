@@ -1,0 +1,549 @@
+//! API-compatible subset of `serde` for offline builds.
+//!
+//! Instead of serde's visitor architecture, the shim routes everything
+//! through a JSON-shaped [`Value`] tree: `Serialize` produces a `Value`,
+//! `Deserialize` consumes one. `serde_json` (the only data format used in
+//! this workspace) prints and parses that tree. Enum representation
+//! matches serde's externally-tagged default (`"Variant"`,
+//! `{"Variant": …}`), and `Option` fields absent from an object
+//! deserialize to `None`, as with upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model shared by `Serialize`/`Deserialize` and
+/// `serde_json`.
+///
+/// Equality is structural except for numbers, which compare by numeric
+/// value across the `Int`/`UInt`/`Float` variants (a parsed `1` must equal
+/// a serialized `1u64`).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative or signed integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Externally-tagged enum payload `{tag: inner}`.
+    pub fn variant(tag: &str, inner: Value) -> Value {
+        Value::Object(vec![(tag.to_string(), inner)])
+    }
+
+    /// Object field lookup; missing fields and non-objects yield `Null`
+    /// (so `Option` fields deserialize to `None`, as in serde).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// Split an externally-tagged enum value into `(tag, inner)`.
+    pub fn enum_parts(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Str(s) => Ok((s.as_str(), &NULL)),
+            Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+            other => Err(Error::msg(format!(
+                "expected enum tag (string or single-key object), found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interpret as an `n`-element tuple-variant payload.
+    pub fn tuple_items(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::msg(format!(
+                "expected {n}-element array, found {} elements",
+                items.len()
+            ))),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric view, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            Value::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed view, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view (insertion-ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Int(a), UInt(b)) | (UInt(b), Int(a)) => *a >= 0 && *a as u64 == *b,
+            (Float(a), Float(b)) => a == b,
+            (Float(f), Int(i)) | (Int(i), Float(f)) => *f == *i as f64,
+            (Float(f), UInt(u)) | (UInt(u), Float(f)) => *f == *u as f64,
+            _ => false,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_num_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+impl_value_num_eq!(i32, i64, u32, u64, usize, f64);
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Prefix the error with the field/variant being processed.
+    pub fn in_context(mut self, context: &str) -> Self {
+        self.message = format!("{context}: {}", self.message);
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the shared data model.
+pub trait Serialize {
+    /// Produce the [`Value`] representation.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the shared data model.
+pub trait Deserialize: Sized {
+    /// Parse from a [`Value`] representation.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ---------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| {
+                    Error::msg(format!("expected unsigned integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| {
+                    Error::msg(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v.tuple_items(ARITY)?;
+                Ok(($($t::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        // Sorted for deterministic output, as serde_json's BTreeMap-backed
+        // maps are.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, item)| Ok((k.clone(), V::deserialize_value(item)?)))
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, item)| Ok((k.clone(), V::deserialize_value(item)?)))
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v.field("a").as_u64(), Some(1));
+        assert!(matches!(v.field("missing"), Value::Null));
+    }
+
+    #[test]
+    fn option_roundtrip_through_null() {
+        let none: Option<usize> = Option::deserialize_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+        let some: Option<usize> = Option::deserialize_value(&Value::UInt(3)).unwrap();
+        assert_eq!(some, Some(3));
+    }
+
+    #[test]
+    fn numeric_cross_variant_equality() {
+        assert_eq!(Value::UInt(33), 33i32);
+        assert_eq!(Value::Float(33.0), 33u64);
+        assert_eq!(Value::Str("f32".into()), "f32");
+    }
+
+    #[test]
+    fn int_range_checks() {
+        assert!(u8::deserialize_value(&Value::UInt(300)).is_err());
+        assert_eq!(u8::deserialize_value(&Value::UInt(255)).unwrap(), 255);
+        assert_eq!(i32::deserialize_value(&Value::Int(-5)).unwrap(), -5);
+    }
+}

@@ -1,0 +1,386 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! exactly the shapes this workspace derives: non-generic named-field
+//! structs and enums with unit / tuple / named-field variants. Unsupported
+//! shapes panic at expansion time with a clear message rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+    let keyword = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(peek_punct(&toks, i), Some('<')) {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            _ => panic!("serde shim derive: tuple struct `{name}` is not supported"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(toks: &[TokenTree], i: usize) -> Option<char> {
+    match toks.get(i) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Parse `name: Type, ...` sequences, returning the field names (types are
+/// irrelevant: generated code lets inference pick the right impl).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match peek_punct(&toks, i) {
+            Some(':') => i += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        skip_type(&toks, &mut i);
+        fields.push(name);
+        if matches!(peek_punct(&toks, i), Some(',')) {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle brackets are
+/// the only depth-bearing raw puncts inside types; `(`/`[` arrive as
+/// whole groups).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(peek_punct(&toks, i), Some('=')) {
+            panic!("serde shim derive: explicit discriminants are not supported");
+        }
+        if matches!(peek_punct(&toks, i), Some(',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut segments = 0usize;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    if pending {
+                        segments += 1;
+                        pending = false;
+                    }
+                }
+                '<' => {
+                    angle_depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    pending = true;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        segments += 1;
+    }
+    segments
+}
+
+// ---- codegen -----------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(_)) => {
+            panic!("serde shim derive: tuple struct `{name}` is not supported")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::variant(\
+                             \"{vn}\", ::serde::Serialize::serialize_value(__f0)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::variant(\
+                                 \"{vn}\", ::serde::Value::Array(::std::vec![{items}])),",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::serialize_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::variant(\
+                                 \"{vn}\", ::serde::Value::Object(::std::vec![{items}])),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(__v.field(\"{f}\"))\
+                         .map_err(|e| e.in_context(\"{name}.{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Struct(Fields::Tuple(_)) => {
+            panic!("serde shim derive: tuple struct `{name}` is not supported")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__inner)\
+                             .map_err(|e| e.in_context(\"{name}::{vn}\"))?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let gets: String = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(&__items[{k}])\
+                                         .map_err(|e| e.in_context(\"{name}::{vn}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __items = __inner.tuple_items({n})\
+                                 .map_err(|e| e.in_context(\"{name}::{vn}\"))?; \
+                                 ::std::result::Result::Ok({name}::{vn}({gets})) }}"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize_value(\
+                                         __inner.field(\"{f}\"))\
+                                         .map_err(|e| e.in_context(\"{name}::{vn}.{f}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __inner) = __v.enum_parts()\
+                 .map_err(|e| e.in_context(\"{name}\"))?;\n\
+                 match __tag {{ {arms} __other => ::std::result::Result::Err(\
+                 ::serde::Error::msg(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __other))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -4,7 +4,11 @@ use hpmdr_datasets::{Dataset, DatasetKind};
 
 /// A small deterministic dataset instance for integration tests.
 pub fn small_dataset(kind: DatasetKind) -> Dataset {
-    let shape: Vec<usize> = kind.default_shape().iter().map(|&n| n.clamp(8, 24)).collect();
+    let shape: Vec<usize> = kind
+        .default_shape()
+        .iter()
+        .map(|&n| n.clamp(8, 24))
+        .collect();
     Dataset::generate_with_shape(kind, &shape, 0xC0FFEE)
 }
 

@@ -67,7 +67,10 @@ fn f64_dataset_reaches_deep_tolerances() {
     session.refine_to(&plan);
     let rec: Vec<f64> = session.reconstruct();
     let err = metrics::max_abs_error(&var.data, &rec);
-    assert!(bound <= eb, "f64 streams must reach 1e-9 relative: bound {bound}");
+    assert!(
+        bound <= eb,
+        "f64 streams must reach 1e-9 relative: bound {bound}"
+    );
     assert!(err <= bound);
 }
 
@@ -84,10 +87,16 @@ fn psnr_improves_monotonically_with_budget() {
         let rec: Vec<f32> = session.reconstruct();
         let rec64: Vec<f64> = rec.iter().map(|&v| v as f64).collect();
         let p = metrics::psnr(truth, &rec64);
-        assert!(p >= last_psnr - 1e-9, "units={units}: psnr {p} < {last_psnr}");
+        assert!(
+            p >= last_psnr - 1e-9,
+            "units={units}: psnr {p} < {last_psnr}"
+        );
         last_psnr = p;
     }
-    assert!(last_psnr > 60.0, "near-lossless PSNR expected, got {last_psnr}");
+    assert!(
+        last_psnr > 60.0,
+        "near-lossless PSNR expected, got {last_psnr}"
+    );
 }
 
 #[test]

@@ -15,9 +15,7 @@ fn sample_bytes() -> Vec<u8> {
 fn nan_input_is_rejected_at_refactor_time() {
     let mut data = vec![1.0f32; 64];
     data[17] = f32::NAN;
-    let result = std::panic::catch_unwind(|| {
-        refactor(&data, &[8, 8], &RefactorConfig::default())
-    });
+    let result = std::panic::catch_unwind(|| refactor(&data, &[8, 8], &RefactorConfig::default()));
     assert!(result.is_err(), "NaN must be rejected, not encoded");
 }
 
@@ -25,9 +23,8 @@ fn nan_input_is_rejected_at_refactor_time() {
 fn infinity_input_is_rejected() {
     let mut data = vec![1.0f64; 27];
     data[0] = f64::INFINITY;
-    let result = std::panic::catch_unwind(|| {
-        refactor(&data, &[3, 3, 3], &RefactorConfig::default())
-    });
+    let result =
+        std::panic::catch_unwind(|| refactor(&data, &[3, 3, 3], &RefactorConfig::default()));
     assert!(result.is_err());
 }
 

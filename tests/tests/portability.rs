@@ -69,13 +69,19 @@ fn serialized_artifact_is_thread_count_invariant() {
 fn layout_choice_changes_bytes_but_not_semantics() {
     let ds = small_dataset(hpmdr_datasets::DatasetKind::Nyx);
     let data = ds.variables[0].as_f32();
-    let mut cfg_nat = RefactorConfig::default();
-    cfg_nat.layout = Layout::Natural;
+    let cfg_nat = RefactorConfig {
+        layout: Layout::Natural,
+        ..RefactorConfig::default()
+    };
     let cfg_ilv = RefactorConfig::default();
 
     let a = refactor(&data, &ds.shape, &cfg_nat);
     let b = refactor(&data, &ds.shape, &cfg_ilv);
-    assert_ne!(to_bytes(&a), to_bytes(&b), "layouts must differ on the wire");
+    assert_ne!(
+        to_bytes(&a),
+        to_bytes(&b),
+        "layouts must differ on the wire"
+    );
 
     use hpmdr_core::{RetrievalPlan, RetrievalSession};
     for r in [&a, &b] {

@@ -86,8 +86,7 @@ fn store_round_trips_through_filesystem_with_partial_io() {
     let loose_files = loose_reader.files_read();
 
     let mut tight_reader = StoreReader::open(&dir).expect("open");
-    let (tight_plan, _) =
-        RetrievalPlan::for_error(tight_reader.skeleton(), 1e-5 * r.value_range);
+    let (tight_plan, _) = RetrievalPlan::for_error(tight_reader.skeleton(), 1e-5 * r.value_range);
     let _tight = tight_reader.load_plan(&tight_plan).expect("load");
     assert!(tight_reader.files_read() > loose_files);
 

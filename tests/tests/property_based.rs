@@ -1,15 +1,17 @@
 //! Property-based invariants over the whole stack (proptest).
 
-use hpmdr_bitplane::{align_exponent, decode_prefix, encode, prefix_error_bound, Layout, Reconstruction};
+use hpmdr_bitplane::{
+    align_exponent, decode_prefix, encode, prefix_error_bound, Layout, Reconstruction,
+};
 use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
 use hpmdr_lossless::{Codec, HybridCompressor, HybridConfig};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
-        (-1e6f32..1e6f32),
-        (-1.0f32..1.0f32),
-        (-1e-6f32..1e-6f32),
+        -1e6f32..1e6f32,
+        -1.0f32..1.0f32,
+        -1e-6f32..1e-6f32,
         Just(0.0f32),
     ]
 }

@@ -53,7 +53,11 @@ fn run_case(kind: DatasetKind, qoi: &QoiExpr, rel_tau: f64, est: EbEstimator) {
 #[test]
 fn v_total_guarantee_on_turbulence() {
     let q = QoiExpr::vector_magnitude(3);
-    for est in [EbEstimator::Cp, EbEstimator::Ma, EbEstimator::Mape { c: 10.0 }] {
+    for est in [
+        EbEstimator::Cp,
+        EbEstimator::Ma,
+        EbEstimator::Mape { c: 10.0 },
+    ] {
         run_case(DatasetKind::MiniJhtdb, &q, 1e-3, est);
     }
 }
@@ -85,7 +89,12 @@ fn v_total_guarantee_on_cosmology_velocities() {
 #[test]
 fn kinetic_energy_qoi_also_guaranteed() {
     let q = QoiExpr::kinetic_energy(3);
-    run_case(DatasetKind::MiniJhtdb, &q, 1e-2, EbEstimator::Mape { c: 10.0 });
+    run_case(
+        DatasetKind::MiniJhtdb,
+        &q,
+        1e-2,
+        EbEstimator::Mape { c: 10.0 },
+    );
 }
 
 #[test]

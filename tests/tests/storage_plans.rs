@@ -1,0 +1,140 @@
+//! `core::storage` plan-driven I/O coverage: a unit-file store must read
+//! exactly the files and bytes a `RetrievalPlan` asks for — the paper's
+//! small-object I/O pattern — under empty, partial, and full plans.
+
+use hpmdr_core::storage::{write_store, StoreReader};
+use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use std::path::PathBuf;
+
+fn sample() -> (Vec<f32>, hpmdr_core::Refactored) {
+    let data: Vec<f32> = (0..40 * 28)
+        .map(|i| ((i % 40) as f32 * 0.23).sin() * 3.0 + ((i / 40) as f32 * 0.11).cos())
+        .collect();
+    let r = refactor(&data, &[40, 28], &RefactorConfig::default());
+    (data, r)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hpmdr_storage_plans_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn empty_plan_reads_no_files_and_reconstructs_zeros() {
+    let (_, r) = sample();
+    let dir = scratch("empty");
+    write_store(&r, &dir).unwrap();
+    let mut reader = StoreReader::open(&dir).unwrap();
+
+    let plan = RetrievalPlan::empty(&r);
+    let loaded = reader.load_plan(&plan).unwrap();
+    assert_eq!(reader.files_read(), 0, "empty plan must open no unit files");
+    assert_eq!(
+        reader.bytes_read(),
+        0,
+        "empty plan must read no payload bytes"
+    );
+    assert_eq!(plan.fetch_bytes(&r), 0);
+
+    let mut sess = RetrievalSession::new(&loaded);
+    sess.refine_to(&plan);
+    let rec: Vec<f32> = sess.reconstruct();
+    assert!(rec.iter().all(|&v| v == 0.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_plans_read_exactly_the_plans_units() {
+    let (data, r) = sample();
+    let dir = scratch("partial");
+    write_store(&r, &dir).unwrap();
+
+    // Cumulative reader: totals grow by exactly each plan's increment.
+    let mut reader = StoreReader::open(&dir).unwrap();
+    let mut files_so_far = 0usize;
+    let mut bytes_so_far = 0usize;
+    let mut prev_units = vec![0usize; r.streams.len()];
+    for rel in [1e-1f64, 1e-3, 1e-5] {
+        let eb = rel * r.value_range;
+        let (plan, bound) = RetrievalPlan::for_error(&r, eb);
+        // Plans must be monotone so the increments below are well-defined.
+        for (p, q) in prev_units.iter().zip(&plan.units) {
+            assert!(p <= q, "plan regressed a group");
+        }
+
+        let mut fresh = StoreReader::open(&dir).unwrap();
+        let loaded = fresh.load_plan(&plan).unwrap();
+        let wanted_files: usize = plan.units.iter().sum();
+        assert_eq!(
+            fresh.files_read(),
+            wanted_files,
+            "one file per planned unit"
+        );
+        assert_eq!(
+            fresh.bytes_read(),
+            plan.fetch_bytes(&r),
+            "bytes match the plan"
+        );
+
+        // Unplanned units must stay empty in the materialized archive.
+        for (s, &u) in loaded.streams.iter().zip(&plan.units) {
+            for (idx, unit) in s.units.iter().enumerate() {
+                assert_eq!(
+                    idx < u,
+                    !unit.payload.is_empty(),
+                    "unit {idx} loaded iff planned (< {u})"
+                );
+            }
+        }
+
+        // The loaded subset reconstructs within the guaranteed bound.
+        let mut sess = RetrievalSession::new(&loaded);
+        sess.refine_to(&plan);
+        let rec: Vec<f32> = sess.reconstruct();
+        for (a, b) in data.iter().zip(&rec) {
+            assert!(((a - b).abs() as f64) <= bound.max(eb));
+        }
+
+        // Cumulative reader counts every file exactly once per load.
+        reader.load_plan(&plan).unwrap();
+        files_so_far += wanted_files;
+        bytes_so_far += plan.fetch_bytes(&r);
+        assert_eq!(reader.files_read(), files_so_far);
+        assert_eq!(reader.bytes_read(), bytes_so_far);
+        prev_units = plan.units;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_plan_roundtrips_the_archive_exactly() {
+    let (data, r) = sample();
+    let dir = scratch("full");
+    let files_written = write_store(&r, &dir).unwrap();
+    let mut reader = StoreReader::open(&dir).unwrap();
+
+    let plan = RetrievalPlan::full(&r);
+    let loaded = reader.load_plan(&plan).unwrap();
+    assert_eq!(
+        reader.files_read(),
+        files_written,
+        "full plan opens every file"
+    );
+    assert_eq!(
+        reader.bytes_read(),
+        r.total_bytes(),
+        "full plan reads every byte"
+    );
+    assert_eq!(loaded, r, "full load reproduces the in-memory archive");
+
+    let mut sess = RetrievalSession::new(&loaded);
+    sess.refine_to(&plan);
+    let rec: Vec<f32> = sess.reconstruct();
+    let scale = data.iter().fold(0.0f32, |m, v| m.max(v.abs())) as f64;
+    for (a, b) in data.iter().zip(&rec) {
+        assert!(((a - b).abs() as f64) <= scale * 1e-6, "near-lossless");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
