@@ -1,0 +1,146 @@
+//! Chunked-domain benchmarks: chunked vs monolithic refactoring, and the
+//! byte economics of region-of-interest retrieval.
+//!
+//! The ROI section prints a selectivity report comparing the bytes an
+//! ROI query fetches against a full-domain retrieval at the same error
+//! bound — the acceptance claim of the chunked layer (an ROI query over
+//! a 512³-scale field must fetch strictly fewer bytes). Set
+//! `HPMDR_BENCH_EXTENT=512` for the full-size run; the default keeps CI
+//! and laptops in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpmdr_core::chunked::{refactor_chunked_with, ChunkedConfig};
+use hpmdr_core::roi::{Region, RoiPlan, RoiRequest};
+use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
+use hpmdr_core::{refactor_with, ExecCtx, ParallelBackend, RefactorConfig, ScalarBackend};
+use hpmdr_datasets::{uniform_queries, Dataset, DatasetKind};
+
+/// Grid extent per dimension. Defaults to a laptop-friendly 96³; set
+/// `HPMDR_BENCH_EXTENT=512` for the full 512³-scale acceptance run.
+fn bench_extent() -> usize {
+    std::env::var("HPMDR_BENCH_EXTENT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+        .max(8)
+}
+
+/// Samples per benchmark (`HPMDR_BENCH_SAMPLES`, default 10). Full-size
+/// runs on slow hosts can drop this to keep wall-clock bounded.
+fn bench_samples() -> usize {
+    std::env::var("HPMDR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+        .max(1)
+}
+
+fn chunk_extent_for(e: usize) -> usize {
+    // ~4x4x4 chunks per domain at every scale, and deliberately not a
+    // divisor of typical extents (exercises clipped boundary chunks).
+    (e / 4 + 1).max(8)
+}
+
+/// Monolithic vs chunked refactoring on both backends: the chunk grid
+/// must not cost throughput, and gives ParallelBackend chunk-level
+/// parallelism on top of its in-chunk fan-out.
+fn bench_chunked_refactor(c: &mut Criterion) {
+    let e = bench_extent();
+    let shape = vec![e, e, e];
+    let ds = Dataset::generate_with_shape(DatasetKind::Jhtdb, &shape, 5);
+    let data = ds.variables[0].as_f32();
+    let ctx = ExecCtx::default();
+    let cfg = RefactorConfig::default();
+    let ccfg = ChunkedConfig {
+        chunk_extent: vec![chunk_extent_for(e); 3],
+        refactor: cfg.clone(),
+    };
+
+    let mut g = c.benchmark_group("chunked_refactor");
+    g.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    g.bench_function(BenchmarkId::new("monolithic_scalar", e), |b| {
+        let backend = ScalarBackend::new();
+        b.iter(|| refactor_with(&data, &shape, &cfg, &backend, &ctx))
+    });
+    g.bench_function(BenchmarkId::new("chunked_scalar", e), |b| {
+        let backend = ScalarBackend::new();
+        b.iter(|| refactor_chunked_with(&data, &shape, &ccfg, &backend, &ctx))
+    });
+    g.bench_function(BenchmarkId::new("chunked_parallel", e), |b| {
+        let backend = ParallelBackend::new();
+        b.iter(|| refactor_chunked_with(&data, &shape, &ccfg, &backend, &ctx))
+    });
+    g.finish();
+}
+
+/// ROI retrieval through the sharded store at several selectivities,
+/// reporting fetched bytes vs the full-domain fetch at the same bound.
+fn bench_roi_selectivity(c: &mut Criterion) {
+    let e = bench_extent();
+    let shape = vec![e, e, e];
+    let ds = Dataset::generate_with_shape(DatasetKind::Jhtdb, &shape, 5);
+    let data = ds.variables[0].as_f32();
+    let ctx = ExecCtx::default();
+    let ccfg = ChunkedConfig {
+        chunk_extent: vec![chunk_extent_for(e); 3],
+        refactor: RefactorConfig::default(),
+    };
+    let backend = ParallelBackend::new();
+    let cr = refactor_chunked_with(&data, &shape, &ccfg, &backend, &ctx);
+
+    let dir = std::env::temp_dir().join(format!("hpmdr_bench_roi_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_chunked_store(&cr, &dir).expect("bench store writes");
+
+    let eb = 1e-3 * cr.value_range();
+    let full_plan = RoiPlan::for_request(&cr, &RoiRequest::new(Region::whole(&shape), eb))
+        .expect("full-domain plan");
+    let full_bytes = full_plan.fetch_bytes(&cr);
+
+    let mut g = c.benchmark_group("roi_retrieval");
+    for selectivity in [0.001f64, 0.01, 0.1] {
+        let query = &uniform_queries(&shape, selectivity, 1, 42)[0];
+        let region = Region::new(&query.start, &query.extent);
+        let req = RoiRequest::new(region, eb);
+        let plan = RoiPlan::for_request(&cr, &req).expect("roi plan");
+        let roi_bytes = plan.fetch_bytes(&cr);
+        println!(
+            "roi_selectivity {selectivity:>6}: {roi_bytes} bytes over {} chunks \
+             vs full-domain {full_bytes} bytes over {} chunks ({:.2}%)",
+            plan.num_chunks(),
+            full_plan.num_chunks(),
+            100.0 * roi_bytes as f64 / full_bytes as f64,
+        );
+        // The acceptance claim: an ROI query fetches strictly fewer
+        // bytes than full-domain retrieval at the same error bound.
+        assert!(
+            roi_bytes < full_bytes,
+            "roi fetched {roi_bytes} >= full {full_bytes}"
+        );
+
+        // Open once: manifest parsing is a per-archive cost, not a
+        // per-query one (a service keeps the reader resident).
+        let mut reader = ChunkedStoreReader::open(&dir).expect("store opens");
+        g.throughput(Throughput::Bytes((req.region.len() * 4) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("store_roi", format!("{selectivity}")),
+            &req,
+            |b, req| {
+                b.iter(|| {
+                    reader
+                        .retrieve_roi_with::<f32, _>(req, &backend, &ctx)
+                        .expect("roi retrieves")
+                })
+            },
+        );
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(bench_samples());
+    targets = bench_chunked_refactor, bench_roi_selectivity
+);
+criterion_main!(benches);

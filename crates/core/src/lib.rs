@@ -30,9 +30,17 @@
 //!   discrete-event simulated;
 //! * [`multi_device`] — weak-scaling and CPU-vs-GPU end-to-end studies
 //!   (Figures 10 and 14);
-//! * [`serialize`] — portable on-disk framing of refactored artifacts;
+//! * [`serialize`] — portable on-disk framing of refactored artifacts
+//!   (versioned manifests with readable mismatch errors);
 //! * [`storage`] — unit-file stores retrieving exactly the files a plan
-//!   needs (the paper's small-object I/O pattern).
+//!   needs (the paper's small-object I/O pattern), plus the sharded
+//!   chunk-store layout and its range-reading [`storage::ChunkedStoreReader`];
+//! * [`chunked`] — the chunk grid: fixed-extent domain decomposition
+//!   with per-chunk refactoring fanned out through
+//!   [`hpmdr_exec::Backend::map_batch`];
+//! * [`roi`] — region-of-interest progressive retrieval: per-chunk unit
+//!   prefixes for only the chunks a hyperslab intersects, assembled with
+//!   a guaranteed L∞ bound.
 //!
 //! Every hot stage executes through the portable executor layer of
 //! [`hpmdr_exec`]: [`refactor`], [`RetrievalSession`], and both pipeline
@@ -43,14 +51,19 @@
 //! [`pipeline::refactor_pipeline_with`]) for multi-core execution with
 //! bit-identical artifacts.
 
+pub mod chunked;
 pub mod multi_device;
 pub mod pipeline;
 pub mod qoi_retrieval;
 pub mod refactor;
 pub mod retrieve;
+pub mod roi;
 pub mod serialize;
 pub mod storage;
 
+pub use chunked::{
+    refactor_chunked, refactor_chunked_with, ChunkGrid, ChunkedConfig, ChunkedRefactored,
+};
 pub use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
 pub use qoi_retrieval::{
     retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,
@@ -58,3 +71,4 @@ pub use qoi_retrieval::{
 };
 pub use refactor::{refactor, refactor_with, RefactorConfig, Refactored};
 pub use retrieve::{RetrievalPlan, RetrievalSession};
+pub use roi::{retrieve_roi, retrieve_roi_with, Region, RoiPlan, RoiRequest, RoiResult};

@@ -122,6 +122,16 @@ impl Refactored {
         self.streams.iter().map(LevelStream::total_bytes).sum()
     }
 
+    /// Metadata-only copy: every unit keeps its codec and lengths but
+    /// drops its payload bytes. This is what store manifests persist —
+    /// building it never duplicates compressed payloads, so writing an
+    /// archive costs metadata, not a second copy of the data.
+    pub fn skeleton(&self) -> Refactored {
+        crate::serialize::HeaderMeta::of(self)
+            .into_refactored(|_, _, _| Ok(Vec::new()))
+            .expect("a valid artifact round-trips as a skeleton")
+    }
+
     /// Error bound when retrieving `units[g]` merged units of each group.
     pub fn error_bound_for_units(&self, units: &[usize]) -> f64 {
         assert_eq!(units.len(), self.streams.len());

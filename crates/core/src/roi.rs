@@ -1,0 +1,410 @@
+//! Region-of-interest progressive retrieval over a chunk grid.
+//!
+//! The payoff of chunked refactoring: a query for a hyperslab at an
+//! error bound touches only the chunks intersecting the region, and for
+//! each of those fetches only the unit prefix its planner needs. The
+//! flow is
+//!
+//! ```text
+//! RoiRequest { region, error_bound }
+//!   ── plan ──► RoiPlan: per intersecting chunk, a RetrievalPlan
+//!   ── fetch ─► exactly those unit prefixes (storage::ChunkedStoreReader)
+//!   ── decode ► per-chunk reconstruction (fanned out via Backend::map_batch)
+//!   ── copy ──► the region assembled from chunk∩region boxes
+//! ```
+//!
+//! The result carries a guaranteed L∞ bound: the maximum of the chunk
+//! planners' bounds, each of which is ≤ the request unless that chunk is
+//! already fully fetched.
+
+use crate::chunked::{copy_hyperslab, ChunkedRefactored};
+use crate::retrieve::{RetrievalPlan, RetrievalSession};
+use hpmdr_bitplane::BitplaneFloat;
+use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
+use hpmdr_mgard::Real;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned hyperslab: `start[d] .. start[d] + extent[d]` per
+/// dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Inclusive lower corner.
+    pub start: Vec<usize>,
+    /// Extent per dimension (all ≥ 1).
+    pub extent: Vec<usize>,
+}
+
+impl Region {
+    /// Region at `start` with `extent`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch, empty dimensions, or zero extents.
+    pub fn new(start: &[usize], extent: &[usize]) -> Self {
+        assert!(!extent.is_empty(), "region must have at least 1 dimension");
+        assert_eq!(start.len(), extent.len(), "start/extent dimensionality");
+        assert!(extent.iter().all(|&e| e >= 1), "zero-extent region");
+        Region {
+            start: start.to_vec(),
+            extent: extent.to_vec(),
+        }
+    }
+
+    /// The whole domain of `shape`.
+    pub fn whole(shape: &[usize]) -> Self {
+        Region::new(&vec![0; shape.len()], shape)
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.extent.len()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.extent.iter().product()
+    }
+
+    /// Whether the region has no elements (never true for valid regions).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exclusive upper bound along dimension `d`.
+    pub fn end(&self, d: usize) -> usize {
+        self.start[d] + self.extent[d]
+    }
+
+    /// Whether the region lies entirely inside a domain of `shape`.
+    pub fn fits_within(&self, shape: &[usize]) -> bool {
+        self.ndims() == shape.len() && (0..self.ndims()).all(|d| self.end(d) <= shape[d])
+    }
+
+    /// Intersection with `other`, or `None` when disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        assert_eq!(self.ndims(), other.ndims(), "dimensionality mismatch");
+        let mut start = Vec::with_capacity(self.ndims());
+        let mut extent = Vec::with_capacity(self.ndims());
+        for d in 0..self.ndims() {
+            let lo = self.start[d].max(other.start[d]);
+            let hi = self.end(d).min(other.end(d));
+            if lo >= hi {
+                return None;
+            }
+            start.push(lo);
+            extent.push(hi - lo);
+        }
+        Some(Region { start, extent })
+    }
+
+    /// This region translated into the local coordinates of a box rooted
+    /// at `origin` (the region must lie at or after `origin`).
+    pub fn relative_to(&self, origin: &[usize]) -> Region {
+        Region {
+            start: self
+                .start
+                .iter()
+                .zip(origin)
+                .map(|(&s, &o)| s - o)
+                .collect(),
+            extent: self.extent.clone(),
+        }
+    }
+}
+
+/// A region query: reconstruct `region` to within `error_bound` (L∞).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoiRequest {
+    /// The hyperslab to reconstruct.
+    pub region: Region,
+    /// Requested absolute L∞ error bound.
+    pub error_bound: f64,
+}
+
+impl RoiRequest {
+    /// Request `region` at `error_bound`.
+    pub fn new(region: Region, error_bound: f64) -> Self {
+        RoiRequest {
+            region,
+            error_bound,
+        }
+    }
+}
+
+/// One chunk's share of an ROI plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRoiPlan {
+    /// Linear chunk index in the grid.
+    pub chunk: usize,
+    /// Unit prefixes to fetch for this chunk.
+    pub plan: RetrievalPlan,
+    /// Guaranteed L∞ bound of the chunk at this plan.
+    pub bound: f64,
+}
+
+/// Per-chunk unit-prefix plans for the chunks intersecting a region —
+/// the bytes an ROI query actually needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoiPlan {
+    /// The planned region.
+    pub region: Region,
+    /// The requested error bound.
+    pub error_bound: f64,
+    /// Plans for exactly the intersecting chunks (row-major chunk order).
+    pub chunks: Vec<ChunkRoiPlan>,
+}
+
+impl RoiPlan {
+    /// Plan `req` over `cr` (works on a skeleton: planning needs only
+    /// stream metadata, never payload bytes).
+    ///
+    /// Returns a readable error when the region does not fit the domain
+    /// or the bound is invalid.
+    pub fn for_request(cr: &ChunkedRefactored, req: &RoiRequest) -> Result<RoiPlan, String> {
+        if !req.region.fits_within(&cr.grid.shape) {
+            return Err(format!(
+                "region {:?}+{:?} exceeds domain {:?}",
+                req.region.start, req.region.extent, cr.grid.shape
+            ));
+        }
+        if req.error_bound.is_nan() || req.error_bound < 0.0 {
+            return Err(format!("invalid error bound {}", req.error_bound));
+        }
+        let chunks = cr
+            .grid
+            .chunks_intersecting(&req.region)
+            .into_iter()
+            .map(|c| {
+                let (plan, bound) = RetrievalPlan::for_error(&cr.chunks[c], req.error_bound);
+                ChunkRoiPlan {
+                    chunk: c,
+                    plan,
+                    bound,
+                }
+            })
+            .collect();
+        Ok(RoiPlan {
+            region: req.region.clone(),
+            error_bound: req.error_bound,
+            chunks,
+        })
+    }
+
+    /// Guaranteed L∞ bound over the region: the worst chunk bound (may
+    /// exceed the request only when a chunk is fully fetched).
+    pub fn bound(&self) -> f64 {
+        self.chunks.iter().map(|c| c.bound).fold(0.0, f64::max)
+    }
+
+    /// Compressed bytes this plan fetches from storage.
+    pub fn fetch_bytes(&self, cr: &ChunkedRefactored) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.plan.fetch_bytes(&cr.chunks[c.chunk]))
+            .sum()
+    }
+
+    /// Number of chunks the plan touches.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// A reconstructed region with its guaranteed L∞ bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoiResult<F> {
+    /// The reconstructed hyperslab.
+    pub region: Region,
+    /// Dense row-major values of the region.
+    pub data: Vec<F>,
+    /// Guaranteed L∞ bound of every value.
+    pub bound: f64,
+}
+
+/// Reconstruct `req` from an in-memory chunked artifact on the portable
+/// [`ScalarBackend`].
+pub fn retrieve_roi<F: BitplaneFloat + Real + Default>(
+    cr: &ChunkedRefactored,
+    req: &RoiRequest,
+) -> Result<RoiResult<F>, String> {
+    retrieve_roi_with(cr, req, &ScalarBackend::new(), &ExecCtx::default())
+}
+
+/// Reconstruct `req` from an in-memory chunked artifact on `backend`,
+/// fanning per-chunk reconstruction out through [`Backend::map_batch`].
+pub fn retrieve_roi_with<F: BitplaneFloat + Real + Default, B: Backend>(
+    cr: &ChunkedRefactored,
+    req: &RoiRequest,
+    backend: &B,
+    ctx: &ExecCtx,
+) -> Result<RoiResult<F>, String> {
+    let plan = RoiPlan::for_request(cr, req)?;
+    assemble_region(cr, &plan, backend, ctx, |_, cp| {
+        let mut sess = RetrievalSession::with_backend(&cr.chunks[cp.chunk], backend.clone());
+        sess.refine_to(&cp.plan);
+        Ok(sess.reconstruct::<F>())
+    })
+}
+
+/// Shared assembly path of the in-memory and store-backed ROI retrievals:
+/// reconstruct each planned chunk via `reconstruct(position, chunk_plan)`
+/// (fanned out on `backend`) and copy every chunk∩region box into the
+/// output slab.
+pub(crate) fn assemble_region<F, B, R>(
+    cr: &ChunkedRefactored,
+    plan: &RoiPlan,
+    backend: &B,
+    ctx: &ExecCtx,
+    reconstruct: R,
+) -> Result<RoiResult<F>, String>
+where
+    F: BitplaneFloat + Real + Default,
+    B: Backend,
+    R: Fn(usize, &ChunkRoiPlan) -> Result<Vec<F>, String> + Send + Sync,
+{
+    if F::TYPE_NAME != cr.dtype {
+        return Err(format!(
+            "dtype mismatch: archive holds {}, caller wants {}",
+            cr.dtype,
+            F::TYPE_NAME
+        ));
+    }
+    let positions: Vec<usize> = (0..plan.chunks.len()).collect();
+    let recons = backend.map_batch(ctx, &positions, |&i| reconstruct(i, &plan.chunks[i]));
+    let mut out = vec![F::default(); plan.region.len()];
+    for (cp, rec) in plan.chunks.iter().zip(recons) {
+        let rec = rec?;
+        let chunk_region = cr.grid.chunk_region(cp.chunk);
+        let inter = chunk_region
+            .intersect(&plan.region)
+            .expect("planned chunks intersect the region");
+        let src = inter.relative_to(&chunk_region.start);
+        let dst = inter.relative_to(&plan.region.start);
+        copy_hyperslab(
+            &rec,
+            &chunk_region.extent,
+            &src.start,
+            &mut out,
+            &plan.region.extent,
+            &dst.start,
+            &inter.extent,
+        );
+    }
+    Ok(RoiResult {
+        region: plan.region.clone(),
+        data: out,
+        bound: plan.bound(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunked::{extract_region, refactor_chunked, ChunkedConfig};
+    use hpmdr_exec::ParallelBackend;
+
+    fn field_2d(nx: usize, ny: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(nx * ny);
+        for x in 0..nx {
+            for y in 0..ny {
+                v.push((x as f32 * 0.21).sin() * 3.0 + (y as f32 * 0.17).cos());
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn region_intersection_basics() {
+        let a = Region::new(&[2, 3], &[4, 4]);
+        let b = Region::new(&[4, 1], &[4, 4]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Region::new(&[4, 3], &[2, 2]));
+        assert!(a.intersect(&Region::new(&[6, 3], &[1, 1])).is_none());
+        assert!(a.fits_within(&[6, 7]));
+        assert!(!a.fits_within(&[6, 6]));
+    }
+
+    #[test]
+    fn roi_meets_requested_bound() {
+        let data = field_2d(30, 22);
+        let cr = refactor_chunked(&data, &[30, 22], &ChunkedConfig::with_extent(&[8, 8]));
+        let region = Region::new(&[5, 3], &[12, 9]);
+        let reference = extract_region(&data, &[30, 22], &region);
+        for eb in [1.0f64, 1e-2, 1e-4] {
+            let res: RoiResult<f32> =
+                retrieve_roi(&cr, &RoiRequest::new(region.clone(), eb)).unwrap();
+            assert_eq!(res.data.len(), region.len());
+            let allowed = res.bound.max(eb);
+            for (a, b) in reference.iter().zip(&res.data) {
+                assert!(
+                    ((a - b).abs() as f64) <= allowed,
+                    "eb={eb}: |{a}-{b}| > {allowed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roi_plan_touches_only_intersecting_chunks_and_fetches_less() {
+        let data = field_2d(32, 32);
+        let cr = refactor_chunked(&data, &[32, 32], &ChunkedConfig::with_extent(&[8, 8]));
+        let req = RoiRequest::new(Region::new(&[0, 0], &[8, 8]), 1e-3);
+        let plan = RoiPlan::for_request(&cr, &req).unwrap();
+        assert_eq!(plan.num_chunks(), 1);
+        let full = RoiPlan::for_request(&cr, &RoiRequest::new(Region::whole(&cr.grid.shape), 1e-3))
+            .unwrap();
+        assert_eq!(full.num_chunks(), cr.grid.num_chunks());
+        assert!(
+            plan.fetch_bytes(&cr) < full.fetch_bytes(&cr),
+            "roi {} vs full {}",
+            plan.fetch_bytes(&cr),
+            full.fetch_bytes(&cr)
+        );
+    }
+
+    #[test]
+    fn roi_matches_full_domain_reference_on_same_region() {
+        let data = field_2d(26, 19);
+        let cr = refactor_chunked(&data, &[26, 19], &ChunkedConfig::with_extent(&[7, 6]));
+        let eb = 1e-3;
+        let region = Region::new(&[4, 2], &[15, 11]);
+        let roi: RoiResult<f32> = retrieve_roi(&cr, &RoiRequest::new(region.clone(), eb)).unwrap();
+        let full: RoiResult<f32> =
+            retrieve_roi(&cr, &RoiRequest::new(Region::whole(&cr.grid.shape), eb)).unwrap();
+        let sliced = extract_region(&full.data, &cr.grid.shape, &region);
+        assert_eq!(roi.data, sliced);
+    }
+
+    #[test]
+    fn parallel_backend_reconstructs_identically() {
+        let data = field_2d(24, 24);
+        let cr = refactor_chunked(&data, &[24, 24], &ChunkedConfig::with_extent(&[9, 9]));
+        let req = RoiRequest::new(Region::new(&[3, 3], &[14, 14]), 1e-4);
+        let a: RoiResult<f32> = retrieve_roi(&cr, &req).unwrap();
+        let b: RoiResult<f32> = retrieve_roi_with(
+            &cr,
+            &req,
+            &ParallelBackend::with_threads(4),
+            &ExecCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_domain_region_is_a_readable_error() {
+        let data = field_2d(16, 16);
+        let cr = refactor_chunked(&data, &[16, 16], &ChunkedConfig::with_extent(&[8, 8]));
+        let err = retrieve_roi::<f32>(&cr, &RoiRequest::new(Region::new(&[10, 0], &[8, 8]), 1e-2))
+            .unwrap_err();
+        assert!(err.contains("exceeds domain"), "{err}");
+    }
+
+    #[test]
+    fn dtype_mismatch_is_a_readable_error() {
+        let data = field_2d(12, 12);
+        let cr = refactor_chunked(&data, &[12, 12], &ChunkedConfig::with_extent(&[6, 6]));
+        let err = retrieve_roi::<f64>(&cr, &RoiRequest::new(Region::new(&[0, 0], &[4, 4]), 1e-2))
+            .unwrap_err();
+        assert!(err.contains("dtype mismatch"), "{err}");
+    }
+}

@@ -1,7 +1,9 @@
 //! Portable binary framing of refactored artifacts.
 //!
 //! Layout: an 8-byte magic, a JSON metadata header (everything except the
-//! compressed payload bytes), then the unit payloads concatenated raw.
+//! compressed payload bytes, plus a [`MANIFEST_VERSION`] schema version
+//! checked with a readable error on mismatch), then the unit payloads
+//! concatenated raw.
 //! JSON keeps the header human-inspectable and schema-evolvable; payloads
 //! stay binary so serialization is a straight copy. The format is
 //! byte-identical regardless of the producing device — the portability
@@ -17,66 +19,155 @@ use serde::{Deserialize, Serialize};
 /// Stream magic: `HPMDR` + format version 1.
 pub const MAGIC: &[u8; 8] = b"HPMDR\x01\0\0";
 
-#[derive(Serialize, Deserialize)]
-struct UnitMeta {
-    codec: Codec,
-    original_len: usize,
-    payload_len: usize,
+/// Newest manifest schema this build reads and the one it writes.
+///
+/// The version travels inside the JSON header (and the chunked-store
+/// manifest), so a reader confronted with a future layout fails with a
+/// readable "produced by a newer version" error instead of an opaque
+/// field-level parse error.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Readable rejection for manifests from a newer (or nonsensical) schema.
+pub(crate) fn check_manifest_version(version: u32, what: &str) -> Result<(), String> {
+    if version == 0 {
+        return Err(format!("{what} declares invalid manifest version 0"));
+    }
+    if version > MANIFEST_VERSION {
+        return Err(format!(
+            "{what} has manifest version {version}, newer than the supported \
+             {MANIFEST_VERSION}; upgrade this reader or re-refactor the data"
+        ));
+    }
+    Ok(())
+}
+
+/// Loosely probe a JSON manifest's declared `version` and reject newer
+/// schemas readably (their field changes fail the strict parse, so the
+/// caller invokes this from its parse-error path). Absent or
+/// non-numeric versions are treated as the v1 back-compat layout.
+pub(crate) fn check_probed_version(json: &[u8], what: &str) -> Result<(), String> {
+    if let Ok(probe) = serde_json::from_slice::<serde_json::Value>(json) {
+        if let Some(v) = probe["version"].as_u64() {
+            check_manifest_version(v.min(u64::from(u32::MAX)) as u32, what)?;
+        }
+    }
+    Ok(())
 }
 
 #[derive(Serialize, Deserialize)]
-struct StreamMeta {
+pub(crate) struct UnitMeta {
+    codec: Codec,
+    original_len: usize,
+    pub(crate) payload_len: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+pub(crate) struct StreamMeta {
     n: usize,
     exp: i32,
     num_planes: usize,
     layout: Layout,
     group_size: usize,
     plane_bytes: usize,
-    units: Vec<UnitMeta>,
+    pub(crate) units: Vec<UnitMeta>,
 }
 
 #[derive(Serialize, Deserialize)]
-struct HeaderMeta {
+pub(crate) struct HeaderMeta {
+    /// Manifest schema version. `None` only when parsing pre-versioning
+    /// headers, which are version-1 layouts.
+    pub(crate) version: Option<u32>,
     shape: Vec<usize>,
     dtype: String,
     hierarchy: Hierarchy,
     correction: bool,
     weights: Vec<f64>,
     value_range: f64,
-    streams: Vec<StreamMeta>,
+    pub(crate) streams: Vec<StreamMeta>,
+}
+
+impl HeaderMeta {
+    /// Capture `r`'s metadata (payload bytes elided, lengths kept).
+    pub(crate) fn of(r: &Refactored) -> Self {
+        HeaderMeta {
+            version: Some(MANIFEST_VERSION),
+            shape: r.shape.clone(),
+            dtype: r.dtype.clone(),
+            hierarchy: r.hierarchy.clone(),
+            correction: r.correction,
+            weights: r.weights.clone(),
+            value_range: r.value_range,
+            streams: r
+                .streams
+                .iter()
+                .map(|s| StreamMeta {
+                    n: s.n,
+                    exp: s.exp,
+                    num_planes: s.num_planes,
+                    layout: s.layout,
+                    group_size: s.group_size,
+                    plane_bytes: s.plane_bytes,
+                    units: s
+                        .units
+                        .iter()
+                        .map(|u| UnitMeta {
+                            codec: u.codec,
+                            original_len: u.original_len,
+                            payload_len: u.payload.len(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a [`Refactored`] whose unit payloads come from
+    /// `payload(group, unit, payload_len)` (return an empty vec for a
+    /// skeleton). Checks structural consistency.
+    pub(crate) fn into_refactored(
+        self,
+        mut payload: impl FnMut(usize, usize, usize) -> Result<Vec<u8>, String>,
+    ) -> Result<Refactored, String> {
+        check_manifest_version(self.version.unwrap_or(1), "manifest")?;
+        let mut streams = Vec::with_capacity(self.streams.len());
+        for (g, sm) in self.streams.into_iter().enumerate() {
+            let mut units = Vec::with_capacity(sm.units.len());
+            for (u, um) in sm.units.into_iter().enumerate() {
+                units.push(CompressedGroup {
+                    codec: um.codec,
+                    payload: payload(g, u, um.payload_len)?,
+                    original_len: um.original_len,
+                });
+            }
+            streams.push(LevelStream {
+                n: sm.n,
+                exp: sm.exp,
+                num_planes: sm.num_planes,
+                layout: sm.layout,
+                units,
+                group_size: sm.group_size,
+                plane_bytes: sm.plane_bytes,
+            });
+        }
+        let r = Refactored {
+            shape: self.shape,
+            dtype: self.dtype,
+            hierarchy: self.hierarchy,
+            correction: self.correction,
+            weights: self.weights,
+            streams,
+            value_range: self.value_range,
+        };
+        if r.streams.len() != r.hierarchy.levels + 1 {
+            return Err("inconsistent stream count".to_string());
+        }
+        Ok(r)
+    }
 }
 
 /// Serialize a refactored variable to the portable byte format.
 pub fn to_bytes(r: &Refactored) -> Vec<u8> {
-    let header = HeaderMeta {
-        shape: r.shape.clone(),
-        dtype: r.dtype.clone(),
-        hierarchy: r.hierarchy.clone(),
-        correction: r.correction,
-        weights: r.weights.clone(),
-        value_range: r.value_range,
-        streams: r
-            .streams
-            .iter()
-            .map(|s| StreamMeta {
-                n: s.n,
-                exp: s.exp,
-                num_planes: s.num_planes,
-                layout: s.layout,
-                group_size: s.group_size,
-                plane_bytes: s.plane_bytes,
-                units: s
-                    .units
-                    .iter()
-                    .map(|u| UnitMeta {
-                        codec: u.codec,
-                        original_len: u.original_len,
-                        payload_len: u.payload.len(),
-                    })
-                    .collect(),
-            })
-            .collect(),
-    };
+    let header = HeaderMeta::of(r);
     let json = serde_json::to_vec(&header).expect("header serializes");
     let payload_len: usize = r
         .streams
@@ -111,49 +202,26 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Refactored, String> {
     if bytes.len() < header_end {
         return Err("truncated: incomplete metadata".to_string());
     }
-    let header: HeaderMeta = serde_json::from_slice(&bytes[16..16 + json_len])
-        .map_err(|e| format!("metadata parse error: {e}"))?;
-    let mut off = 16 + json_len;
-    let mut streams = Vec::with_capacity(header.streams.len());
-    for sm in &header.streams {
-        let mut units = Vec::with_capacity(sm.units.len());
-        for um in &sm.units {
-            let end = off
-                .checked_add(um.payload_len)
-                .ok_or_else(|| "corrupt: unit length overflows".to_string())?;
-            if bytes.len() < end {
-                return Err("truncated: incomplete unit payload".to_string());
-            }
-            units.push(CompressedGroup {
-                codec: um.codec,
-                payload: bytes[off..off + um.payload_len].to_vec(),
-                original_len: um.original_len,
-            });
-            off += um.payload_len;
+    let json = &bytes[16..16 + json_len];
+    let header: HeaderMeta = match serde_json::from_slice(json) {
+        Ok(h) => h,
+        Err(e) => {
+            check_probed_version(json, "manifest")?;
+            return Err(format!("metadata parse error: {e}"));
         }
-        streams.push(LevelStream {
-            n: sm.n,
-            exp: sm.exp,
-            num_planes: sm.num_planes,
-            layout: sm.layout,
-            units,
-            group_size: sm.group_size,
-            plane_bytes: sm.plane_bytes,
-        });
-    }
-    let r = Refactored {
-        shape: header.shape,
-        dtype: header.dtype,
-        hierarchy: header.hierarchy,
-        correction: header.correction,
-        weights: header.weights,
-        streams,
-        value_range: header.value_range,
     };
-    if r.streams.len() != r.hierarchy.levels + 1 {
-        return Err("inconsistent stream count".to_string());
-    }
-    Ok(r)
+    let mut off = 16 + json_len;
+    header.into_refactored(|_, _, payload_len| {
+        let end = off
+            .checked_add(payload_len)
+            .ok_or_else(|| "corrupt: unit length overflows".to_string())?;
+        if bytes.len() < end {
+            return Err("truncated: incomplete unit payload".to_string());
+        }
+        let payload = bytes[off..end].to_vec();
+        off = end;
+        Ok(payload)
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +275,89 @@ mod tests {
     fn corrupt_metadata_detected() {
         let r = sample();
         let mut bytes = to_bytes(&r);
-        bytes[20] = b'!'; // inside the JSON header
+        bytes[16] = b'!'; // clobber the JSON header's opening brace
         assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn header_carries_manifest_version() {
+        let bytes = to_bytes(&sample());
+        let json_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let v: serde_json::Value = serde_json::from_slice(&bytes[16..16 + json_len]).unwrap();
+        assert_eq!(v["version"], u64::from(MANIFEST_VERSION));
+    }
+
+    /// Rebuild a serialized artifact with its JSON header's `version`
+    /// replaced (`None` removes the field), keeping payload bytes intact.
+    fn with_version(r: &Refactored, version: Option<u64>) -> Vec<u8> {
+        let bytes = to_bytes(r);
+        let json_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let mut v: serde_json::Value = serde_json::from_slice(&bytes[16..16 + json_len]).unwrap();
+        let serde_json::Value::Object(pairs) = &mut v else {
+            panic!("header is an object");
+        };
+        pairs.retain(|(k, _)| k != "version");
+        if let Some(ver) = version {
+            pairs.insert(0, ("version".to_string(), serde_json::Value::UInt(ver)));
+        }
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        out.extend_from_slice(&json);
+        out.extend_from_slice(&bytes[16 + json_len..]);
+        out
+    }
+
+    #[test]
+    fn newer_manifest_version_rejected_readably() {
+        let r = sample();
+        let err = from_bytes(&with_version(&r, Some(u64::from(MANIFEST_VERSION) + 1))).unwrap_err();
+        assert!(err.contains("newer than the supported"), "{err}");
+        assert!(err.contains(&format!("{}", MANIFEST_VERSION + 1)), "{err}");
+    }
+
+    #[test]
+    fn version_zero_rejected() {
+        let r = sample();
+        let err = from_bytes(&with_version(&r, Some(0))).unwrap_err();
+        assert!(err.contains("version 0"), "{err}");
+    }
+
+    #[test]
+    fn newer_version_with_changed_schema_still_rejected_readably() {
+        // A future layout will rename/retype fields, so the strict parse
+        // fails — the reader must still surface the version, not the
+        // field error.
+        let r = sample();
+        let bytes = to_bytes(&r);
+        let json_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let mut v: serde_json::Value = serde_json::from_slice(&bytes[16..16 + json_len]).unwrap();
+        let serde_json::Value::Object(pairs) = &mut v else {
+            panic!("header is an object");
+        };
+        pairs.retain(|(k, _)| k != "version" && k != "shape"); // "renamed" field
+        pairs.insert(
+            0,
+            (
+                "version".to_string(),
+                serde_json::Value::UInt(u64::from(MANIFEST_VERSION) + 1),
+            ),
+        );
+        let json = serde_json::to_vec(&v).unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(json.len() as u64).to_le_bytes());
+        out.extend_from_slice(&json);
+        out.extend_from_slice(&bytes[16 + json_len..]);
+        let err = from_bytes(&out).unwrap_err();
+        assert!(err.contains("newer than the supported"), "{err}");
+    }
+
+    #[test]
+    fn missing_version_field_defaults_to_v1() {
+        // Pre-versioning manifests parse as version 1 (back-compat).
+        let r = sample();
+        assert_eq!(from_bytes(&with_version(&r, None)).unwrap(), r);
     }
 }

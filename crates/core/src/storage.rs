@@ -13,10 +13,30 @@
 //! <dir>/manifest.json        # Refactored metadata, payloads elided
 //! <dir>/g<G>_u<U>.bin        # payload of unit U of level group G
 //! ```
+//!
+//! For chunk grids ([`crate::chunked`]) the module adds a *sharded*
+//! layout in the zarr mold — a versioned chunk manifest plus one shard
+//! file per chunk, units concatenated group-major so a unit-prefix plan
+//! reads one contiguous byte range per level group:
+//! ```text
+//! <dir>/manifest.json        # version + grid + per-chunk metadata
+//! <dir>/c<C>.shard           # chunk C: g0_u0 g0_u1 … g1_u0 … (raw)
+//! ```
+//! [`ChunkedStoreReader`] serves region-of-interest queries
+//! ([`crate::roi`]) by fetching exactly the planned ranges.
 
+use crate::chunked::{ChunkGrid, ChunkedRefactored};
 use crate::refactor::Refactored;
-use crate::retrieve::RetrievalPlan;
-use std::io;
+use crate::retrieve::{RetrievalPlan, RetrievalSession};
+use crate::roi::{RoiPlan, RoiRequest, RoiResult};
+use crate::serialize::{
+    check_manifest_version, check_probed_version, HeaderMeta, MANIFEST_VERSION,
+};
+use hpmdr_bitplane::BitplaneFloat;
+use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
+use hpmdr_mgard::Real;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 fn unit_path(dir: &Path, g: usize, u: usize) -> PathBuf {
@@ -25,18 +45,21 @@ fn unit_path(dir: &Path, g: usize, u: usize) -> PathBuf {
 
 /// Write `r` as a unit-file store under `dir` (created if absent).
 /// Returns the number of unit files written.
+///
+/// Payloads are written straight from `r` and the manifest is built from
+/// a payload-free [`Refactored::skeleton`], so writing never duplicates
+/// the compressed unit bytes (peak memory stays at one copy of the
+/// archive).
 pub fn write_store(r: &Refactored, dir: &Path) -> io::Result<usize> {
     std::fs::create_dir_all(dir)?;
-    let mut skeleton = r.clone();
     let mut files = 0usize;
-    for (g, s) in skeleton.streams.iter_mut().enumerate() {
-        for (u, unit) in s.units.iter_mut().enumerate() {
+    for (g, s) in r.streams.iter().enumerate() {
+        for (u, unit) in s.units.iter().enumerate() {
             std::fs::write(unit_path(dir, g, u), &unit.payload)?;
             files += 1;
-            unit.payload = Vec::new(); // manifest stores only metadata
         }
     }
-    let manifest = crate::serialize::to_bytes(&skeleton);
+    let manifest = crate::serialize::to_bytes(&r.skeleton());
     std::fs::write(dir.join("manifest.json"), manifest)?;
     Ok(files)
 }
@@ -99,6 +122,253 @@ impl StoreReader {
             }
         }
         Ok(out)
+    }
+}
+
+// ---- chunked shard store ----------------------------------------------
+
+fn shard_path(dir: &Path, c: usize) -> PathBuf {
+    dir.join(format!("c{c}.shard"))
+}
+
+/// The chunked store's versioned manifest: grid geometry plus per-chunk
+/// stream metadata (payload lengths kept, bytes elided).
+#[derive(Serialize, Deserialize)]
+struct ChunkedManifest {
+    /// Manifest schema version (`None` only in pre-versioning files).
+    version: Option<u32>,
+    shape: Vec<usize>,
+    chunk_extent: Vec<usize>,
+    dtype: String,
+    chunks: Vec<HeaderMeta>,
+}
+
+/// Write `cr` as a sharded chunk store under `dir` (created if absent):
+/// one shard file per chunk with its unit payloads concatenated
+/// group-major, plus a versioned `manifest.json`. Returns the number of
+/// shard files written. Payloads stream straight from `cr` — nothing is
+/// cloned.
+pub fn write_chunked_store(cr: &ChunkedRefactored, dir: &Path) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    for (c, chunk) in cr.chunks.iter().enumerate() {
+        let file = std::fs::File::create(shard_path(dir, c))?;
+        let mut w = std::io::BufWriter::new(file);
+        for s in &chunk.streams {
+            for u in &s.units {
+                w.write_all(&u.payload)?;
+            }
+        }
+        w.into_inner()
+            .map_err(std::io::IntoInnerError::into_error)?;
+    }
+    let manifest = ChunkedManifest {
+        version: Some(MANIFEST_VERSION),
+        shape: cr.grid.shape.clone(),
+        chunk_extent: cr.grid.chunk_extent.clone(),
+        dtype: cr.dtype.clone(),
+        chunks: cr.chunks.iter().map(HeaderMeta::of).collect(),
+    };
+    let json = serde_json::to_vec(&manifest).map_err(io::Error::other)?;
+    std::fs::write(dir.join("manifest.json"), json)?;
+    Ok(cr.chunks.len())
+}
+
+/// Reader over a sharded chunk store: plans against the metadata
+/// skeleton and fetches exactly the byte ranges a plan needs (one
+/// contiguous range per level group per chunk).
+#[derive(Debug)]
+pub struct ChunkedStoreReader {
+    dir: PathBuf,
+    skeleton: ChunkedRefactored,
+    /// Payload byte length of `unit_lens[chunk][group][unit]`.
+    unit_lens: Vec<Vec<Vec<usize>>>,
+    /// Payload bytes read so far.
+    bytes_read: usize,
+    /// Byte ranges requested so far (the store's I/O-op count).
+    ranges_read: usize,
+}
+
+impl ChunkedStoreReader {
+    /// Open the store at `dir`, validating the manifest and its version.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        let raw = std::fs::read(dir.join("manifest.json"))
+            .map_err(|e| format!("chunked manifest unreadable: {e}"))?;
+        let manifest: ChunkedManifest = match serde_json::from_slice(&raw) {
+            Ok(m) => m,
+            Err(e) => {
+                // A newer schema's field changes fail the strict parse;
+                // surface the declared version readably instead.
+                check_probed_version(&raw, "chunked store manifest")?;
+                return Err(format!("chunked manifest parse error: {e}"));
+            }
+        };
+        check_manifest_version(manifest.version.unwrap_or(1), "chunked store manifest")?;
+        // Geometry is untrusted on-disk input: reject it here rather
+        // than tripping ChunkGrid::new's asserts.
+        let nd = manifest.shape.len();
+        if nd == 0
+            || nd > hpmdr_mgard::grid::MAX_DIMS
+            || manifest.chunk_extent.len() != nd
+            || manifest.shape.contains(&0)
+            || manifest.chunk_extent.contains(&0)
+        {
+            return Err(format!(
+                "chunked manifest declares invalid geometry: shape {:?}, chunk extent {:?}",
+                manifest.shape, manifest.chunk_extent
+            ));
+        }
+        let grid = ChunkGrid::new(&manifest.shape, &manifest.chunk_extent);
+        if manifest.chunks.len() != grid.num_chunks() {
+            return Err(format!(
+                "chunked manifest lists {} chunks, grid has {}",
+                manifest.chunks.len(),
+                grid.num_chunks()
+            ));
+        }
+        let mut unit_lens = Vec::with_capacity(manifest.chunks.len());
+        let mut chunks = Vec::with_capacity(manifest.chunks.len());
+        for (c, hm) in manifest.chunks.into_iter().enumerate() {
+            let lens: Vec<Vec<usize>> = hm
+                .streams
+                .iter()
+                .map(|s| s.units.iter().map(|u| u.payload_len).collect())
+                .collect();
+            let skeleton = hm.into_refactored(|_, _, _| Ok(Vec::new()))?;
+            if skeleton.shape != grid.chunk_region(c).extent {
+                return Err(format!(
+                    "chunk {c} shape {:?} does not match its grid region {:?}",
+                    skeleton.shape,
+                    grid.chunk_region(c).extent
+                ));
+            }
+            unit_lens.push(lens);
+            chunks.push(skeleton);
+        }
+        Ok(ChunkedStoreReader {
+            dir: dir.to_path_buf(),
+            skeleton: ChunkedRefactored {
+                grid,
+                dtype: manifest.dtype,
+                chunks,
+            },
+            unit_lens,
+            bytes_read: 0,
+            ranges_read: 0,
+        })
+    }
+
+    /// Archive metadata (all unit payloads empty). Planning works
+    /// directly on this.
+    pub fn skeleton(&self) -> &ChunkedRefactored {
+        &self.skeleton
+    }
+
+    /// Payload bytes fetched from storage so far.
+    pub fn bytes_read(&self) -> usize {
+        self.bytes_read
+    }
+
+    /// Byte ranges requested so far.
+    pub fn ranges_read(&self) -> usize {
+        self.ranges_read
+    }
+
+    /// Bytes `plan` would fetch from this store (computable without I/O;
+    /// the skeleton's own `fetch_bytes` is zero since payloads are
+    /// elided). Errors on a plan built against a different archive.
+    pub fn plan_bytes(&self, plan: &RoiPlan) -> Result<usize, String> {
+        let mut total = 0usize;
+        for cp in &plan.chunks {
+            let lens = self
+                .unit_lens
+                .get(cp.chunk)
+                .ok_or_else(|| format!("chunk {} out of range", cp.chunk))?;
+            if cp.plan.units.len() != lens.len() {
+                return Err(format!("plan does not match chunk {} shape", cp.chunk));
+            }
+            total += lens
+                .iter()
+                .zip(&cp.plan.units)
+                .map(|(lens, &u)| lens.iter().take(u).sum::<usize>())
+                .sum::<usize>();
+        }
+        Ok(total)
+    }
+
+    /// Materialize chunk `c` with exactly the unit prefixes `plan`
+    /// needs, reading one contiguous shard range per level group.
+    pub fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, String> {
+        if c >= self.skeleton.chunks.len() {
+            return Err(format!("chunk {c} out of range"));
+        }
+        let mut out = self.skeleton.chunks[c].clone();
+        if plan.units.len() != out.streams.len() {
+            return Err("plan does not match chunk shape".to_string());
+        }
+        let path = shard_path(&self.dir, c);
+        let mut file =
+            std::fs::File::open(&path).map_err(|e| format!("shard c{c} unreadable: {e}"))?;
+        let mut group_off = 0u64;
+        for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
+            let lens = &self.unit_lens[c][g];
+            let want = want.min(s.units.len());
+            let prefix: usize = lens.iter().take(want).sum();
+            if prefix > 0 {
+                let mut buf = vec![0u8; prefix];
+                file.seek(SeekFrom::Start(group_off))
+                    .and_then(|_| file.read_exact(&mut buf))
+                    .map_err(|e| format!("shard c{c} group {g} unreadable: {e}"))?;
+                self.bytes_read += prefix;
+                self.ranges_read += 1;
+                let mut off = 0usize;
+                for (u, &len) in lens.iter().take(want).enumerate() {
+                    s.units[u].payload = buf[off..off + len].to_vec();
+                    off += len;
+                }
+            }
+            group_off += lens.iter().sum::<usize>() as u64;
+        }
+        Ok(out)
+    }
+
+    /// Serve a region query on the portable [`ScalarBackend`]: plan on
+    /// the skeleton, fetch exactly the planned ranges, reconstruct the
+    /// touched chunks, and assemble the region.
+    pub fn retrieve_roi<F: BitplaneFloat + Real + Default>(
+        &mut self,
+        req: &RoiRequest,
+    ) -> Result<RoiResult<F>, String> {
+        self.retrieve_roi_with(req, &ScalarBackend::new(), &ExecCtx::default())
+    }
+
+    /// Serve a region query, reconstructing the touched chunks on
+    /// `backend` (I/O stays sequential; decode fans out via
+    /// [`Backend::map_batch`]).
+    pub fn retrieve_roi_with<F: BitplaneFloat + Real + Default, B: Backend>(
+        &mut self,
+        req: &RoiRequest,
+        backend: &B,
+        ctx: &ExecCtx,
+    ) -> Result<RoiResult<F>, String> {
+        // Reject dtype mismatches before paying any shard I/O.
+        if F::TYPE_NAME != self.skeleton.dtype {
+            return Err(format!(
+                "dtype mismatch: archive holds {}, caller wants {}",
+                self.skeleton.dtype,
+                F::TYPE_NAME
+            ));
+        }
+        let plan = RoiPlan::for_request(&self.skeleton, req)?;
+        let loaded: Vec<Refactored> = plan
+            .chunks
+            .iter()
+            .map(|cp| self.load_chunk(cp.chunk, &cp.plan))
+            .collect::<Result<_, _>>()?;
+        crate::roi::assemble_region(&self.skeleton, &plan, backend, ctx, |i, cp| {
+            let mut sess = RetrievalSession::with_backend(&loaded[i], backend.clone());
+            sess.refine_to(&cp.plan);
+            Ok(sess.reconstruct::<F>())
+        })
     }
 }
 
@@ -193,6 +463,178 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("manifest.json"), b"garbage").unwrap();
         assert!(StoreReader::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- chunked shard store ------------------------------------------
+
+    use crate::chunked::{extract_region, refactor_chunked, ChunkedConfig};
+    use crate::roi::{Region, RoiRequest};
+
+    fn chunked_sample() -> (Vec<f32>, ChunkedRefactored) {
+        let data: Vec<f32> = (0..24 * 18)
+            .map(|i| ((i % 24) as f32 * 0.31).sin() * 2.0 + ((i / 24) as f32 * 0.23).cos())
+            .collect();
+        let cr = refactor_chunked(&data, &[24, 18], &ChunkedConfig::with_extent(&[7, 8]));
+        (data, cr)
+    }
+
+    #[test]
+    fn chunked_write_open_roundtrip_skeleton() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_meta");
+        let shards = write_chunked_store(&cr, &dir).unwrap();
+        assert_eq!(shards, cr.grid.num_chunks());
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
+        assert_eq!(reader.skeleton(), &cr.skeleton());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_full_chunk_load_matches_original() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_full");
+        write_chunked_store(&cr, &dir).unwrap();
+        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        for c in 0..cr.grid.num_chunks() {
+            let loaded = reader
+                .load_chunk(c, &RetrievalPlan::full(&cr.chunks[c]))
+                .unwrap();
+            assert_eq!(loaded, cr.chunks[c], "chunk {c}");
+        }
+        assert_eq!(reader.bytes_read(), cr.total_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_roi_fetches_only_planned_bytes_and_matches_memory() {
+        let (data, cr) = chunked_sample();
+        let dir = scratch("chunked_roi");
+        write_chunked_store(&cr, &dir).unwrap();
+        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+
+        let eb = 1e-2 * cr.value_range();
+        let req = RoiRequest::new(Region::new(&[3, 2], &[10, 9]), eb);
+        let from_store: crate::roi::RoiResult<f32> = reader.retrieve_roi(&req).unwrap();
+        let in_memory = crate::roi::retrieve_roi::<f32>(&cr, &req).unwrap();
+        assert_eq!(from_store, in_memory);
+
+        // Exactly the planned bytes were fetched, and strictly fewer
+        // than the whole archive.
+        let plan = crate::roi::RoiPlan::for_request(reader.skeleton(), &req).unwrap();
+        assert_eq!(reader.bytes_read(), reader.plan_bytes(&plan).unwrap());
+        assert_eq!(reader.plan_bytes(&plan).unwrap(), plan.fetch_bytes(&cr));
+        assert!(reader.bytes_read() < cr.total_bytes());
+
+        // And the reconstruction honors the bound against the original.
+        let reference = extract_region(&data, &[24, 18], &req.region);
+        let allowed = from_store.bound.max(eb);
+        for (a, b) in reference.iter().zip(&from_store.data) {
+            assert!(((a - b).abs() as f64) <= allowed);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_dtype_mismatch_rejected_before_any_io() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_dtype");
+        write_chunked_store(&cr, &dir).unwrap();
+        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let err = reader
+            .retrieve_roi::<f64>(&RoiRequest::new(Region::new(&[0, 0], &[4, 4]), 1e-2))
+            .unwrap_err();
+        assert!(err.contains("dtype mismatch"), "{err}");
+        assert_eq!(reader.bytes_read(), 0, "no shard bytes may be fetched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_bytes_rejects_foreign_plans() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_foreign");
+        write_chunked_store(&cr, &dir).unwrap();
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
+        let mut plan = crate::roi::RoiPlan::for_request(
+            reader.skeleton(),
+            &RoiRequest::new(Region::new(&[0, 0], &[4, 4]), 1e-2),
+        )
+        .unwrap();
+        plan.chunks[0].chunk = cr.grid.num_chunks() + 7;
+        let err = reader.plan_bytes(&plan).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_missing_shard_is_reported() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_missing");
+        write_chunked_store(&cr, &dir).unwrap();
+        std::fs::remove_file(dir.join("c0.shard")).unwrap();
+        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let err = reader
+            .load_chunk(0, &RetrievalPlan::full(&cr.chunks[0]))
+            .unwrap_err();
+        assert!(err.contains("shard c0"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_newer_manifest_version_rejected_readably() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_version");
+        write_chunked_store(&cr, &dir).unwrap();
+        let raw = std::fs::read(dir.join("manifest.json")).unwrap();
+        let mut v: serde_json::Value = serde_json::from_slice(&raw).unwrap();
+        let serde_json::Value::Object(pairs) = &mut v else {
+            panic!("manifest is an object");
+        };
+        pairs.retain(|(k, _)| k != "version");
+        pairs.insert(
+            0,
+            (
+                "version".to_string(),
+                serde_json::Value::UInt(u64::from(crate::serialize::MANIFEST_VERSION) + 1),
+            ),
+        );
+        std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&v).unwrap()).unwrap();
+        let err = ChunkedStoreReader::open(&dir).unwrap_err();
+        assert!(err.contains("newer than the supported"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_invalid_geometry_is_rejected_not_panicking() {
+        let (_, cr) = chunked_sample();
+        let dir = scratch("chunked_geom");
+        write_chunked_store(&cr, &dir).unwrap();
+        let raw = std::fs::read(dir.join("manifest.json")).unwrap();
+        let mut v: serde_json::Value = serde_json::from_slice(&raw).unwrap();
+        let serde_json::Value::Object(pairs) = &mut v else {
+            panic!("manifest is an object");
+        };
+        for (k, val) in pairs.iter_mut() {
+            if k == "chunk_extent" {
+                *val = serde_json::Value::Array(vec![
+                    serde_json::Value::UInt(0),
+                    serde_json::Value::UInt(8),
+                ]);
+            }
+        }
+        std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&v).unwrap()).unwrap();
+        let err = ChunkedStoreReader::open(&dir).unwrap_err();
+        assert!(err.contains("invalid geometry"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunked_corrupt_manifest_is_reported() {
+        let dir = scratch("chunked_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.json"), b"not json").unwrap();
+        let err = ChunkedStoreReader::open(&dir).unwrap_err();
+        assert!(err.contains("parse error"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

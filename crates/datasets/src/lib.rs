@@ -14,11 +14,15 @@
 //! reproducible bit-for-bit across runs and platforms.
 //!
 //! [`metrics`] adds the error/rate measures used across EXPERIMENTS.md
-//! (L∞, RMSE, PSNR, bitrate, compression ratio).
+//! (L∞, RMSE, PSNR, bitrate, compression ratio), and [`regions`] adds
+//! deterministic region-query workloads (uniform and hotspot-clustered
+//! hyperslabs at a target selectivity) for the chunked retrieval path.
 
 pub mod fields;
 pub mod metrics;
+pub mod regions;
 pub mod suite;
 
 pub use fields::FieldSpec;
+pub use regions::{hotspot_queries, uniform_queries, RegionQuery};
 pub use suite::{Dataset, DatasetKind, Variable};

@@ -1,0 +1,209 @@
+//! Deterministic region-query workloads.
+//!
+//! The chunked retrieval path (`hpmdr-core`'s `roi` module) turns the
+//! library into a queryable array service; evaluating it needs realistic
+//! *query mixes*, not just full-domain decodes. This module generates
+//! seeded hyperslab workloads over a domain at a target selectivity (the
+//! fraction of the domain each query covers):
+//!
+//! * [`uniform_queries`] — query corners uniform over the domain, the
+//!   scattered-access pattern of ad-hoc analysis;
+//! * [`hotspot_queries`] — corners clustered around a few hot centers,
+//!   the skewed pattern of feature-tracking workloads (everyone asks
+//!   about the same vortex).
+//!
+//! Generators are pure functions of their arguments, so benchmark runs
+//! are reproducible bit-for-bit.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One hyperslab query: `start[d] .. start[d] + extent[d]` per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionQuery {
+    /// Inclusive lower corner.
+    pub start: Vec<usize>,
+    /// Extent per dimension (all ≥ 1).
+    pub extent: Vec<usize>,
+}
+
+impl RegionQuery {
+    /// Element count of the query box.
+    pub fn len(&self) -> usize {
+        self.extent.iter().product()
+    }
+
+    /// Whether the query selects no elements (never true for generated
+    /// queries).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Achieved selectivity against a domain of `shape`.
+    pub fn selectivity(&self, shape: &[usize]) -> f64 {
+        self.len() as f64 / shape.iter().product::<usize>() as f64
+    }
+}
+
+/// Per-dimension extent whose box covers ≈ `selectivity` of `shape`
+/// (isotropic: each dimension contributes the same linear fraction).
+fn extent_for_selectivity(shape: &[usize], selectivity: f64) -> Vec<usize> {
+    let frac = selectivity.clamp(1e-9, 1.0).powf(1.0 / shape.len() as f64);
+    shape
+        .iter()
+        .map(|&n| ((n as f64 * frac).round() as usize).clamp(1, n))
+        .collect()
+}
+
+fn query_at(shape: &[usize], extent: &[usize], corner_frac: &[f64]) -> RegionQuery {
+    let start: Vec<usize> = shape
+        .iter()
+        .zip(extent)
+        .zip(corner_frac)
+        .map(|((&n, &e), &f)| ((f * (n - e + 1) as f64) as usize).min(n - e))
+        .collect();
+    RegionQuery {
+        start,
+        extent: extent.to_vec(),
+    }
+}
+
+/// `count` queries of ≈ `selectivity` coverage with corners uniform over
+/// the domain.
+///
+/// # Panics
+/// Panics on empty shapes or zero extents.
+pub fn uniform_queries(
+    shape: &[usize],
+    selectivity: f64,
+    count: usize,
+    seed: u64,
+) -> Vec<RegionQuery> {
+    assert!(!shape.is_empty() && shape.iter().all(|&n| n >= 1));
+    let extent = extent_for_selectivity(shape, selectivity);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let frac: Vec<f64> = shape.iter().map(|_| rng.gen::<f64>()).collect();
+            query_at(shape, &extent, &frac)
+        })
+        .collect()
+}
+
+/// `count` queries of ≈ `selectivity` coverage whose corners cluster
+/// (Gaussian-ish, via averaged uniforms) around `hotspots` seeded hot
+/// centers — the skewed access pattern of feature-tracking analysis.
+///
+/// # Panics
+/// Panics on empty shapes, zero extents, or `hotspots == 0`.
+pub fn hotspot_queries(
+    shape: &[usize],
+    selectivity: f64,
+    count: usize,
+    hotspots: usize,
+    seed: u64,
+) -> Vec<RegionQuery> {
+    assert!(!shape.is_empty() && shape.iter().all(|&n| n >= 1));
+    assert!(hotspots >= 1, "need at least one hotspot");
+    let extent = extent_for_selectivity(shape, selectivity);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..hotspots)
+        .map(|_| shape.iter().map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    (0..count)
+        .map(|_| {
+            let center = &centers[(rng.gen::<u64>() as usize) % hotspots];
+            // Triangular jitter on ±25% of the domain around the center
+            // (sum of two uniforms concentrates toward it).
+            let frac: Vec<f64> = center
+                .iter()
+                .map(|&c| {
+                    let jitter = (rng.gen::<f64>() + rng.gen::<f64>()) * 0.25 - 0.25;
+                    (c + jitter).clamp(0.0, 1.0)
+                })
+                .collect();
+            query_at(shape, &extent, &frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_fit_the_domain_and_hit_selectivity() {
+        let shape = [64usize, 48, 40];
+        for sel in [0.001, 0.01, 0.1, 0.5] {
+            let qs = uniform_queries(&shape, sel, 32, 7);
+            assert_eq!(qs.len(), 32);
+            for q in &qs {
+                for (d, &n) in shape.iter().enumerate() {
+                    assert!(q.start[d] + q.extent[d] <= n);
+                    assert!(q.extent[d] >= 1);
+                }
+                // Rounding per dimension compounds; an order of magnitude
+                // envelope is what the benches rely on.
+                let got = q.selectivity(&shape);
+                assert!(
+                    got > sel * 0.2 && got < sel * 5.0 + 1e-9,
+                    "sel {sel} got {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let shape = [33usize, 57];
+        assert_eq!(
+            uniform_queries(&shape, 0.05, 16, 42),
+            uniform_queries(&shape, 0.05, 16, 42)
+        );
+        assert_eq!(
+            hotspot_queries(&shape, 0.05, 16, 3, 42),
+            hotspot_queries(&shape, 0.05, 16, 3, 42)
+        );
+        assert_ne!(
+            uniform_queries(&shape, 0.05, 16, 42),
+            uniform_queries(&shape, 0.05, 16, 43)
+        );
+    }
+
+    #[test]
+    fn hotspot_queries_cluster() {
+        let shape = [128usize, 128];
+        let qs = hotspot_queries(&shape, 0.01, 64, 1, 11);
+        // One hotspot: corner spread must be far tighter than uniform.
+        let mean: Vec<f64> = (0..2)
+            .map(|d| qs.iter().map(|q| q.start[d] as f64).sum::<f64>() / qs.len() as f64)
+            .collect();
+        let spread: f64 = qs
+            .iter()
+            .map(|q| {
+                (0..2)
+                    .map(|d| (q.start[d] as f64 - mean[d]).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        assert!(spread <= 0.3 * 128.0, "spread {spread}");
+    }
+
+    #[test]
+    fn tiny_selectivity_still_yields_valid_boxes() {
+        let qs = uniform_queries(&[5, 4], 1e-8, 4, 1);
+        for q in &qs {
+            assert_eq!(q.extent, vec![1, 1]);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_selectivity_covers_the_domain() {
+        let qs = uniform_queries(&[10, 12], 1.0, 2, 5);
+        for q in &qs {
+            assert_eq!(q.start, vec![0, 0]);
+            assert_eq!(q.extent, vec![10, 12]);
+        }
+    }
+}

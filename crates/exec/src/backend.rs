@@ -196,6 +196,23 @@ pub trait Backend: Clone + Default + Send + Sync + 'static {
         })
     }
 
+    /// Run `f` over every item of a batch and collect the results in
+    /// input order — the chunk-grid fan-out entry point. The items must
+    /// be independent: parallel backends may evaluate them concurrently
+    /// (each item typically being a whole per-chunk refactor or
+    /// reconstruction), while the scalar kernel runs them sequentially.
+    /// Because `f` itself routes through backend kernels that never
+    /// reassociate arithmetic, batch results are bit-identical across
+    /// backends.
+    fn map_batch<T, R, F>(&self, _ctx: &ExecCtx, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Send + Sync,
+    {
+        self.install(|| items.iter().map(&f).collect())
+    }
+
     /// Materialize a progressive decoder's current approximation.
     fn materialize<F: BitplaneFloat>(
         &self,

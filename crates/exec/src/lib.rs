@@ -7,7 +7,11 @@
 //! workspace: a [`Backend`] trait whose kernels cover the hot stages —
 //! multilevel decompose/recompose, bitplane encode/decode, and hybrid
 //! lossless (de)compression of merged units — plus an [`ExecCtx`]
-//! carrying tiling parameters and reusable scratch buffers.
+//! carrying tiling parameters and reusable scratch buffers. A batch
+//! entry point ([`Backend::map_batch`]) fans independent work items —
+//! notably the chunks of `hpmdr-core`'s chunk grid — across the same
+//! worker budget, so domain-decomposed workloads get chunk-level
+//! parallelism from the identical kernel set.
 //!
 //! Two backends ship today:
 //!

@@ -6,6 +6,28 @@ use crate::ctx::ExecCtx;
 use hpmdr_bitplane::{BitplaneChunk, BitplaneFloat, Layout};
 use hpmdr_lossless::{CompressedGroup, HybridCompressor};
 use rayon::prelude::*;
+use std::cell::Cell;
+
+thread_local! {
+    /// True while this thread executes one item of a [`Backend::map_batch`]
+    /// fan-out. Batch items already saturate the worker budget, so nested
+    /// kernel `install`s must run inline instead of re-expanding to the
+    /// full pool (which would oversubscribe to ~threads² workers).
+    static IN_BATCH_ITEM: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the batch-item marker for the duration of one closure call,
+/// restoring it even on unwind.
+fn with_batch_item_marker<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_BATCH_ITEM.with(|c| c.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_BATCH_ITEM.with(|c| c.replace(true)));
+    f()
+}
 
 /// Multi-threaded host execution.
 ///
@@ -70,7 +92,13 @@ impl Backend for ParallelBackend {
     }
 
     fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.pool.install(f)
+        if IN_BATCH_ITEM.with(Cell::get) {
+            // Already inside a batch-item worker: the batch fan-out owns
+            // the budget; run nested kernels inline.
+            f()
+        } else {
+            self.pool.install(f)
+        }
     }
 
     fn compress_units(
@@ -86,6 +114,20 @@ impl Backend for ParallelBackend {
             (0..num_units)
                 .into_par_iter()
                 .map(|u| compress_one_unit(ctx, chunk, u, m, compressor))
+                .collect()
+        })
+    }
+
+    fn map_batch<T, R, F>(&self, _ctx: &ExecCtx, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Send + Sync,
+    {
+        self.install(|| {
+            items
+                .par_iter()
+                .map(|item| with_batch_item_marker(|| f(item)))
                 .collect()
         })
     }
@@ -140,6 +182,17 @@ mod tests {
         let b =
             parallel.encode_and_compress(&ctx, &groups, 32, Layout::Interleaved32, 4, &compressor);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_batch_preserves_input_order() {
+        let ctx = ExecCtx::default();
+        let items: Vec<usize> = (0..57).collect();
+        let square = |&i: &usize| i * i;
+        let scalar = ScalarBackend::new().map_batch(&ctx, &items, square);
+        let parallel = ParallelBackend::with_threads(4).map_batch(&ctx, &items, square);
+        assert_eq!(scalar, parallel);
+        assert_eq!(scalar[10], 100);
     }
 
     #[test]

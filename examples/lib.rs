@@ -10,6 +10,8 @@
 //!   turbulence velocity field, comparing the CP/MA/MAPE estimators.
 //! * `out_of_core_pipeline` — tiled refactoring through the device
 //!   pipeline with and without overlap.
+//! * `roi_query` — region-of-interest queries over a sharded chunk
+//!   store: fetch only the chunks (and unit prefixes) a hyperslab needs.
 //!
 //! Run any of them with `cargo run -p hpmdr-examples --release --bin <name>`.
 

@@ -6,7 +6,9 @@
 //! produce bit-identical `Refactored` artifacts and identical retrieval
 //! error bounds on arbitrary inputs.
 
+use hpmdr_core::chunked::{refactor_chunked_with, ChunkedConfig};
 use hpmdr_core::refactor::refactor_with;
+use hpmdr_core::storage::write_chunked_store;
 use hpmdr_core::{
     ExecCtx, ParallelBackend, RefactorConfig, RetrievalPlan, RetrievalSession, ScalarBackend,
 };
@@ -96,5 +98,60 @@ proptest! {
 
         prop_assert_eq!(rec_sp, rec_ss);
         prop_assert_eq!(sess_sp.error_bound(), sess_ss.error_bound());
+    }
+
+    #[test]
+    fn chunked_stores_are_byte_identical_across_backends(
+        nx in 8usize..24,
+        ny in 8usize..24,
+        cx in 3usize..10,
+        cy in 3usize..10,
+        seed in any::<u32>(),
+        case in any::<u64>(),
+    ) {
+        // The portability guarantee extends to the chunk grid: a sharded
+        // store refactored with ScalarBackend and one refactored with
+        // ParallelBackend (chunk-level fan-out included) must be
+        // byte-identical on disk, file for file.
+        let data = random_field(nx, ny, seed);
+        let cfg = ChunkedConfig::with_extent(&[cx, cy]);
+        let ctx = ExecCtx::default();
+        let scalar = refactor_chunked_with(&data, &[nx, ny], &cfg, &ScalarBackend::new(), &ctx);
+        let parallel = refactor_chunked_with(
+            &data,
+            &[nx, ny],
+            &cfg,
+            &ParallelBackend::with_threads(4),
+            &ctx,
+        );
+        prop_assert_eq!(&scalar, &parallel);
+
+        let base = std::env::temp_dir().join(format!(
+            "hpmdr_chunk_equiv_{}_{case}",
+            std::process::id()
+        ));
+        let (dir_s, dir_p) = (base.join("scalar"), base.join("parallel"));
+        let _ = std::fs::remove_dir_all(&base);
+        write_chunked_store(&scalar, &dir_s).unwrap();
+        write_chunked_store(&parallel, &dir_p).unwrap();
+
+        let mut names: Vec<String> = std::fs::read_dir(&dir_s)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        let mut names_p: Vec<String> = std::fs::read_dir(&dir_p)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names_p.sort();
+        prop_assert_eq!(&names, &names_p, "same file set");
+        prop_assert!(names.len() == scalar.grid.num_chunks() + 1, "shards + manifest");
+        for name in &names {
+            let a = std::fs::read(dir_s.join(name)).unwrap();
+            let b = std::fs::read(dir_p.join(name)).unwrap();
+            prop_assert_eq!(a, b, "file {} differs across backends", name);
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 }
