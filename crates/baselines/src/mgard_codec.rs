@@ -80,7 +80,7 @@ impl MgardCodec {
     pub fn decompress(bytes: &[u8]) -> (Vec<f64>, Vec<usize>) {
         let json_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
         let header: Header = serde_json::from_slice(&bytes[8..8 + json_len]).expect("valid header");
-        let code_bytes = huffman::decompress(&bytes[8 + json_len..]);
+        let code_bytes = huffman::decompress(&bytes[8 + json_len..]).expect("valid code stream");
         assert_eq!(code_bytes.len(), header.code_bytes);
         let total: usize = header.group_lens.iter().sum();
         let codes = bytes_to_codes(&code_bytes, total);

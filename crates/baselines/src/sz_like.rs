@@ -108,7 +108,7 @@ impl SzLike {
             outliers.push((i as usize, v));
             off += 16;
         }
-        let code_bytes = huffman::decompress(&bytes[off..]);
+        let code_bytes = huffman::decompress(&bytes[off..]).expect("valid code stream");
         assert_eq!(
             code_bytes.len(),
             header.code_bytes,

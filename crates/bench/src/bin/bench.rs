@@ -1,0 +1,186 @@
+//! Perf-trajectory bench: emits machine-readable `BENCH_pr<N>.json`.
+//!
+//! Measures the PR-acceptance hot paths — refactor, retrieval (full
+//! domain + ROI-over-store), and the Huffman codec — at a fixed extent
+//! and dataset seed, then writes one JSON report. CI uploads the file as
+//! an artifact so every PR leaves a comparable data point; the committed
+//! `BENCH_pr<N>.json` files at the repo root form the trajectory.
+//!
+//! Knobs (environment):
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 3).
+//! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
+//! * `HPMDR_BENCH_REPS`   — timed repetitions per measurement (default 5).
+//! * `HPMDR_BENCH_OUT`    — output directory (default current dir).
+
+use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
+use hpmdr_core::roi::{Region, RoiRequest};
+use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
+use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use hpmdr_datasets::{Dataset, DatasetKind};
+use hpmdr_lossless::huffman;
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 5;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+#[derive(Serialize)]
+struct CodecPoint {
+    payload: String,
+    bytes: usize,
+    compress_ms: f64,
+    compress_gbps: f64,
+    decompress_ms: f64,
+    decompress_gbps: f64,
+}
+
+#[derive(Serialize)]
+struct RetrievePoint {
+    rel_tolerance: f64,
+    ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    pr: usize,
+    extent: usize,
+    seed: u64,
+    reps: usize,
+    refactor_ms: f64,
+    refactor_gbps: f64,
+    retrieve: Vec<RetrievePoint>,
+    roi_store_ms: f64,
+    huffman: Vec<CodecPoint>,
+}
+
+fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
+    let compressed = huffman::compress(&data);
+    let mut out = Vec::new();
+    let compress_ms = time_ms(reps, || {
+        std::hint::black_box(huffman::compress(&data));
+    });
+    let decompress_ms = time_ms(reps, || {
+        huffman::decompress_into(&compressed, &mut out).expect("self-produced stream");
+        std::hint::black_box(&out);
+    });
+    assert_eq!(out, data, "huffman roundtrip");
+    let gb = data.len() as f64 / 1e9;
+    CodecPoint {
+        payload: name.to_string(),
+        bytes: data.len(),
+        compress_ms,
+        compress_gbps: gb / (compress_ms / 1e3),
+        decompress_ms,
+        decompress_gbps: gb / (decompress_ms / 1e3),
+    }
+}
+
+fn main() {
+    let pr = env_usize("HPMDR_BENCH_PR", 3);
+    let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
+    let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
+
+    // Fixed-seed volume, the same generator the criterion benches use.
+    let shape = vec![extent, extent, extent];
+    let ds = Dataset::generate_with_shape(DatasetKind::Jhtdb, &shape, SEED);
+    let data = ds.variables[0].as_f32();
+    let gb = (data.len() * 4) as f64 / 1e9;
+    let cfg = RefactorConfig::default();
+
+    let refactor_ms = time_ms(reps, || {
+        std::hint::black_box(refactor(&data, &shape, &cfg));
+    });
+    let refactored = refactor(&data, &shape, &cfg);
+
+    let retrieve = [1e-2f64, 1e-4, 1e-6]
+        .into_iter()
+        .map(|rel| {
+            let eb = rel * refactored.value_range;
+            let ms = time_ms(reps, || {
+                let (plan, _) = RetrievalPlan::for_error(&refactored, eb);
+                let mut sess = RetrievalSession::new(&refactored);
+                sess.refine_to(&plan);
+                std::hint::black_box(sess.reconstruct::<f32>());
+            });
+            RetrievePoint {
+                rel_tolerance: rel,
+                ms,
+            }
+        })
+        .collect();
+
+    // ROI over a sharded store: a centered hyperslab of ~1% selectivity.
+    let chunk = (extent / 4).max(8);
+    let cr = refactor_chunked(
+        &data,
+        &shape,
+        &ChunkedConfig::with_extent(&[chunk, chunk, chunk]),
+    );
+    let dir = std::env::temp_dir().join(format!("hpmdr_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_chunked_store(&cr, &dir).expect("store writes");
+    let side = (extent as f64 * 0.01f64.cbrt()) as usize + 1;
+    let start = (extent - side) / 2;
+    let req = RoiRequest::new(
+        Region::new(&[start; 3], &[side; 3]),
+        1e-4 * cr.value_range(),
+    );
+    let mut reader = ChunkedStoreReader::open(&dir).expect("store opens");
+    let roi_store_ms = time_ms(reps, || {
+        std::hint::black_box(reader.retrieve_roi::<f32>(&req).expect("roi retrieves"));
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n = 1usize << 20;
+    let sparse: Vec<u8> = (0..n)
+        .map(|i| if i % 37 == 0 { (i % 7 + 1) as u8 } else { 0 })
+        .collect();
+    let noisy: Vec<u8> = {
+        let mut s = 0x12345u32;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s >> 24) as u8
+            })
+            .collect()
+    };
+    let huffman = vec![
+        huffman_point("sparse", sparse, reps),
+        huffman_point("noisy", noisy, reps),
+    ];
+
+    let report = Report {
+        pr,
+        extent,
+        seed: SEED,
+        reps,
+        refactor_ms,
+        refactor_gbps: gb / (refactor_ms / 1e3),
+        retrieve,
+        roi_store_ms,
+        huffman,
+    };
+    let json = serde_json::to_vec(&report).expect("report serializes");
+    let out_dir = std::env::var("HPMDR_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&out_dir).join(format!("BENCH_pr{pr}.json"));
+    std::fs::write(&path, &json).expect("report writes");
+    println!("{}", String::from_utf8_lossy(&json));
+    eprintln!("wrote {}", path.display());
+}

@@ -366,7 +366,7 @@ pub fn shuffle_encode_warp_exact<F: BitplaneFloat>(
     let w = cfg.warp_size;
     let s = std::mem::size_of::<F>().max(4);
     let words = Layout::Natural.words_per_plane(n);
-    let mut plane_bufs: Vec<Vec<u32>> = (0..b).map(|_| vec![0u32; words]).collect();
+    let mut arena = vec![0u32; b * words];
     let mut signs = vec![0u32; words];
     let mut counters = KernelCounters::new();
 
@@ -406,7 +406,7 @@ pub fn shuffle_encode_warp_exact<F: BitplaneFloat>(
                 if p == 0 {
                     signs[g] = *word;
                 } else {
-                    plane_bufs[p - 1][g] = *word;
+                    arena[(p - 1) * words + g] = *word;
                 }
             }
             warp.store_scalar((w / WORD_BITS) * 4);
@@ -419,20 +419,21 @@ pub fn shuffle_encode_warp_exact<F: BitplaneFloat>(
         let mask = (1u32 << (n % WORD_BITS)) - 1;
         let last = words - 1;
         signs[last] &= mask;
-        for pb in &mut plane_bufs {
-            pb[last] &= mask;
+        for p in 0..b {
+            arena[p * words + last] &= mask;
         }
     }
 
     EncodeOutcome {
-        chunk: BitplaneChunk {
+        chunk: BitplaneChunk::from_arena(
             n,
             exp,
-            layout: Layout::Natural,
-            dtype: F::TYPE_NAME.to_string(),
+            Layout::Natural,
+            F::TYPE_NAME.to_string(),
             signs,
-            planes: plane_bufs,
-        },
+            b,
+            arena,
+        ),
         counters,
     }
 }
@@ -462,7 +463,7 @@ pub fn register_block_encode_warp_exact<F: BitplaneFloat>(
     let s = std::mem::size_of::<F>().max(4);
     let layout = Layout::Interleaved32;
     let words = layout.words_per_plane(n);
-    let mut plane_bufs: Vec<Vec<u32>> = (0..b).map(|_| vec![0u32; words]).collect();
+    let mut arena = vec![0u32; b * words];
     let mut signs = vec![0u32; words];
     let mut counters = KernelCounters::new();
 
@@ -494,12 +495,12 @@ pub fn register_block_encode_warp_exact<F: BitplaneFloat>(
                 }
             }
             // Lane-local transpose: plane p's bit j is bit (63-p) of reg j.
-            for (p, plane) in plane_bufs.iter_mut().enumerate() {
+            for p in 0..b {
                 let mut word = 0u32;
                 for (j, reg) in regs.iter().enumerate() {
                     word |= (((reg >> (63 - p)) & 1) as u32) << j;
                 }
-                plane[word_idx] = word;
+                arena[p * words + word_idx] = word;
             }
             signs[word_idx] = sign_word;
         }
@@ -515,14 +516,7 @@ pub fn register_block_encode_warp_exact<F: BitplaneFloat>(
     counters.store_bytes = counters.warps_launched * ((b + 1) * w * 4) as u64;
 
     EncodeOutcome {
-        chunk: BitplaneChunk {
-            n,
-            exp,
-            layout,
-            dtype: F::TYPE_NAME.to_string(),
-            signs,
-            planes: plane_bufs,
-        },
+        chunk: BitplaneChunk::from_arena(n, exp, layout, F::TYPE_NAME.to_string(), signs, b, arena),
         counters,
     }
 }

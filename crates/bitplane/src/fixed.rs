@@ -45,7 +45,15 @@ pub trait BitplaneFloat: Copy + PartialOrd + Send + Sync + 'static {
 
     /// Inverse of [`Self::to_fixed`] for a possibly truncated magnitude.
     fn from_fixed(sign: bool, fixed: u64, exp: i32, planes: usize) -> Self {
-        let mag = fixed as f64 * exp2(exp - planes as i32);
+        Self::from_fixed_scaled(sign, fixed, exp2(exp - planes as i32))
+    }
+
+    /// [`Self::from_fixed`] with the quantum `2^(exp - planes)`
+    /// precomputed — element loops hoist the `exp2` out so the per-value
+    /// work is one multiply, with bit-identical results.
+    #[inline]
+    fn from_fixed_scaled(sign: bool, fixed: u64, scale: f64) -> Self {
+        let mag = fixed as f64 * scale;
         Self::from_f64(if sign { -mag } else { mag })
     }
 }

@@ -57,6 +57,45 @@ impl Layout {
         }
     }
 
+    /// The words of an `n`-element plane that carry padding bits, with a
+    /// mask of those bits (set = padding). Padding only ever lives in the
+    /// last word (natural) or last tile (interleaved), so the list stays
+    /// O(1)-small and validation can check whole words with one `&` each
+    /// instead of walking every bit of every word.
+    pub fn padding_masks(self, n: usize) -> Vec<(usize, u32)> {
+        match self {
+            Layout::Natural => {
+                if n.is_multiple_of(WORD_BITS) {
+                    Vec::new()
+                } else {
+                    vec![(n / WORD_BITS, !0u32 << (n % WORD_BITS))]
+                }
+            }
+            Layout::Interleaved32 => {
+                let rem = n % TILE_ELEMS;
+                if rem == 0 {
+                    return Vec::new();
+                }
+                let tile = n / TILE_ELEMS;
+                let mut out = Vec::new();
+                for t in 0..WORD_BITS {
+                    // Bit j of tile word t is element tile·1024 + j·32 + t,
+                    // valid while j·32 + t < rem.
+                    let valid = if t < rem {
+                        (rem - t).div_ceil(WORD_BITS)
+                    } else {
+                        0
+                    };
+                    if valid < WORD_BITS {
+                        let mask = if valid == 0 { !0u32 } else { !0u32 << valid };
+                        out.push((tile * WORD_BITS + t, mask));
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// Inverse of [`Self::position`].
     pub fn element(self, word: usize, bit: usize) -> usize {
         match self {
@@ -112,6 +151,29 @@ mod tests {
         assert_eq!(Layout::Interleaved32.words_per_plane(1), 32);
         assert_eq!(Layout::Interleaved32.words_per_plane(1024), 32);
         assert_eq!(Layout::Interleaved32.words_per_plane(1025), 64);
+    }
+
+    #[test]
+    fn padding_masks_match_per_bit_definition() {
+        for layout in [Layout::Natural, Layout::Interleaved32] {
+            for n in [1usize, 31, 32, 33, 100, 1023, 1024, 1025, 2048 + 17] {
+                let words = layout.words_per_plane(n);
+                // Brute-force reference: bit-by-bit padding classification.
+                let mut reference = vec![0u32; words];
+                for (word, mask) in reference.iter_mut().enumerate() {
+                    for bit in 0..WORD_BITS {
+                        if layout.element(word, bit) >= n {
+                            *mask |= 1u32 << bit;
+                        }
+                    }
+                }
+                let mut from_masks = vec![0u32; words];
+                for (word, mask) in layout.padding_masks(n) {
+                    from_masks[word] = mask;
+                }
+                assert_eq!(from_masks, reference, "{layout:?} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -24,27 +24,24 @@ pub enum Reconstruction {
     Midpoint,
 }
 
-/// Column pointers into the plane vectors, letting disjoint unit indices be
-/// written from rayon workers without locks. Soundness: every unit index is
-/// processed by exactly one worker, and workers only write word `u` of each
-/// plane.
-struct PlaneColumns {
-    ptrs: Vec<*mut u32>,
+/// Raw pointer into the plane-major arena, letting disjoint word columns
+/// be written from rayon workers without locks. Soundness: every unit
+/// index is processed by exactly one worker, and workers only write word
+/// `u` of each plane (`arena[plane·words + u]`).
+struct ArenaColumns {
+    ptr: *mut u32,
+    words: usize,
 }
-unsafe impl Send for PlaneColumns {}
-unsafe impl Sync for PlaneColumns {}
+unsafe impl Send for ArenaColumns {}
+unsafe impl Sync for ArenaColumns {}
 
-impl PlaneColumns {
-    fn new(planes: &mut [Vec<u32>]) -> Self {
-        PlaneColumns {
-            ptrs: planes.iter_mut().map(|p| p.as_mut_ptr()).collect(),
-        }
-    }
+impl ArenaColumns {
     /// # Safety
-    /// `word` must be in-bounds and written by only one thread.
+    /// `plane` and `word` must be in-bounds and the slot written by only
+    /// one thread.
     #[inline]
     unsafe fn set(&self, plane: usize, word: usize, val: u32) {
-        *self.ptrs[plane].add(word) = val;
+        *self.ptr.add(plane * self.words + word) = val;
     }
 }
 
@@ -77,14 +74,16 @@ pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> Bi
     }
     let n = data.len();
     let words = layout.words_per_plane(n);
-    let mut plane_bufs: Vec<Vec<u32>> = (0..b).map(|_| vec![0u32; words]).collect();
-    let mut signs = vec![0u32; words];
+    let mut chunk = BitplaneChunk::zeroed::<F>(n, exp, layout, b);
     let b_hi = b.min(32);
 
     {
-        let cols = PlaneColumns::new(&mut plane_bufs);
+        let cols = ArenaColumns {
+            ptr: chunk.arena_mut().as_mut_ptr(),
+            words,
+        };
         let signs_col = ElemWriter {
-            ptr: signs.as_mut_ptr(),
+            ptr: chunk.signs.as_mut_ptr(),
         };
         (0..words).into_par_iter().with_min_len(32).for_each(|u| {
             let mut hi = [0u32; 32];
@@ -116,14 +115,7 @@ pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> Bi
         });
     }
 
-    BitplaneChunk {
-        n,
-        exp,
-        layout,
-        dtype: F::TYPE_NAME.to_string(),
-        signs,
-        planes: plane_bufs,
-    }
+    chunk
 }
 
 /// Decode the first `k` magnitude planes of `chunk` into values.
@@ -163,15 +155,17 @@ pub fn decode_prefix<F: BitplaneFloat>(
     let writer = ElemWriter {
         ptr: out.as_mut_ptr(),
     };
+    let arena = chunk.arena();
+    let scale = crate::fixed::exp2(exp - b as i32);
     (0..words).into_par_iter().with_min_len(32).for_each(|u| {
         let mut hi = [0u32; 32];
         let mut lo = [0u32; 32];
         for (p, row) in hi.iter_mut().rev().take(k_hi).enumerate() {
-            *row = chunk.planes[p][u];
+            *row = arena[p * words + u];
         }
         if k > 32 {
             for (p, row) in lo.iter_mut().rev().take(k - 32).enumerate() {
-                *row = chunk.planes[32 + p][u];
+                *row = arena[(32 + p) * words + u];
             }
         }
         transpose32(&mut hi);
@@ -192,7 +186,7 @@ pub fn decode_prefix<F: BitplaneFloat>(
             let sign = (sign_word >> r) & 1 == 1;
             // Safety: layouts are injective, so element `e` is written by
             // exactly this unit.
-            unsafe { writer.write(e, F::from_fixed(sign, fixed, exp, b)) };
+            unsafe { writer.write(e, F::from_fixed_scaled(sign, fixed, scale)) };
         }
     });
     out
@@ -252,7 +246,7 @@ impl ProgressiveDecoder {
         let n = chunk.n;
         for p in self.applied..k {
             let weight_shift = (self.total_planes - 1 - p) as u32;
-            let plane = &chunk.planes[p];
+            let plane = chunk.plane(p);
             for (u, &word) in plane.iter().enumerate() {
                 let mut w = word;
                 while w != 0 {
@@ -285,6 +279,7 @@ impl ProgressiveDecoder {
             0
         };
         let layout = chunk.layout;
+        let scale = crate::fixed::exp2(chunk.exp - b as i32);
         (0..chunk.n)
             .into_par_iter()
             .with_min_len(1024)
@@ -295,7 +290,7 @@ impl ProgressiveDecoder {
                 if fixed != 0 {
                     fixed |= midpoint;
                 }
-                F::from_fixed(sign, fixed, chunk.exp, b)
+                F::from_fixed_scaled(sign, fixed, scale)
             })
             .collect()
     }

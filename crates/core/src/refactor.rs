@@ -249,15 +249,13 @@ pub fn refactor_with<F: BitplaneFloat + Real, B: Backend>(
 
 /// Rebuild a (possibly partial) [`BitplaneChunk`] from the first
 /// `units` merged units of `stream`, on the portable [`ScalarBackend`].
-///
-/// # Panics
-/// Panics if the stream is structurally corrupt.
+/// Returns a readable error if the stream is structurally corrupt.
 pub fn decompress_units(
     stream: &LevelStream,
     units: usize,
     compressor: &HybridCompressor,
     dtype: &str,
-) -> BitplaneChunk {
+) -> Result<BitplaneChunk, String> {
     ScalarBackend::new().decode_units(&ExecCtx::default(), stream.view(), units, compressor, dtype)
 }
 
@@ -292,7 +290,7 @@ mod tests {
         let r = refactor(&data, &[17, 16], &cfg);
         let comp = HybridCompressor::new(cfg.hybrid);
         for s in &r.streams {
-            let full = decompress_units(s, s.num_units(), &comp, "f32");
+            let full = decompress_units(s, s.num_units(), &comp, "f32").unwrap();
             full.validate().unwrap();
             assert_eq!(full.num_planes(), s.num_planes);
         }
@@ -305,11 +303,11 @@ mod tests {
         let r = refactor(&data, &[33, 32], &cfg);
         let comp = HybridCompressor::new(cfg.hybrid);
         let s = r.streams.last().expect("streams");
-        let partial = decompress_units(s, 2, &comp, "f32");
-        let full = decompress_units(s, s.num_units(), &comp, "f32");
+        let partial = decompress_units(s, 2, &comp, "f32").unwrap();
+        let full = decompress_units(s, s.num_units(), &comp, "f32").unwrap();
         assert_eq!(partial.num_planes(), s.planes_in_units(2));
         for p in 0..partial.num_planes() {
-            assert_eq!(partial.planes[p], full.planes[p], "plane {p}");
+            assert_eq!(partial.plane(p), full.plane(p), "plane {p}");
         }
         assert_eq!(partial.signs, full.signs);
     }

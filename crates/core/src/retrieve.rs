@@ -11,7 +11,7 @@ use hpmdr_bitplane::native::ProgressiveDecoder;
 use hpmdr_bitplane::{prefix_error_bound, BitplaneFloat, Reconstruction};
 use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
 use hpmdr_lossless::{HybridCompressor, HybridConfig};
-use hpmdr_mgard::{extract_active_grid, inject_levels, Real};
+use hpmdr_mgard::{extract_active_grid, inject_levels_with, LevelSet, Real};
 use serde::{Deserialize, Serialize};
 
 /// A retrieval decision: merged units to fetch per level group.
@@ -177,6 +177,9 @@ pub struct RetrievalSession<'a, B: Backend = ScalarBackend> {
     decoders: Vec<Option<(hpmdr_bitplane::BitplaneChunk, ProgressiveDecoder)>>,
     units_applied: Vec<usize>,
     fetched_bytes: usize,
+    /// Group-index enumeration of the hierarchy, computed once — every
+    /// reconstruction injects through it instead of re-deriving it.
+    level_set: LevelSet,
 }
 
 impl<'a> RetrievalSession<'a, ScalarBackend> {
@@ -199,6 +202,7 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
             decoders: (0..g).map(|_| None).collect(),
             units_applied: vec![0; g],
             fetched_bytes: 0,
+            level_set: LevelSet::new(&refactored.hierarchy),
         }
     }
 
@@ -229,7 +233,20 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
 
     /// Advance to `plan` (only fetching units not yet applied; plans never
     /// shrink — smaller entries are ignored).
+    ///
+    /// # Panics
+    /// Panics if a stream is structurally corrupt. Store-backed readers
+    /// use [`Self::try_refine_to`], which propagates decode errors
+    /// instead — reads of damaged archives must never abort the process.
     pub fn refine_to(&mut self, plan: &RetrievalPlan) {
+        self.try_refine_to(plan)
+            .expect("corrupt stream during refinement");
+    }
+
+    /// Fallible [`Self::refine_to`]: returns a readable error when a unit
+    /// fails to decode (truncated or corrupt payload). Units applied
+    /// before the failure remain applied.
+    pub fn try_refine_to(&mut self, plan: &RetrievalPlan) -> Result<(), String> {
         assert_eq!(plan.units.len(), self.decoders.len(), "plan shape mismatch");
         for (gi, &target) in plan.units.iter().enumerate() {
             let target = target.min(self.refactored.streams[gi].num_units());
@@ -243,13 +260,16 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
             }
             // Decompress the prefix [0, target) — cheap relative to decode;
             // the plane accumulators only apply the new planes.
-            let chunk = self.backend.decode_units(
-                &self.ctx,
-                stream.view(),
-                target,
-                &self.compressor,
-                &self.refactored.dtype,
-            );
+            let chunk = self
+                .backend
+                .decode_units(
+                    &self.ctx,
+                    stream.view(),
+                    target,
+                    &self.compressor,
+                    &self.refactored.dtype,
+                )
+                .map_err(|e| format!("group {gi}: {e}"))?;
             let k = stream.planes_in_units(target);
             match &mut self.decoders[gi] {
                 Some((stored, dec)) => {
@@ -265,6 +285,7 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
             }
             self.units_applied[gi] = target;
         }
+        Ok(())
     }
 
     /// Advance every group by `extra` merged units.
@@ -353,7 +374,7 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
                 }
             })
             .collect();
-        let mut data = inject_levels(&groups, h);
+        let mut data = inject_levels_with(&self.level_set, &groups, h);
         self.backend
             .recompose_to_level(&self.ctx, &mut data, h, self.refactored.correction, level);
         let shape = h.shape_at_level(level);

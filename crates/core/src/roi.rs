@@ -240,7 +240,8 @@ pub fn retrieve_roi_with<F: BitplaneFloat + Real + Default, B: Backend>(
     let plan = RoiPlan::for_request(cr, req)?;
     assemble_region(cr, &plan, backend, ctx, |_, cp| {
         let mut sess = RetrievalSession::with_backend(&cr.chunks[cp.chunk], backend.clone());
-        sess.refine_to(&cp.plan);
+        sess.try_refine_to(&cp.plan)
+            .map_err(|e| format!("chunk {}: {e}", cp.chunk))?;
         Ok(sess.reconstruct::<F>())
     })
 }

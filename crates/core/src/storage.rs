@@ -366,7 +366,8 @@ impl ChunkedStoreReader {
             .collect::<Result<_, _>>()?;
         crate::roi::assemble_region(&self.skeleton, &plan, backend, ctx, |i, cp| {
             let mut sess = RetrievalSession::with_backend(&loaded[i], backend.clone());
-            sess.refine_to(&cp.plan);
+            sess.try_refine_to(&cp.plan)
+                .map_err(|e| format!("chunk {}: {e}", cp.chunk))?;
             Ok(sess.reconstruct::<F>())
         })
     }

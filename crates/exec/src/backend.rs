@@ -150,49 +150,64 @@ pub trait Backend: Clone + Default + Send + Sync + 'static {
     /// into a (possibly partial) [`BitplaneChunk`] — the retrieval-side
     /// inverse of [`Backend::compress_units`].
     ///
-    /// # Panics
-    /// Panics if the stream is structurally corrupt (wrong decompressed
-    /// unit sizes).
+    /// Unit payloads decode into a scratch buffer leased from `ctx`
+    /// (`Direct` units are read in place, zero copy) and land in the
+    /// chunk's plane-major arena as one contiguous word range per unit.
+    /// Streams are storage input, so every structural defect is a
+    /// readable error, never a panic.
     fn decode_units(
         &self,
-        _ctx: &ExecCtx,
+        ctx: &ExecCtx,
         stream: StreamView<'_>,
         take_units: usize,
         compressor: &HybridCompressor,
         dtype: &str,
-    ) -> BitplaneChunk {
+    ) -> Result<BitplaneChunk, String> {
         let take_units = take_units.min(stream.units.len());
         self.install(|| {
             let k = stream.planes_in_units(take_units);
-            let words = stream.plane_bytes / 4;
+            let words = stream.layout.words_per_plane(stream.n);
+            if stream.plane_bytes != words * 4 {
+                return Err(format!(
+                    "stream declares {}-byte planes, layout needs {}",
+                    stream.plane_bytes,
+                    words * 4
+                ));
+            }
             let mut signs = vec![0u32; words];
-            let mut planes: Vec<Vec<u32>> = Vec::with_capacity(k);
-            for u in 0..take_units {
-                let raw = compressor.decompress(&stream.units[u]);
-                let lo = u * stream.group_size;
-                let hi = ((u + 1) * stream.group_size).min(stream.num_planes);
-                let expect = (hi - lo + usize::from(u == 0)) * stream.plane_bytes;
-                assert_eq!(raw.len(), expect, "unit {u} has wrong decompressed size");
-                let mut off = 0usize;
-                if u == 0 {
-                    read_words(&raw[..stream.plane_bytes], &mut signs);
-                    off = stream.plane_bytes;
+            let mut arena = vec![0u32; k * words];
+            ctx.with_buffer(|scratch| -> Result<(), String> {
+                for u in 0..take_units {
+                    let raw = compressor
+                        .decompress_to(&stream.units[u], scratch)
+                        .map_err(|e| format!("unit {u}: {e}"))?;
+                    let lo = (u * stream.group_size).min(stream.num_planes);
+                    let hi = ((u + 1) * stream.group_size).min(stream.num_planes);
+                    let expect = (hi - lo + usize::from(u == 0)) * stream.plane_bytes;
+                    if raw.len() != expect {
+                        return Err(format!(
+                            "unit {u} decompressed to {} bytes, expected {expect}",
+                            raw.len()
+                        ));
+                    }
+                    let mut off = 0usize;
+                    if u == 0 {
+                        read_words(&raw[..stream.plane_bytes], &mut signs);
+                        off = stream.plane_bytes;
+                    }
+                    read_words(&raw[off..], &mut arena[lo * words..hi * words]);
                 }
-                for _ in lo..hi {
-                    let mut plane = vec![0u32; words];
-                    read_words(&raw[off..off + stream.plane_bytes], &mut plane);
-                    off += stream.plane_bytes;
-                    planes.push(plane);
-                }
-            }
-            BitplaneChunk {
-                n: stream.n,
-                exp: stream.exp,
-                layout: stream.layout,
-                dtype: dtype.to_string(),
+                Ok(())
+            })?;
+            Ok(BitplaneChunk::from_arena(
+                stream.n,
+                stream.exp,
+                stream.layout,
+                dtype.to_string(),
                 signs,
-                planes,
-            }
+                k,
+                arena,
+            ))
         })
     }
 
@@ -244,7 +259,10 @@ pub(crate) fn stream_from_chunk(
 }
 
 /// Merge and compress unit `u` of `chunk` (unit 0 carries the signs).
-/// The merge buffer is leased from the context pool.
+/// The merge buffer is leased from the context pool; the unit's planes
+/// are one contiguous arena range, so the merge is a single bulk copy,
+/// and a `Direct` selection moves the merged buffer straight into the
+/// payload instead of copying it again.
 pub(crate) fn compress_one_unit(
     ctx: &ExecCtx,
     chunk: &BitplaneChunk,
@@ -254,28 +272,31 @@ pub(crate) fn compress_one_unit(
 ) -> CompressedGroup {
     let b = chunk.num_planes();
     let plane_bytes = chunk.plane_bytes();
-    let lo = u * m;
+    let lo = (u * m).min(b);
     let hi = ((u + 1) * m).min(b);
     ctx.with_buffer(|merged| {
         merged.reserve((hi - lo + usize::from(u == 0)) * plane_bytes);
         if u == 0 {
             extend_words(merged, &chunk.signs);
         }
-        for p in lo..hi {
-            extend_words(merged, &chunk.planes[p]);
-        }
-        compressor.compress(merged)
+        extend_words(merged, chunk.plane_range(lo, hi));
+        compressor.compress_owned(merged)
     })
 }
 
+/// Append `words` to `out` as little-endian bytes — a bulk resize plus a
+/// fixed-stride copy the compiler lowers to a memcpy on LE targets.
 pub(crate) fn extend_words(out: &mut Vec<u8>, words: &[u32]) {
-    for w in words {
-        out.extend_from_slice(&w.to_le_bytes());
+    let start = out.len();
+    out.resize(start + words.len() * 4, 0);
+    for (dst, w) in out[start..].chunks_exact_mut(4).zip(words) {
+        dst.copy_from_slice(&w.to_le_bytes());
     }
 }
 
+/// Fill `out` from little-endian `bytes` (the inverse bulk copy).
 pub(crate) fn read_words(bytes: &[u8], out: &mut [u32]) {
-    for (i, w) in out.iter_mut().enumerate() {
-        *w = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().expect("sized"));
+    for (w, src) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *w = u32::from_le_bytes(src.try_into().expect("4-byte chunk"));
     }
 }

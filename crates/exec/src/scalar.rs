@@ -78,7 +78,9 @@ mod tests {
             plane_bytes: s.plane_bytes,
             units: &s.units,
         };
-        let full = backend.decode_units(&ctx, view, s.units.len(), &compressor, "f32");
+        let full = backend
+            .decode_units(&ctx, view, s.units.len(), &compressor, "f32")
+            .unwrap();
         full.validate().unwrap();
         assert_eq!(full.num_planes(), s.num_planes);
     }

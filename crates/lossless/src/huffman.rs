@@ -6,12 +6,22 @@
 //! canonical code table, so both directions parallelize over chunks with
 //! no cross-chunk bit dependencies.
 //!
+//! Bit I/O runs word-at-a-time. The encoder packs whole codes into a
+//! 64-bit accumulator (one shift+or per symbol, never per bit); the
+//! decoder keeps a 64-bit look-ahead refilled 8 bytes per load and
+//! resolves symbols through a flat [`LUT_BITS`]-bit table — the batched
+//! variant drains *every* whole code in the peeked window, so skewed
+//! streams decode several symbols per lookup, and only codes longer than
+//! the table width fall back to the canonical first-code scan. Byte
+//! output is identical to the historical bit-serial coder.
+//!
 //! Stream format (little-endian):
 //! ```text
 //! [orig_len u64][chunk_size u32][n_chunks u32][256 × code length u8]
 //! [n_chunks × compressed byte length u32][chunk payloads, byte aligned]
 //! ```
 
+use crate::framing::{carve_output, parse_frames, ChunkFrames, FramingError};
 use rayon::prelude::*;
 
 /// Chunk granularity for parallel encode/decode.
@@ -21,13 +31,69 @@ pub const CHUNK_SIZE: usize = 1 << 16;
 /// tree exceeds it (only possible for adversarial distributions).
 pub const MAX_CODE_LEN: usize = 56;
 
+/// Width of the first-level decode lookup table: one `u16` entry per
+/// 11-bit prefix resolves any code of ≤ 11 bits in a single indexed load.
+pub const LUT_BITS: usize = 11;
+
+/// Why a Huffman stream failed to decode. Streams are untrusted storage
+/// input, so every structural defect maps to a readable error instead of
+/// a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// Stream shorter than the fixed header (lengths table included).
+    TruncatedHeader,
+    /// The chunk table or chunk payloads extend past the stream end.
+    TruncatedPayload,
+    /// Header fields are mutually inconsistent (chunk geometry vs the
+    /// original length, or an impossible code-length table).
+    CorruptHeader(String),
+    /// A chunk bitstream hit an invalid code or ran out of bits.
+    CorruptChunk {
+        /// Index of the offending chunk.
+        chunk: usize,
+    },
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::TruncatedHeader => write!(f, "truncated Huffman header"),
+            HuffmanError::TruncatedPayload => write!(f, "truncated Huffman payload"),
+            HuffmanError::CorruptHeader(why) => write!(f, "corrupt Huffman header: {why}"),
+            HuffmanError::CorruptChunk { chunk } => {
+                write!(f, "corrupt Huffman bitstream in chunk {chunk}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
 /// Compute the byte histogram of `data` (parallel).
+///
+/// Counts into four interleaved sub-histograms so consecutive increments
+/// never touch the same counter — the serial `h[b] += 1` dependency chain
+/// is what bounds a naive histogram, not memory bandwidth.
 pub fn histogram(data: &[u8]) -> [u64; 256] {
     data.par_chunks(1 << 20)
         .map(|chunk| {
+            // u32 lanes cannot overflow: each worker chunk is ≤ 2^20 bytes.
+            let mut lanes = [[0u32; 256]; 4];
+            let mut quads = chunk.chunks_exact(4);
+            for q in &mut quads {
+                lanes[0][q[0] as usize] += 1;
+                lanes[1][q[1] as usize] += 1;
+                lanes[2][q[2] as usize] += 1;
+                lanes[3][q[3] as usize] += 1;
+            }
+            for &b in quads.remainder() {
+                lanes[0][b as usize] += 1;
+            }
             let mut h = [0u64; 256];
-            for &b in chunk {
-                h[b as usize] += 1;
+            for lane in &lanes {
+                for (x, &y) in h.iter_mut().zip(lane.iter()) {
+                    *x += y as u64;
+                }
             }
             h
         })
@@ -146,19 +212,25 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         .par_chunks(CHUNK_SIZE.max(1))
         .map(|chunk| {
             let mut out = Vec::with_capacity(chunk.len() / 2 + 8);
+            // Whole codes land in a 64-bit accumulator. The flush keeps
+            // pending < 8, and pending + MAX_CODE_LEN = 7 + 56 ≤ 63, so
+            // the shift below can never push live bits off the top.
             let mut acc = 0u64;
-            let mut nbits = 0u32;
+            let mut pending = 0u32;
             for &b in chunk {
                 let len = lens[b as usize] as u32;
+                debug_assert!(pending < 8 && len as usize <= MAX_CODE_LEN);
                 acc = (acc << len) | codes[b as usize];
-                nbits += len;
-                while nbits >= 8 {
-                    nbits -= 8;
-                    out.push((acc >> nbits) as u8);
+                pending += len;
+                while pending >= 8 {
+                    pending -= 8;
+                    out.push((acc >> pending) as u8);
                 }
             }
-            if nbits > 0 {
-                out.push((acc << (8 - nbits)) as u8);
+            // The per-symbol flush leaves pending < 8: only a padded
+            // tail byte can remain.
+            if pending > 0 {
+                out.push((acc << (8 - pending)) as u8);
             }
             out
         })
@@ -180,8 +252,24 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decoding table derived from canonical code lengths.
+/// Most symbols a single batched-LUT entry resolves (its packed `u64`
+/// holds exactly six symbol bytes above the length/count fields).
+const MAX_BATCH: usize = 6;
+
+/// Decoding tables derived from canonical code lengths: a flat first-level
+/// LUT for codes of ≤ [`LUT_BITS`] bits plus the canonical first-code
+/// scan for the (rare) longer codes.
 struct DecodeTable {
+    /// `(code_len << 8) | symbol` per [`LUT_BITS`]-bit prefix;
+    /// 0 marks a long-code escape to the canonical scan.
+    lut: Vec<u16>,
+    /// Batched variant: every [`LUT_BITS`]-bit prefix maps to *all* the
+    /// whole codes it contains (up to [`MAX_BATCH`]), so skewed streams
+    /// whose hot symbols have 1–3-bit codes decode several symbols per
+    /// lookup. Layout: bits 5..0 total code bits, bits 10..8 symbol
+    /// count (0 = escape to the one-symbol path), bits 63..16 up to six
+    /// symbol bytes, first symbol lowest.
+    batch: Vec<u64>,
     /// For each length 1..=MAX: first canonical code of that length.
     first_code: [u64; MAX_CODE_LEN + 1],
     /// Index into `symbols` of the first code of each length.
@@ -190,15 +278,24 @@ struct DecodeTable {
     symbols: Vec<u8>,
     /// Per-length symbol counts.
     count: [usize; MAX_CODE_LEN + 1],
+    /// Longest assigned code length.
+    max_len: usize,
 }
 
 impl DecodeTable {
-    fn new(lens: &[u8; 256]) -> Self {
+    fn new(lens: &[u8; 256]) -> Result<Self, HuffmanError> {
+        if let Some(&l) = lens.iter().find(|&&l| l as usize > MAX_CODE_LEN) {
+            return Err(HuffmanError::CorruptHeader(format!(
+                "code length {l} exceeds the maximum {MAX_CODE_LEN}"
+            )));
+        }
         let mut order: Vec<usize> = (0..256).filter(|&s| lens[s] > 0).collect();
         order.sort_by_key(|&s| (lens[s], s));
         let mut count = [0usize; MAX_CODE_LEN + 1];
+        let mut max_len = 0usize;
         for &s in &order {
             count[lens[s] as usize] += 1;
+            max_len = max_len.max(lens[s] as usize);
         }
         let mut first_code = [0u64; MAX_CODE_LEN + 1];
         let mut first_index = [0usize; MAX_CODE_LEN + 1];
@@ -210,112 +307,251 @@ impl DecodeTable {
             first_index[len] = index;
             code += count[len] as u64;
             index += count[len];
+            // A length-table whose canonical assignment overflows the code
+            // space can never have been produced by a Huffman tree.
+            if code > 1u64 << len {
+                return Err(HuffmanError::CorruptHeader(format!(
+                    "code-length table overfills {len}-bit code space"
+                )));
+            }
         }
-        DecodeTable {
+        let mut lut = vec![0u16; 1usize << LUT_BITS];
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            code <<= lens[s] - prev_len;
+            let len = lens[s] as u32;
+            if len as usize <= LUT_BITS {
+                // Every prefix extension of the code resolves to it.
+                let shift = LUT_BITS as u32 - len;
+                let base = (code << shift) as usize;
+                let entry = ((len as u16) << 8) | s as u16;
+                lut[base..base + (1 << shift)].fill(entry);
+            }
+            code += 1;
+            prev_len = lens[s];
+        }
+        // Second level: per prefix, greedily re-decode through the
+        // one-symbol LUT to batch every whole code the window holds.
+        let mask = (1usize << LUT_BITS) - 1;
+        let mut batch = vec![0u64; 1usize << LUT_BITS];
+        for (p, slot) in batch.iter_mut().enumerate() {
+            let mut syms = 0u64;
+            let mut n = 0u64;
+            let mut used = 0usize;
+            while (n as usize) < MAX_BATCH {
+                let e = lut[(p << used) & mask];
+                let len = (e >> 8) as usize;
+                if e == 0 || used + len > LUT_BITS {
+                    break;
+                }
+                syms |= ((e & 0xff) as u64) << (16 + 8 * n);
+                n += 1;
+                used += len;
+            }
+            *slot = used as u64 | (n << 8) | syms;
+        }
+        Ok(DecodeTable {
+            lut,
+            batch,
             first_code,
             first_index,
             symbols: order.iter().map(|&s| s as u8).collect(),
             count,
-        }
-    }
-
-    #[inline]
-    fn decode_one(&self, bits: &mut BitReader<'_>) -> u8 {
-        let mut code = 0u64;
-        let mut len = 0usize;
-        loop {
-            code = (code << 1) | bits.next_bit() as u64;
-            len += 1;
-            if self.count[len] > 0 {
-                let offset = code.wrapping_sub(self.first_code[len]);
-                if (offset as usize) < self.count[len] {
-                    return self.symbols[self.first_index[len] + offset as usize];
-                }
-            }
-            assert!(len < MAX_CODE_LEN, "corrupt Huffman stream");
-        }
+            max_len,
+        })
     }
 }
 
-struct BitReader<'a> {
+/// Word-refilled MSB-first bit reader: `acc` always holds the next stream
+/// bits left-aligned, with at least `have` of them accounted for. Refills
+/// splice 8 bytes below the valid region per load; bits past the stream
+/// end read as zeros and over-consumption is detected by [`Bits::take`].
+struct Bits<'a> {
     data: &'a [u8],
-    byte: usize,
-    bit: u32,
+    pos: usize,
+    acc: u64,
+    have: u32,
 }
 
-impl<'a> BitReader<'a> {
+impl<'a> Bits<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader {
+        Bits {
             data,
-            byte: 0,
-            bit: 0,
+            pos: 0,
+            acc: 0,
+            have: 0,
         }
     }
-    #[inline]
-    fn next_bit(&mut self) -> u8 {
-        let b = (self.data[self.byte] >> (7 - self.bit)) & 1;
-        self.bit += 1;
-        if self.bit == 8 {
-            self.bit = 0;
-            self.byte += 1;
+
+    /// Top the accumulator up to ≥ 56 valid bits (or until input runs
+    /// dry). Bits ORed in below the accounted region are genuine stream
+    /// bits at their final positions, so re-splicing them is idempotent.
+    #[inline(always)]
+    fn refill(&mut self) {
+        if self.have >= 56 {
+            return;
         }
-        b
+        if self.pos + 8 <= self.data.len() {
+            let w = u64::from_be_bytes(
+                self.data[self.pos..self.pos + 8]
+                    .try_into()
+                    .expect("8-byte slice"),
+            );
+            self.acc |= w >> self.have;
+            self.pos += ((63 - self.have) >> 3) as usize;
+            self.have |= 56;
+        } else {
+            while self.have <= 56 && self.pos < self.data.len() {
+                self.acc |= (self.data[self.pos] as u64) << (56 - self.have);
+                self.pos += 1;
+                self.have += 8;
+            }
+        }
     }
+
+    /// Next `k` bits without consuming (`1 ≤ k ≤ 56`; bits past the
+    /// stream end are zero).
+    #[inline(always)]
+    fn peek(&self, k: u32) -> u64 {
+        self.acc >> (64 - k)
+    }
+
+    /// Consume `k` bits; `false` when the stream does not hold them.
+    #[inline(always)]
+    fn take(&mut self, k: u32) -> bool {
+        if k > self.have {
+            return false;
+        }
+        self.acc <<= k;
+        self.have -= k;
+        true
+    }
+}
+
+/// Decode one symbol: LUT hit or the canonical long-code scan.
+#[inline]
+fn decode_one(table: &DecodeTable, bits: &mut Bits<'_>) -> Option<u8> {
+    let idx_mask = (1usize << LUT_BITS) - 1;
+    let entry = table.lut[bits.peek(LUT_BITS as u32) as usize & idx_mask];
+    if entry != 0 {
+        if !bits.take((entry >> 8) as u32) {
+            return None;
+        }
+        return Some(entry as u8);
+    }
+    // Long code: canonical scan over the lengths past the LUT width.
+    for len in (LUT_BITS + 1)..=table.max_len {
+        if table.count[len] == 0 {
+            continue;
+        }
+        let offset = bits.peek(len as u32).wrapping_sub(table.first_code[len]);
+        if (offset as usize) < table.count[len] {
+            if !bits.take(len as u32) {
+                return None;
+            }
+            return Some(table.symbols[table.first_index[len] + offset as usize]);
+        }
+    }
+    None
+}
+
+/// Decode `dst.len()` symbols of one chunk payload.
+fn decode_chunk(
+    table: &DecodeTable,
+    payload: &[u8],
+    dst: &mut [u8],
+    chunk: usize,
+) -> Result<(), HuffmanError> {
+    let corrupt = || HuffmanError::CorruptChunk { chunk };
+    let mut bits = Bits::new(payload);
+    // The masked index is always in range (the shift leaves LUT_BITS
+    // bits), which lets the compiler drop the per-lookup bounds check.
+    let batch: &[u64] = &table.batch;
+    let idx_mask = (1usize << LUT_BITS) - 1;
+    let m = dst.len();
+    let mut i = 0usize;
+    // Batched fast loop: one refill + one lookup drains every whole code
+    // in the 11-bit window (up to MAX_BATCH symbols on skewed streams).
+    // Stops MAX_BATCH short of the end so a batch never overruns the
+    // symbol count the chunk actually encodes.
+    while m - i >= MAX_BATCH {
+        bits.refill();
+        let entry = batch[bits.peek(LUT_BITS as u32) as usize & idx_mask];
+        let n = ((entry >> 8) & 0x7) as usize;
+        if n != 0 {
+            if !bits.take((entry & 0x3f) as u32) {
+                return Err(corrupt());
+            }
+            let mut syms = entry >> 16;
+            for slot in &mut dst[i..i + n] {
+                *slot = syms as u8;
+                syms >>= 8;
+            }
+            i += n;
+        } else {
+            // Window starts with a code longer than the LUT width.
+            dst[i] = decode_one(table, &mut bits).ok_or_else(corrupt)?;
+            i += 1;
+        }
+    }
+    for slot in &mut dst[i..] {
+        bits.refill();
+        *slot = decode_one(table, &mut bits).ok_or_else(corrupt)?;
+    }
+    Ok(())
+}
+
+impl From<FramingError> for HuffmanError {
+    fn from(e: FramingError) -> Self {
+        match e {
+            FramingError::TruncatedHeader => HuffmanError::TruncatedHeader,
+            FramingError::TruncatedPayload => HuffmanError::TruncatedPayload,
+            FramingError::Corrupt(why) => HuffmanError::CorruptHeader(why),
+        }
+    }
+}
+
+fn parse_stream(stream: &[u8]) -> Result<([u8; 256], ChunkFrames<'_>), HuffmanError> {
+    if stream.len() < 16 + 256 {
+        return Err(HuffmanError::TruncatedHeader);
+    }
+    let frames = parse_frames(stream, 16 + 256)?;
+    let mut lens = [0u8; 256];
+    lens.copy_from_slice(&stream[16..16 + 256]);
+    // Every symbol costs ≥ 1 bit, so a stream can never decode to more
+    // than 8 symbols per payload byte — reject before allocating.
+    let payload_total = frames.payload_total();
+    if frames.orig_len > payload_total.saturating_mul(8) {
+        return Err(HuffmanError::CorruptHeader(format!(
+            "{} symbols cannot fit {payload_total} payload bytes",
+            frames.orig_len
+        )));
+    }
+    Ok((lens, frames))
+}
+
+/// Decompress a stream produced by [`compress`] into `out` (cleared
+/// first). The buffer is the caller's, so steady-state decode loops can
+/// lease it from a pool instead of allocating per call.
+pub fn decompress_into(stream: &[u8], out: &mut Vec<u8>) -> Result<(), HuffmanError> {
+    let (lens, frames) = parse_stream(stream)?;
+    let table = DecodeTable::new(&lens)?;
+    // Carve the output into per-chunk windows so decoding fans out with
+    // no post-hoc concatenation.
+    let work = carve_output(&frames, out)?;
+    work.into_par_iter()
+        .map(|(i, payload, dst)| decode_chunk(&table, payload, dst, i))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<Result<(), _>>()
 }
 
 /// Decompress a stream produced by [`compress`].
-///
-/// # Panics
-/// Panics on truncated or structurally corrupt streams.
-pub fn decompress(stream: &[u8]) -> Vec<u8> {
-    assert!(stream.len() >= 16 + 256, "truncated Huffman header");
-    let orig_len = u64::from_le_bytes(stream[0..8].try_into().expect("sized")) as usize;
-    let chunk_size = u32::from_le_bytes(stream[8..12].try_into().expect("sized")) as usize;
-    let n_chunks = u32::from_le_bytes(stream[12..16].try_into().expect("sized")) as usize;
-    let mut lens = [0u8; 256];
-    lens.copy_from_slice(&stream[16..16 + 256]);
-    let mut off = 16 + 256;
-    let mut chunk_lens = Vec::with_capacity(n_chunks);
-    for _ in 0..n_chunks {
-        chunk_lens
-            .push(u32::from_le_bytes(stream[off..off + 4].try_into().expect("sized")) as usize);
-        off += 4;
-    }
-    let mut chunk_spans = Vec::with_capacity(n_chunks);
-    for &cl in &chunk_lens {
-        chunk_spans.push((off, cl));
-        off += cl;
-    }
-    assert!(off <= stream.len(), "truncated Huffman payload");
-
-    let table = DecodeTable::new(&lens);
-    let mut chunks: Vec<(usize, usize, usize)> = Vec::with_capacity(n_chunks); // (start, len, out_len)
-    for (i, &(s, l)) in chunk_spans.iter().enumerate() {
-        let out_len = if i + 1 == n_chunks {
-            orig_len - chunk_size * (n_chunks - 1)
-        } else {
-            chunk_size
-        };
-        chunks.push((s, l, out_len));
-    }
-
-    let parts: Vec<Vec<u8>> = chunks
-        .par_iter()
-        .map(|&(s, l, out_len)| {
-            let mut out = Vec::with_capacity(out_len);
-            let mut bits = BitReader::new(&stream[s..s + l]);
-            for _ in 0..out_len {
-                out.push(table.decode_one(&mut bits));
-            }
-            out
-        })
-        .collect();
-
-    let mut out = Vec::with_capacity(orig_len);
-    for p in parts {
-        out.extend_from_slice(&p);
-    }
-    out
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, HuffmanError> {
+    let mut out = Vec::new();
+    decompress_into(stream, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -333,16 +569,59 @@ mod tests {
             .collect()
     }
 
+    /// Historical bit-serial decoder, kept as the semantics reference the
+    /// LUT fast path is property-tested against.
+    fn decompress_reference(stream: &[u8]) -> Result<Vec<u8>, HuffmanError> {
+        let (lens, frames) = parse_stream(stream)?;
+        let table = DecodeTable::new(&lens)?;
+        let mut out = Vec::with_capacity(frames.orig_len);
+        for (i, &(payload, out_len)) in frames.chunks.iter().enumerate() {
+            let mut byte = 0usize;
+            let mut bit = 0u32;
+            let mut next_bit = || -> Result<u64, HuffmanError> {
+                if byte >= payload.len() {
+                    return Err(HuffmanError::CorruptChunk { chunk: i });
+                }
+                let b = (payload[byte] >> (7 - bit)) & 1;
+                bit += 1;
+                if bit == 8 {
+                    bit = 0;
+                    byte += 1;
+                }
+                Ok(b as u64)
+            };
+            for _ in 0..out_len {
+                let mut code = 0u64;
+                let mut len = 0usize;
+                loop {
+                    code = (code << 1) | next_bit()?;
+                    len += 1;
+                    if table.count[len] > 0 {
+                        let offset = code.wrapping_sub(table.first_code[len]);
+                        if (offset as usize) < table.count[len] {
+                            out.push(table.symbols[table.first_index[len] + offset as usize]);
+                            break;
+                        }
+                    }
+                    if len >= MAX_CODE_LEN {
+                        return Err(HuffmanError::CorruptChunk { chunk: i });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
     #[test]
     fn roundtrip_empty() {
         let c = compress(&[]);
-        assert_eq!(decompress(&c), Vec::<u8>::new());
+        assert_eq!(decompress(&c).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
     fn roundtrip_single_byte() {
         let c = compress(&[42]);
-        assert_eq!(decompress(&c), vec![42]);
+        assert_eq!(decompress(&c).unwrap(), vec![42]);
     }
 
     #[test]
@@ -353,14 +632,14 @@ mod tests {
             c.len() < data.len() / 4,
             "single-symbol data must compress hard"
         );
-        assert_eq!(decompress(&c), data);
+        assert_eq!(decompress(&c).unwrap(), data);
     }
 
     #[test]
     fn roundtrip_random_bytes() {
         let data = xorshift_bytes(300_000, 0x1234);
         let c = compress(&data);
-        assert_eq!(decompress(&c), data);
+        assert_eq!(decompress(&c).unwrap(), data);
     }
 
     #[test]
@@ -370,15 +649,146 @@ mod tests {
             .collect();
         let c = compress(&data);
         assert!(c.len() < data.len() / 2);
-        assert_eq!(decompress(&c), data);
+        assert_eq!(decompress(&c).unwrap(), data);
     }
 
     #[test]
     fn roundtrip_exact_chunk_boundaries() {
         for n in [CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 2 * CHUNK_SIZE] {
             let data = xorshift_bytes(n, 7);
-            assert_eq!(decompress(&compress(&data)), data, "n={n}");
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "n={n}");
         }
+    }
+
+    #[test]
+    fn decompress_into_reuses_buffer() {
+        let data = xorshift_bytes(50_000, 3);
+        let c = compress(&data);
+        let mut buf = Vec::new();
+        decompress_into(&c, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // A second decode into the same (now dirty) buffer must replace it.
+        let data2 = vec![9u8; 1000];
+        decompress_into(&compress(&data2), &mut buf).unwrap();
+        assert_eq!(buf, data2);
+    }
+
+    #[test]
+    fn lut_decoder_matches_reference_on_random_tables() {
+        // Random histograms stress mixed short/long code tables; the LUT
+        // path and the bit-serial reference must agree symbol for symbol.
+        let mut seed = 0xdecafu32;
+        for round in 0..40 {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            // Alphabet size sweeps 1..=256; skew sweeps flat..extreme so
+            // some symbols get codes past LUT_BITS.
+            let alphabet = 1 + (seed as usize % 256);
+            let data: Vec<u8> = xorshift_bytes(4096 + (round * 997) % 20000, seed)
+                .into_iter()
+                .map(|b| {
+                    let b = b as usize % alphabet;
+                    // Square the distribution to concentrate mass.
+                    ((b * b) / alphabet.max(1)) as u8
+                })
+                .collect();
+            let c = compress(&data);
+            let fast = decompress(&c).unwrap();
+            let slow = decompress_reference(&c).unwrap();
+            assert_eq!(fast, slow, "round {round}");
+            assert_eq!(fast, data, "round {round}");
+        }
+    }
+
+    #[test]
+    fn long_codes_exercise_slow_path() {
+        // A geometric-ish histogram drives code lengths well past
+        // LUT_BITS; decode must still match the reference and the input.
+        let mut data = Vec::new();
+        for s in 0..40u32 {
+            let copies = 1usize << (20u32.saturating_sub(s)).min(16);
+            data.extend(std::iter::repeat_n(s as u8, copies));
+        }
+        // Shuffle deterministically so codes interleave.
+        let mut s = 0x9e3779b9u32;
+        for i in (1..data.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            data.swap(i, s as usize % (i + 1));
+        }
+        let c = compress(&data);
+        let lens = &c[16..16 + 256];
+        assert!(
+            lens.iter().any(|&l| l as usize > LUT_BITS),
+            "distribution must produce codes longer than the LUT width"
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert_eq!(decompress_reference(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic() {
+        let data = xorshift_bytes(100_000, 11);
+        let c = compress(&data);
+        for cut in [0, 8, 15, 200, 300, c.len() / 2, c.len() - 1] {
+            let err = decompress(&c[..cut]);
+            assert!(err.is_err(), "cut={cut} must error");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_bits_error_or_roundtrip_length() {
+        // Flipping payload bits may still decode (Huffman is not
+        // integrity-checked) but must never panic or change length.
+        let data = xorshift_bytes(10_000, 21);
+        let c = compress(&data);
+        for pos in ((16 + 256 + 4)..c.len()).step_by(131) {
+            let mut bad = c.clone();
+            bad[pos] ^= 0x41;
+            if let Ok(out) = decompress(&bad) {
+                assert_eq!(out.len(), data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_length_table_is_rejected() {
+        let data = xorshift_bytes(5_000, 5);
+        let mut c = compress(&data);
+        // Make every symbol claim a 1-bit code: overfills the code space.
+        for l in &mut c[16..16 + 256] {
+            *l = 1;
+        }
+        match decompress(&c) {
+            Err(HuffmanError::CorruptHeader(why)) => {
+                assert!(why.contains("code"), "{why}")
+            }
+            other => panic!("expected CorruptHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_chunk_geometry_is_rejected() {
+        let data = xorshift_bytes(5_000, 5);
+        let mut c = compress(&data);
+        // Claim far more symbols than the payload could hold.
+        c[0..8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(decompress(&c).is_err());
+        // Claim zero chunks while symbols remain.
+        let mut c2 = compress(&data);
+        c2[12..16].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decompress(&c2).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_readable() {
+        assert_eq!(
+            HuffmanError::TruncatedHeader.to_string(),
+            "truncated Huffman header"
+        );
+        assert!(HuffmanError::CorruptChunk { chunk: 3 }
+            .to_string()
+            .contains("chunk 3"));
     }
 
     #[test]

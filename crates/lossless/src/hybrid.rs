@@ -111,16 +111,26 @@ impl HybridCompressor {
 
     /// Compress one merged bitplane group.
     pub fn compress(&self, group: &[u8]) -> CompressedGroup {
+        self.compress_with(group, self.select(group))
+    }
+
+    /// Compress an owned group buffer. Produces the same bytes as
+    /// [`Self::compress`], but a `Direct` selection *moves* the buffer
+    /// into the payload instead of copying it (the buffer is left empty);
+    /// this is the write-through path the encode hot loop uses, where
+    /// `group` is a scratch buffer already holding the merged planes.
+    pub fn compress_owned(&self, group: &mut Vec<u8>) -> CompressedGroup {
         let codec = self.select(group);
+        let original_len = group.len();
         let payload = match codec {
             Codec::Huffman => huffman::compress(group),
             Codec::Rle => rle::compress(group),
-            Codec::Direct => group.to_vec(),
+            Codec::Direct => std::mem::take(group),
         };
         CompressedGroup {
             codec,
             payload,
-            original_len: group.len(),
+            original_len,
         }
     }
 
@@ -139,12 +149,38 @@ impl HybridCompressor {
         }
     }
 
-    /// Decompress a group produced by [`Self::compress`].
-    pub fn decompress(&self, group: &CompressedGroup) -> Vec<u8> {
+    /// Decompress a group produced by [`Self::compress`]. Returns a
+    /// readable error on truncated or corrupt payloads — compressed
+    /// groups are storage input, so decoding must never abort the
+    /// process.
+    pub fn decompress(&self, group: &CompressedGroup) -> Result<Vec<u8>, String> {
         match group.codec {
-            Codec::Huffman => huffman::decompress(&group.payload),
+            Codec::Huffman => huffman::decompress(&group.payload).map_err(|e| e.to_string()),
             Codec::Rle => rle::decompress(&group.payload),
-            Codec::Direct => group.payload.clone(),
+            Codec::Direct => Ok(group.payload.clone()),
+        }
+    }
+
+    /// Decompress a group, borrowing instead of allocating: `Direct`
+    /// groups return their payload directly (zero copy, `scratch`
+    /// untouched), other codecs decode into `scratch` (cleared first) and
+    /// return it. This is the retrieval hot path — with `scratch` leased
+    /// from a buffer pool, steady-state unit decoding allocates nothing.
+    pub fn decompress_to<'a>(
+        &self,
+        group: &'a CompressedGroup,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], String> {
+        match group.codec {
+            Codec::Huffman => {
+                huffman::decompress_into(&group.payload, scratch).map_err(|e| e.to_string())?;
+                Ok(scratch.as_slice())
+            }
+            Codec::Rle => {
+                rle::decompress_into(&group.payload, scratch)?;
+                Ok(scratch.as_slice())
+            }
+            Codec::Direct => Ok(&group.payload),
         }
     }
 }
@@ -215,10 +251,62 @@ mod tests {
         for data in datasets {
             for codec in [Codec::Huffman, Codec::Rle, Codec::Direct] {
                 let g = c.compress_with(&data, codec);
-                assert_eq!(c.decompress(&g), data, "{codec:?}");
+                assert_eq!(c.decompress(&g).unwrap(), data, "{codec:?}");
+                let mut scratch = Vec::new();
+                assert_eq!(
+                    c.decompress_to(&g, &mut scratch).unwrap(),
+                    data,
+                    "{codec:?}"
+                );
             }
             let auto = c.compress(&data);
-            assert_eq!(c.decompress(&auto), data, "auto ({:?})", auto.codec);
+            assert_eq!(
+                c.decompress(&auto).unwrap(),
+                data,
+                "auto ({:?})",
+                auto.codec
+            );
+        }
+    }
+
+    #[test]
+    fn compress_owned_matches_compress_and_moves_direct() {
+        let c = compressor(1.0);
+        for data in [
+            vec![0u8; 50_000],
+            xorshift_bytes(50_000, 23),
+            (0..50_000).map(|i| (i / 300) as u8).collect::<Vec<u8>>(),
+        ] {
+            let by_ref = c.compress(&data);
+            let mut owned = data.clone();
+            let by_move = c.compress_owned(&mut owned);
+            assert_eq!(by_ref, by_move);
+            if by_move.codec == Codec::Direct {
+                assert!(owned.is_empty(), "Direct must take the buffer");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_decompress_to_is_zero_copy() {
+        let c = compressor(1.0);
+        let data = xorshift_bytes(4096, 9);
+        let g = c.compress_with(&data, Codec::Direct);
+        let mut scratch = Vec::new();
+        let out = c.decompress_to(&g, &mut scratch).unwrap();
+        assert_eq!(out.as_ptr(), g.payload.as_ptr(), "must borrow the payload");
+        assert!(scratch.is_empty(), "scratch must stay untouched");
+    }
+
+    #[test]
+    fn corrupt_payloads_error_not_panic() {
+        let c = compressor(1.0);
+        let data: Vec<u8> = (0..60_000).map(|i| (i / 100) as u8).collect();
+        for codec in [Codec::Huffman, Codec::Rle] {
+            let mut g = c.compress_with(&data, codec);
+            g.payload.truncate(g.payload.len() / 2);
+            let err = c.decompress(&g).unwrap_err();
+            assert!(!err.is_empty(), "{codec:?}");
         }
     }
 

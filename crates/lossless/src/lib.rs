@@ -17,9 +17,11 @@
 //! Huffman, RLE, and direct copy against the ratio threshold `T_cr`.
 
 pub mod estimate;
+mod framing;
 pub mod huffman;
 pub mod hybrid;
 pub mod rle;
 
 pub use estimate::{estimate_huffman_cr, estimate_rle_cr};
+pub use huffman::HuffmanError;
 pub use hybrid::{Codec, CompressedGroup, HybridCompressor, HybridConfig};

@@ -12,6 +12,7 @@
 //! [n_chunks × compressed byte length u32][chunk payloads]
 //! ```
 
+use crate::framing::{carve_output, parse_frames};
 use rayon::prelude::*;
 
 /// Chunk granularity for parallel encode/decode.
@@ -92,57 +93,66 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Checked [`read_varint`]: `None` on truncation or overflow.
+#[inline]
+fn try_read_varint(data: &[u8]) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in data.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Decode one chunk payload into exactly `dst`.
+fn decode_chunk(payload: &[u8], dst: &mut [u8], chunk: usize) -> Result<(), String> {
+    let corrupt = |why: &str| format!("corrupt RLE chunk {chunk}: {why}");
+    let mut p = 0usize;
+    let mut filled = 0usize;
+    while filled < dst.len() {
+        let v = *payload.get(p).ok_or_else(|| corrupt("truncated run"))?;
+        p += 1;
+        let (run, used) =
+            try_read_varint(&payload[p..]).ok_or_else(|| corrupt("truncated run length"))?;
+        p += used;
+        let run = run as usize;
+        if run > dst.len() - filled {
+            return Err(corrupt("run overshoots the chunk"));
+        }
+        dst[filled..filled + run].fill(v);
+        filled += run;
+        if run == 0 {
+            return Err(corrupt("zero-length run"));
+        }
+    }
+    Ok(())
+}
+
+/// Decompress a stream produced by [`compress`] into `out` (cleared
+/// first); the buffer is the caller's, so decode loops can lease it from
+/// a pool. Returns a readable error on truncated or corrupt streams.
+pub fn decompress_into(stream: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
+    let frames = parse_frames(stream, 16).map_err(|e| format!("RLE: {e}"))?;
+    let work = carve_output(&frames, out).map_err(|e| format!("RLE: {e}"))?;
+    work.into_par_iter()
+        .map(|(i, payload, dst)| decode_chunk(payload, dst, i))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<Result<(), _>>()
+}
+
 /// Decompress a stream produced by [`compress`].
-///
-/// # Panics
-/// Panics on truncated or structurally corrupt streams.
-pub fn decompress(stream: &[u8]) -> Vec<u8> {
-    assert!(stream.len() >= 16, "truncated RLE header");
-    let orig_len = u64::from_le_bytes(stream[0..8].try_into().expect("sized")) as usize;
-    let chunk_size = u32::from_le_bytes(stream[8..12].try_into().expect("sized")) as usize;
-    let n_chunks = u32::from_le_bytes(stream[12..16].try_into().expect("sized")) as usize;
-    let mut off = 16;
-    let mut spans = Vec::with_capacity(n_chunks);
-    let mut lens = Vec::with_capacity(n_chunks);
-    for _ in 0..n_chunks {
-        lens.push(u32::from_le_bytes(stream[off..off + 4].try_into().expect("sized")) as usize);
-        off += 4;
-    }
-    for &l in &lens {
-        spans.push((off, l));
-        off += l;
-    }
-    assert!(off <= stream.len(), "truncated RLE payload");
-
-    let parts: Vec<Vec<u8>> = spans
-        .par_iter()
-        .enumerate()
-        .map(|(i, &(s, l))| {
-            let out_len = if i + 1 == n_chunks {
-                orig_len - chunk_size * (n_chunks - 1)
-            } else {
-                chunk_size
-            };
-            let mut out = Vec::with_capacity(out_len);
-            let payload = &stream[s..s + l];
-            let mut p = 0;
-            while out.len() < out_len {
-                let v = payload[p];
-                p += 1;
-                let (run, used) = read_varint(&payload[p..]);
-                p += used;
-                out.resize(out.len() + run as usize, v);
-            }
-            assert_eq!(out.len(), out_len, "RLE run overshoots chunk");
-            out
-        })
-        .collect();
-
-    let mut out = Vec::with_capacity(orig_len);
-    for p in parts {
-        out.extend_from_slice(&p);
-    }
-    out
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    decompress_into(stream, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -173,7 +183,7 @@ mod tests {
 
     #[test]
     fn roundtrip_empty() {
-        assert_eq!(decompress(&compress(&[])), Vec::<u8>::new());
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
@@ -185,7 +195,7 @@ mod tests {
             "all-zero data must collapse: {} bytes",
             c.len()
         );
-        assert_eq!(decompress(&c), data);
+        assert_eq!(decompress(&c).unwrap(), data);
     }
 
     #[test]
@@ -194,7 +204,7 @@ mod tests {
         let c = compress(&data);
         // Worst case: RLE expands (2 bytes per 1-byte run).
         assert!(c.len() > data.len());
-        assert_eq!(decompress(&c), data);
+        assert_eq!(decompress(&c).unwrap(), data);
     }
 
     #[test]
@@ -203,14 +213,14 @@ mod tests {
         for i in 0..1000u32 {
             data.extend(std::iter::repeat_n((i % 5) as u8, 17 + (i as usize % 300)));
         }
-        assert_eq!(decompress(&compress(&data)), data);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
 
     #[test]
     fn roundtrip_chunk_boundaries() {
         for n in [CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1] {
             let data: Vec<u8> = (0..n).map(|i| (i / 1000) as u8).collect();
-            assert_eq!(decompress(&compress(&data)), data, "n={n}");
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "n={n}");
         }
     }
 
@@ -218,6 +228,6 @@ mod tests {
     fn runs_do_not_cross_chunks() {
         // A run spanning the chunk boundary must still decode exactly.
         let data = vec![9u8; CHUNK_SIZE + 100];
-        assert_eq!(decompress(&compress(&data)), data);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
 }

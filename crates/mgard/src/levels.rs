@@ -28,6 +28,11 @@ pub struct LevelSet {
 
 impl LevelSet {
     /// Enumerate the level groups of `h`.
+    ///
+    /// One incremental row-major walk per group: the flat index is
+    /// maintained by stride additions and next-level membership by
+    /// parity/shift checks, so no element pays a division. The emitted
+    /// order is identical to the historical per-element decode.
     pub fn new(h: &Hierarchy) -> Self {
         let nd = h.ndims();
         let row_major = h.strides();
@@ -36,36 +41,42 @@ impl LevelSet {
         // Group 0: the coarsest active grid.
         indices.push(enumerate_active(h, h.levels, &row_major));
 
-        // Group k: active(l) \ active(l+1) for l = levels-k.
+        // Group k: active(l) \ active(l+1) for l = levels-k. A level-l
+        // node with level-local coordinate j sits in level l+1 iff its
+        // dimension refined (stride doubled) and j is an even coordinate
+        // still on the next grid — a parity test, never a division.
         for k in 1..=h.levels {
             let l = h.levels - k;
-            let all = enumerate_active(h, l, &row_major);
-            let next_strides: Vec<usize> = (0..nd).map(|d| h.stride_at_level(d, l + 1)).collect();
-            let kept: Vec<usize> = {
-                let dims = h.shape_at_level(l);
-                let strides_l: Vec<usize> = (0..nd).map(|d| h.stride_at_level(d, l)).collect();
-                all.iter()
-                    .copied()
-                    .enumerate()
-                    .filter(|&(pos_id, _)| {
-                        // Decode the level-local coordinates of pos_id.
-                        let mut rem = pos_id;
-                        let mut in_next = true;
-                        for d in (0..nd).rev() {
-                            let j = rem % dims[d];
-                            rem /= dims[d];
-                            let orig = j * strides_l[d];
-                            if !orig.is_multiple_of(next_strides[d])
-                                || orig / next_strides[d] >= h.dim_at_level(d, l + 1)
-                            {
-                                in_next = false;
-                            }
-                        }
-                        !in_next
-                    })
-                    .map(|(_, flat)| flat)
-                    .collect()
-            };
+            let dims = h.shape_at_level(l);
+            let dims_next = h.shape_at_level(l + 1);
+            let doubled: Vec<bool> = (0..nd)
+                .map(|d| h.stride_at_level(d, l + 1) != h.stride_at_level(d, l))
+                .collect();
+            let elem_stride: Vec<usize> = (0..nd)
+                .map(|d| h.stride_at_level(d, l) * row_major[d])
+                .collect();
+            let count: usize = dims.iter().product();
+            let mut kept = Vec::new();
+            let mut coord = vec![0usize; nd];
+            let mut flat = 0usize;
+            for _ in 0..count {
+                let in_next = (0..nd).all(|d| {
+                    // A frozen dimension (< 3 nodes) keeps all its nodes.
+                    !doubled[d] || (coord[d] & 1 == 0 && (coord[d] >> 1) < dims_next[d])
+                });
+                if !in_next {
+                    kept.push(flat);
+                }
+                for d in (0..nd).rev() {
+                    coord[d] += 1;
+                    flat += elem_stride[d];
+                    if coord[d] < dims[d] {
+                        break;
+                    }
+                    flat -= coord[d] * elem_stride[d];
+                    coord[d] = 0;
+                }
+            }
             indices.push(kept);
         }
         LevelSet { indices }
@@ -85,19 +96,23 @@ impl LevelSet {
 fn enumerate_active(h: &Hierarchy, l: usize, row_major: &[usize]) -> Vec<usize> {
     let nd = h.ndims();
     let dims = h.shape_at_level(l);
-    let strides: Vec<usize> = (0..nd).map(|d| h.stride_at_level(d, l)).collect();
+    let elem_stride: Vec<usize> = (0..nd)
+        .map(|d| h.stride_at_level(d, l) * row_major[d])
+        .collect();
     let count: usize = dims.iter().product();
     let mut out = Vec::with_capacity(count);
     let mut coord = vec![0usize; nd];
+    let mut flat = 0usize;
     for _ in 0..count {
-        let flat: usize = (0..nd).map(|d| coord[d] * strides[d] * row_major[d]).sum();
         out.push(flat);
-        // Row-major increment.
+        // Row-major increment, flat index maintained by stride steps.
         for d in (0..nd).rev() {
             coord[d] += 1;
+            flat += elem_stride[d];
             if coord[d] < dims[d] {
                 break;
             }
+            flat -= coord[d] * elem_stride[d];
             coord[d] = 0;
         }
     }
@@ -106,7 +121,13 @@ fn enumerate_active(h: &Hierarchy, l: usize, row_major: &[usize]) -> Vec<usize> 
 
 /// Pull the per-level coefficient groups out of a decomposed array.
 pub fn extract_levels<F: Real>(data: &[F], h: &Hierarchy) -> Vec<Vec<F>> {
-    let ls = LevelSet::new(h);
+    extract_levels_with(&LevelSet::new(h), data)
+}
+
+/// [`extract_levels`] against a pre-enumerated [`LevelSet`] — callers
+/// that process one hierarchy repeatedly build the set once instead of
+/// re-deriving every group index per call.
+pub fn extract_levels_with<F: Real>(ls: &LevelSet, data: &[F]) -> Vec<Vec<F>> {
     ls.indices
         .iter()
         .map(|idx| idx.iter().map(|&i| data[i]).collect())
@@ -118,7 +139,14 @@ pub fn extract_levels<F: Real>(data: &[F], h: &Hierarchy) -> Vec<Vec<F>> {
 /// # Panics
 /// Panics if group shapes do not match the hierarchy.
 pub fn inject_levels<F: Real>(groups: &[Vec<F>], h: &Hierarchy) -> Vec<F> {
-    let ls = LevelSet::new(h);
+    inject_levels_with(&LevelSet::new(h), groups, h)
+}
+
+/// [`inject_levels`] against a pre-enumerated [`LevelSet`].
+///
+/// # Panics
+/// Panics if group shapes do not match the level set.
+pub fn inject_levels_with<F: Real>(ls: &LevelSet, groups: &[Vec<F>], h: &Hierarchy) -> Vec<F> {
     assert_eq!(groups.len(), ls.num_groups(), "group count mismatch");
     let mut out = vec![F::ZERO; h.len()];
     for (g, idx) in groups.iter().zip(&ls.indices) {

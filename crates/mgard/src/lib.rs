@@ -30,7 +30,10 @@ pub mod quantize;
 pub mod transform;
 
 pub use grid::Hierarchy;
-pub use levels::{extract_levels, inject_levels, level_error_weights, LevelSet};
+pub use levels::{
+    extract_levels, extract_levels_with, inject_levels, inject_levels_with, level_error_weights,
+    LevelSet,
+};
 pub use transform::{decompose, extract_active_grid, recompose, recompose_to_level};
 
 /// Minimal float abstraction for the decomposition math.

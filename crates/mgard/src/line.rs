@@ -53,6 +53,15 @@ pub struct LineScratch<F> {
     rhs: Vec<F>,
     diag: Vec<F>,
     tmp: Vec<F>,
+    /// Coarse-node count the cached Thomas factorization below is for
+    /// (0 = none). An axis pass solves thousands of same-length lines
+    /// against the *same* mass matrix, so the factorization — the part of
+    /// the solve that needs divisions — is computed once per length.
+    solver_nc: usize,
+    /// Cached `1/m_i` (pivot reciprocals) of the forward sweep.
+    inv_m: Vec<F>,
+    /// Cached `off/m_i` back-substitution multipliers.
+    c: Vec<F>,
 }
 
 impl<F: Real> LineScratch<F> {
@@ -65,6 +74,55 @@ impl<F: Real> LineScratch<F> {
             rhs: Vec::with_capacity(half),
             diag: Vec::with_capacity(half),
             tmp: Vec::with_capacity(half),
+            solver_nc: 0,
+            inv_m: Vec::with_capacity(half),
+            c: Vec::with_capacity(half),
+        }
+    }
+
+    /// (Re)build the cached mass-matrix factorization for `nc` coarse
+    /// nodes; a hit on the previous length is free.
+    fn prepare_solver(&mut self, nc: usize) {
+        if self.solver_nc == nc {
+            return;
+        }
+        let one = F::from_f64(1.0);
+        let off = F::from_f64(1.0 / 3.0);
+        let interior = F::from_f64(4.0 / 3.0);
+        let boundary = F::from_f64(2.0 / 3.0);
+        self.inv_m.clear();
+        self.c.clear();
+        let mut prev_c = F::ZERO;
+        for i in 0..nc {
+            let d = if i == 0 || i + 1 == nc {
+                boundary
+            } else {
+                interior
+            };
+            let m = if i == 0 { d } else { d - off * prev_c };
+            let c = off / m;
+            self.inv_m.push(one / m);
+            self.c.push(c);
+            prev_c = c;
+        }
+        self.solver_nc = nc;
+    }
+
+    /// Solve `M x = r` using the cached factorization — division-free per
+    /// line. Recompose-only: multiplying by the cached reciprocals rounds
+    /// differently from [`thomas_solve`]'s divisions, which is fine for
+    /// reconstruction but would perturb the encoded artifacts if used on
+    /// the decompose side.
+    fn solve_cached(&mut self, nc: usize) {
+        self.prepare_solver(nc);
+        let off = F::from_f64(1.0 / 3.0);
+        let r = &mut self.rhs;
+        r[0] = r[0] * self.inv_m[0];
+        for i in 1..nc {
+            r[i] = (r[i] - off * r[i - 1]) * self.inv_m[i];
+        }
+        for i in (0..nc - 1).rev() {
+            r[i] = r[i] - self.c[i] * r[i + 1];
         }
     }
 }
@@ -164,10 +222,7 @@ pub fn recompose_line<F: Real>(line: &mut [F], s: &mut LineScratch<F>, correct: 
             let dr = if j < nf { s.detail[j] } else { F::ZERO };
             s.rhs.push((dl + dr) * half);
         }
-        fill_mass_diag(&mut s.diag, nc);
-        s.tmp.clear();
-        s.tmp.resize(nc, F::ZERO);
-        thomas_solve(&s.diag, F::from_f64(1.0 / 3.0), &mut s.rhs, &mut s.tmp);
+        s.solve_cached(nc);
         for j in 0..nc {
             s.coarse[j] = s.coarse[j] - s.rhs[j];
         }

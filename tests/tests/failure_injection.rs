@@ -103,5 +103,39 @@ fn corrupted_payload_fails_on_decode_not_silently() {
             sess.reconstruct::<f32>()
         });
         assert!(outcome.is_err(), "damaged payload must not decode quietly");
+
+        // The fallible path reports the same damage as an error instead
+        // of aborting — what store-backed readers rely on.
+        use hpmdr_core::{RetrievalPlan, RetrievalSession};
+        let mut sess = RetrievalSession::new(&damaged);
+        let err = sess
+            .try_refine_to(&RetrievalPlan::full(&damaged))
+            .expect_err("damage must surface as Err");
+        assert!(!err.is_empty());
     }
+}
+
+#[test]
+fn corrupted_chunked_shard_is_an_error_not_an_abort() {
+    use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
+    use hpmdr_core::roi::{Region, RoiRequest};
+    use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
+
+    let ds = small_dataset(hpmdr_datasets::DatasetKind::Jhtdb);
+    let data = ds.variables[0].as_f32();
+    let cr = refactor_chunked(&data, &ds.shape, &ChunkedConfig::with_extent(&[7, 7, 7]));
+    let dir = std::env::temp_dir().join(format!("hpmdr_fi_shard_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_chunked_store(&cr, &dir).unwrap();
+
+    // Truncate one shard: any query touching it must fail readably.
+    let shard = dir.join("c0.shard");
+    let bytes = std::fs::read(&shard).unwrap();
+    std::fs::write(&shard, &bytes[..bytes.len() / 3]).unwrap();
+
+    let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+    let req = RoiRequest::new(Region::whole(&ds.shape), 1e-6 * cr.value_range());
+    let err = reader.retrieve_roi::<f32>(&req).unwrap_err();
+    assert!(!err.is_empty(), "shard damage must surface as Err");
+    let _ = std::fs::remove_dir_all(&dir);
 }

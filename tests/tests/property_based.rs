@@ -72,10 +72,36 @@ proptest! {
         let c = HybridCompressor::new(HybridConfig::with_rc(rc));
         for codec in [Codec::Huffman, Codec::Rle, Codec::Direct] {
             let g = c.compress_with(&data, codec);
-            prop_assert_eq!(c.decompress(&g), data.clone());
+            prop_assert_eq!(c.decompress(&g).unwrap(), data.clone());
         }
         let auto = c.compress(&data);
-        prop_assert_eq!(c.decompress(&auto), data);
+        prop_assert_eq!(c.decompress(&auto).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_lossless_streams_error_not_panic(
+        data in prop::collection::vec(any::<u8>(), 300..8_000),
+        cut_frac in 0.0f64..1.0,
+        flip_pos in any::<u16>(),
+        flip_mask in any::<u8>(),
+    ) {
+        let flip_mask = flip_mask | 1; // never a no-op flip
+        // Compressed groups are storage input: truncations and bit flips
+        // must surface as Err (or decode to *some* bytes for flips the
+        // format cannot distinguish) — never panic or abort.
+        let c = HybridCompressor::new(HybridConfig::with_rc(1.0));
+        for codec in [Codec::Huffman, Codec::Rle] {
+            let g = c.compress_with(&data, codec);
+
+            let mut truncated = g.clone();
+            truncated.payload.truncate((g.payload.len() as f64 * cut_frac) as usize);
+            let _ = c.decompress(&truncated);
+
+            let mut flipped = g.clone();
+            let i = flip_pos as usize % flipped.payload.len();
+            flipped.payload[i] ^= flip_mask;
+            let _ = c.decompress(&flipped);
+        }
     }
 
     #[test]
