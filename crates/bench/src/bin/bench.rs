@@ -6,13 +6,19 @@
 //! an artifact so every PR leaves a comparable data point; the committed
 //! `BENCH_pr<N>.json` files at the repo root form the trajectory.
 //!
+//! The `facade_*` measurements repeat the refactor/retrieve/ROI paths
+//! through the `core::api` façade (`Mdr` / `Reader` over `dyn Store`),
+//! so every report shows the façade's overhead next to the direct
+//! calls — the contract is "within noise".
+//!
 //! Knobs (environment):
-//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 3).
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 4).
 //! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
 //! * `HPMDR_BENCH_REPS`   — timed repetitions per measurement (default 5).
 //! * `HPMDR_BENCH_OUT`    — output directory (default current dir).
 
 use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
+use hpmdr_core::prelude::{open_store, InMemoryStore, Mdr, Query, Reader, Target};
 use hpmdr_core::roi::{Region, RoiRequest};
 use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
 use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
@@ -53,6 +59,7 @@ struct CodecPoint {
 struct RetrievePoint {
     rel_tolerance: f64,
     ms: f64,
+    facade_ms: f64,
 }
 
 #[derive(Serialize)]
@@ -63,8 +70,10 @@ struct Report {
     reps: usize,
     refactor_ms: f64,
     refactor_gbps: f64,
+    facade_refactor_ms: f64,
     retrieve: Vec<RetrievePoint>,
     roi_store_ms: f64,
+    facade_roi_store_ms: f64,
     huffman: Vec<CodecPoint>,
 }
 
@@ -91,7 +100,7 @@ fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
 }
 
 fn main() {
-    let pr = env_usize("HPMDR_BENCH_PR", 3);
+    let pr = env_usize("HPMDR_BENCH_PR", 4);
     let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
     let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
 
@@ -105,7 +114,12 @@ fn main() {
     let refactor_ms = time_ms(reps, || {
         std::hint::black_box(refactor(&data, &shape, &cfg));
     });
+    let mdr = Mdr::with_defaults();
+    let facade_refactor_ms = time_ms(reps, || {
+        std::hint::black_box(mdr.refactor(&data, &shape).expect("finite input"));
+    });
     let refactored = refactor(&data, &shape, &cfg);
+    let mut memory = InMemoryStore::from(refactored.clone());
 
     let retrieve = [1e-2f64, 1e-4, 1e-6]
         .into_iter()
@@ -117,9 +131,15 @@ fn main() {
                 sess.refine_to(&plan);
                 std::hint::black_box(sess.reconstruct::<f32>());
             });
+            let query = Query::full(Target::AbsError(eb));
+            let facade_ms = time_ms(reps, || {
+                let mut reader = Reader::new(&mut memory);
+                std::hint::black_box(reader.retrieve::<f32>(&query).expect("query serves"));
+            });
             RetrievePoint {
                 rel_tolerance: rel,
                 ms,
+                facade_ms,
             }
         })
         .collect();
@@ -143,6 +163,16 @@ fn main() {
     let mut reader = ChunkedStoreReader::open(&dir).expect("store opens");
     let roi_store_ms = time_ms(reps, || {
         std::hint::black_box(reader.retrieve_roi::<f32>(&req).expect("roi retrieves"));
+    });
+    // The same ROI through the façade: open_store + Reader over dyn Store.
+    let mut store = open_store(&dir).expect("store opens");
+    let roi_query = Query::region(
+        Target::AbsError(req.error_bound),
+        Region::new(&req.region.start, &req.region.extent),
+    );
+    let facade_roi_store_ms = time_ms(reps, || {
+        let mut r = Reader::new(store.as_mut());
+        std::hint::black_box(r.retrieve::<f32>(&roi_query).expect("roi query serves"));
     });
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -173,8 +203,10 @@ fn main() {
         reps,
         refactor_ms,
         refactor_gbps: gb / (refactor_ms / 1e3),
+        facade_refactor_ms,
         retrieve,
         roi_store_ms,
+        facade_roi_store_ms,
         huffman,
     };
     let json = serde_json::to_vec(&report).expect("report serializes");

@@ -1,0 +1,1209 @@
+//! The unified façade API — the crate's recommended surface.
+//!
+//! The lower modules grew one entry point per capability
+//! (`refactor`/`refactor_with`, `refactor_chunked`, three reader types,
+//! per-mode retrieval functions). This module puts **one** coherent
+//! surface in front of them, in the HPDR mold of a single portable API
+//! over many execution targets and storage layouts:
+//!
+//! * [`MdrConfig`] → [`Mdr`] — one builder covering monolithic *and*
+//!   chunked refactoring on any [`Backend`], no `_with` duplication;
+//! * [`Artifact`] — the refactoring product, whichever path produced it;
+//! * [`Store`] — an object-safe trait over *where artifacts live*:
+//!   in memory ([`InMemoryStore`]), a unit-file directory
+//!   ([`StoreReader`]), or a sharded chunk store
+//!   ([`ChunkedStoreReader`]); [`open_store`] sniffs the on-disk flavor;
+//! * [`Query`] = [`Target`] × [`Scope`] — one query model for absolute /
+//!   relative / RMSE / QoI / lossless targets over the full domain, a
+//!   region, or a coarser resolution;
+//! * [`Reader`] — serves any [`Query`] from any [`Store`], returning an
+//!   [`Approximation`] with the data, its shape, the **exact** achieved
+//!   bound, and byte accounting — or a matchable [`MdrError`].
+//!
+//! Everything here delegates to the specialized modules; using the
+//! façade costs planning and metadata bookkeeping, never an extra pass
+//! over payload bytes.
+
+use crate::chunked::{refactor_chunked_with, ChunkedConfig, ChunkedRefactored};
+use crate::error::MdrError;
+use crate::qoi_retrieval::{retrieve_with_qoi_control, EbEstimator};
+use crate::refactor::{refactor_with, RefactorConfig, Refactored};
+use crate::retrieve::{RetrievalPlan, RetrievalSession};
+use crate::roi::{assemble_region, Region, RoiPlan};
+use crate::storage::{ChunkedStoreReader, StoreReader};
+use hpmdr_bitplane::{BitplaneFloat, Layout};
+use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
+use hpmdr_lossless::HybridConfig;
+use hpmdr_mgard::Real;
+use hpmdr_qoi::QoiExpr;
+use std::path::Path;
+
+// ---------------------------------------------------------------------
+// Configuration and refactoring
+// ---------------------------------------------------------------------
+
+/// Builder for an [`Mdr`] handle: one place to configure the refactoring
+/// parameters ([`RefactorConfig`]), the domain decomposition (monolithic
+/// or chunked), and the execution backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdrConfig {
+    refactor: RefactorConfig,
+    chunk_extent: Option<Vec<usize>>,
+    tile_rows: usize,
+}
+
+impl Default for MdrConfig {
+    fn default() -> Self {
+        MdrConfig {
+            refactor: RefactorConfig::default(),
+            chunk_extent: None,
+            tile_rows: hpmdr_exec::DEFAULT_TILE_ROWS,
+        }
+    }
+}
+
+impl MdrConfig {
+    /// Start from the defaults (monolithic, [`RefactorConfig::default`],
+    /// scalar backend on [`Self::build`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Magnitude bitplanes per level group.
+    #[must_use]
+    pub fn num_planes(mut self, n: usize) -> Self {
+        self.refactor.num_planes = n;
+        self
+    }
+
+    /// Bitplane stream layout.
+    #[must_use]
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.refactor.layout = layout;
+        self
+    }
+
+    /// Apply MGARD's L2 correction during decomposition.
+    #[must_use]
+    pub fn correction(mut self, on: bool) -> Self {
+        self.refactor.correction = on;
+        self
+    }
+
+    /// Cap on decomposition levels.
+    #[must_use]
+    pub fn max_levels(mut self, levels: usize) -> Self {
+        self.refactor.max_levels = Some(levels);
+        self
+    }
+
+    /// Hybrid lossless configuration (group size `m`, `T_s`, `T_cr`).
+    #[must_use]
+    pub fn hybrid(mut self, hybrid: HybridConfig) -> Self {
+        self.refactor.hybrid = hybrid;
+        self
+    }
+
+    /// Replace the whole per-variable refactoring configuration.
+    #[must_use]
+    pub fn refactor_config(mut self, config: RefactorConfig) -> Self {
+        self.refactor = config;
+        self
+    }
+
+    /// Decompose the domain into `chunk_extent`-sized chunks refactored
+    /// independently (region queries then fetch only the chunks they
+    /// touch). Boundary chunks are clipped, so the extent need not
+    /// divide the domain.
+    #[must_use]
+    pub fn chunked(mut self, chunk_extent: &[usize]) -> Self {
+        self.chunk_extent = Some(chunk_extent.to_vec());
+        self
+    }
+
+    /// Refactor the whole domain as one artifact (the default).
+    #[must_use]
+    pub fn monolithic(mut self) -> Self {
+        self.chunk_extent = None;
+        self
+    }
+
+    /// Leading-dimension rows per pipeline tile for the execution
+    /// contexts this configuration creates.
+    #[must_use]
+    pub fn tile_rows(mut self, rows: usize) -> Self {
+        self.tile_rows = rows.max(1);
+        self
+    }
+
+    /// Build an [`Mdr`] on the portable [`ScalarBackend`].
+    pub fn build(self) -> Mdr<ScalarBackend> {
+        self.build_with(ScalarBackend::new())
+    }
+
+    /// Build an [`Mdr`] on a multi-core [`ParallelBackend`].
+    pub fn build_parallel(self) -> Mdr<ParallelBackend> {
+        self.build_with(ParallelBackend::new())
+    }
+
+    /// Build an [`Mdr`] on any [`Backend`]. Artifacts are bit-identical
+    /// across backends; only wall-clock differs.
+    pub fn build_with<B: Backend>(self, backend: B) -> Mdr<B> {
+        let ctx = ExecCtx::new(self.tile_rows);
+        Mdr {
+            config: self,
+            backend,
+            ctx,
+        }
+    }
+}
+
+/// The refactoring façade: holds a configuration, a backend, and an
+/// execution context, and turns arrays into [`Artifact`]s.
+///
+/// ```
+/// use hpmdr_core::prelude::*;
+///
+/// let data: Vec<f32> = (0..32 * 32).map(|i| (i as f32 * 0.01).sin()).collect();
+/// let mdr = MdrConfig::new().num_planes(32).build();
+/// let artifact = mdr.refactor(&data, &[32, 32]).unwrap();
+///
+/// let mut store = InMemoryStore::from(artifact);
+/// let approx = Reader::new(&mut store)
+///     .retrieve::<f32>(&Query::full(Target::AbsError(1e-3)))
+///     .unwrap();
+/// assert_eq!(approx.shape, vec![32, 32]);
+/// assert!(approx.exhausted || approx.achieved <= 1e-3);
+/// ```
+#[derive(Debug)]
+pub struct Mdr<B: Backend = ScalarBackend> {
+    config: MdrConfig,
+    backend: B,
+    ctx: ExecCtx,
+}
+
+impl Mdr<ScalarBackend> {
+    /// An [`Mdr`] with every default ([`MdrConfig::new`] on the scalar
+    /// backend).
+    pub fn with_defaults() -> Self {
+        MdrConfig::new().build()
+    }
+}
+
+impl<B: Backend> Mdr<B> {
+    /// The configuration this handle was built with.
+    pub fn config(&self) -> &MdrConfig {
+        &self.config
+    }
+
+    /// The backend executing this handle's kernels.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Refactor one variable of `shape`, monolithically or chunked
+    /// according to the configuration. Unlike the lower-level entry
+    /// points this validates its input and returns
+    /// [`MdrError::InvalidInput`] instead of panicking.
+    pub fn refactor<F: BitplaneFloat + Real + Default>(
+        &self,
+        data: &[F],
+        shape: &[usize],
+    ) -> Result<Artifact, MdrError> {
+        let nd = shape.len();
+        if nd == 0 || nd > hpmdr_mgard::grid::MAX_DIMS {
+            return Err(MdrError::InvalidInput(format!(
+                "{nd}-dimensional data unsupported (1-{} dimensions)",
+                hpmdr_mgard::grid::MAX_DIMS
+            )));
+        }
+        if shape.contains(&0) {
+            return Err(MdrError::InvalidInput(format!(
+                "shape {shape:?} has a zero-sized dimension"
+            )));
+        }
+        let n: usize = shape.iter().product();
+        if data.len() != n {
+            return Err(MdrError::InvalidInput(format!(
+                "data length {} does not match shape {shape:?} ({n} elements)",
+                data.len()
+            )));
+        }
+        if let Some(i) = data.iter().position(|v| !Real::to_f64(*v).is_finite()) {
+            return Err(MdrError::InvalidInput(format!(
+                "non-finite value at index {i}"
+            )));
+        }
+        match &self.config.chunk_extent {
+            Some(extent) => {
+                if extent.len() != nd || extent.contains(&0) {
+                    return Err(MdrError::InvalidInput(format!(
+                        "chunk extent {extent:?} incompatible with shape {shape:?}"
+                    )));
+                }
+                let cfg = ChunkedConfig {
+                    chunk_extent: extent.clone(),
+                    refactor: self.config.refactor.clone(),
+                };
+                Ok(Artifact::Chunked(refactor_chunked_with(
+                    data,
+                    shape,
+                    &cfg,
+                    &self.backend,
+                    &self.ctx,
+                )))
+            }
+            None => Ok(Artifact::Monolithic(refactor_with(
+                data,
+                shape,
+                &self.config.refactor,
+                &self.backend,
+                &self.ctx,
+            ))),
+        }
+    }
+
+    /// A [`Reader`] over `store` sharing this handle's backend (with a
+    /// fresh execution context at the configured tile size).
+    pub fn reader<'s>(&self, store: &'s mut dyn Store) -> Reader<'s, B> {
+        Reader {
+            store,
+            backend: self.backend.clone(),
+            ctx: ExecCtx::new(self.config.tile_rows),
+        }
+    }
+}
+
+/// A refactored variable, whichever decomposition produced it. The
+/// uniform product of [`Mdr::refactor`] and input to [`InMemoryStore`] /
+/// [`Artifact::write_store`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// The whole domain refactored at once.
+    Monolithic(Refactored),
+    /// A chunk grid of independently refactored boxes.
+    Chunked(ChunkedRefactored),
+}
+
+impl Artifact {
+    /// Grid shape of the variable.
+    pub fn shape(&self) -> &[usize] {
+        match self {
+            Artifact::Monolithic(r) => &r.shape,
+            Artifact::Chunked(cr) => &cr.grid.shape,
+        }
+    }
+
+    /// Element type name (`"f32"` / `"f64"`).
+    pub fn dtype(&self) -> &str {
+        match self {
+            Artifact::Monolithic(r) => &r.dtype,
+            Artifact::Chunked(cr) => &cr.dtype,
+        }
+    }
+
+    /// Total element count.
+    pub fn num_elements(&self) -> usize {
+        match self {
+            Artifact::Monolithic(r) => r.num_elements(),
+            Artifact::Chunked(cr) => cr.num_elements(),
+        }
+    }
+
+    /// Total compressed bytes.
+    pub fn total_bytes(&self) -> usize {
+        match self {
+            Artifact::Monolithic(r) => r.total_bytes(),
+            Artifact::Chunked(cr) => cr.total_bytes(),
+        }
+    }
+
+    /// Value range relative error targets are scaled against
+    /// (the largest per-chunk range for chunked artifacts).
+    pub fn value_range(&self) -> f64 {
+        match self {
+            Artifact::Monolithic(r) => r.value_range,
+            Artifact::Chunked(cr) => cr.value_range(),
+        }
+    }
+
+    /// The monolithic artifact, if this is one.
+    pub fn as_monolithic(&self) -> Option<&Refactored> {
+        match self {
+            Artifact::Monolithic(r) => Some(r),
+            Artifact::Chunked(_) => None,
+        }
+    }
+
+    /// The chunked artifact, if this is one.
+    pub fn as_chunked(&self) -> Option<&ChunkedRefactored> {
+        match self {
+            Artifact::Monolithic(_) => None,
+            Artifact::Chunked(cr) => Some(cr),
+        }
+    }
+
+    /// Persist under `dir` in the flavor matching the decomposition
+    /// (unit-file store for monolithic, sharded chunk store for
+    /// chunked); [`open_store`] reads either back. Returns the number of
+    /// payload files written.
+    pub fn write_store(&self, dir: &Path) -> Result<usize, MdrError> {
+        match self {
+            Artifact::Monolithic(r) => crate::storage::write_store(r, dir),
+            Artifact::Chunked(cr) => crate::storage::write_chunked_store(cr, dir),
+        }
+        .map_err(|e| MdrError::io(dir, e))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Store abstraction
+// ---------------------------------------------------------------------
+
+/// Object-safe abstraction over *where a refactored artifact lives*.
+///
+/// Every store presents the same face: a metadata skeleton (a chunk grid
+/// of payload-free [`Refactored`]s — a monolithic artifact is a
+/// single-chunk grid), plan-directed chunk loading, and byte/request
+/// accounting. [`Reader`] is written against `dyn Store`, so the same
+/// [`Query`] is served identically from memory, a unit-file directory,
+/// or a sharded chunk store — proven by
+/// `tests/tests/store_conformance.rs`.
+pub trait Store {
+    /// Short human-readable flavor (`"memory"`, `"unit-file"`,
+    /// `"sharded"`).
+    fn flavor(&self) -> &'static str;
+
+    /// The metadata skeleton: chunk grid plus per-chunk payload-free
+    /// artifacts. Planning runs entirely on this — no payload I/O.
+    fn meta(&self) -> &ChunkedRefactored;
+
+    /// Materialize chunk `c` holding exactly the unit prefixes `plan`
+    /// needs (other units keep empty payloads).
+    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError>;
+
+    /// Payload bytes fetched from this store so far.
+    fn bytes_fetched(&self) -> usize;
+
+    /// I/O requests issued so far (files opened or byte ranges read;
+    /// the unit of counting is flavor-specific).
+    fn requests(&self) -> usize;
+
+    /// Open a store of this flavor at `path`.
+    fn open(path: &Path) -> Result<Self, MdrError>
+    where
+        Self: Sized;
+}
+
+/// A fully resident artifact behind the [`Store`] face. "Fetching" is a
+/// payload copy, counted exactly like the file-backed stores count their
+/// reads — so conformance tests can compare byte accounting across
+/// flavors, and callers can develop against memory and deploy against
+/// disk without touching retrieval code.
+#[derive(Debug, Clone)]
+pub struct InMemoryStore {
+    full: ChunkedRefactored,
+    meta: ChunkedRefactored,
+    bytes_fetched: usize,
+    requests: usize,
+}
+
+impl From<ChunkedRefactored> for InMemoryStore {
+    fn from(cr: ChunkedRefactored) -> Self {
+        let meta = cr.skeleton();
+        InMemoryStore {
+            full: cr,
+            meta,
+            bytes_fetched: 0,
+            requests: 0,
+        }
+    }
+}
+
+impl From<Refactored> for InMemoryStore {
+    fn from(r: Refactored) -> Self {
+        ChunkedRefactored::single(r).into()
+    }
+}
+
+impl From<Artifact> for InMemoryStore {
+    fn from(a: Artifact) -> Self {
+        match a {
+            Artifact::Monolithic(r) => r.into(),
+            Artifact::Chunked(cr) => cr.into(),
+        }
+    }
+}
+
+impl Store for InMemoryStore {
+    fn flavor(&self) -> &'static str {
+        "memory"
+    }
+
+    fn meta(&self) -> &ChunkedRefactored {
+        &self.meta
+    }
+
+    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+        if c >= self.meta.chunks.len() {
+            return Err(MdrError::InvalidQuery(format!("chunk {c} out of range")));
+        }
+        let mut out = self.meta.chunks[c].clone();
+        if plan.units.len() != out.streams.len() {
+            return Err(MdrError::InvalidQuery(
+                "plan does not match chunk shape".to_string(),
+            ));
+        }
+        for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
+            let want = want.min(s.units.len());
+            let mut copied = 0usize;
+            for u in 0..want {
+                let payload = &self.full.chunks[c].streams[g].units[u].payload;
+                s.units[u].payload = payload.clone();
+                copied += payload.len();
+            }
+            if copied > 0 {
+                // One contiguous copy per level group, mirroring the
+                // sharded store's one range read per group.
+                self.requests += 1;
+            }
+            self.bytes_fetched += copied;
+        }
+        Ok(out)
+    }
+
+    fn bytes_fetched(&self) -> usize {
+        self.bytes_fetched
+    }
+
+    fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Read a serialized monolithic artifact (the
+    /// [`crate::serialize::to_bytes`] format) fully into memory.
+    fn open(path: &Path) -> Result<Self, MdrError> {
+        let bytes = std::fs::read(path).map_err(|e| MdrError::io(path, e))?;
+        Ok(crate::serialize::from_bytes(&bytes)?.into())
+    }
+}
+
+impl Store for StoreReader {
+    fn flavor(&self) -> &'static str {
+        "unit-file"
+    }
+
+    fn meta(&self) -> &ChunkedRefactored {
+        self.chunked_meta()
+    }
+
+    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+        if c != 0 {
+            return Err(MdrError::InvalidQuery(format!(
+                "chunk {c} out of range (monolithic store)"
+            )));
+        }
+        self.load_plan(plan)
+    }
+
+    fn bytes_fetched(&self) -> usize {
+        self.bytes_read()
+    }
+
+    fn requests(&self) -> usize {
+        self.files_read()
+    }
+
+    fn open(path: &Path) -> Result<Self, MdrError> {
+        StoreReader::open(path)
+    }
+}
+
+impl Store for ChunkedStoreReader {
+    fn flavor(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn meta(&self) -> &ChunkedRefactored {
+        self.skeleton()
+    }
+
+    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+        ChunkedStoreReader::load_chunk(self, c, plan)
+    }
+
+    fn bytes_fetched(&self) -> usize {
+        self.bytes_read()
+    }
+
+    fn requests(&self) -> usize {
+        self.ranges_read()
+    }
+
+    fn open(path: &Path) -> Result<Self, MdrError> {
+        ChunkedStoreReader::open(path)
+    }
+}
+
+/// Open whatever store lives at `path`, sniffing its flavor: a plain
+/// file is a serialized artifact loaded into an [`InMemoryStore`]; a
+/// directory is a unit-file or sharded store, told apart by their
+/// manifest formats (framed-binary vs bare JSON).
+pub fn open_store(path: &Path) -> Result<Box<dyn Store>, MdrError> {
+    if path.is_file() {
+        return Ok(Box::new(<InMemoryStore as Store>::open(path)?));
+    }
+    let manifest_path = path.join("manifest.json");
+    let raw = std::fs::read(&manifest_path).map_err(|e| MdrError::io(&manifest_path, e))?;
+    if raw.starts_with(crate::serialize::MAGIC) {
+        Ok(Box::new(<StoreReader as Store>::open(path)?))
+    } else {
+        Ok(Box::new(<ChunkedStoreReader as Store>::open(path)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The query model
+// ---------------------------------------------------------------------
+
+/// What accuracy the caller wants.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Guaranteed absolute L∞ error bound.
+    AbsError(f64),
+    /// Guaranteed L∞ bound relative to the archive's value range.
+    Rel(f64),
+    /// Root-mean-square error target (an estimator, fetched
+    /// rate-distortion-optimally; the L∞ guarantee of the resulting plan
+    /// is still reported).
+    Rmse(f64),
+    /// Error control on a derived Quantity of Interest: retrieve until
+    /// the estimated supremum of the QoI error falls below the
+    /// tolerance (Algorithm 3 with the paper's recommended MAPE
+    /// estimator).
+    Qoi(QoiExpr, f64),
+    /// Everything stored: the near-lossless floor of the archive.
+    Lossless,
+}
+
+/// What part of the variable the caller wants.
+#[derive(Debug, Clone)]
+pub enum Scope {
+    /// The whole domain at full resolution.
+    Full,
+    /// An axis-aligned hyperslab — only the chunks it intersects are
+    /// fetched.
+    Region(Region),
+    /// The dense grid of a coarser decomposition level (`0` = full
+    /// resolution, each level halves every dimension). Requires a
+    /// monolithic (single-chunk) archive.
+    Resolution(usize),
+}
+
+/// One retrieval request: a [`Target`] over a [`Scope`].
+///
+/// Not every combination is servable everywhere — RMSE and QoI targets
+/// have no resolution-scoped semantics, and QoI control runs on
+/// monolithic archives over the full domain. Unservable combinations
+/// return [`MdrError::Unsupported`]; malformed ones (negative bounds,
+/// out-of-domain regions, levels beyond the hierarchy)
+/// [`MdrError::InvalidQuery`].
+///
+/// ```
+/// use hpmdr_core::prelude::*;
+///
+/// // The whole field within an absolute bound of 1e-3:
+/// let q = Query::full(Target::AbsError(1e-3));
+/// // A hyperslab at a relative bound, failing loudly if the archive
+/// // cannot honor it:
+/// let r = Query::region(Target::Rel(1e-4), Region::new(&[4, 4], &[8, 8])).strict();
+/// // A quarter-resolution quick look from everything stored:
+/// let s = Query::resolution(Target::Lossless, 2);
+/// assert!(matches!(s.scope, Scope::Resolution(2)));
+/// # let _ = (q, r);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The accuracy requested.
+    pub target: Target,
+    /// The part of the variable requested.
+    pub scope: Scope,
+    /// When `true`, return [`MdrError::Unsatisfiable`] instead of a
+    /// best-effort [`Approximation`] if the archive runs out of stored
+    /// planes before meeting the target.
+    pub strict: bool,
+}
+
+impl Query {
+    /// `target` over `scope`, best-effort.
+    pub fn new(target: Target, scope: Scope) -> Self {
+        Query {
+            target,
+            scope,
+            strict: false,
+        }
+    }
+
+    /// `target` over the whole domain.
+    pub fn full(target: Target) -> Self {
+        Query::new(target, Scope::Full)
+    }
+
+    /// `target` over a hyperslab.
+    pub fn region(target: Target, region: Region) -> Self {
+        Query::new(target, Scope::Region(region))
+    }
+
+    /// `target` at a coarser resolution level.
+    pub fn resolution(target: Target, level: usize) -> Self {
+        Query::new(target, Scope::Resolution(level))
+    }
+
+    /// Demand the target: unsatisfiable queries become errors instead of
+    /// best-effort results.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+}
+
+/// A served query: the reconstruction, its shape, and exactly what the
+/// caller paid and got.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Approximation<F> {
+    /// Dense row-major values of the requested scope.
+    pub data: Vec<F>,
+    /// Shape of `data` (the domain, the region extent, or the coarse
+    /// grid).
+    pub shape: Vec<usize>,
+    /// The **exact** guarantee achieved: for L∞ targets the maximum of
+    /// the per-chunk planner bounds (`achieved <= target` whenever
+    /// `exhausted` is false); for RMSE the planner's estimate; for QoI
+    /// the final estimated error supremum.
+    pub achieved: f64,
+    /// Compressed payload bytes this query fetched from the store.
+    pub bytes_fetched: usize,
+    /// True when the archive ran out of stored planes before meeting the
+    /// target — `achieved` is then the best the archive can do.
+    pub exhausted: bool,
+}
+
+/// Resolved numeric form of a [`Target`] (relative bounds scaled by the
+/// archive's value range).
+enum ResolvedTarget {
+    Abs(f64),
+    Rmse(f64),
+    Lossless,
+}
+
+impl ResolvedTarget {
+    /// The threshold `achieved` is compared against for exhaustion.
+    fn threshold(&self) -> f64 {
+        match self {
+            ResolvedTarget::Abs(eb) => *eb,
+            ResolvedTarget::Rmse(t) => *t,
+            ResolvedTarget::Lossless => f64::INFINITY,
+        }
+    }
+}
+
+fn finite_nonneg(value: f64, what: &str) -> Result<f64, MdrError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(MdrError::InvalidQuery(format!("invalid {what} {value}")));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// The reader
+// ---------------------------------------------------------------------
+
+/// Serves [`Query`]s from any [`Store`] on any [`Backend`].
+///
+/// The reader is deliberately written against `&mut dyn Store`: one
+/// retrieval path covers the in-memory, unit-file, and sharded stores,
+/// and returns identical [`Approximation`]s for identical archives
+/// (`tests/tests/store_conformance.rs`).
+pub struct Reader<'s, B: Backend = ScalarBackend> {
+    store: &'s mut dyn Store,
+    backend: B,
+    ctx: ExecCtx,
+}
+
+impl<'s> Reader<'s, ScalarBackend> {
+    /// A reader over `store` on the portable [`ScalarBackend`].
+    pub fn new(store: &'s mut dyn Store) -> Self {
+        Reader::with_backend(store, ScalarBackend::new())
+    }
+}
+
+impl<'s, B: Backend> Reader<'s, B> {
+    /// A reader over `store` running its kernels on `backend`.
+    pub fn with_backend(store: &'s mut dyn Store, backend: B) -> Self {
+        Reader {
+            store,
+            backend,
+            ctx: ExecCtx::default(),
+        }
+    }
+
+    /// The store this reader serves from.
+    pub fn store(&self) -> &dyn Store {
+        self.store
+    }
+
+    /// Serve one query: plan on the store's metadata, fetch exactly the
+    /// planned unit prefixes, reconstruct on this reader's backend, and
+    /// report the achieved guarantee and bytes fetched.
+    pub fn retrieve<F: BitplaneFloat + Real + Default>(
+        &mut self,
+        query: &Query,
+    ) -> Result<Approximation<F>, MdrError> {
+        {
+            let meta = self.store.meta();
+            if F::TYPE_NAME != meta.dtype {
+                return Err(MdrError::DtypeMismatch {
+                    stored: meta.dtype.clone(),
+                    requested: F::TYPE_NAME.to_string(),
+                });
+            }
+        }
+        let bytes_before = self.store.bytes_fetched();
+        let (data, shape, achieved, exhausted, target_value) = match &query.target {
+            Target::Qoi(expr, tau) => {
+                let (data, shape, achieved, exhausted) =
+                    self.retrieve_qoi::<F>(expr, *tau, &query.scope)?;
+                (data, shape, achieved, exhausted, *tau)
+            }
+            target => {
+                let resolved = match target {
+                    Target::AbsError(eb) => ResolvedTarget::Abs(finite_nonneg(*eb, "error bound")?),
+                    Target::Rel(rel) => ResolvedTarget::Abs(
+                        finite_nonneg(*rel, "relative bound")? * self.store.meta().value_range(),
+                    ),
+                    Target::Rmse(t) => ResolvedTarget::Rmse(finite_nonneg(*t, "rmse target")?),
+                    Target::Lossless => ResolvedTarget::Lossless,
+                    Target::Qoi(..) => unreachable!("handled above"),
+                };
+                let t = resolved.threshold();
+                let (data, shape, achieved, exhausted) = match &query.scope {
+                    Scope::Full => {
+                        let domain = Region::whole(&self.store.meta().grid.shape);
+                        self.retrieve_region(&resolved, domain)?
+                    }
+                    Scope::Region(region) => self.retrieve_region(&resolved, region.clone())?,
+                    Scope::Resolution(level) => self.retrieve_resolution(&resolved, *level)?,
+                };
+                (data, shape, achieved, exhausted, t)
+            }
+        };
+        if query.strict && exhausted {
+            return Err(MdrError::Unsatisfiable {
+                target: target_value,
+                achieved,
+            });
+        }
+        Ok(Approximation {
+            data,
+            shape,
+            achieved,
+            bytes_fetched: self.store.bytes_fetched() - bytes_before,
+            exhausted,
+        })
+    }
+
+    /// Full-domain and region scopes: per-chunk plans for the touched
+    /// chunks (through the same [`RoiPlan::plan_with`] planner ROI
+    /// retrieval uses), loaded and assembled exactly like ROI retrieval.
+    /// Planning, loading, and assembly are separate borrow phases, so
+    /// the store's metadata is never cloned.
+    fn retrieve_region<F: BitplaneFloat + Real + Default>(
+        &mut self,
+        resolved: &ResolvedTarget,
+        region: Region,
+    ) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
+        let plan =
+            RoiPlan::plan_with(
+                self.store.meta(),
+                &region,
+                resolved.threshold(),
+                |r| match resolved {
+                    ResolvedTarget::Abs(eb) => RetrievalPlan::for_error(r, *eb),
+                    ResolvedTarget::Rmse(t) => RetrievalPlan::for_rmse(r, *t),
+                    ResolvedTarget::Lossless => {
+                        let plan = RetrievalPlan::full(r);
+                        let bound = r.error_bound_for_units(&plan.units);
+                        (plan, bound)
+                    }
+                },
+            )?;
+        let loaded: Vec<Refactored> = plan
+            .chunks
+            .iter()
+            .map(|cp| self.store.load_chunk(cp.chunk, &cp.plan))
+            .collect::<Result<_, _>>()?;
+        let backend = self.backend.clone();
+        let res =
+            assemble_region::<F, _, _>(self.store.meta(), &plan, &backend, &self.ctx, |i, cp| {
+                let mut sess = RetrievalSession::with_backend(&loaded[i], backend.clone());
+                sess.try_refine_to(&cp.plan)
+                    .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
+                Ok(sess.reconstruct::<F>())
+            })?;
+        let shape = res.region.extent.clone();
+        Ok((res.data, shape, res.bound, res.exhausted))
+    }
+
+    /// Resolution scope: plan only the level groups that influence the
+    /// coarse grid, then recompose down to `level`.
+    fn retrieve_resolution<F: BitplaneFloat + Real + Default>(
+        &mut self,
+        resolved: &ResolvedTarget,
+        level: usize,
+    ) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
+        let (plan, bound, exhausted) = {
+            let meta = self.store.meta();
+            if meta.grid.num_chunks() != 1 {
+                return Err(MdrError::Unsupported(format!(
+                    "resolution-scoped queries need a monolithic archive; this store has {} chunks",
+                    meta.grid.num_chunks()
+                )));
+            }
+            let r = &meta.chunks[0];
+            if level > r.hierarchy.levels {
+                return Err(MdrError::InvalidQuery(format!(
+                    "resolution level {level} beyond the hierarchy ({} levels)",
+                    r.hierarchy.levels
+                )));
+            }
+            match resolved {
+                ResolvedTarget::Abs(eb) => {
+                    let (plan, bound) = RetrievalPlan::for_error_at_resolution(r, *eb, level);
+                    (plan, bound, bound > *eb)
+                }
+                ResolvedTarget::Lossless => {
+                    // A zero target fetches every contributing group fully
+                    // and reports the archive's floor bound for the level.
+                    let (plan, bound) = RetrievalPlan::for_error_at_resolution(r, 0.0, level);
+                    (plan, bound, false)
+                }
+                ResolvedTarget::Rmse(_) => {
+                    return Err(MdrError::Unsupported(
+                        "RMSE targets have no resolution-scoped semantics".to_string(),
+                    ))
+                }
+            }
+        };
+        let loaded = self.store.load_chunk(0, &plan)?;
+        let mut sess = RetrievalSession::with_backend(&loaded, self.backend.clone());
+        sess.try_refine_to(&plan)?;
+        let (data, shape) = sess.reconstruct_at_resolution::<F>(level);
+        Ok((data, shape, bound, exhausted))
+    }
+
+    /// QoI targets: Algorithm 3 over a fully staged monolithic archive.
+    fn retrieve_qoi<F: BitplaneFloat + Real + Default>(
+        &mut self,
+        expr: &QoiExpr,
+        tau: f64,
+        scope: &Scope,
+    ) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
+        if !matches!(scope, Scope::Full) {
+            return Err(MdrError::Unsupported(
+                "QoI targets are full-domain only; slice the result instead".to_string(),
+            ));
+        }
+        if !tau.is_finite() || tau <= 0.0 {
+            return Err(MdrError::InvalidQuery(format!(
+                "invalid QoI tolerance {tau}"
+            )));
+        }
+        if expr.num_vars() > 1 {
+            return Err(MdrError::Unsupported(format!(
+                "QoI references {} variables; a reader serves exactly one",
+                expr.num_vars()
+            )));
+        }
+        let (full, shape) = {
+            let meta = self.store.meta();
+            if meta.grid.num_chunks() != 1 {
+                return Err(MdrError::Unsupported(format!(
+                    "QoI-controlled retrieval needs a monolithic archive; this store has {} chunks",
+                    meta.grid.num_chunks()
+                )));
+            }
+            (
+                RetrievalPlan::full(&meta.chunks[0]),
+                meta.grid.shape.clone(),
+            )
+        };
+        // Algorithm 3 refines adaptively, so the chunk is staged in full;
+        // bytes_fetched reflects the staging cost, not the loop's
+        // internal consumption.
+        let loaded = self.store.load_chunk(0, &full)?;
+        let mut outcome =
+            retrieve_with_qoi_control::<F>(&[&loaded], expr, tau, EbEstimator::Mape { c: 10.0 });
+        let data: Vec<F> = outcome
+            .vars
+            .swap_remove(0)
+            .into_iter()
+            .map(<F as Real>::from_f64)
+            .collect();
+        Ok((data, shape, outcome.final_estimate, outcome.exhausted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(nx: usize, ny: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(nx * ny);
+        for x in 0..nx {
+            for y in 0..ny {
+                v.push((x as f32 * 0.19).sin() * 2.0 + (y as f32 * 0.23).cos());
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn builder_covers_monolithic_and_chunked_without_with_variants() {
+        let data = field(20, 18);
+        let mono = Mdr::with_defaults().refactor(&data, &[20, 18]).unwrap();
+        assert!(mono.as_monolithic().is_some());
+        let chunked = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build()
+            .refactor(&data, &[20, 18])
+            .unwrap();
+        let cr = chunked.as_chunked().unwrap();
+        assert_eq!(cr.grid.num_chunks(), 3 * 3);
+        // Parallel backends build through the same call and produce
+        // bit-identical artifacts.
+        let par = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build_parallel()
+            .refactor(&data, &[20, 18])
+            .unwrap();
+        assert_eq!(chunked, par);
+    }
+
+    #[test]
+    fn facade_refactor_validates_instead_of_panicking() {
+        let mdr = Mdr::with_defaults();
+        let err = mdr.refactor(&[0.0f32; 10], &[3, 4]).unwrap_err();
+        assert!(matches!(err, MdrError::InvalidInput(_)), "{err}");
+        let err = mdr.refactor(&[0.0f32; 0], &[]).unwrap_err();
+        assert!(matches!(err, MdrError::InvalidInput(_)), "{err}");
+        let mut bad = field(8, 8);
+        bad[17] = f32::NAN;
+        let err = mdr.refactor(&bad, &[8, 8]).unwrap_err();
+        assert!(
+            matches!(&err, MdrError::InvalidInput(w) if w.contains("index 17")),
+            "{err}"
+        );
+        let err = MdrConfig::new()
+            .chunked(&[4, 4, 4])
+            .build()
+            .refactor(&field(8, 8), &[8, 8])
+            .unwrap_err();
+        assert!(matches!(err, MdrError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn reader_serves_all_targets_from_memory() {
+        let data = field(33, 33);
+        let artifact = Mdr::with_defaults().refactor(&data, &[33, 33]).unwrap();
+        let range = artifact.value_range();
+        let mut store = InMemoryStore::from(artifact);
+
+        for (q, check_linf) in [
+            (Query::full(Target::AbsError(1e-3)), true),
+            (Query::full(Target::Rel(1e-3)), true),
+            (Query::full(Target::Rmse(1e-4)), false),
+            (Query::full(Target::Lossless), true),
+        ] {
+            let a = Reader::new(&mut store).retrieve::<f32>(&q).unwrap();
+            assert_eq!(a.shape, vec![33, 33]);
+            assert!(a.bytes_fetched > 0);
+            assert!(!a.exhausted, "{q:?}");
+            if check_linf {
+                let err = data
+                    .iter()
+                    .zip(&a.data)
+                    .map(|(x, y)| ((x - y).abs()) as f64)
+                    .fold(0.0, f64::max);
+                assert!(err <= a.achieved.max(range * 1e-6), "{q:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_and_resolution_scopes_match_their_direct_paths() {
+        let data = field(33, 33);
+        let artifact = Mdr::with_defaults().refactor(&data, &[33, 33]).unwrap();
+        let r = artifact.as_monolithic().unwrap().clone();
+        let mut store = InMemoryStore::from(artifact);
+
+        // Region slice == same region of a full-domain answer.
+        let region = Region::new(&[4, 7], &[12, 9]);
+        let sliced = {
+            let full = Reader::new(&mut store)
+                .retrieve::<f32>(&Query::full(Target::AbsError(1e-3)))
+                .unwrap();
+            crate::chunked::extract_region(&full.data, &[33, 33], &region)
+        };
+        let roi = Reader::new(&mut store)
+            .retrieve::<f32>(&Query::region(Target::AbsError(1e-3), region.clone()))
+            .unwrap();
+        assert_eq!(roi.shape, region.extent);
+        assert_eq!(roi.data, sliced);
+
+        // Resolution scope == RetrievalSession::reconstruct_at_resolution.
+        let level = r.hierarchy.levels.min(2);
+        let coarse = Reader::new(&mut store)
+            .retrieve::<f32>(&Query::resolution(Target::Lossless, level))
+            .unwrap();
+        let mut sess = RetrievalSession::new(&r);
+        sess.refine_to(&RetrievalPlan::full(&r));
+        let (want, want_shape) = sess.reconstruct_at_resolution::<f32>(level);
+        assert_eq!(coarse.shape, want_shape);
+        assert_eq!(coarse.data, want);
+    }
+
+    #[test]
+    fn resolution_scope_fetches_fewer_bytes_than_full() {
+        let data = field(65, 65);
+        let artifact = Mdr::with_defaults().refactor(&data, &[65, 65]).unwrap();
+        let mut store = InMemoryStore::from(artifact);
+        let full = Reader::new(&mut store)
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-4)))
+            .unwrap();
+        let coarse = Reader::new(&mut store)
+            .retrieve::<f32>(&Query::resolution(Target::AbsError(1e-4), 2))
+            .unwrap();
+        assert!(
+            coarse.bytes_fetched < full.bytes_fetched,
+            "coarse {} vs full {}",
+            coarse.bytes_fetched,
+            full.bytes_fetched
+        );
+        assert!(coarse.achieved <= 1e-4 || coarse.exhausted);
+    }
+
+    #[test]
+    fn qoi_target_controls_derived_error() {
+        let data = field(17, 17);
+        let artifact = Mdr::with_defaults().refactor(&data, &[17, 17]).unwrap();
+        let mut store = InMemoryStore::from(artifact);
+        let q = Query::full(Target::Qoi(
+            QoiExpr::Square(Box::new(QoiExpr::Var(0))),
+            1e-3,
+        ));
+        let a = Reader::new(&mut store).retrieve::<f32>(&q).unwrap();
+        assert_eq!(a.shape, vec![17, 17]);
+        assert!(a.exhausted || a.achieved <= 1e-3, "{}", a.achieved);
+        for (x, r) in data.iter().zip(&a.data) {
+            let got = (*r as f64) * (*r as f64);
+            let want = (*x as f64) * (*x as f64);
+            assert!((got - want).abs() <= 1e-3 + 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn error_cases_are_matchable() {
+        let data = field(16, 16);
+        let artifact = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build()
+            .refactor(&data, &[16, 16])
+            .unwrap();
+        let mut store = InMemoryStore::from(artifact);
+        let mut reader = Reader::new(&mut store);
+
+        let err = reader
+            .retrieve::<f64>(&Query::full(Target::AbsError(1e-3)))
+            .unwrap_err();
+        assert!(matches!(err, MdrError::DtypeMismatch { .. }), "{err}");
+
+        let err = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(-1.0)))
+            .unwrap_err();
+        assert!(matches!(err, MdrError::InvalidQuery(_)), "{err}");
+
+        let err = reader
+            .retrieve::<f32>(&Query::region(
+                Target::AbsError(1e-3),
+                Region::new(&[12, 0], &[8, 8]),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, MdrError::InvalidQuery(_)), "{err}");
+
+        let err = reader
+            .retrieve::<f32>(&Query::resolution(Target::AbsError(1e-3), 1))
+            .unwrap_err();
+        assert!(matches!(err, MdrError::Unsupported(_)), "{err}");
+
+        let err = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-300)).strict())
+            .unwrap_err();
+        assert!(
+            matches!(err, MdrError::Unsatisfiable { target, achieved }
+                if target == 1e-300 && achieved > target),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn store_roundtrip_through_open_store() {
+        let data = field(24, 20);
+        for (artifact, flavor) in [
+            (
+                Mdr::with_defaults().refactor(&data, &[24, 20]).unwrap(),
+                "unit-file",
+            ),
+            (
+                MdrConfig::new()
+                    .chunked(&[10, 8])
+                    .build()
+                    .refactor(&data, &[24, 20])
+                    .unwrap(),
+                "sharded",
+            ),
+        ] {
+            let dir = std::env::temp_dir()
+                .join(format!("hpmdr_api_open_{flavor}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            artifact.write_store(&dir).unwrap();
+            let mut store = open_store(&dir).unwrap();
+            assert_eq!(store.flavor(), flavor);
+            let a = Reader::new(store.as_mut())
+                .retrieve::<f32>(&Query::full(Target::Rel(1e-3)))
+                .unwrap();
+            let mut memory = InMemoryStore::from(artifact);
+            let b = Reader::new(&mut memory)
+                .retrieve::<f32>(&Query::full(Target::Rel(1e-3)))
+                .unwrap();
+            assert_eq!(a, b, "{flavor} answer must equal the in-memory answer");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn serialized_file_opens_as_in_memory_store() {
+        let data = field(16, 12);
+        let artifact = Mdr::with_defaults().refactor(&data, &[16, 12]).unwrap();
+        let bytes = crate::serialize::to_bytes(artifact.as_monolithic().unwrap());
+        let path = std::env::temp_dir().join(format!("hpmdr_api_file_{}.mdr", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = open_store(&path).unwrap();
+        assert_eq!(store.flavor(), "memory");
+        let a = Reader::new(store.as_mut())
+            .retrieve::<f32>(&Query::full(Target::Lossless))
+            .unwrap();
+        assert_eq!(a.shape, vec![16, 12]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

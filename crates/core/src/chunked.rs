@@ -1,6 +1,6 @@
 //! Chunked-domain refactoring: a regular chunk grid over an N-D field.
 //!
-//! The monolithic [`crate::refactor`] path decomposes the whole array at
+//! The monolithic [`crate::refactor()`] path decomposes the whole array at
 //! once — fine for one variable on one device, but it cannot scale to
 //! fields larger than memory, serve concurrent region queries, or shard
 //! across devices. Following the multigrid domain-decomposition line
@@ -208,6 +208,17 @@ pub struct ChunkedRefactored {
 }
 
 impl ChunkedRefactored {
+    /// Wrap one artifact as a single-chunk grid covering its whole
+    /// domain — how monolithic archives present themselves to the
+    /// [`crate::api::Store`] abstraction.
+    pub fn single(chunk: Refactored) -> ChunkedRefactored {
+        ChunkedRefactored {
+            grid: ChunkGrid::new(&chunk.shape, &chunk.shape),
+            dtype: chunk.dtype.clone(),
+            chunks: vec![chunk],
+        }
+    }
+
     /// Total element count of the domain.
     pub fn num_elements(&self) -> usize {
         self.grid.domain_len()

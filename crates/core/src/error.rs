@@ -1,0 +1,283 @@
+//! The crate's typed error hierarchy.
+//!
+//! Every fallible public entry point of `hpmdr-core` returns
+//! [`MdrError`] — there is no `Result<_, String>` anywhere in the public
+//! surface. Callers can therefore *match* on failure classes (a corrupt
+//! shard vs a manifest from a newer writer vs a query that simply does
+//! not fit the archive) instead of grepping message substrings, and the
+//! lower layers' structured errors ([`HuffmanError`], [`RleError`],
+//! [`hpmdr_exec::DecodeError`]) convert losslessly via `From`.
+//!
+//! ```
+//! use hpmdr_core::MdrError;
+//! use std::path::Path;
+//!
+//! // Opening a store that does not exist is an `Io` error carrying the
+//! // offending path; a damaged archive would be `Corrupt`, a manifest
+//! // from a future writer `VersionMismatch`.
+//! let err = hpmdr_core::api::open_store(Path::new("/nonexistent/store")).err().unwrap();
+//! match err {
+//!     MdrError::Io { path, .. } => assert!(path.starts_with("/nonexistent")),
+//!     other => panic!("expected Io, got {other}"),
+//! }
+//! ```
+
+use hpmdr_exec::DecodeError;
+use hpmdr_lossless::{CodecError, HuffmanError, RleError};
+use std::path::{Path, PathBuf};
+
+/// Why an HP-MDR operation failed — the single error type of the crate's
+/// public API.
+///
+/// Variants are grouped by who must act on them: `Io` (the environment),
+/// `Corrupt` / `VersionMismatch` / `Decode` (the archive),
+/// `DtypeMismatch` / `InvalidInput` / `InvalidQuery` / `Unsupported` /
+/// `Unsatisfiable` (the caller).
+#[derive(Debug)]
+pub enum MdrError {
+    /// Reading or writing an underlying file failed.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// An artifact, manifest, or stream is structurally damaged: bad
+    /// magic, truncation, unparsable metadata, impossible geometry, or
+    /// inconsistent lengths.
+    Corrupt(String),
+    /// A manifest was written by a newer schema than this build reads.
+    VersionMismatch {
+        /// The version the manifest declares.
+        found: u32,
+        /// The newest version this reader supports.
+        supported: u32,
+    },
+    /// The archive holds a different element type than the caller asked
+    /// for.
+    DtypeMismatch {
+        /// Element type stored in the archive (`"f32"` / `"f64"`).
+        stored: String,
+        /// Element type the caller requested.
+        requested: String,
+    },
+    /// Input data rejected at refactor time (shape/length disagreement,
+    /// unsupported dimensionality, non-finite values).
+    InvalidInput(String),
+    /// A query or plan is incompatible with this archive: region outside
+    /// the domain, negative or non-finite bound, resolution level beyond
+    /// the hierarchy, or a plan built against a different archive.
+    InvalidQuery(String),
+    /// The query is well-formed but this store or artifact shape cannot
+    /// serve it (e.g. resolution-scoped queries on a multi-chunk grid).
+    Unsupported(String),
+    /// A [`crate::api::Query::strict`] query could not be satisfied even
+    /// with every stored plane fetched.
+    Unsatisfiable {
+        /// The requested target (absolute error, RMSE, or QoI tolerance).
+        target: f64,
+        /// The best guarantee the archive can offer.
+        achieved: f64,
+    },
+    /// A compressed unit failed entropy decoding — the archive's payload
+    /// bytes are damaged.
+    Decode {
+        /// Where in the archive the failure occurred (chunk/group/unit),
+        /// empty when unknown.
+        context: String,
+        /// Index of the failing merged unit, when known.
+        unit: Option<usize>,
+        /// The underlying codec error.
+        source: CodecError,
+    },
+}
+
+impl MdrError {
+    /// An [`MdrError::Io`] for `path`.
+    pub fn io(path: &Path, source: std::io::Error) -> Self {
+        MdrError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// An [`MdrError::Corrupt`] with the given description.
+    pub fn corrupt(what: impl Into<String>) -> Self {
+        MdrError::Corrupt(what.into())
+    }
+
+    /// Prefix the archive-location context of a `Decode` or `Corrupt`
+    /// error (e.g. `"chunk 3 group 1"`); other variants pass through.
+    #[must_use]
+    pub fn in_context(self, ctx: impl std::fmt::Display) -> Self {
+        match self {
+            MdrError::Decode {
+                context,
+                unit,
+                source,
+            } => MdrError::Decode {
+                context: if context.is_empty() {
+                    ctx.to_string()
+                } else {
+                    format!("{ctx} {context}")
+                },
+                unit,
+                source,
+            },
+            MdrError::Corrupt(what) => MdrError::Corrupt(format!("{ctx}: {what}")),
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for MdrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdrError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            MdrError::Corrupt(what) => write!(f, "corrupt archive: {what}"),
+            MdrError::VersionMismatch { found, supported } => write!(
+                f,
+                "manifest version {found} is newer than the supported {supported}; \
+                 upgrade this reader or re-refactor the data"
+            ),
+            MdrError::DtypeMismatch { stored, requested } => write!(
+                f,
+                "dtype mismatch: archive holds {stored}, caller wants {requested}"
+            ),
+            MdrError::InvalidInput(why) => write!(f, "invalid input: {why}"),
+            MdrError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            MdrError::Unsupported(why) => write!(f, "unsupported: {why}"),
+            MdrError::Unsatisfiable { target, achieved } => write!(
+                f,
+                "unsatisfiable target {target:.3e}: the archive guarantees at best {achieved:.3e}"
+            ),
+            MdrError::Decode {
+                context,
+                unit,
+                source,
+            } => {
+                if !context.is_empty() {
+                    write!(f, "{context} ")?;
+                }
+                match unit {
+                    Some(u) => write!(f, "unit {u}: {source}"),
+                    None => write!(f, "{source}"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdrError::Io { source, .. } => Some(source),
+            MdrError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for MdrError {
+    fn from(source: CodecError) -> Self {
+        MdrError::Decode {
+            context: String::new(),
+            unit: None,
+            source,
+        }
+    }
+}
+
+impl From<HuffmanError> for MdrError {
+    fn from(e: HuffmanError) -> Self {
+        CodecError::from(e).into()
+    }
+}
+
+impl From<RleError> for MdrError {
+    fn from(e: RleError) -> Self {
+        CodecError::from(e).into()
+    }
+}
+
+impl From<DecodeError> for MdrError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Unit { unit, source } => MdrError::Decode {
+                context: String::new(),
+                unit: Some(unit),
+                source,
+            },
+            DecodeError::Structure(why) => MdrError::Corrupt(why),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_layer_errors_convert_with_structure_preserved() {
+        let h: MdrError = HuffmanError::TruncatedHeader.into();
+        assert!(matches!(
+            h,
+            MdrError::Decode {
+                source: CodecError::Huffman(HuffmanError::TruncatedHeader),
+                ..
+            }
+        ));
+        let r: MdrError = RleError::TruncatedPayload.into();
+        assert!(matches!(
+            r,
+            MdrError::Decode {
+                source: CodecError::Rle(RleError::TruncatedPayload),
+                ..
+            }
+        ));
+        let d: MdrError = DecodeError::Structure("bad geometry".into()).into();
+        assert!(matches!(&d, MdrError::Corrupt(w) if w == "bad geometry"));
+        let u: MdrError = DecodeError::Unit {
+            unit: 3,
+            source: CodecError::Huffman(HuffmanError::CorruptChunk { chunk: 1 }),
+        }
+        .into();
+        assert!(matches!(&u, MdrError::Decode { unit: Some(3), .. }));
+    }
+
+    #[test]
+    fn context_prefixes_decode_and_corrupt() {
+        let e = MdrError::from(DecodeError::Unit {
+            unit: 2,
+            source: CodecError::Huffman(HuffmanError::TruncatedPayload),
+        })
+        .in_context("chunk 4 group 1");
+        assert_eq!(
+            e.to_string(),
+            "chunk 4 group 1 unit 2: truncated Huffman payload"
+        );
+        let c = MdrError::corrupt("length overflow").in_context("chunk 0");
+        assert_eq!(c.to_string(), "corrupt archive: chunk 0: length overflow");
+        // Caller-side variants pass through untouched.
+        let q = MdrError::InvalidQuery("nope".into()).in_context("chunk 0");
+        assert!(matches!(q, MdrError::InvalidQuery(w) if w == "nope"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = MdrError::VersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains('9') && s.contains("newer than the supported"),
+            "{s}"
+        );
+        let d = MdrError::DtypeMismatch {
+            stored: "f32".into(),
+            requested: "f64".into(),
+        };
+        assert!(d.to_string().contains("archive holds f32"));
+    }
+}

@@ -18,9 +18,39 @@
 //!            coefficients ──MGARD recompose──► approximation + bound
 //! ```
 //!
+//! ## The recommended surface
+//!
+//! Start with [`prelude`] and the [`api`] façade: one [`api::MdrConfig`]
+//! builder covers monolithic and chunked refactoring on any backend, an
+//! object-safe [`api::Store`] abstracts where artifacts live (memory,
+//! unit-file directory, sharded chunk store), and one
+//! [`api::Reader::retrieve`] serves every [`api::Query`]
+//! ([`api::Target`] × [`api::Scope`]) with typed [`MdrError`]s
+//! end-to-end:
+//!
+//! ```
+//! use hpmdr_core::prelude::*;
+//!
+//! let data: Vec<f32> = (0..24 * 24).map(|i| (i as f32 * 0.02).cos()).collect();
+//! let artifact = Mdr::with_defaults().refactor(&data, &[24, 24])?;
+//! let mut store = InMemoryStore::from(artifact);
+//! let approx = Reader::new(&mut store)
+//!     .retrieve::<f32>(&Query::full(Target::AbsError(1e-3)))?;
+//! assert!(approx.exhausted || approx.achieved <= 1e-3);
+//! # Ok::<(), MdrError>(())
+//! ```
+//!
+//! The specialized modules below remain available — the façade is a thin
+//! delegating layer over them.
+//!
 //! Modules:
 //!
-//! * [`refactor`] — variable refactoring into [`refactor::Refactored`];
+//! * [`api`] — the unified façade: [`api::Mdr`], [`api::Store`],
+//!   [`api::Query`], [`api::Reader`];
+//! * [`error`] — the [`MdrError`] hierarchy every fallible entry point
+//!   returns;
+//! * [`mod@refactor`] — variable refactoring into
+//!   [`refactor::Refactored`];
 //! * [`retrieve`] — greedy error-driven plane planning and incremental
 //!   reconstruction sessions;
 //! * [`qoi_retrieval`] — Algorithm 3 with the CP / MA / MAPE error-bound
@@ -43,17 +73,19 @@
 //!   a guaranteed L∞ bound.
 //!
 //! Every hot stage executes through the portable executor layer of
-//! [`hpmdr_exec`]: [`refactor`], [`RetrievalSession`], and both pipeline
-//! modes are generic over [`hpmdr_exec::Backend`], defaulting to the
-//! sequential [`hpmdr_exec::ScalarBackend`]; pass
-//! [`hpmdr_exec::ParallelBackend`] (via [`refactor_with`],
-//! [`RetrievalSession::with_backend`], or
-//! [`pipeline::refactor_pipeline_with`]) for multi-core execution with
-//! bit-identical artifacts.
+//! [`hpmdr_exec`]: [`refactor()`], [`RetrievalSession`], and both
+//! pipeline modes are generic over [`hpmdr_exec::Backend`], defaulting
+//! to the sequential [`hpmdr_exec::ScalarBackend`]; pick a backend once
+//! in [`api::MdrConfig::build_with`] (or pass
+//! [`hpmdr_exec::ParallelBackend`] to the `_with` variants) for
+//! multi-core execution with bit-identical artifacts.
 
+pub mod api;
 pub mod chunked;
+pub mod error;
 pub mod multi_device;
 pub mod pipeline;
+pub mod prelude;
 pub mod qoi_retrieval;
 pub mod refactor;
 pub mod retrieve;
@@ -61,9 +93,14 @@ pub mod roi;
 pub mod serialize;
 pub mod storage;
 
+pub use api::{
+    open_store, Approximation, Artifact, InMemoryStore, Mdr, MdrConfig, Query, Reader, Scope,
+    Store, Target,
+};
 pub use chunked::{
     refactor_chunked, refactor_chunked_with, ChunkGrid, ChunkedConfig, ChunkedRefactored,
 };
+pub use error::MdrError;
 pub use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
 pub use qoi_retrieval::{
     retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,

@@ -1,0 +1,21 @@
+//! The convenient import surface: `use hpmdr_core::prelude::*;`.
+//!
+//! Exports the façade ([`Mdr`], [`Query`], [`Store`], [`Reader`],
+//! [`MdrError`], …) plus the handful of lower-level names walkthroughs
+//! and tests still reach for (configs, plans, sessions, regions, the
+//! executor backends). Anything not here is deliberately a
+//! fully-qualified path — the façade is the recommended surface.
+
+pub use crate::api::{
+    open_store, Approximation, Artifact, InMemoryStore, Mdr, MdrConfig, Query, Reader, Scope,
+    Store, Target,
+};
+pub use crate::chunked::{ChunkGrid, ChunkedConfig, ChunkedRefactored};
+pub use crate::error::MdrError;
+pub use crate::qoi_retrieval::EbEstimator;
+pub use crate::refactor::{RefactorConfig, Refactored};
+pub use crate::retrieve::{RetrievalPlan, RetrievalSession};
+pub use crate::roi::{Region, RoiPlan, RoiRequest, RoiResult};
+pub use crate::storage::{write_chunked_store, write_store, ChunkedStoreReader, StoreReader};
+pub use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
+pub use hpmdr_qoi::QoiExpr;

@@ -178,6 +178,11 @@ impl LevelStream {
 /// Refactor one variable of shape `shape` on the portable
 /// [`ScalarBackend`].
 ///
+/// Prefer [`crate::api::Mdr::refactor`], which also covers chunked
+/// decomposition and backend selection, and validates its input instead
+/// of panicking; this function remains as the monolithic scalar kernel
+/// the façade delegates to.
+///
 /// # Panics
 /// Panics if `data.len()` does not match `shape`, or on non-finite input.
 pub fn refactor<F: BitplaneFloat + Real>(
@@ -249,17 +254,28 @@ pub fn refactor_with<F: BitplaneFloat + Real, B: Backend>(
 
 /// Rebuild a (possibly partial) [`BitplaneChunk`] from the first
 /// `units` merged units of `stream`, on the portable [`ScalarBackend`].
-/// Returns a readable error if the stream is structurally corrupt.
+/// Returns a matchable [`crate::MdrError`] if the stream is structurally
+/// corrupt.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `hpmdr_exec::Backend::decode_units` (PR 3) and the \
+            `core::api` façade; this free function survives only as a \
+            scalar-backend convenience"
+)]
 pub fn decompress_units(
     stream: &LevelStream,
     units: usize,
     compressor: &HybridCompressor,
     dtype: &str,
-) -> Result<BitplaneChunk, String> {
-    ScalarBackend::new().decode_units(&ExecCtx::default(), stream.view(), units, compressor, dtype)
+) -> Result<BitplaneChunk, crate::MdrError> {
+    ScalarBackend::new()
+        .decode_units(&ExecCtx::default(), stream.view(), units, compressor, dtype)
+        .map_err(crate::MdrError::from)
 }
 
 #[cfg(test)]
+// The deprecated scalar-backend convenience stays covered until removal.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

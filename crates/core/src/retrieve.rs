@@ -6,6 +6,7 @@
 //! decoded plane state across refinements so each Algorithm-3 iteration
 //! only pays for the newly fetched units (the paper's recompose step).
 
+use crate::error::MdrError;
 use crate::refactor::Refactored;
 use hpmdr_bitplane::native::ProgressiveDecoder;
 use hpmdr_bitplane::{prefix_error_bound, BitplaneFloat, Reconstruction};
@@ -41,15 +42,33 @@ impl RetrievalPlan {
     /// Returns the plan and its guaranteed bound (which may exceed `eb`
     /// only when every plane is already fetched).
     pub fn for_error(r: &Refactored, eb: f64) -> (Self, f64) {
+        Self::for_error_at_resolution(r, eb, 0)
+    }
+
+    /// Greedy minimal plan meeting `eb` for a *level-`level`*
+    /// reconstruction: groups finer than the target level cannot
+    /// influence the coarse grid, so they are excluded from both the
+    /// plan and the bound. `level = 0` is [`Self::for_error`]. The
+    /// returned bound covers the coarse grid relative to the exact
+    /// level-`level` representation of the data.
+    ///
+    /// # Panics
+    /// Panics on a negative/NaN target or a level beyond the hierarchy.
+    pub fn for_error_at_resolution(r: &Refactored, eb: f64, level: usize) -> (Self, f64) {
         assert!(eb >= 0.0, "error target must be non-negative");
+        let levels = r.hierarchy.levels;
+        assert!(level <= levels, "resolution level beyond hierarchy");
         let g = r.streams.len();
+        let contributes = |gi: usize| gi + level <= levels;
         let mut units = vec![0usize; g];
         let term = |gi: usize, u: usize| -> f64 {
             let s = &r.streams[gi];
             let k = s.planes_in_units(u);
             r.weights[gi] * prefix_error_bound(s.exp, k)
         };
-        let mut terms: Vec<f64> = (0..g).map(|gi| term(gi, 0)).collect();
+        let mut terms: Vec<f64> = (0..g)
+            .map(|gi| if contributes(gi) { term(gi, 0) } else { 0.0 })
+            .collect();
         loop {
             let total: f64 = terms.iter().sum();
             if total <= eb {
@@ -58,7 +77,7 @@ impl RetrievalPlan {
             // Largest refinable term.
             let mut best: Option<(f64, usize)> = None;
             for gi in 0..g {
-                if units[gi] >= r.streams[gi].num_units() {
+                if !contributes(gi) || units[gi] >= r.streams[gi].num_units() {
                     continue;
                 }
                 let gain = terms[gi] - term(gi, units[gi] + 1);
@@ -243,10 +262,11 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
             .expect("corrupt stream during refinement");
     }
 
-    /// Fallible [`Self::refine_to`]: returns a readable error when a unit
-    /// fails to decode (truncated or corrupt payload). Units applied
-    /// before the failure remain applied.
-    pub fn try_refine_to(&mut self, plan: &RetrievalPlan) -> Result<(), String> {
+    /// Fallible [`Self::refine_to`]: returns a matchable
+    /// [`MdrError::Decode`] (or [`MdrError::Corrupt`]) when a unit fails
+    /// to decode (truncated or corrupt payload). Units applied before
+    /// the failure remain applied.
+    pub fn try_refine_to(&mut self, plan: &RetrievalPlan) -> Result<(), MdrError> {
         assert_eq!(plan.units.len(), self.decoders.len(), "plan shape mismatch");
         for (gi, &target) in plan.units.iter().enumerate() {
             let target = target.min(self.refactored.streams[gi].num_units());
@@ -269,7 +289,7 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
                     &self.compressor,
                     &self.refactored.dtype,
                 )
-                .map_err(|e| format!("group {gi}: {e}"))?;
+                .map_err(|e| MdrError::from(e).in_context(format!("group {gi}")))?;
             let k = stream.planes_in_units(target);
             match &mut self.decoders[gi] {
                 Some((stored, dec)) => {

@@ -18,6 +18,7 @@
 //! already fully fetched.
 
 use crate::chunked::{copy_hyperslab, ChunkedRefactored};
+use crate::error::MdrError;
 use crate::retrieve::{RetrievalPlan, RetrievalSession};
 use hpmdr_bitplane::BitplaneFloat;
 use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
@@ -157,24 +158,44 @@ impl RoiPlan {
     /// Plan `req` over `cr` (works on a skeleton: planning needs only
     /// stream metadata, never payload bytes).
     ///
-    /// Returns a readable error when the region does not fit the domain
-    /// or the bound is invalid.
-    pub fn for_request(cr: &ChunkedRefactored, req: &RoiRequest) -> Result<RoiPlan, String> {
-        if !req.region.fits_within(&cr.grid.shape) {
-            return Err(format!(
-                "region {:?}+{:?} exceeds domain {:?}",
-                req.region.start, req.region.extent, cr.grid.shape
-            ));
-        }
+    /// Returns [`MdrError::InvalidQuery`] when the region does not fit
+    /// the domain or the bound is invalid.
+    pub fn for_request(cr: &ChunkedRefactored, req: &RoiRequest) -> Result<RoiPlan, MdrError> {
         if req.error_bound.is_nan() || req.error_bound < 0.0 {
-            return Err(format!("invalid error bound {}", req.error_bound));
+            return Err(MdrError::InvalidQuery(format!(
+                "invalid error bound {}",
+                req.error_bound
+            )));
+        }
+        Self::plan_with(cr, &req.region, req.error_bound, |r| {
+            RetrievalPlan::for_error(r, req.error_bound)
+        })
+    }
+
+    /// The shared region planner: validate the region, then plan every
+    /// intersecting chunk with `plan_chunk` (returning the unit plan and
+    /// its bound/estimate). `threshold` is what [`Self::exhausted`]
+    /// compares chunk bounds against. [`Self::for_request`] and the
+    /// façade's generic targets both route through here, so the chunk
+    /// set, its order, and the validation cannot diverge.
+    pub(crate) fn plan_with(
+        cr: &ChunkedRefactored,
+        region: &Region,
+        threshold: f64,
+        plan_chunk: impl Fn(&crate::refactor::Refactored) -> (RetrievalPlan, f64),
+    ) -> Result<RoiPlan, MdrError> {
+        if !region.fits_within(&cr.grid.shape) {
+            return Err(MdrError::InvalidQuery(format!(
+                "region {:?}+{:?} exceeds domain {:?}",
+                region.start, region.extent, cr.grid.shape
+            )));
         }
         let chunks = cr
             .grid
-            .chunks_intersecting(&req.region)
+            .chunks_intersecting(region)
             .into_iter()
             .map(|c| {
-                let (plan, bound) = RetrievalPlan::for_error(&cr.chunks[c], req.error_bound);
+                let (plan, bound) = plan_chunk(&cr.chunks[c]);
                 ChunkRoiPlan {
                     chunk: c,
                     plan,
@@ -183,8 +204,8 @@ impl RoiPlan {
             })
             .collect();
         Ok(RoiPlan {
-            region: req.region.clone(),
-            error_bound: req.error_bound,
+            region: region.clone(),
+            error_bound: threshold,
             chunks,
         })
     }
@@ -193,6 +214,15 @@ impl RoiPlan {
     /// exceed the request only when a chunk is fully fetched).
     pub fn bound(&self) -> f64 {
         self.chunks.iter().map(|c| c.bound).fold(0.0, f64::max)
+    }
+
+    /// Whether any planned chunk ran out of stored planes before meeting
+    /// the requested bound. The planner only reports a chunk bound above
+    /// the request when that chunk is fully fetched, so this is exactly
+    /// `bound() > error_bound` — and when it is `false`, the contract
+    /// `bound() <= error_bound` holds unconditionally.
+    pub fn exhausted(&self) -> bool {
+        self.chunks.iter().any(|c| c.bound > self.error_bound)
     }
 
     /// Compressed bytes this plan fetches from storage.
@@ -216,16 +246,27 @@ pub struct RoiResult<F> {
     pub region: Region,
     /// Dense row-major values of the region.
     pub data: Vec<F>,
-    /// Guaranteed L∞ bound of every value.
+    /// Guaranteed L∞ bound of every value — **exactly** the maximum of
+    /// the per-chunk planner bounds, so `bound <= request` holds
+    /// whenever [`Self::exhausted`] is `false`.
     pub bound: f64,
+    /// True when some touched chunk ran out of stored planes before
+    /// meeting the requested bound (`bound` then exceeds the request and
+    /// is the best the archive can do).
+    pub exhausted: bool,
 }
 
 /// Reconstruct `req` from an in-memory chunked artifact on the portable
 /// [`ScalarBackend`].
+///
+/// Prefer [`crate::api::Reader::retrieve`] with
+/// [`crate::api::Scope::Region`], which serves the same plan from any
+/// [`crate::api::Store`]; this function remains as the in-memory kernel
+/// the façade delegates to.
 pub fn retrieve_roi<F: BitplaneFloat + Real + Default>(
     cr: &ChunkedRefactored,
     req: &RoiRequest,
-) -> Result<RoiResult<F>, String> {
+) -> Result<RoiResult<F>, MdrError> {
     retrieve_roi_with(cr, req, &ScalarBackend::new(), &ExecCtx::default())
 }
 
@@ -236,12 +277,12 @@ pub fn retrieve_roi_with<F: BitplaneFloat + Real + Default, B: Backend>(
     req: &RoiRequest,
     backend: &B,
     ctx: &ExecCtx,
-) -> Result<RoiResult<F>, String> {
+) -> Result<RoiResult<F>, MdrError> {
     let plan = RoiPlan::for_request(cr, req)?;
     assemble_region(cr, &plan, backend, ctx, |_, cp| {
         let mut sess = RetrievalSession::with_backend(&cr.chunks[cp.chunk], backend.clone());
         sess.try_refine_to(&cp.plan)
-            .map_err(|e| format!("chunk {}: {e}", cp.chunk))?;
+            .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
         Ok(sess.reconstruct::<F>())
     })
 }
@@ -256,18 +297,17 @@ pub(crate) fn assemble_region<F, B, R>(
     backend: &B,
     ctx: &ExecCtx,
     reconstruct: R,
-) -> Result<RoiResult<F>, String>
+) -> Result<RoiResult<F>, MdrError>
 where
     F: BitplaneFloat + Real + Default,
     B: Backend,
-    R: Fn(usize, &ChunkRoiPlan) -> Result<Vec<F>, String> + Send + Sync,
+    R: Fn(usize, &ChunkRoiPlan) -> Result<Vec<F>, MdrError> + Send + Sync,
 {
     if F::TYPE_NAME != cr.dtype {
-        return Err(format!(
-            "dtype mismatch: archive holds {}, caller wants {}",
-            cr.dtype,
-            F::TYPE_NAME
-        ));
+        return Err(MdrError::DtypeMismatch {
+            stored: cr.dtype.clone(),
+            requested: F::TYPE_NAME.to_string(),
+        });
     }
     let positions: Vec<usize> = (0..plan.chunks.len()).collect();
     let recons = backend.map_batch(ctx, &positions, |&i| reconstruct(i, &plan.chunks[i]));
@@ -294,6 +334,7 @@ where
         region: plan.region.clone(),
         data: out,
         bound: plan.bound(),
+        exhausted: plan.exhausted(),
     })
 }
 
@@ -334,7 +375,15 @@ mod tests {
             let res: RoiResult<f32> =
                 retrieve_roi(&cr, &RoiRequest::new(region.clone(), eb)).unwrap();
             assert_eq!(res.data.len(), region.len());
-            let allowed = res.bound.max(eb);
+            // The achieved-bound contract, for real: unless the archive
+            // ran out of planes, the reported bound meets the request —
+            // and the reconstruction honors the reported bound up to f32
+            // recompose rounding (the bound models bitplane truncation,
+            // not float arithmetic).
+            if !res.exhausted {
+                assert!(res.bound <= eb, "eb={eb}: reported bound {}", res.bound);
+            }
+            let allowed = res.bound + 1e-6 * cr.value_range();
             for (a, b) in reference.iter().zip(&res.data) {
                 assert!(
                     ((a - b).abs() as f64) <= allowed,
@@ -392,20 +441,39 @@ mod tests {
     }
 
     #[test]
-    fn out_of_domain_region_is_a_readable_error() {
+    fn out_of_domain_region_is_a_matchable_error() {
         let data = field_2d(16, 16);
         let cr = refactor_chunked(&data, &[16, 16], &ChunkedConfig::with_extent(&[8, 8]));
         let err = retrieve_roi::<f32>(&cr, &RoiRequest::new(Region::new(&[10, 0], &[8, 8]), 1e-2))
             .unwrap_err();
-        assert!(err.contains("exceeds domain"), "{err}");
+        assert!(
+            matches!(&err, MdrError::InvalidQuery(w) if w.contains("exceeds domain")),
+            "{err}"
+        );
     }
 
     #[test]
-    fn dtype_mismatch_is_a_readable_error() {
+    fn dtype_mismatch_is_a_matchable_error() {
         let data = field_2d(12, 12);
         let cr = refactor_chunked(&data, &[12, 12], &ChunkedConfig::with_extent(&[6, 6]));
         let err = retrieve_roi::<f64>(&cr, &RoiRequest::new(Region::new(&[0, 0], &[4, 4]), 1e-2))
             .unwrap_err();
-        assert!(err.contains("dtype mismatch"), "{err}");
+        assert!(
+            matches!(&err, MdrError::DtypeMismatch { stored, requested }
+                if stored == "f32" && requested == "f64"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn tiny_bound_reports_exhausted_instead_of_lying() {
+        let data = field_2d(12, 12);
+        let cr = refactor_chunked(&data, &[12, 12], &ChunkedConfig::with_extent(&[6, 6]));
+        // f32 data cannot reach 1e-300: every chunk fetches everything
+        // and the result must say so rather than report a met bound.
+        let res: RoiResult<f32> =
+            retrieve_roi(&cr, &RoiRequest::new(Region::whole(&[12, 12]), 1e-300)).unwrap();
+        assert!(res.exhausted);
+        assert!(res.bound > 1e-300);
     }
 }

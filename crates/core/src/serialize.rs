@@ -10,6 +10,7 @@
 //! guarantee data refactored on one architecture needs to be retrievable
 //! on any other.
 
+use crate::error::MdrError;
 use crate::refactor::{LevelStream, Refactored};
 use hpmdr_bitplane::Layout;
 use hpmdr_lossless::{Codec, CompressedGroup};
@@ -27,25 +28,30 @@ pub const MAGIC: &[u8; 8] = b"HPMDR\x01\0\0";
 /// field-level parse error.
 pub const MANIFEST_VERSION: u32 = 1;
 
-/// Readable rejection for manifests from a newer (or nonsensical) schema.
-pub(crate) fn check_manifest_version(version: u32, what: &str) -> Result<(), String> {
+/// Typed rejection for manifests from a newer (or nonsensical) schema:
+/// [`MdrError::VersionMismatch`] for future versions,
+/// [`MdrError::Corrupt`] for the impossible version 0.
+pub(crate) fn check_manifest_version(version: u32, what: &str) -> Result<(), MdrError> {
     if version == 0 {
-        return Err(format!("{what} declares invalid manifest version 0"));
+        return Err(MdrError::corrupt(format!(
+            "{what} declares invalid manifest version 0"
+        )));
     }
     if version > MANIFEST_VERSION {
-        return Err(format!(
-            "{what} has manifest version {version}, newer than the supported \
-             {MANIFEST_VERSION}; upgrade this reader or re-refactor the data"
-        ));
+        return Err(MdrError::VersionMismatch {
+            found: version,
+            supported: MANIFEST_VERSION,
+        });
     }
     Ok(())
 }
 
 /// Loosely probe a JSON manifest's declared `version` and reject newer
-/// schemas readably (their field changes fail the strict parse, so the
-/// caller invokes this from its parse-error path). Absent or
-/// non-numeric versions are treated as the v1 back-compat layout.
-pub(crate) fn check_probed_version(json: &[u8], what: &str) -> Result<(), String> {
+/// schemas with a matchable [`MdrError::VersionMismatch`] (their field
+/// changes fail the strict parse, so the caller invokes this from its
+/// parse-error path). Absent or non-numeric versions are treated as the
+/// v1 back-compat layout.
+pub(crate) fn check_probed_version(json: &[u8], what: &str) -> Result<(), MdrError> {
     if let Ok(probe) = serde_json::from_slice::<serde_json::Value>(json) {
         if let Some(v) = probe["version"].as_u64() {
             check_manifest_version(v.min(u64::from(u32::MAX)) as u32, what)?;
@@ -126,8 +132,8 @@ impl HeaderMeta {
     /// skeleton). Checks structural consistency.
     pub(crate) fn into_refactored(
         self,
-        mut payload: impl FnMut(usize, usize, usize) -> Result<Vec<u8>, String>,
-    ) -> Result<Refactored, String> {
+        mut payload: impl FnMut(usize, usize, usize) -> Result<Vec<u8>, MdrError>,
+    ) -> Result<Refactored, MdrError> {
         check_manifest_version(self.version.unwrap_or(1), "manifest")?;
         let mut streams = Vec::with_capacity(self.streams.len());
         for (g, sm) in self.streams.into_iter().enumerate() {
@@ -159,7 +165,7 @@ impl HeaderMeta {
             value_range: self.value_range,
         };
         if r.streams.len() != r.hierarchy.levels + 1 {
-            return Err("inconsistent stream count".to_string());
+            return Err(MdrError::corrupt("inconsistent stream count"));
         }
         Ok(r)
     }
@@ -188,35 +194,39 @@ pub fn to_bytes(r: &Refactored) -> Vec<u8> {
 }
 
 /// Parse a refactored variable from the portable byte format.
-pub fn from_bytes(bytes: &[u8]) -> Result<Refactored, String> {
+///
+/// Structural damage (bad magic, truncation, unparsable metadata) is
+/// [`MdrError::Corrupt`]; a header from a future writer is
+/// [`MdrError::VersionMismatch`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Refactored, MdrError> {
     if bytes.len() < 16 {
-        return Err("truncated: missing header".to_string());
+        return Err(MdrError::corrupt("truncated: missing header"));
     }
     if &bytes[..8] != MAGIC {
-        return Err("bad magic (not an HPMDR stream)".to_string());
+        return Err(MdrError::corrupt("bad magic (not an HPMDR stream)"));
     }
     let json_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
     let header_end = 16usize
         .checked_add(json_len)
-        .ok_or_else(|| "corrupt: metadata length overflows".to_string())?;
+        .ok_or_else(|| MdrError::corrupt("metadata length overflows"))?;
     if bytes.len() < header_end {
-        return Err("truncated: incomplete metadata".to_string());
+        return Err(MdrError::corrupt("truncated: incomplete metadata"));
     }
     let json = &bytes[16..16 + json_len];
     let header: HeaderMeta = match serde_json::from_slice(json) {
         Ok(h) => h,
         Err(e) => {
             check_probed_version(json, "manifest")?;
-            return Err(format!("metadata parse error: {e}"));
+            return Err(MdrError::corrupt(format!("metadata parse error: {e}")));
         }
     };
     let mut off = 16 + json_len;
     header.into_refactored(|_, _, payload_len| {
         let end = off
             .checked_add(payload_len)
-            .ok_or_else(|| "corrupt: unit length overflows".to_string())?;
+            .ok_or_else(|| MdrError::corrupt("unit length overflows"))?;
         if bytes.len() < end {
-            return Err("truncated: incomplete unit payload".to_string());
+            return Err(MdrError::corrupt("truncated: incomplete unit payload"));
         }
         let payload = bytes[off..end].to_vec();
         off = end;
@@ -259,7 +269,11 @@ mod tests {
         let r = sample();
         let mut bytes = to_bytes(&r);
         bytes[0] = b'X';
-        assert!(from_bytes(&bytes).unwrap_err().contains("magic"));
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, MdrError::Corrupt(w) if w.contains("magic")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -310,18 +324,30 @@ mod tests {
     }
 
     #[test]
-    fn newer_manifest_version_rejected_readably() {
+    fn newer_manifest_version_rejected_as_matchable_variant() {
         let r = sample();
         let err = from_bytes(&with_version(&r, Some(u64::from(MANIFEST_VERSION) + 1))).unwrap_err();
-        assert!(err.contains("newer than the supported"), "{err}");
-        assert!(err.contains(&format!("{}", MANIFEST_VERSION + 1)), "{err}");
+        assert!(
+            matches!(
+                err,
+                MdrError::VersionMismatch {
+                    found,
+                    supported: MANIFEST_VERSION,
+                } if found == MANIFEST_VERSION + 1
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("newer than the supported"));
     }
 
     #[test]
     fn version_zero_rejected() {
         let r = sample();
         let err = from_bytes(&with_version(&r, Some(0))).unwrap_err();
-        assert!(err.contains("version 0"), "{err}");
+        assert!(
+            matches!(&err, MdrError::Corrupt(w) if w.contains("version 0")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -351,7 +377,7 @@ mod tests {
         out.extend_from_slice(&json);
         out.extend_from_slice(&bytes[16 + json_len..]);
         let err = from_bytes(&out).unwrap_err();
-        assert!(err.contains("newer than the supported"), "{err}");
+        assert!(matches!(err, MdrError::VersionMismatch { .. }), "{err}");
     }
 
     #[test]

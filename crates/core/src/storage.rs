@@ -26,6 +26,7 @@
 //! ([`crate::roi`]) by fetching exactly the planned ranges.
 
 use crate::chunked::{ChunkGrid, ChunkedRefactored};
+use crate::error::MdrError;
 use crate::refactor::Refactored;
 use crate::retrieve::{RetrievalPlan, RetrievalSession};
 use crate::roi::{RoiPlan, RoiRequest, RoiResult};
@@ -67,7 +68,10 @@ pub fn write_store(r: &Refactored, dir: &Path) -> io::Result<usize> {
 /// Reader over a unit-file store.
 pub struct StoreReader {
     dir: PathBuf,
-    skeleton: Refactored,
+    /// Single-chunk grid view of the archive metadata — what the
+    /// [`crate::api::Store`] abstraction speaks. `chunks[0]` is the
+    /// monolithic skeleton.
+    meta: ChunkedRefactored,
     /// Payload bytes read so far.
     bytes_read: usize,
     /// Unit files opened so far.
@@ -76,13 +80,13 @@ pub struct StoreReader {
 
 impl StoreReader {
     /// Open the store at `dir`, validating the manifest.
-    pub fn open(dir: &Path) -> Result<Self, String> {
-        let manifest = std::fs::read(dir.join("manifest.json"))
-            .map_err(|e| format!("manifest unreadable: {e}"))?;
+    pub fn open(dir: &Path) -> Result<Self, MdrError> {
+        let path = dir.join("manifest.json");
+        let manifest = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
         let skeleton = crate::serialize::from_bytes(&manifest)?;
         Ok(StoreReader {
             dir: dir.to_path_buf(),
-            skeleton,
+            meta: ChunkedRefactored::single(skeleton),
             bytes_read: 0,
             files_read: 0,
         })
@@ -90,7 +94,13 @@ impl StoreReader {
 
     /// Archive metadata (all unit payloads empty).
     pub fn skeleton(&self) -> &Refactored {
-        &self.skeleton
+        &self.meta.chunks[0]
+    }
+
+    /// The same metadata presented as a single-chunk grid (the
+    /// [`crate::api::Store`] view).
+    pub fn chunked_meta(&self) -> &ChunkedRefactored {
+        &self.meta
     }
 
     /// Payload bytes fetched from storage so far.
@@ -106,16 +116,18 @@ impl StoreReader {
     /// Materialize an in-memory [`Refactored`] containing exactly the
     /// units `plan` needs (other units keep empty payloads and must not
     /// be touched by retrieval).
-    pub fn load_plan(&mut self, plan: &RetrievalPlan) -> Result<Refactored, String> {
-        let mut out = self.skeleton.clone();
+    pub fn load_plan(&mut self, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+        let mut out = self.meta.chunks[0].clone();
         if plan.units.len() != out.streams.len() {
-            return Err("plan does not match archive shape".to_string());
+            return Err(MdrError::InvalidQuery(
+                "plan does not match archive shape".to_string(),
+            ));
         }
         for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
             let want = want.min(s.units.len());
             for u in 0..want {
-                let bytes = std::fs::read(unit_path(&self.dir, g, u))
-                    .map_err(|e| format!("unit g{g}_u{u} unreadable: {e}"))?;
+                let path = unit_path(&self.dir, g, u);
+                let bytes = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
                 self.bytes_read += bytes.len();
                 self.files_read += 1;
                 s.units[u].payload = bytes;
@@ -190,16 +202,21 @@ pub struct ChunkedStoreReader {
 
 impl ChunkedStoreReader {
     /// Open the store at `dir`, validating the manifest and its version.
-    pub fn open(dir: &Path) -> Result<Self, String> {
-        let raw = std::fs::read(dir.join("manifest.json"))
-            .map_err(|e| format!("chunked manifest unreadable: {e}"))?;
+    ///
+    /// Damage is [`MdrError::Corrupt`]; a manifest from a future writer
+    /// is [`MdrError::VersionMismatch`].
+    pub fn open(dir: &Path) -> Result<Self, MdrError> {
+        let path = dir.join("manifest.json");
+        let raw = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
         let manifest: ChunkedManifest = match serde_json::from_slice(&raw) {
             Ok(m) => m,
             Err(e) => {
                 // A newer schema's field changes fail the strict parse;
-                // surface the declared version readably instead.
+                // surface the declared version matchably instead.
                 check_probed_version(&raw, "chunked store manifest")?;
-                return Err(format!("chunked manifest parse error: {e}"));
+                return Err(MdrError::corrupt(format!(
+                    "chunked manifest parse error: {e}"
+                )));
             }
         };
         check_manifest_version(manifest.version.unwrap_or(1), "chunked store manifest")?;
@@ -212,18 +229,18 @@ impl ChunkedStoreReader {
             || manifest.shape.contains(&0)
             || manifest.chunk_extent.contains(&0)
         {
-            return Err(format!(
+            return Err(MdrError::corrupt(format!(
                 "chunked manifest declares invalid geometry: shape {:?}, chunk extent {:?}",
                 manifest.shape, manifest.chunk_extent
-            ));
+            )));
         }
         let grid = ChunkGrid::new(&manifest.shape, &manifest.chunk_extent);
         if manifest.chunks.len() != grid.num_chunks() {
-            return Err(format!(
+            return Err(MdrError::corrupt(format!(
                 "chunked manifest lists {} chunks, grid has {}",
                 manifest.chunks.len(),
                 grid.num_chunks()
-            ));
+            )));
         }
         let mut unit_lens = Vec::with_capacity(manifest.chunks.len());
         let mut chunks = Vec::with_capacity(manifest.chunks.len());
@@ -235,11 +252,11 @@ impl ChunkedStoreReader {
                 .collect();
             let skeleton = hm.into_refactored(|_, _, _| Ok(Vec::new()))?;
             if skeleton.shape != grid.chunk_region(c).extent {
-                return Err(format!(
+                return Err(MdrError::corrupt(format!(
                     "chunk {c} shape {:?} does not match its grid region {:?}",
                     skeleton.shape,
                     grid.chunk_region(c).extent
-                ));
+                )));
             }
             unit_lens.push(lens);
             chunks.push(skeleton);
@@ -276,15 +293,17 @@ impl ChunkedStoreReader {
     /// Bytes `plan` would fetch from this store (computable without I/O;
     /// the skeleton's own `fetch_bytes` is zero since payloads are
     /// elided). Errors on a plan built against a different archive.
-    pub fn plan_bytes(&self, plan: &RoiPlan) -> Result<usize, String> {
+    pub fn plan_bytes(&self, plan: &RoiPlan) -> Result<usize, MdrError> {
         let mut total = 0usize;
         for cp in &plan.chunks {
-            let lens = self
-                .unit_lens
-                .get(cp.chunk)
-                .ok_or_else(|| format!("chunk {} out of range", cp.chunk))?;
+            let lens = self.unit_lens.get(cp.chunk).ok_or_else(|| {
+                MdrError::InvalidQuery(format!("chunk {} out of range", cp.chunk))
+            })?;
             if cp.plan.units.len() != lens.len() {
-                return Err(format!("plan does not match chunk {} shape", cp.chunk));
+                return Err(MdrError::InvalidQuery(format!(
+                    "plan does not match chunk {} shape",
+                    cp.chunk
+                )));
             }
             total += lens
                 .iter()
@@ -297,17 +316,22 @@ impl ChunkedStoreReader {
 
     /// Materialize chunk `c` with exactly the unit prefixes `plan`
     /// needs, reading one contiguous shard range per level group.
-    pub fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, String> {
+    ///
+    /// A shard shorter than its manifest promises is
+    /// [`MdrError::Corrupt`] (the archive is damaged); any other read
+    /// failure is [`MdrError::Io`].
+    pub fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
         if c >= self.skeleton.chunks.len() {
-            return Err(format!("chunk {c} out of range"));
+            return Err(MdrError::InvalidQuery(format!("chunk {c} out of range")));
         }
         let mut out = self.skeleton.chunks[c].clone();
         if plan.units.len() != out.streams.len() {
-            return Err("plan does not match chunk shape".to_string());
+            return Err(MdrError::InvalidQuery(
+                "plan does not match chunk shape".to_string(),
+            ));
         }
         let path = shard_path(&self.dir, c);
-        let mut file =
-            std::fs::File::open(&path).map_err(|e| format!("shard c{c} unreadable: {e}"))?;
+        let mut file = std::fs::File::open(&path).map_err(|e| MdrError::io(&path, e))?;
         let mut group_off = 0u64;
         for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
             let lens = &self.unit_lens[c][g];
@@ -317,7 +341,15 @@ impl ChunkedStoreReader {
                 let mut buf = vec![0u8; prefix];
                 file.seek(SeekFrom::Start(group_off))
                     .and_then(|_| file.read_exact(&mut buf))
-                    .map_err(|e| format!("shard c{c} group {g} unreadable: {e}"))?;
+                    .map_err(|e| {
+                        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                            MdrError::corrupt(format!(
+                                "shard c{c} truncated: group {g} range ends past the file"
+                            ))
+                        } else {
+                            MdrError::io(&path, e)
+                        }
+                    })?;
                 self.bytes_read += prefix;
                 self.ranges_read += 1;
                 let mut off = 0usize;
@@ -334,10 +366,14 @@ impl ChunkedStoreReader {
     /// Serve a region query on the portable [`ScalarBackend`]: plan on
     /// the skeleton, fetch exactly the planned ranges, reconstruct the
     /// touched chunks, and assemble the region.
+    ///
+    /// Prefer [`crate::api::Reader::retrieve`] with
+    /// [`crate::api::Scope::Region`] — the store-agnostic form of this
+    /// call.
     pub fn retrieve_roi<F: BitplaneFloat + Real + Default>(
         &mut self,
         req: &RoiRequest,
-    ) -> Result<RoiResult<F>, String> {
+    ) -> Result<RoiResult<F>, MdrError> {
         self.retrieve_roi_with(req, &ScalarBackend::new(), &ExecCtx::default())
     }
 
@@ -349,14 +385,13 @@ impl ChunkedStoreReader {
         req: &RoiRequest,
         backend: &B,
         ctx: &ExecCtx,
-    ) -> Result<RoiResult<F>, String> {
+    ) -> Result<RoiResult<F>, MdrError> {
         // Reject dtype mismatches before paying any shard I/O.
         if F::TYPE_NAME != self.skeleton.dtype {
-            return Err(format!(
-                "dtype mismatch: archive holds {}, caller wants {}",
-                self.skeleton.dtype,
-                F::TYPE_NAME
-            ));
+            return Err(MdrError::DtypeMismatch {
+                stored: self.skeleton.dtype.clone(),
+                requested: F::TYPE_NAME.to_string(),
+            });
         }
         let plan = RoiPlan::for_request(&self.skeleton, req)?;
         let loaded: Vec<Refactored> = plan
@@ -367,7 +402,7 @@ impl ChunkedStoreReader {
         crate::roi::assemble_region(&self.skeleton, &plan, backend, ctx, |i, cp| {
             let mut sess = RetrievalSession::with_backend(&loaded[i], backend.clone());
             sess.try_refine_to(&cp.plan)
-                .map_err(|e| format!("chunk {}: {e}", cp.chunk))?;
+                .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
             Ok(sess.reconstruct::<F>())
         })
     }
@@ -454,7 +489,10 @@ mod tests {
         std::fs::remove_file(dir.join("g0_u0.bin")).unwrap();
         let mut reader = StoreReader::open(&dir).unwrap();
         let err = reader.load_plan(&RetrievalPlan::full(&r)).unwrap_err();
-        assert!(err.contains("g0_u0"), "{err}");
+        assert!(
+            matches!(&err, MdrError::Io { path, .. } if path.ends_with("g0_u0.bin")),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -545,7 +583,7 @@ mod tests {
         let err = reader
             .retrieve_roi::<f64>(&RoiRequest::new(Region::new(&[0, 0], &[4, 4]), 1e-2))
             .unwrap_err();
-        assert!(err.contains("dtype mismatch"), "{err}");
+        assert!(matches!(err, MdrError::DtypeMismatch { .. }), "{err}");
         assert_eq!(reader.bytes_read(), 0, "no shard bytes may be fetched");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -563,7 +601,10 @@ mod tests {
         .unwrap();
         plan.chunks[0].chunk = cr.grid.num_chunks() + 7;
         let err = reader.plan_bytes(&plan).unwrap_err();
-        assert!(err.contains("out of range"), "{err}");
+        assert!(
+            matches!(&err, MdrError::InvalidQuery(w) if w.contains("out of range")),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -577,7 +618,10 @@ mod tests {
         let err = reader
             .load_chunk(0, &RetrievalPlan::full(&cr.chunks[0]))
             .unwrap_err();
-        assert!(err.contains("shard c0"), "{err}");
+        assert!(
+            matches!(&err, MdrError::Io { path, .. } if path.ends_with("c0.shard")),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -601,7 +645,15 @@ mod tests {
         );
         std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&v).unwrap()).unwrap();
         let err = ChunkedStoreReader::open(&dir).unwrap_err();
-        assert!(err.contains("newer than the supported"), "{err}");
+        assert!(
+            matches!(
+                err,
+                MdrError::VersionMismatch { found, supported }
+                    if found == crate::serialize::MANIFEST_VERSION + 1
+                        && supported == crate::serialize::MANIFEST_VERSION
+            ),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -625,7 +677,10 @@ mod tests {
         }
         std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&v).unwrap()).unwrap();
         let err = ChunkedStoreReader::open(&dir).unwrap_err();
-        assert!(err.contains("invalid geometry"), "{err}");
+        assert!(
+            matches!(&err, MdrError::Corrupt(w) if w.contains("invalid geometry")),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -635,7 +690,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("manifest.json"), b"not json").unwrap();
         let err = ChunkedStoreReader::open(&dir).unwrap_err();
-        assert!(err.contains("parse error"), "{err}");
+        assert!(
+            matches!(&err, MdrError::Corrupt(w) if w.contains("parse error")),
+            "{err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

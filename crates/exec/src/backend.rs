@@ -3,8 +3,44 @@
 use crate::ctx::ExecCtx;
 use hpmdr_bitplane::native::ProgressiveDecoder;
 use hpmdr_bitplane::{BitplaneChunk, BitplaneFloat, Layout, Reconstruction};
-use hpmdr_lossless::{CompressedGroup, HybridCompressor};
+use hpmdr_lossless::{CodecError, CompressedGroup, HybridCompressor};
 use hpmdr_mgard::{Hierarchy, Real};
+
+/// Why [`Backend::decode_units`] failed to rebuild a bitplane chunk.
+/// Streams are storage input, so every defect is a matchable error, not
+/// a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A merged unit's compressed payload failed entropy decoding.
+    Unit {
+        /// Index of the failing merged unit within its stream.
+        unit: usize,
+        /// The underlying codec error.
+        source: CodecError,
+    },
+    /// The stream's declared geometry is inconsistent: its plane byte
+    /// size disagrees with the layout, or a unit decompressed to the
+    /// wrong length.
+    Structure(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Unit { unit, source } => write!(f, "unit {unit}: {source}"),
+            DecodeError::Structure(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Unit { source, .. } => Some(source),
+            DecodeError::Structure(_) => None,
+        }
+    }
+}
 
 /// One level group encoded to bitplanes and compressed into merged units.
 ///
@@ -162,33 +198,33 @@ pub trait Backend: Clone + Default + Send + Sync + 'static {
         take_units: usize,
         compressor: &HybridCompressor,
         dtype: &str,
-    ) -> Result<BitplaneChunk, String> {
+    ) -> Result<BitplaneChunk, DecodeError> {
         let take_units = take_units.min(stream.units.len());
         self.install(|| {
             let k = stream.planes_in_units(take_units);
             let words = stream.layout.words_per_plane(stream.n);
             if stream.plane_bytes != words * 4 {
-                return Err(format!(
+                return Err(DecodeError::Structure(format!(
                     "stream declares {}-byte planes, layout needs {}",
                     stream.plane_bytes,
                     words * 4
-                ));
+                )));
             }
             let mut signs = vec![0u32; words];
             let mut arena = vec![0u32; k * words];
-            ctx.with_buffer(|scratch| -> Result<(), String> {
+            ctx.with_buffer(|scratch| -> Result<(), DecodeError> {
                 for u in 0..take_units {
                     let raw = compressor
                         .decompress_to(&stream.units[u], scratch)
-                        .map_err(|e| format!("unit {u}: {e}"))?;
+                        .map_err(|e| DecodeError::Unit { unit: u, source: e })?;
                     let lo = (u * stream.group_size).min(stream.num_planes);
                     let hi = ((u + 1) * stream.group_size).min(stream.num_planes);
                     let expect = (hi - lo + usize::from(u == 0)) * stream.plane_bytes;
                     if raw.len() != expect {
-                        return Err(format!(
+                        return Err(DecodeError::Structure(format!(
                             "unit {u} decompressed to {} bytes, expected {expect}",
                             raw.len()
-                        ));
+                        )));
                     }
                     let mut off = 0usize;
                     if u == 0 {

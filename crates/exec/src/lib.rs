@@ -38,7 +38,7 @@ mod ctx;
 mod parallel;
 mod scalar;
 
-pub use backend::{Backend, EncodedStream, StreamView};
-pub use ctx::ExecCtx;
+pub use backend::{Backend, DecodeError, EncodedStream, StreamView};
+pub use ctx::{ExecCtx, DEFAULT_TILE_ROWS};
 pub use parallel::ParallelBackend;
 pub use scalar::ScalarBackend;

@@ -6,8 +6,50 @@
 //! then RLE (cheap, good on structured sparsity), with direct copy as the
 //! fallback that keeps incompressible groups at full throughput.
 
+use crate::huffman::HuffmanError;
+use crate::rle::RleError;
 use crate::{estimate, huffman, rle};
 use serde::{Deserialize, Serialize};
+
+/// Why a compressed group failed to decode: the typed union of the two
+/// entropy coders' errors. `Direct` groups cannot fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The group's Huffman stream is truncated or corrupt.
+    Huffman(HuffmanError),
+    /// The group's RLE stream is truncated or corrupt.
+    Rle(RleError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Huffman(e) => e.fmt(f),
+            CodecError::Rle(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Huffman(e) => Some(e),
+            CodecError::Rle(e) => Some(e),
+        }
+    }
+}
+
+impl From<HuffmanError> for CodecError {
+    fn from(e: HuffmanError) -> Self {
+        CodecError::Huffman(e)
+    }
+}
+
+impl From<RleError> for CodecError {
+    fn from(e: RleError) -> Self {
+        CodecError::Rle(e)
+    }
+}
 
 /// Lossless method selected for one group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -150,13 +192,13 @@ impl HybridCompressor {
     }
 
     /// Decompress a group produced by [`Self::compress`]. Returns a
-    /// readable error on truncated or corrupt payloads — compressed
-    /// groups are storage input, so decoding must never abort the
-    /// process.
-    pub fn decompress(&self, group: &CompressedGroup) -> Result<Vec<u8>, String> {
+    /// matchable [`CodecError`] on truncated or corrupt payloads —
+    /// compressed groups are storage input, so decoding must never abort
+    /// the process.
+    pub fn decompress(&self, group: &CompressedGroup) -> Result<Vec<u8>, CodecError> {
         match group.codec {
-            Codec::Huffman => huffman::decompress(&group.payload).map_err(|e| e.to_string()),
-            Codec::Rle => rle::decompress(&group.payload),
+            Codec::Huffman => huffman::decompress(&group.payload).map_err(CodecError::from),
+            Codec::Rle => rle::decompress(&group.payload).map_err(CodecError::from),
             Codec::Direct => Ok(group.payload.clone()),
         }
     }
@@ -170,10 +212,10 @@ impl HybridCompressor {
         &self,
         group: &'a CompressedGroup,
         scratch: &'a mut Vec<u8>,
-    ) -> Result<&'a [u8], String> {
+    ) -> Result<&'a [u8], CodecError> {
         match group.codec {
             Codec::Huffman => {
-                huffman::decompress_into(&group.payload, scratch).map_err(|e| e.to_string())?;
+                huffman::decompress_into(&group.payload, scratch)?;
                 Ok(scratch.as_slice())
             }
             Codec::Rle => {
@@ -306,7 +348,11 @@ mod tests {
             let mut g = c.compress_with(&data, codec);
             g.payload.truncate(g.payload.len() / 2);
             let err = c.decompress(&g).unwrap_err();
-            assert!(!err.is_empty(), "{codec:?}");
+            match codec {
+                Codec::Huffman => assert!(matches!(err, CodecError::Huffman(_)), "{err:?}"),
+                Codec::Rle => assert!(matches!(err, CodecError::Rle(_)), "{err:?}"),
+                Codec::Direct => unreachable!(),
+            }
         }
     }
 

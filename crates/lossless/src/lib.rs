@@ -24,4 +24,5 @@ pub mod rle;
 
 pub use estimate::{estimate_huffman_cr, estimate_rle_cr};
 pub use huffman::HuffmanError;
-pub use hybrid::{Codec, CompressedGroup, HybridCompressor, HybridConfig};
+pub use hybrid::{Codec, CodecError, CompressedGroup, HybridCompressor, HybridConfig};
+pub use rle::RleError;

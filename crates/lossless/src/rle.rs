@@ -12,11 +12,58 @@
 //! [n_chunks × compressed byte length u32][chunk payloads]
 //! ```
 
-use crate::framing::{carve_output, parse_frames};
+use crate::framing::{carve_output, parse_frames, FramingError};
 use rayon::prelude::*;
 
 /// Chunk granularity for parallel encode/decode.
 pub const CHUNK_SIZE: usize = 1 << 16;
+
+/// Why an RLE stream failed to decode. Streams are untrusted storage
+/// input, so every structural defect maps to a matchable error instead
+/// of a panic — the RLE mirror of [`crate::HuffmanError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RleError {
+    /// Stream shorter than the fixed header.
+    TruncatedHeader,
+    /// The chunk table or chunk payloads extend past the stream end.
+    TruncatedPayload,
+    /// Header fields are mutually inconsistent (chunk geometry vs the
+    /// original length).
+    CorruptHeader(String),
+    /// A chunk's run list is truncated, overshoots, or contains an
+    /// impossible run.
+    CorruptChunk {
+        /// Index of the offending chunk.
+        chunk: usize,
+        /// What exactly went wrong inside the chunk.
+        why: &'static str,
+    },
+}
+
+impl std::fmt::Display for RleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RleError::TruncatedHeader => write!(f, "truncated RLE header"),
+            RleError::TruncatedPayload => write!(f, "truncated RLE payload"),
+            RleError::CorruptHeader(why) => write!(f, "corrupt RLE header: {why}"),
+            RleError::CorruptChunk { chunk, why } => {
+                write!(f, "corrupt RLE chunk {chunk}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RleError {}
+
+impl From<FramingError> for RleError {
+    fn from(e: FramingError) -> Self {
+        match e {
+            FramingError::TruncatedHeader => RleError::TruncatedHeader,
+            FramingError::TruncatedPayload => RleError::TruncatedPayload,
+            FramingError::Corrupt(why) => RleError::CorruptHeader(why),
+        }
+    }
+}
 
 /// Append `v` as a LEB128 varint.
 #[inline]
@@ -112,8 +159,8 @@ fn try_read_varint(data: &[u8]) -> Option<(u64, usize)> {
 }
 
 /// Decode one chunk payload into exactly `dst`.
-fn decode_chunk(payload: &[u8], dst: &mut [u8], chunk: usize) -> Result<(), String> {
-    let corrupt = |why: &str| format!("corrupt RLE chunk {chunk}: {why}");
+fn decode_chunk(payload: &[u8], dst: &mut [u8], chunk: usize) -> Result<(), RleError> {
+    let corrupt = |why: &'static str| RleError::CorruptChunk { chunk, why };
     let mut p = 0usize;
     let mut filled = 0usize;
     while filled < dst.len() {
@@ -137,10 +184,11 @@ fn decode_chunk(payload: &[u8], dst: &mut [u8], chunk: usize) -> Result<(), Stri
 
 /// Decompress a stream produced by [`compress`] into `out` (cleared
 /// first); the buffer is the caller's, so decode loops can lease it from
-/// a pool. Returns a readable error on truncated or corrupt streams.
-pub fn decompress_into(stream: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
-    let frames = parse_frames(stream, 16).map_err(|e| format!("RLE: {e}"))?;
-    let work = carve_output(&frames, out).map_err(|e| format!("RLE: {e}"))?;
+/// a pool. Returns a matchable [`RleError`] on truncated or corrupt
+/// streams.
+pub fn decompress_into(stream: &[u8], out: &mut Vec<u8>) -> Result<(), RleError> {
+    let frames = parse_frames(stream, 16).map_err(RleError::from)?;
+    let work = carve_output(&frames, out).map_err(RleError::from)?;
     work.into_par_iter()
         .map(|(i, payload, dst)| decode_chunk(payload, dst, i))
         .collect::<Vec<_>>()
@@ -149,7 +197,7 @@ pub fn decompress_into(stream: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
 }
 
 /// Decompress a stream produced by [`compress`].
-pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, String> {
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, RleError> {
     let mut out = Vec::new();
     decompress_into(stream, &mut out)?;
     Ok(out)

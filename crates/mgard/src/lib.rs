@@ -11,9 +11,9 @@
 //! This crate implements that substrate from scratch for 1D/2D/3D arrays
 //! of `f32`/`f64` with arbitrary (non-dyadic) extents:
 //!
-//! * [`grid`] — level geometry: per-dimension active index sets coarsening
+//! * [`mod@grid`] — level geometry: per-dimension active index sets coarsening
 //!   as `n_{l+1} = ceil(n_l / 2)`.
-//! * [`line`] — the 1D transform: interpolation detail plus the L2
+//! * [`mod@line`] — the 1D transform: interpolation detail plus the L2
 //!   correction obtained from a symmetric tridiagonal (Thomas) solve.
 //! * [`transform`] — tensor-product application along each axis per level,
 //!   exactly invertible by construction.

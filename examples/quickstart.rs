@@ -1,11 +1,13 @@
-//! Quickstart: refactor a 3D field once, then retrieve it at several
-//! precisions — the core promise of progressive data refactoring.
+//! Quickstart on the façade API: refactor a 3D field once, then serve
+//! the same archive at several precisions through one `Query` model —
+//! the core promise of progressive data refactoring in four calls:
+//! `MdrConfig → Mdr::refactor → InMemoryStore → Reader::retrieve`.
 //!
 //! ```text
 //! cargo run -p hpmdr-examples --release --bin quickstart
 //! ```
 
-use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
+use hpmdr_core::prelude::*;
 use hpmdr_datasets::{Dataset, DatasetKind};
 use hpmdr_examples::{human_bytes, linf_f32};
 
@@ -23,34 +25,34 @@ fn main() {
     println!("original size: {}", human_bytes(data.len() * 4));
 
     // Refactor once (decompose -> bitplane encode -> hybrid lossless).
-    let config = RefactorConfig::default();
-    let refactored = refactor(&data, &ds.shape, &config);
-    println!(
-        "refactored   : {} across {} level groups",
-        human_bytes(refactored.total_bytes()),
-        refactored.streams.len()
-    );
+    let mdr = Mdr::with_defaults();
+    let artifact = mdr.refactor(&data, &ds.shape).expect("finite input");
+    println!("refactored   : {}", human_bytes(artifact.total_bytes()));
 
-    // Retrieve progressively: each tolerance fetches only a prefix of the
-    // stored bitplanes. One session reuses previously fetched planes.
-    let mut session = RetrievalSession::new(&refactored);
+    // Serve progressively: every tolerance is one Query; the Reader
+    // plans on metadata and fetches only the bitplane prefix it needs.
+    let mut store = InMemoryStore::from(artifact);
     println!(
         "\n{:>10}  {:>14}  {:>14}  {:>12}",
-        "tolerance", "fetched", "cumulative", "actual L-inf"
+        "tolerance", "fetched", "achieved", "actual L-inf"
     );
-    let mut prev = 0usize;
     for eb in [1e0, 1e-1, 1e-2, 1e-3, 1e-4] {
-        let (plan, bound) = RetrievalPlan::for_error(&refactored, eb);
-        session.refine_to(&plan);
-        let rec: Vec<f32> = session.reconstruct();
-        let err = linf_f32(&data, &rec);
-        assert!(err <= bound, "guarantee violated: {err} > {bound}");
-        println!(
-            "{eb:>10.0e}  {:>14}  {:>14}  {err:>12.3e}",
-            human_bytes(session.fetched_bytes() - prev),
-            human_bytes(session.fetched_bytes()),
+        let approx = mdr
+            .reader(&mut store)
+            .retrieve::<f32>(&Query::full(Target::AbsError(eb)))
+            .expect("query serves");
+        let err = linf_f32(&data, &approx.data);
+        assert!(
+            approx.exhausted || approx.achieved <= eb,
+            "guarantee violated: {} > {eb}",
+            approx.achieved
         );
-        prev = session.fetched_bytes();
+        assert!(err <= approx.achieved, "{err} > {}", approx.achieved);
+        println!(
+            "{eb:>10.0e}  {:>14}  {:>14.3e}  {err:>12.3e}",
+            human_bytes(approx.bytes_fetched),
+            approx.achieved,
+        );
     }
-    println!("\nEvery reconstruction satisfied its guaranteed error bound.");
+    println!("\nEvery reconstruction satisfied its reported error bound.");
 }

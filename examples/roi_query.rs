@@ -1,17 +1,14 @@
-//! Region-of-interest queries over a sharded chunk store.
-//!
-//! Walkthrough of the chunked layer: chunk-refactor a 3D turbulence
-//! field, persist it as a sharded store (versioned manifest + one shard
-//! per chunk), then serve hyperslab queries at several selectivities and
-//! error bounds — fetching only the unit prefixes of only the chunks
-//! each query touches, with a guaranteed L∞ bound on every value.
+//! Region-of-interest queries over a sharded chunk store, on the façade
+//! API: one `MdrConfig` covers chunked refactoring on a parallel
+//! backend, `Artifact::write_store` persists the sharded layout,
+//! `open_store` sniffs it back, and one `Reader` serves region-scoped
+//! `Query`s — fetching only the unit prefixes of only the chunks each
+//! query touches, with an exact achieved bound on every answer.
 //!
 //! Run with `cargo run -p hpmdr-examples --release --bin roi_query`.
 
-use hpmdr_core::chunked::{extract_region, refactor_chunked_with, ChunkedConfig};
-use hpmdr_core::roi::{Region, RoiPlan, RoiRequest};
-use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
-use hpmdr_core::{ExecCtx, ParallelBackend};
+use hpmdr_core::chunked::extract_region;
+use hpmdr_core::prelude::*;
 use hpmdr_datasets::{uniform_queries, Dataset, DatasetKind};
 use hpmdr_examples::{human_bytes, linf_f32};
 
@@ -21,10 +18,9 @@ fn main() {
     let data = ds.variables[0].as_f32();
 
     // 20³ chunks deliberately do not divide 64: boundary chunks clip.
-    let config = ChunkedConfig::with_extent(&[20, 20, 20]);
-    let backend = ParallelBackend::new();
-    let ctx = ExecCtx::default();
-    let cr = refactor_chunked_with(&data, &shape, &config, &backend, &ctx);
+    let mdr = MdrConfig::new().chunked(&[20, 20, 20]).build_parallel();
+    let artifact = mdr.refactor(&data, &shape).expect("finite input");
+    let cr = artifact.as_chunked().expect("chunked config");
     println!(
         "chunk-refactored {}³ field into {} chunks ({} grid), {} compressed",
         shape[0],
@@ -35,37 +31,34 @@ fn main() {
             .map(usize::to_string)
             .collect::<Vec<_>>()
             .join("x"),
-        human_bytes(cr.total_bytes()),
+        human_bytes(artifact.total_bytes()),
     );
 
     let dir = std::env::temp_dir().join(format!("hpmdr_roi_query_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let shards = write_chunked_store(&cr, &dir).expect("store writes");
+    let shards = artifact.write_store(&dir).expect("store writes");
     println!("wrote sharded store: {shards} shard files + manifest.json\n");
 
-    let mut reader = ChunkedStoreReader::open(&dir).expect("store opens");
-    let eb = 1e-3 * cr.value_range();
-    let full_bytes = RoiPlan::for_request(
-        reader.skeleton(),
-        &RoiRequest::new(Region::whole(&shape), eb),
-    )
-    .expect("full plan")
-    .fetch_bytes(&cr);
+    let mut store = open_store(&dir).expect("store opens");
+    let rel = 1e-3;
+    let full = mdr
+        .reader(store.as_mut())
+        .retrieve::<f32>(&Query::full(Target::Rel(rel)))
+        .expect("full-domain query");
     println!(
-        "error bound {eb:.3e}; full-domain retrieval would fetch {}",
-        human_bytes(full_bytes)
+        "relative bound {rel:.0e} (abs {:.3e}); full-domain retrieval fetched {}",
+        full.achieved,
+        human_bytes(full.bytes_fetched)
     );
 
     for selectivity in [0.002f64, 0.02, 0.2] {
         let q = &uniform_queries(&shape, selectivity, 1, 11)[0];
         let region = Region::new(&q.start, &q.extent);
-        let req = RoiRequest::new(region.clone(), eb);
 
-        let before = reader.bytes_read();
-        let roi = reader
-            .retrieve_roi_with::<f32, _>(&req, &backend, &ctx)
-            .expect("roi retrieves");
-        let fetched = reader.bytes_read() - before;
+        let roi = mdr
+            .reader(store.as_mut())
+            .retrieve::<f32>(&Query::region(Target::Rel(rel), region.clone()))
+            .expect("region query");
 
         let reference = extract_region(&data, &shape, &region);
         let err = linf_f32(&reference, &roi.data);
@@ -74,13 +67,14 @@ fn main() {
              L∞ {err:.3e} ≤ bound {:.3e}",
             100.0 * selectivity,
             region.start,
-            human_bytes(fetched),
-            100.0 * fetched as f64 / full_bytes as f64,
-            roi.bound.max(eb),
+            human_bytes(roi.bytes_fetched),
+            100.0 * roi.bytes_fetched as f64 / full.bytes_fetched as f64,
+            roi.achieved,
         );
-        assert!(err <= roi.bound.max(eb), "bound violated");
+        assert!(err <= roi.achieved, "bound violated");
+        assert!(roi.exhausted || roi.achieved <= full.achieved.max(rel * artifact.value_range()));
         assert!(
-            fetched < full_bytes,
+            roi.bytes_fetched < full.bytes_fetched,
             "ROI must fetch fewer bytes than full domain"
         );
     }

@@ -202,7 +202,7 @@ pub mod collection {
         max_exclusive: usize,
     }
 
-    /// Size specification for [`vec`].
+    /// Size specification for [`fn@vec`].
     pub trait SizeRange {
         /// Half-open bounds.
         fn bounds(&self) -> (usize, usize);

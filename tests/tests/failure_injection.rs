@@ -1,8 +1,10 @@
 //! Failure injection: corrupt inputs and damaged streams must fail loudly
-//! and precisely, never silently reconstruct wrong data.
+//! and precisely, never silently reconstruct wrong data — and every
+//! failure surfaces as a *matchable* [`MdrError`] variant, not a message
+//! substring.
 
 use hpmdr_core::serialize::{from_bytes, to_bytes};
-use hpmdr_core::{refactor, RefactorConfig};
+use hpmdr_core::{refactor, MdrError, RefactorConfig};
 use hpmdr_tests::small_dataset;
 
 fn sample_bytes() -> Vec<u8> {
@@ -105,13 +107,18 @@ fn corrupted_payload_fails_on_decode_not_silently() {
         assert!(outcome.is_err(), "damaged payload must not decode quietly");
 
         // The fallible path reports the same damage as an error instead
-        // of aborting — what store-backed readers rely on.
+        // of aborting — what store-backed readers rely on. Truncated
+        // entropy payloads are decode errors (or length-mismatch
+        // corruption), never a panic and never a stringly error.
         use hpmdr_core::{RetrievalPlan, RetrievalSession};
         let mut sess = RetrievalSession::new(&damaged);
         let err = sess
             .try_refine_to(&RetrievalPlan::full(&damaged))
             .expect_err("damage must surface as Err");
-        assert!(!err.is_empty());
+        assert!(
+            matches!(err, MdrError::Decode { .. } | MdrError::Corrupt(_)),
+            "{err}"
+        );
     }
 }
 
@@ -136,6 +143,79 @@ fn corrupted_chunked_shard_is_an_error_not_an_abort() {
     let mut reader = ChunkedStoreReader::open(&dir).unwrap();
     let req = RoiRequest::new(Region::whole(&ds.shape), 1e-6 * cr.value_range());
     let err = reader.retrieve_roi::<f32>(&req).unwrap_err();
-    assert!(!err.is_empty(), "shard damage must surface as Err");
+    // A truncated shard surfaces as archive damage: either the range
+    // read runs past the file (Corrupt) or the shortened payload fails
+    // entropy decoding (Decode). Never Io-with-a-panic, never a string.
+    assert!(
+        matches!(err, MdrError::Corrupt(_) | MdrError::Decode { .. }),
+        "shard damage must be a matchable variant: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn facade_reader_reports_shard_damage_with_the_same_variants() {
+    use hpmdr_core::prelude::*;
+
+    let ds = small_dataset(hpmdr_datasets::DatasetKind::Jhtdb);
+    let data = ds.variables[0].as_f32();
+    let artifact = MdrConfig::new()
+        .chunked(&[7, 7, 7])
+        .build()
+        .refactor(&data, &ds.shape)
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("hpmdr_fi_facade_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    artifact.write_store(&dir).unwrap();
+
+    let shard = dir.join("c0.shard");
+    let bytes = std::fs::read(&shard).unwrap();
+    std::fs::write(&shard, &bytes[..bytes.len() / 3]).unwrap();
+
+    let mut store = open_store(&dir).unwrap();
+    let err = Reader::new(store.as_mut())
+        .retrieve::<f32>(&Query::full(Target::Rel(1e-6)))
+        .err()
+        .unwrap();
+    assert!(
+        matches!(err, MdrError::Corrupt(_) | MdrError::Decode { .. }),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_is_a_matchable_variant_end_to_end() {
+    use hpmdr_core::prelude::*;
+
+    let ds = small_dataset(hpmdr_datasets::DatasetKind::Jhtdb);
+    let data = ds.variables[0].as_f32();
+    let artifact = MdrConfig::new()
+        .chunked(&[8, 8, 8])
+        .build()
+        .refactor(&data, &ds.shape)
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("hpmdr_fi_version_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    artifact.write_store(&dir).unwrap();
+
+    // Bump the manifest's declared version past what this build reads.
+    let path = dir.join("manifest.json");
+    let raw = std::fs::read(&path).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let future = hpmdr_core::serialize::MANIFEST_VERSION + 1;
+    let bumped = text.replacen(
+        &format!("\"version\":{}", hpmdr_core::serialize::MANIFEST_VERSION),
+        &format!("\"version\":{future}"),
+        1,
+    );
+    assert_ne!(text, bumped, "manifest must carry a version field");
+    std::fs::write(&path, bumped).unwrap();
+
+    let err = open_store(&dir).err().unwrap();
+    assert!(
+        matches!(err, MdrError::VersionMismatch { found, .. } if found == future),
+        "{err}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -82,11 +82,17 @@ proptest! {
         let region = region_from(shape, region_words);
         let req = RoiRequest::new(region.clone(), eb);
 
-        // (1) every point of the region honors the bound.
+        // (1) the achieved-bound contract, for real: unless a chunk ran
+        // out of planes the reported bound meets the request, and every
+        // point honors the *reported* bound (up to f32 recompose
+        // rounding — the bound models bitplane truncation).
         let roi: RoiResult<f32> = retrieve_roi(&cr, &req).unwrap();
         prop_assert_eq!(roi.data.len(), region.len());
+        if !roi.exhausted {
+            prop_assert!(roi.bound <= eb, "bound {} exceeds request {}", roi.bound, eb);
+        }
         let reference = extract_region(&data, shape, &region);
-        let allowed = roi.bound.max(eb);
+        let allowed = roi.bound + 1e-6 * cr.value_range();
         for (i, (a, b)) in reference.iter().zip(&roi.data).enumerate() {
             prop_assert!(
                 ((a - b).abs() as f64) <= allowed,
