@@ -120,7 +120,7 @@ fn bench_roi_selectivity(c: &mut Criterion) {
 
         // Open once: manifest parsing is a per-archive cost, not a
         // per-query one (a service keeps the reader resident).
-        let mut reader = ChunkedStoreReader::open(&dir).expect("store opens");
+        let reader = ChunkedStoreReader::open(&dir).expect("store opens");
         g.throughput(Throughput::Bytes((req.region.len() * 4) as u64));
         g.bench_with_input(
             BenchmarkId::new("store_roi", format!("{selectivity}")),

@@ -11,20 +11,31 @@
 //! so every report shows the façade's overhead next to the direct
 //! calls — the contract is "within noise".
 //!
+//! The `concurrent` section measures the PR 5 retrieval service: N
+//! client threads hammering one `SharedReader` over a sharded store,
+//! with and without the `CachedStore` decorator — queries/sec and bytes
+//! fetched from the backing store per configuration, asserting the
+//! cached run fetches strictly fewer bytes and that concurrent answers
+//! are byte-identical to the serial reader's.
+//!
 //! Knobs (environment):
-//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 4).
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 5).
 //! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
 //! * `HPMDR_BENCH_REPS`   — timed repetitions per measurement (default 5).
 //! * `HPMDR_BENCH_OUT`    — output directory (default current dir).
 
 use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
-use hpmdr_core::prelude::{open_store, InMemoryStore, Mdr, Query, Reader, Target};
+use hpmdr_core::prelude::{
+    open_store, Approximation, CachedStore, InMemoryStore, Mdr, ParallelBackend, Query, Reader,
+    SharedReader, Store, Target,
+};
 use hpmdr_core::roi::{Region, RoiRequest};
 use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
 use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
 use hpmdr_datasets::{Dataset, DatasetKind};
 use hpmdr_lossless::huffman;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 const SEED: u64 = 5;
@@ -63,6 +74,23 @@ struct RetrievePoint {
 }
 
 #[derive(Serialize)]
+struct ConcurrentPoint {
+    clients: usize,
+    queries: usize,
+    uncached_wall_ms: f64,
+    uncached_qps: f64,
+    /// Bytes the uncached run fetched from the backing store.
+    uncached_bytes: usize,
+    cached_wall_ms: f64,
+    cached_qps: f64,
+    /// Bytes the cached run fetched from the backing store (every other
+    /// byte was served from the shared LRU).
+    cached_bytes: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+#[derive(Serialize)]
 struct Report {
     pr: usize,
     extent: usize,
@@ -74,7 +102,62 @@ struct Report {
     retrieve: Vec<RetrievePoint>,
     roi_store_ms: f64,
     facade_roi_store_ms: f64,
+    concurrent: Vec<ConcurrentPoint>,
     huffman: Vec<CodecPoint>,
+}
+
+/// The concurrent-clients workload: a cycle of overlapping ROI queries
+/// plus a periodic full-domain one — the repeated/overlapping access
+/// pattern a shared cache exists for.
+fn client_queries(extent: usize, value_range: f64) -> Vec<Query> {
+    let side = (extent / 3).max(4).min(extent);
+    let step = ((extent - side).max(1) / 4).max(1);
+    let mut queries: Vec<Query> = (0..4)
+        .map(|i| {
+            let start = (i * step).min(extent - side);
+            Query::region(
+                Target::AbsError(1e-3 * value_range),
+                Region::new(&[start; 3], &[side; 3]),
+            )
+        })
+        .collect();
+    queries.push(Query::full(Target::AbsError(1e-2 * value_range)));
+    queries
+}
+
+/// Run `clients` threads, each serving every query `reps` times from a
+/// clone of `reader`; returns wall ms and one client's answers (for the
+/// byte-identity assertion).
+fn hammer(
+    reader: &SharedReader<ParallelBackend>,
+    queries: &[Query],
+    clients: usize,
+    reps: usize,
+) -> (f64, Vec<Approximation<f32>>) {
+    let t = Instant::now();
+    let answers = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let client = reader.clone();
+                s.spawn(move || {
+                    let mut last = Vec::new();
+                    for _ in 0..reps {
+                        last = queries
+                            .iter()
+                            .map(|q| client.retrieve::<f32>(q).expect("query serves"))
+                            .collect();
+                    }
+                    last
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .next_back()
+            .expect("at least one client")
+    });
+    (t.elapsed().as_secs_f64() * 1e3, answers)
 }
 
 fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
@@ -100,7 +183,7 @@ fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
 }
 
 fn main() {
-    let pr = env_usize("HPMDR_BENCH_PR", 4);
+    let pr = env_usize("HPMDR_BENCH_PR", 5);
     let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
     let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
 
@@ -119,7 +202,7 @@ fn main() {
         std::hint::black_box(mdr.refactor(&data, &shape).expect("finite input"));
     });
     let refactored = refactor(&data, &shape, &cfg);
-    let mut memory = InMemoryStore::from(refactored.clone());
+    let memory = InMemoryStore::from(refactored.clone());
 
     let retrieve = [1e-2f64, 1e-4, 1e-6]
         .into_iter()
@@ -133,7 +216,7 @@ fn main() {
             });
             let query = Query::full(Target::AbsError(eb));
             let facade_ms = time_ms(reps, || {
-                let mut reader = Reader::new(&mut memory);
+                let reader = Reader::new(&memory);
                 std::hint::black_box(reader.retrieve::<f32>(&query).expect("query serves"));
             });
             RetrievePoint {
@@ -160,7 +243,7 @@ fn main() {
         Region::new(&[start; 3], &[side; 3]),
         1e-4 * cr.value_range(),
     );
-    let mut reader = ChunkedStoreReader::open(&dir).expect("store opens");
+    let reader = ChunkedStoreReader::open(&dir).expect("store opens");
     let roi_store_ms = time_ms(reps, || {
         std::hint::black_box(reader.retrieve_roi::<f32>(&req).expect("roi retrieves"));
     });
@@ -171,9 +254,68 @@ fn main() {
         Region::new(&req.region.start, &req.region.extent),
     );
     let facade_roi_store_ms = time_ms(reps, || {
-        let mut r = Reader::new(store.as_mut());
+        let r = Reader::new(store.as_mut());
         std::hint::black_box(r.retrieve::<f32>(&roi_query).expect("roi query serves"));
     });
+
+    // Concurrent retrieval service: 1→8 clients hammering one
+    // SharedReader over the sharded store, uncached vs cached.
+    let queries = client_queries(extent, cr.value_range());
+    let backend = ParallelBackend::new();
+    // Serial reference answers for the byte-identity assertion.
+    let serial_store = ChunkedStoreReader::open(&dir).expect("store opens");
+    let serial: Vec<Approximation<f32>> = {
+        let reader = Reader::with_backend(&serial_store, backend.clone());
+        queries
+            .iter()
+            .map(|q| reader.retrieve::<f32>(q).expect("query serves"))
+            .collect()
+    };
+    let concurrent: Vec<ConcurrentPoint> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|clients| {
+            let uncached_store: Arc<dyn Store> =
+                Arc::new(ChunkedStoreReader::open(&dir).expect("store opens"));
+            let uncached = SharedReader::with_backend(Arc::clone(&uncached_store), backend.clone());
+            let (uncached_wall_ms, answers) = hammer(&uncached, &queries, clients, reps);
+            for (got, want) in answers.iter().zip(&serial) {
+                assert_eq!(
+                    got.data, want.data,
+                    "concurrent answers must be byte-identical to serial"
+                );
+            }
+            let uncached_bytes = uncached_store.bytes_fetched();
+
+            let cached_store = Arc::new(CachedStore::with_default_budget(
+                ChunkedStoreReader::open(&dir).expect("store opens"),
+            ));
+            let cached =
+                SharedReader::with_backend(cached_store.clone() as Arc<dyn Store>, backend.clone());
+            let (cached_wall_ms, answers) = hammer(&cached, &queries, clients, reps);
+            for (got, want) in answers.iter().zip(&serial) {
+                assert_eq!(got.data, want.data, "cached answers must match serial");
+            }
+            let cached_bytes = cached_store.bytes_fetched();
+            assert!(
+                cached_bytes < uncached_bytes,
+                "cache must fetch strictly fewer bytes: {cached_bytes} vs {uncached_bytes}"
+            );
+            let stats = cached_store.cache_stats();
+            let n_queries = clients * reps * queries.len();
+            ConcurrentPoint {
+                clients,
+                queries: n_queries,
+                uncached_wall_ms,
+                uncached_qps: n_queries as f64 / (uncached_wall_ms / 1e3),
+                uncached_bytes,
+                cached_wall_ms,
+                cached_qps: n_queries as f64 / (cached_wall_ms / 1e3),
+                cached_bytes,
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+            }
+        })
+        .collect();
     let _ = std::fs::remove_dir_all(&dir);
 
     let n = 1usize << 20;
@@ -207,6 +349,7 @@ fn main() {
         retrieve,
         roi_store_ms,
         facade_roi_store_ms,
+        concurrent,
         huffman,
     };
     let json = serde_json::to_vec(&report).expect("report serializes");

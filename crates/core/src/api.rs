@@ -26,17 +26,21 @@
 
 use crate::chunked::{refactor_chunked_with, ChunkedConfig, ChunkedRefactored};
 use crate::error::MdrError;
+use crate::pipeline::PipelineMode;
 use crate::qoi_retrieval::{retrieve_with_qoi_control, EbEstimator};
 use crate::refactor::{refactor_with, RefactorConfig, Refactored};
 use crate::retrieve::{RetrievalPlan, RetrievalSession};
-use crate::roi::{assemble_region, Region, RoiPlan};
+use crate::roi::{assemble_parts, assemble_region, Region, RoiPlan};
 use crate::storage::{ChunkedStoreReader, StoreReader};
 use hpmdr_bitplane::{BitplaneFloat, Layout};
 use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
 use hpmdr_lossless::HybridConfig;
 use hpmdr_mgard::Real;
 use hpmdr_qoi::QoiExpr;
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------
 // Configuration and refactoring
@@ -265,11 +269,32 @@ impl<B: Backend> Mdr<B> {
 
     /// A [`Reader`] over `store` sharing this handle's backend (with a
     /// fresh execution context at the configured tile size).
-    pub fn reader<'s>(&self, store: &'s mut dyn Store) -> Reader<'s, B> {
+    pub fn reader<'s>(&self, store: &'s dyn Store) -> Reader<'s, B> {
         Reader {
             store,
             backend: self.backend.clone(),
             ctx: ExecCtx::new(self.config.tile_rows),
+            mode: PipelineMode::Sequential,
+        }
+    }
+
+    /// Open the store at `path` behind a [`CachedStore`] (at the
+    /// [`DEFAULT_CACHE_BUDGET`]) and return an [`Arc`]-clonable
+    /// [`SharedReader`] on this handle's backend — the one-call setup
+    /// for serving many concurrent clients from one archive.
+    pub fn open_shared(&self, path: &Path) -> Result<SharedReader<B>, MdrError> {
+        let store = CachedStore::with_default_budget(open_store(path)?);
+        Ok(self.shared_reader(Arc::new(store)))
+    }
+
+    /// A [`SharedReader`] over an already-shared store on this handle's
+    /// backend (with an execution context at the configured tile size).
+    pub fn shared_reader(&self, store: Arc<dyn Store>) -> SharedReader<B> {
+        SharedReader {
+            store,
+            backend: self.backend.clone(),
+            ctx: Arc::new(ExecCtx::new(self.config.tile_rows)),
+            mode: PipelineMode::Sequential,
         }
     }
 }
@@ -364,25 +389,73 @@ impl Artifact {
 ///
 /// Every store presents the same face: a metadata skeleton (a chunk grid
 /// of payload-free [`Refactored`]s — a monolithic artifact is a
-/// single-chunk grid), plan-directed chunk loading, and byte/request
+/// single-chunk grid), a unit-run fetch primitive, and byte/request
 /// accounting. [`Reader`] is written against `dyn Store`, so the same
 /// [`Query`] is served identically from memory, a unit-file directory,
 /// or a sharded chunk store — proven by
 /// `tests/tests/store_conformance.rs`.
-pub trait Store {
+///
+/// Stores are **shareable**: every method takes `&self` (accounting is
+/// interior-mutable) and implementations are `Send + Sync`, so one store
+/// can serve many concurrent queries — through [`SharedReader`], the
+/// overlapped prefetch pipeline, or [`Backend::map_batch`] fan-out.
+pub trait Store: Send + Sync {
     /// Short human-readable flavor (`"memory"`, `"unit-file"`,
-    /// `"sharded"`).
+    /// `"sharded"`, `"cached"`).
     fn flavor(&self) -> &'static str;
 
     /// The metadata skeleton: chunk grid plus per-chunk payload-free
     /// artifacts. Planning runs entirely on this — no payload I/O.
     fn meta(&self) -> &ChunkedRefactored;
 
-    /// Materialize chunk `c` holding exactly the unit prefixes `plan`
-    /// needs (other units keep empty payloads).
-    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError>;
+    /// Fetch the compressed payloads of units `skip .. skip + take` of
+    /// level group `group` of chunk `chunk` — the store's one fetch
+    /// primitive; [`Store::load_chunk`] is assembled from it. The run
+    /// must lie within the stored unit count
+    /// ([`MdrError::InvalidQuery`] otherwise).
+    ///
+    /// Supporting `skip > 0` is what lets [`CachedStore`] *extend* an
+    /// already-cached unit prefix instead of re-fetching it; the sharded
+    /// store serves any run as one contiguous range read.
+    fn load_units(
+        &self,
+        chunk: usize,
+        group: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError>;
 
-    /// Payload bytes fetched from this store so far.
+    /// Materialize chunk `c` holding exactly the unit prefixes `plan`
+    /// needs (other units keep empty payloads). The provided body
+    /// fetches one [`Store::load_units`] prefix per level group.
+    fn load_chunk(&self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+        let meta = self.meta();
+        let chunk = meta
+            .chunks
+            .get(c)
+            .ok_or_else(|| MdrError::InvalidQuery(format!("chunk {c} out of range")))?;
+        if plan.units.len() != chunk.streams.len() {
+            return Err(MdrError::InvalidQuery(
+                "plan does not match chunk shape".to_string(),
+            ));
+        }
+        let mut out = chunk.clone();
+        for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
+            let want = want.min(s.units.len());
+            if want == 0 {
+                // Masked-out group: no fetch, no accounting.
+                continue;
+            }
+            for (u, payload) in self.load_units(c, g, 0, want)?.into_iter().enumerate() {
+                s.units[u].payload = payload;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Payload bytes fetched from this store so far. Decorators report
+    /// the bytes their *backing* store paid ([`CachedStore`] deltas are
+    /// therefore zero on full cache hits).
     fn bytes_fetched(&self) -> usize;
 
     /// I/O requests issued so far (files opened or byte ranges read;
@@ -395,17 +468,66 @@ pub trait Store {
         Self: Sized;
 }
 
+/// Boxed stores forward the whole trait, so [`open_store`]'s product
+/// composes with decorators like [`CachedStore`].
+impl Store for Box<dyn Store> {
+    fn flavor(&self) -> &'static str {
+        (**self).flavor()
+    }
+
+    fn meta(&self) -> &ChunkedRefactored {
+        (**self).meta()
+    }
+
+    fn load_units(
+        &self,
+        chunk: usize,
+        group: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        (**self).load_units(chunk, group, skip, take)
+    }
+
+    fn load_chunk(&self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+        (**self).load_chunk(c, plan)
+    }
+
+    fn bytes_fetched(&self) -> usize {
+        (**self).bytes_fetched()
+    }
+
+    fn requests(&self) -> usize {
+        (**self).requests()
+    }
+
+    fn open(path: &Path) -> Result<Self, MdrError> {
+        open_store(path)
+    }
+}
+
 /// A fully resident artifact behind the [`Store`] face. "Fetching" is a
 /// payload copy, counted exactly like the file-backed stores count their
 /// reads — so conformance tests can compare byte accounting across
 /// flavors, and callers can develop against memory and deploy against
 /// disk without touching retrieval code.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct InMemoryStore {
     full: ChunkedRefactored,
     meta: ChunkedRefactored,
-    bytes_fetched: usize,
-    requests: usize,
+    bytes_fetched: AtomicUsize,
+    requests: AtomicUsize,
+}
+
+impl Clone for InMemoryStore {
+    fn clone(&self) -> Self {
+        InMemoryStore {
+            full: self.full.clone(),
+            meta: self.meta.clone(),
+            bytes_fetched: AtomicUsize::new(self.bytes_fetched.load(Ordering::Relaxed)),
+            requests: AtomicUsize::new(self.requests.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl From<ChunkedRefactored> for InMemoryStore {
@@ -414,8 +536,8 @@ impl From<ChunkedRefactored> for InMemoryStore {
         InMemoryStore {
             full: cr,
             meta,
-            bytes_fetched: 0,
-            requests: 0,
+            bytes_fetched: AtomicUsize::new(0),
+            requests: AtomicUsize::new(0),
         }
     }
 }
@@ -444,40 +566,48 @@ impl Store for InMemoryStore {
         &self.meta
     }
 
-    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
-        if c >= self.meta.chunks.len() {
-            return Err(MdrError::InvalidQuery(format!("chunk {c} out of range")));
+    fn load_units(
+        &self,
+        chunk: usize,
+        group: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        let c = self
+            .full
+            .chunks
+            .get(chunk)
+            .ok_or_else(|| MdrError::InvalidQuery(format!("chunk {chunk} out of range")))?;
+        let s = c.streams.get(group).ok_or_else(|| {
+            MdrError::InvalidQuery(format!("level group {group} out of range in chunk {chunk}"))
+        })?;
+        if skip + take > s.units.len() {
+            return Err(MdrError::InvalidQuery(format!(
+                "units {skip}..{} of chunk {chunk} group {group} out of range ({} stored)",
+                skip + take,
+                s.units.len()
+            )));
         }
-        let mut out = self.meta.chunks[c].clone();
-        if plan.units.len() != out.streams.len() {
-            return Err(MdrError::InvalidQuery(
-                "plan does not match chunk shape".to_string(),
-            ));
+        let out: Vec<Vec<u8>> = s.units[skip..skip + take]
+            .iter()
+            .map(|u| u.payload.clone())
+            .collect();
+        let copied: usize = out.iter().map(Vec::len).sum();
+        if copied > 0 {
+            // One contiguous copy per unit run, mirroring the sharded
+            // store's one range read per group.
+            self.requests.fetch_add(1, Ordering::Relaxed);
         }
-        for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
-            let want = want.min(s.units.len());
-            let mut copied = 0usize;
-            for u in 0..want {
-                let payload = &self.full.chunks[c].streams[g].units[u].payload;
-                s.units[u].payload = payload.clone();
-                copied += payload.len();
-            }
-            if copied > 0 {
-                // One contiguous copy per level group, mirroring the
-                // sharded store's one range read per group.
-                self.requests += 1;
-            }
-            self.bytes_fetched += copied;
-        }
+        self.bytes_fetched.fetch_add(copied, Ordering::Relaxed);
         Ok(out)
     }
 
     fn bytes_fetched(&self) -> usize {
-        self.bytes_fetched
+        self.bytes_fetched.load(Ordering::Relaxed)
     }
 
     fn requests(&self) -> usize {
-        self.requests
+        self.requests.load(Ordering::Relaxed)
     }
 
     /// Read a serialized monolithic artifact (the
@@ -497,7 +627,17 @@ impl Store for StoreReader {
         self.chunked_meta()
     }
 
-    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+    fn load_units(
+        &self,
+        chunk: usize,
+        group: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        StoreReader::load_units(self, chunk, group, skip, take)
+    }
+
+    fn load_chunk(&self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
         if c != 0 {
             return Err(MdrError::InvalidQuery(format!(
                 "chunk {c} out of range (monolithic store)"
@@ -528,7 +668,17 @@ impl Store for ChunkedStoreReader {
         self.skeleton()
     }
 
-    fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+    fn load_units(
+        &self,
+        chunk: usize,
+        group: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        ChunkedStoreReader::load_units(self, chunk, group, skip, take)
+    }
+
+    fn load_chunk(&self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
         ChunkedStoreReader::load_chunk(self, c, plan)
     }
 
@@ -545,16 +695,252 @@ impl Store for ChunkedStoreReader {
     }
 }
 
+// ---------------------------------------------------------------------
+// The caching decorator
+// ---------------------------------------------------------------------
+
+/// Default [`CachedStore`] budget (64 MiB of cached payload bytes).
+pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+/// One cached unit-prefix: the payloads of units `0 .. units.len()` of a
+/// (chunk, group) pair. Byte totals live in the directory's
+/// [`CacheEntry`], the single source of truth for eviction accounting.
+#[derive(Debug, Default)]
+struct CacheUnits {
+    units: Vec<Vec<u8>>,
+}
+
+/// Directory record of one cached prefix. The payloads live behind
+/// their own lock so a miss on one entry runs its backing I/O without
+/// stalling traffic to every other entry; `bytes` mirrors the payload
+/// size so eviction never has to take the entry lock.
+#[derive(Debug)]
+struct CacheEntry {
+    units: Arc<Mutex<CacheUnits>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<(usize, usize), CacheEntry>,
+    cached_bytes: usize,
+    tick: u64,
+    hits: usize,
+    misses: usize,
+    served_bytes: usize,
+}
+
+/// Cache effectiveness counters of a [`CachedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `load_units` calls answered entirely from cache.
+    pub hits: usize,
+    /// `load_units` calls that had to touch the backing store (to fill
+    /// or extend a prefix).
+    pub misses: usize,
+    /// Payload bytes currently held.
+    pub cached_bytes: usize,
+    /// Payload bytes handed to callers (from cache or fresh).
+    pub served_bytes: usize,
+}
+
+/// A byte-budgeted read-through cache over any [`Store`].
+///
+/// Keyed per (chunk, level group), each entry holds a *prefix* of that
+/// group's merged units — exactly the shape retrieval plans request. A
+/// request for a longer prefix **extends** the cached one, fetching only
+/// the missing suffix from the backing store (one contiguous range on
+/// the sharded layout), so across any query mix a given byte is fetched
+/// at most once while its entry stays resident. Entries are evicted
+/// least-recently-used when the cached payload bytes exceed the budget.
+///
+/// `bytes_fetched()` / `requests()` report the **backing store's**
+/// counters, so [`Approximation::bytes_fetched`] shows what a query
+/// really cost: zero on a full cache hit.
+///
+/// The cache is internally synchronized — clone an owning
+/// [`SharedReader`] (or wrap the store in an [`Arc`]) to share it across
+/// client threads. Backing fetches run under a *per-entry* lock:
+/// concurrent requests for the same (chunk, group) prefix trigger
+/// exactly one fetch, while misses on different entries do their I/O in
+/// parallel.
+#[derive(Debug)]
+pub struct CachedStore<S: Store = Box<dyn Store>> {
+    inner: S,
+    budget: usize,
+    state: Mutex<CacheState>,
+}
+
+impl<S: Store> CachedStore<S> {
+    /// Cache `inner` with an LRU budget of `budget` payload bytes.
+    pub fn new(inner: S, budget: usize) -> Self {
+        CachedStore {
+            inner,
+            budget,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Cache `inner` with the [`DEFAULT_CACHE_BUDGET`].
+    pub fn with_default_budget(inner: S) -> Self {
+        Self::new(inner, DEFAULT_CACHE_BUDGET)
+    }
+
+    /// The backing store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Current cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            cached_bytes: state.cached_bytes,
+            served_bytes: state.served_bytes,
+        }
+    }
+
+    /// Drop every cached entry (counters are kept).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.entries.clear();
+        state.cached_bytes = 0;
+    }
+}
+
+impl<S: Store> Store for CachedStore<S> {
+    fn flavor(&self) -> &'static str {
+        "cached"
+    }
+
+    fn meta(&self) -> &ChunkedRefactored {
+        self.inner.meta()
+    }
+
+    fn load_units(
+        &self,
+        chunk: usize,
+        group: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        let end = skip + take;
+        let key = (chunk, group);
+        // Phase 1 — directory lock, briefly: look up or create the
+        // entry's payload handle and mark it used.
+        let handle = {
+            let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.tick += 1;
+            let tick = state.tick;
+            let entry = state.entries.entry(key).or_insert_with(|| CacheEntry {
+                units: Arc::new(Mutex::new(CacheUnits::default())),
+                bytes: 0,
+                last_used: tick,
+            });
+            entry.last_used = tick;
+            Arc::clone(&entry.units)
+        };
+        // Phase 2 — entry lock only: extend the cached prefix by exactly
+        // the missing suffix — never re-fetch bytes already resident.
+        // The backing I/O runs here, so concurrent requests for the
+        // *same* prefix trigger one fetch while misses on other entries
+        // proceed in parallel.
+        let (out, added, fetched) = {
+            let mut cached = handle.lock().unwrap_or_else(|p| p.into_inner());
+            let have = cached.units.len();
+            let mut added = 0usize;
+            let fetched = have < end;
+            if fetched {
+                let fresh = self.inner.load_units(chunk, group, have, end - have)?;
+                added = fresh.iter().map(Vec::len).sum();
+                cached.units.extend(fresh);
+            }
+            (cached.units[skip..end].to_vec(), added, fetched)
+        };
+        // Phase 3 — directory lock: publish accounting and evict
+        // least-recently-used entries while over budget (the entry just
+        // touched carries the newest tick, so it is evicted only if it
+        // alone exceeds the budget — after serving the request).
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let state = &mut *state;
+        if fetched {
+            state.misses += 1;
+        } else {
+            state.hits += 1;
+        }
+        state.served_bytes += out.iter().map(Vec::len).sum::<usize>();
+        if added > 0 {
+            match state.entries.get_mut(&key) {
+                // Normal case: the directory still points at our payloads.
+                Some(entry) if Arc::ptr_eq(&entry.units, &handle) => {
+                    entry.bytes += added;
+                    state.cached_bytes += added;
+                }
+                // The entry was evicted (or replaced) while we fetched:
+                // our payloads die with `handle`, so they never enter
+                // the directory's byte total.
+                _ => {}
+            }
+        }
+        while state.cached_bytes > self.budget {
+            let Some((&key, _)) = state.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            let evicted = state.entries.remove(&key).expect("key just found");
+            state.cached_bytes -= evicted.bytes;
+        }
+        Ok(out)
+    }
+
+    fn bytes_fetched(&self) -> usize {
+        self.inner.bytes_fetched()
+    }
+
+    fn requests(&self) -> usize {
+        self.inner.requests()
+    }
+
+    /// Open the backing flavor at `path` and cache it with the
+    /// [`DEFAULT_CACHE_BUDGET`].
+    fn open(path: &Path) -> Result<Self, MdrError> {
+        Ok(Self::with_default_budget(S::open(path)?))
+    }
+}
+
 /// Open whatever store lives at `path`, sniffing its flavor: a plain
 /// file is a serialized artifact loaded into an [`InMemoryStore`]; a
 /// directory is a unit-file or sharded store, told apart by their
 /// manifest formats (framed-binary vs bare JSON).
+///
+/// A `path` that holds no store at all — nothing there, or a directory
+/// without a `manifest.json` — is [`MdrError::InvalidInput`] describing
+/// what a valid store looks like, not a raw I/O error about a file the
+/// caller never named.
 pub fn open_store(path: &Path) -> Result<Box<dyn Store>, MdrError> {
     if path.is_file() {
         return Ok(Box::new(<InMemoryStore as Store>::open(path)?));
     }
     let manifest_path = path.join("manifest.json");
-    let raw = std::fs::read(&manifest_path).map_err(|e| MdrError::io(&manifest_path, e))?;
+    let raw = match std::fs::read(&manifest_path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(MdrError::InvalidInput(format!(
+                "no HP-MDR store at {}: expected a serialized artifact file, or a store \
+                 directory containing manifest.json alongside its unit files \
+                 (g<G>_u<U>.bin) or chunk shards (c<C>.shard)",
+                path.display()
+            )));
+        }
+        Err(e) => return Err(MdrError::io(&manifest_path, e)),
+    };
     if raw.starts_with(crate::serialize::MAGIC) {
         Ok(Box::new(<StoreReader as Store>::open(path)?))
     } else {
@@ -682,7 +1068,15 @@ pub struct Approximation<F> {
     /// `exhausted` is false); for RMSE the planner's estimate; for QoI
     /// the final estimated error supremum.
     pub achieved: f64,
-    /// Compressed payload bytes this query fetched from the store.
+    /// Compressed payload bytes this query fetched from the store
+    /// (through a [`CachedStore`], only what the *backing* store paid —
+    /// zero on a full cache hit).
+    ///
+    /// Measured as a delta of the store's global counter, so when other
+    /// clients fetch from the same store *concurrently* their bytes may
+    /// be attributed to this query; per-store totals
+    /// ([`Store::bytes_fetched`]) remain exact. Data, shape, `achieved`,
+    /// and `exhausted` are unaffected.
     pub bytes_fetched: usize,
     /// True when the archive ran out of stored planes before meeting the
     /// target — `achieved` is then the best the archive can do.
@@ -719,33 +1113,323 @@ fn finite_nonneg(value: f64, what: &str) -> Result<f64, MdrError> {
 // The reader
 // ---------------------------------------------------------------------
 
+/// How many chunks the overlapped retrieval pipeline stages ahead of
+/// decode (mirrors the device pipeline's bounded staging-buffer pool).
+const PREFETCH_LOOKAHEAD: usize = 2;
+
+/// Serve one query from `store`: plan on the metadata, fetch exactly the
+/// planned unit prefixes, reconstruct on `backend`, and report the
+/// achieved guarantee and bytes fetched. The one retrieval path behind
+/// both [`Reader`] and [`SharedReader`].
+fn serve_query<F: BitplaneFloat + Real + Default, B: Backend>(
+    store: &dyn Store,
+    backend: &B,
+    ctx: &ExecCtx,
+    mode: PipelineMode,
+    query: &Query,
+) -> Result<Approximation<F>, MdrError> {
+    {
+        let meta = store.meta();
+        if F::TYPE_NAME != meta.dtype {
+            return Err(MdrError::DtypeMismatch {
+                stored: meta.dtype.clone(),
+                requested: F::TYPE_NAME.to_string(),
+            });
+        }
+    }
+    let bytes_before = store.bytes_fetched();
+    let (data, shape, achieved, exhausted, target_value) = match &query.target {
+        Target::Qoi(expr, tau) => {
+            let (data, shape, achieved, exhausted) =
+                serve_qoi::<F, B>(store, backend, expr, *tau, &query.scope)?;
+            (data, shape, achieved, exhausted, *tau)
+        }
+        target => {
+            let resolved = match target {
+                Target::AbsError(eb) => ResolvedTarget::Abs(finite_nonneg(*eb, "error bound")?),
+                Target::Rel(rel) => {
+                    let rel = finite_nonneg(*rel, "relative bound")?;
+                    let range = store.meta().value_range();
+                    if range == 0.0 {
+                        // Zero-range (constant) data: every relative
+                        // bound scales to an absolute 0.0, which no
+                        // finite plane count can *prove* — yet the
+                        // archive floor reconstructs the constant
+                        // exactly. Serve the floor and report it as
+                        // trivially satisfied instead of Unsatisfiable.
+                        ResolvedTarget::Lossless
+                    } else {
+                        ResolvedTarget::Abs(rel * range)
+                    }
+                }
+                Target::Rmse(t) => ResolvedTarget::Rmse(finite_nonneg(*t, "rmse target")?),
+                Target::Lossless => ResolvedTarget::Lossless,
+                Target::Qoi(..) => unreachable!("handled above"),
+            };
+            let t = resolved.threshold();
+            let (data, shape, achieved, exhausted) = match &query.scope {
+                Scope::Full => {
+                    let domain = Region::whole(&store.meta().grid.shape);
+                    serve_region::<F, B>(store, backend, ctx, mode, &resolved, domain)?
+                }
+                Scope::Region(region) => {
+                    serve_region::<F, B>(store, backend, ctx, mode, &resolved, region.clone())?
+                }
+                Scope::Resolution(level) => {
+                    serve_resolution::<F, B>(store, backend, &resolved, *level)?
+                }
+            };
+            (data, shape, achieved, exhausted, t)
+        }
+    };
+    if query.strict && exhausted {
+        return Err(MdrError::Unsatisfiable {
+            target: target_value,
+            achieved,
+        });
+    }
+    Ok(Approximation {
+        data,
+        shape,
+        achieved,
+        bytes_fetched: store.bytes_fetched() - bytes_before,
+        exhausted,
+    })
+}
+
+/// Full-domain and region scopes: per-chunk plans for the touched chunks
+/// (through the same [`RoiPlan::plan_with`] planner ROI retrieval uses),
+/// then fetch + decode per chunk under the selected pipeline:
+///
+/// * [`PipelineMode::Sequential`] — each chunk's fetch and decode run as
+///   one [`Backend::map_batch`] item (parallel backends overlap chunk
+///   I/O with other chunks' decode; the scalar backend runs chunks in
+///   order);
+/// * [`PipelineMode::Overlapped`] — a dedicated I/O thread prefetches
+///   chunk *k+1*'s planned byte ranges while chunk *k* decodes — the
+///   retrieval-side mirror of the refactoring pipeline's Figure 4
+///   schedule.
+///
+/// Both pipelines produce bit-identical results: chunk placement is the
+/// shared [`assemble_parts`] and decode never reassociates arithmetic.
+fn serve_region<F: BitplaneFloat + Real + Default, B: Backend>(
+    store: &dyn Store,
+    backend: &B,
+    ctx: &ExecCtx,
+    mode: PipelineMode,
+    resolved: &ResolvedTarget,
+    region: Region,
+) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
+    let plan = RoiPlan::plan_with(
+        store.meta(),
+        &region,
+        resolved.threshold(),
+        |r| match resolved {
+            ResolvedTarget::Abs(eb) => RetrievalPlan::for_error(r, *eb),
+            ResolvedTarget::Rmse(t) => RetrievalPlan::for_rmse(r, *t),
+            ResolvedTarget::Lossless => {
+                let plan = RetrievalPlan::full(r);
+                let bound = r.error_bound_for_units(&plan.units);
+                (plan, bound)
+            }
+        },
+    )?;
+    let res = match mode {
+        PipelineMode::Sequential => {
+            assemble_region::<F, _, _>(store.meta(), &plan, backend, ctx, |_, cp| {
+                let loaded = store.load_chunk(cp.chunk, &cp.plan)?;
+                let mut sess = RetrievalSession::with_backend(&loaded, backend.clone());
+                sess.try_refine_to(&cp.plan)
+                    .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
+                Ok(sess.reconstruct::<F>())
+            })?
+        }
+        PipelineMode::Overlapped => {
+            let parts = overlapped_parts::<F, B>(store, backend, &plan)?;
+            assemble_parts(store.meta(), &plan, parts)?
+        }
+    };
+    let shape = res.region.extent.clone();
+    Ok((res.data, shape, res.bound, res.exhausted))
+}
+
+/// The overlapped fetch/decode pipeline: a dedicated I/O thread walks
+/// the plan in order, staging each chunk's planned byte ranges into a
+/// bounded channel ([`PREFETCH_LOOKAHEAD`] chunks deep, the staging-slot
+/// discipline of the device pipeline), while the caller thread decodes
+/// chunks as they arrive. Decode of chunk *k* therefore overlaps the
+/// fetch of chunk *k+1*; results are collected in plan order.
+fn overlapped_parts<F: BitplaneFloat + Real + Default, B: Backend>(
+    store: &dyn Store,
+    backend: &B,
+    plan: &RoiPlan,
+) -> Result<Vec<Vec<F>>, MdrError> {
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::sync_channel(PREFETCH_LOOKAHEAD);
+        scope.spawn(move || {
+            for cp in &plan.chunks {
+                let staged = store.load_chunk(cp.chunk, &cp.plan);
+                if tx.send(staged).is_err() {
+                    // The decode side bailed on an error; stop fetching.
+                    break;
+                }
+            }
+        });
+        plan.chunks
+            .iter()
+            .map(|cp| {
+                let loaded = rx.recv().map_err(|_| {
+                    MdrError::corrupt("retrieval prefetch thread exited early".to_string())
+                })??;
+                let mut sess = RetrievalSession::with_backend(&loaded, backend.clone());
+                sess.try_refine_to(&cp.plan)
+                    .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
+                Ok(sess.reconstruct::<F>())
+            })
+            .collect()
+    })
+}
+
+/// Resolution scope: plan only the level groups that influence the
+/// coarse grid, then recompose down to `level`.
+fn serve_resolution<F: BitplaneFloat + Real + Default, B: Backend>(
+    store: &dyn Store,
+    backend: &B,
+    resolved: &ResolvedTarget,
+    level: usize,
+) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
+    let (plan, bound, exhausted) = {
+        let meta = store.meta();
+        if meta.grid.num_chunks() != 1 {
+            return Err(MdrError::Unsupported(format!(
+                "resolution-scoped queries need a monolithic archive; this store has {} chunks",
+                meta.grid.num_chunks()
+            )));
+        }
+        let r = &meta.chunks[0];
+        if level > r.hierarchy.levels {
+            return Err(MdrError::InvalidQuery(format!(
+                "resolution level {level} beyond the hierarchy ({} levels)",
+                r.hierarchy.levels
+            )));
+        }
+        match resolved {
+            ResolvedTarget::Abs(eb) => {
+                let (plan, bound) = RetrievalPlan::for_error_at_resolution(r, *eb, level);
+                (plan, bound, bound > *eb)
+            }
+            ResolvedTarget::Lossless => {
+                // A zero target fetches every contributing group fully
+                // and reports the archive's floor bound for the level.
+                let (plan, bound) = RetrievalPlan::for_error_at_resolution(r, 0.0, level);
+                (plan, bound, false)
+            }
+            ResolvedTarget::Rmse(_) => {
+                return Err(MdrError::Unsupported(
+                    "RMSE targets have no resolution-scoped semantics".to_string(),
+                ))
+            }
+        }
+    };
+    let loaded = store.load_chunk(0, &plan)?;
+    let mut sess = RetrievalSession::with_backend(&loaded, backend.clone());
+    sess.try_refine_to(&plan)?;
+    let (data, shape) = sess.reconstruct_at_resolution::<F>(level);
+    Ok((data, shape, bound, exhausted))
+}
+
+/// QoI targets: Algorithm 3 over a fully staged monolithic archive.
+fn serve_qoi<F: BitplaneFloat + Real + Default, B: Backend>(
+    store: &dyn Store,
+    _backend: &B,
+    expr: &QoiExpr,
+    tau: f64,
+    scope: &Scope,
+) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
+    if !matches!(scope, Scope::Full) {
+        return Err(MdrError::Unsupported(
+            "QoI targets are full-domain only; slice the result instead".to_string(),
+        ));
+    }
+    if !tau.is_finite() || tau <= 0.0 {
+        return Err(MdrError::InvalidQuery(format!(
+            "invalid QoI tolerance {tau}"
+        )));
+    }
+    if expr.num_vars() > 1 {
+        return Err(MdrError::Unsupported(format!(
+            "QoI references {} variables; a reader serves exactly one",
+            expr.num_vars()
+        )));
+    }
+    let (full, shape) = {
+        let meta = store.meta();
+        if meta.grid.num_chunks() != 1 {
+            return Err(MdrError::Unsupported(format!(
+                "QoI-controlled retrieval needs a monolithic archive; this store has {} chunks",
+                meta.grid.num_chunks()
+            )));
+        }
+        (
+            RetrievalPlan::full(&meta.chunks[0]),
+            meta.grid.shape.clone(),
+        )
+    };
+    // Algorithm 3 refines adaptively, so the chunk is staged in full;
+    // bytes_fetched reflects the staging cost, not the loop's
+    // internal consumption.
+    let loaded = store.load_chunk(0, &full)?;
+    let mut outcome =
+        retrieve_with_qoi_control::<F>(&[&loaded], expr, tau, EbEstimator::Mape { c: 10.0 });
+    let data: Vec<F> = outcome
+        .vars
+        .swap_remove(0)
+        .into_iter()
+        .map(<F as Real>::from_f64)
+        .collect();
+    Ok((data, shape, outcome.final_estimate, outcome.exhausted))
+}
+
 /// Serves [`Query`]s from any [`Store`] on any [`Backend`].
 ///
-/// The reader is deliberately written against `&mut dyn Store`: one
-/// retrieval path covers the in-memory, unit-file, and sharded stores,
-/// and returns identical [`Approximation`]s for identical archives
-/// (`tests/tests/store_conformance.rs`).
+/// The reader is deliberately written against `&dyn Store`: one
+/// retrieval path covers the in-memory, unit-file, sharded, and cached
+/// stores, and returns identical [`Approximation`]s for identical
+/// archives (`tests/tests/store_conformance.rs`). For serving many
+/// client threads from one store, see [`SharedReader`].
 pub struct Reader<'s, B: Backend = ScalarBackend> {
-    store: &'s mut dyn Store,
+    store: &'s dyn Store,
     backend: B,
     ctx: ExecCtx,
+    mode: PipelineMode,
 }
 
 impl<'s> Reader<'s, ScalarBackend> {
     /// A reader over `store` on the portable [`ScalarBackend`].
-    pub fn new(store: &'s mut dyn Store) -> Self {
+    pub fn new(store: &'s dyn Store) -> Self {
         Reader::with_backend(store, ScalarBackend::new())
     }
 }
 
 impl<'s, B: Backend> Reader<'s, B> {
     /// A reader over `store` running its kernels on `backend`.
-    pub fn with_backend(store: &'s mut dyn Store, backend: B) -> Self {
+    pub fn with_backend(store: &'s dyn Store, backend: B) -> Self {
         Reader {
             store,
             backend,
             ctx: ExecCtx::default(),
+            mode: PipelineMode::Sequential,
         }
+    }
+
+    /// Select the fetch/decode pipeline for region-shaped queries:
+    /// [`PipelineMode::Overlapped`] prefetches the next chunk's byte
+    /// ranges on a dedicated I/O thread while the current chunk decodes.
+    /// Results are bit-identical across modes.
+    #[must_use]
+    pub fn with_pipeline(mut self, mode: PipelineMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// The store this reader serves from.
@@ -757,200 +1441,98 @@ impl<'s, B: Backend> Reader<'s, B> {
     /// planned unit prefixes, reconstruct on this reader's backend, and
     /// report the achieved guarantee and bytes fetched.
     pub fn retrieve<F: BitplaneFloat + Real + Default>(
-        &mut self,
+        &self,
         query: &Query,
     ) -> Result<Approximation<F>, MdrError> {
-        {
-            let meta = self.store.meta();
-            if F::TYPE_NAME != meta.dtype {
-                return Err(MdrError::DtypeMismatch {
-                    stored: meta.dtype.clone(),
-                    requested: F::TYPE_NAME.to_string(),
-                });
-            }
+        serve_query::<F, B>(self.store, &self.backend, &self.ctx, self.mode, query)
+    }
+}
+
+/// A cheaply clonable, thread-shareable query server: one [`Arc`]'d
+/// [`Store`] (typically a [`CachedStore`] — see [`Mdr::open_shared`])
+/// plus a backend, serving [`Query`]s from any number of client threads
+/// concurrently through `&self`.
+///
+/// ```no_run
+/// use hpmdr_core::prelude::*;
+/// use std::path::Path;
+///
+/// let reader = Mdr::with_defaults().open_shared(Path::new("archive.mdr"))?;
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let client = reader.clone(); // shares the store and its cache
+///         s.spawn(move || client.retrieve::<f32>(&Query::full(Target::Rel(1e-3))));
+///     }
+/// });
+/// # Ok::<(), MdrError>(())
+/// ```
+pub struct SharedReader<B: Backend = ScalarBackend> {
+    store: Arc<dyn Store>,
+    backend: B,
+    ctx: Arc<ExecCtx>,
+    mode: PipelineMode,
+}
+
+impl<B: Backend> Clone for SharedReader<B> {
+    fn clone(&self) -> Self {
+        SharedReader {
+            store: Arc::clone(&self.store),
+            backend: self.backend.clone(),
+            ctx: Arc::clone(&self.ctx),
+            mode: self.mode,
         }
-        let bytes_before = self.store.bytes_fetched();
-        let (data, shape, achieved, exhausted, target_value) = match &query.target {
-            Target::Qoi(expr, tau) => {
-                let (data, shape, achieved, exhausted) =
-                    self.retrieve_qoi::<F>(expr, *tau, &query.scope)?;
-                (data, shape, achieved, exhausted, *tau)
-            }
-            target => {
-                let resolved = match target {
-                    Target::AbsError(eb) => ResolvedTarget::Abs(finite_nonneg(*eb, "error bound")?),
-                    Target::Rel(rel) => ResolvedTarget::Abs(
-                        finite_nonneg(*rel, "relative bound")? * self.store.meta().value_range(),
-                    ),
-                    Target::Rmse(t) => ResolvedTarget::Rmse(finite_nonneg(*t, "rmse target")?),
-                    Target::Lossless => ResolvedTarget::Lossless,
-                    Target::Qoi(..) => unreachable!("handled above"),
-                };
-                let t = resolved.threshold();
-                let (data, shape, achieved, exhausted) = match &query.scope {
-                    Scope::Full => {
-                        let domain = Region::whole(&self.store.meta().grid.shape);
-                        self.retrieve_region(&resolved, domain)?
-                    }
-                    Scope::Region(region) => self.retrieve_region(&resolved, region.clone())?,
-                    Scope::Resolution(level) => self.retrieve_resolution(&resolved, *level)?,
-                };
-                (data, shape, achieved, exhausted, t)
-            }
-        };
-        if query.strict && exhausted {
-            return Err(MdrError::Unsatisfiable {
-                target: target_value,
-                achieved,
-            });
+    }
+}
+
+impl SharedReader<ScalarBackend> {
+    /// A shared reader over `store` on the portable [`ScalarBackend`].
+    pub fn new(store: Arc<dyn Store>) -> Self {
+        SharedReader::with_backend(store, ScalarBackend::new())
+    }
+}
+
+impl<B: Backend> SharedReader<B> {
+    /// A shared reader over `store` running its kernels on `backend`.
+    pub fn with_backend(store: Arc<dyn Store>, backend: B) -> Self {
+        SharedReader {
+            store,
+            backend,
+            ctx: Arc::new(ExecCtx::default()),
+            mode: PipelineMode::Sequential,
         }
-        Ok(Approximation {
-            data,
-            shape,
-            achieved,
-            bytes_fetched: self.store.bytes_fetched() - bytes_before,
-            exhausted,
-        })
     }
 
-    /// Full-domain and region scopes: per-chunk plans for the touched
-    /// chunks (through the same [`RoiPlan::plan_with`] planner ROI
-    /// retrieval uses), loaded and assembled exactly like ROI retrieval.
-    /// Planning, loading, and assembly are separate borrow phases, so
-    /// the store's metadata is never cloned.
-    fn retrieve_region<F: BitplaneFloat + Real + Default>(
-        &mut self,
-        resolved: &ResolvedTarget,
-        region: Region,
-    ) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
-        let plan =
-            RoiPlan::plan_with(
-                self.store.meta(),
-                &region,
-                resolved.threshold(),
-                |r| match resolved {
-                    ResolvedTarget::Abs(eb) => RetrievalPlan::for_error(r, *eb),
-                    ResolvedTarget::Rmse(t) => RetrievalPlan::for_rmse(r, *t),
-                    ResolvedTarget::Lossless => {
-                        let plan = RetrievalPlan::full(r);
-                        let bound = r.error_bound_for_units(&plan.units);
-                        (plan, bound)
-                    }
-                },
-            )?;
-        let loaded: Vec<Refactored> = plan
-            .chunks
-            .iter()
-            .map(|cp| self.store.load_chunk(cp.chunk, &cp.plan))
-            .collect::<Result<_, _>>()?;
-        let backend = self.backend.clone();
-        let res =
-            assemble_region::<F, _, _>(self.store.meta(), &plan, &backend, &self.ctx, |i, cp| {
-                let mut sess = RetrievalSession::with_backend(&loaded[i], backend.clone());
-                sess.try_refine_to(&cp.plan)
-                    .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
-                Ok(sess.reconstruct::<F>())
-            })?;
-        let shape = res.region.extent.clone();
-        Ok((res.data, shape, res.bound, res.exhausted))
+    /// Select the fetch/decode pipeline for region-shaped queries (see
+    /// [`Reader::with_pipeline`]).
+    #[must_use]
+    pub fn with_pipeline(mut self, mode: PipelineMode) -> Self {
+        self.mode = mode;
+        self
     }
 
-    /// Resolution scope: plan only the level groups that influence the
-    /// coarse grid, then recompose down to `level`.
-    fn retrieve_resolution<F: BitplaneFloat + Real + Default>(
-        &mut self,
-        resolved: &ResolvedTarget,
-        level: usize,
-    ) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
-        let (plan, bound, exhausted) = {
-            let meta = self.store.meta();
-            if meta.grid.num_chunks() != 1 {
-                return Err(MdrError::Unsupported(format!(
-                    "resolution-scoped queries need a monolithic archive; this store has {} chunks",
-                    meta.grid.num_chunks()
-                )));
-            }
-            let r = &meta.chunks[0];
-            if level > r.hierarchy.levels {
-                return Err(MdrError::InvalidQuery(format!(
-                    "resolution level {level} beyond the hierarchy ({} levels)",
-                    r.hierarchy.levels
-                )));
-            }
-            match resolved {
-                ResolvedTarget::Abs(eb) => {
-                    let (plan, bound) = RetrievalPlan::for_error_at_resolution(r, *eb, level);
-                    (plan, bound, bound > *eb)
-                }
-                ResolvedTarget::Lossless => {
-                    // A zero target fetches every contributing group fully
-                    // and reports the archive's floor bound for the level.
-                    let (plan, bound) = RetrievalPlan::for_error_at_resolution(r, 0.0, level);
-                    (plan, bound, false)
-                }
-                ResolvedTarget::Rmse(_) => {
-                    return Err(MdrError::Unsupported(
-                        "RMSE targets have no resolution-scoped semantics".to_string(),
-                    ))
-                }
-            }
-        };
-        let loaded = self.store.load_chunk(0, &plan)?;
-        let mut sess = RetrievalSession::with_backend(&loaded, self.backend.clone());
-        sess.try_refine_to(&plan)?;
-        let (data, shape) = sess.reconstruct_at_resolution::<F>(level);
-        Ok((data, shape, bound, exhausted))
+    /// The shared store this reader serves from.
+    pub fn store(&self) -> &dyn Store {
+        &*self.store
     }
 
-    /// QoI targets: Algorithm 3 over a fully staged monolithic archive.
-    fn retrieve_qoi<F: BitplaneFloat + Real + Default>(
-        &mut self,
-        expr: &QoiExpr,
-        tau: f64,
-        scope: &Scope,
-    ) -> Result<(Vec<F>, Vec<usize>, f64, bool), MdrError> {
-        if !matches!(scope, Scope::Full) {
-            return Err(MdrError::Unsupported(
-                "QoI targets are full-domain only; slice the result instead".to_string(),
-            ));
-        }
-        if !tau.is_finite() || tau <= 0.0 {
-            return Err(MdrError::InvalidQuery(format!(
-                "invalid QoI tolerance {tau}"
-            )));
-        }
-        if expr.num_vars() > 1 {
-            return Err(MdrError::Unsupported(format!(
-                "QoI references {} variables; a reader serves exactly one",
-                expr.num_vars()
-            )));
-        }
-        let (full, shape) = {
-            let meta = self.store.meta();
-            if meta.grid.num_chunks() != 1 {
-                return Err(MdrError::Unsupported(format!(
-                    "QoI-controlled retrieval needs a monolithic archive; this store has {} chunks",
-                    meta.grid.num_chunks()
-                )));
-            }
-            (
-                RetrievalPlan::full(&meta.chunks[0]),
-                meta.grid.shape.clone(),
-            )
-        };
-        // Algorithm 3 refines adaptively, so the chunk is staged in full;
-        // bytes_fetched reflects the staging cost, not the loop's
-        // internal consumption.
-        let loaded = self.store.load_chunk(0, &full)?;
-        let mut outcome =
-            retrieve_with_qoi_control::<F>(&[&loaded], expr, tau, EbEstimator::Mape { c: 10.0 });
-        let data: Vec<F> = outcome
-            .vars
-            .swap_remove(0)
-            .into_iter()
-            .map(<F as Real>::from_f64)
-            .collect();
-        Ok((data, shape, outcome.final_estimate, outcome.exhausted))
+    /// A clone of the shared store handle (to hand to another reader or
+    /// keep for accounting after this reader is dropped).
+    pub fn store_handle(&self) -> Arc<dyn Store> {
+        Arc::clone(&self.store)
+    }
+
+    /// Serve one query — callable from any thread, concurrently with
+    /// other clones of this reader. Identical queries return identical
+    /// data, shapes, achieved bounds, and exhaustion flags whether
+    /// served serially or concurrently
+    /// (`tests/tests/concurrent_retrieval.rs`); only
+    /// [`Approximation::bytes_fetched`] can interleave with concurrent
+    /// clients' fetches (see its docs).
+    pub fn retrieve<F: BitplaneFloat + Real + Default>(
+        &self,
+        query: &Query,
+    ) -> Result<Approximation<F>, MdrError> {
+        serve_query::<F, B>(&*self.store, &self.backend, &self.ctx, self.mode, query)
     }
 }
 
@@ -1017,7 +1599,7 @@ mod tests {
         let data = field(33, 33);
         let artifact = Mdr::with_defaults().refactor(&data, &[33, 33]).unwrap();
         let range = artifact.value_range();
-        let mut store = InMemoryStore::from(artifact);
+        let store = InMemoryStore::from(artifact);
 
         for (q, check_linf) in [
             (Query::full(Target::AbsError(1e-3)), true),
@@ -1025,7 +1607,7 @@ mod tests {
             (Query::full(Target::Rmse(1e-4)), false),
             (Query::full(Target::Lossless), true),
         ] {
-            let a = Reader::new(&mut store).retrieve::<f32>(&q).unwrap();
+            let a = Reader::new(&store).retrieve::<f32>(&q).unwrap();
             assert_eq!(a.shape, vec![33, 33]);
             assert!(a.bytes_fetched > 0);
             assert!(!a.exhausted, "{q:?}");
@@ -1045,17 +1627,17 @@ mod tests {
         let data = field(33, 33);
         let artifact = Mdr::with_defaults().refactor(&data, &[33, 33]).unwrap();
         let r = artifact.as_monolithic().unwrap().clone();
-        let mut store = InMemoryStore::from(artifact);
+        let store = InMemoryStore::from(artifact);
 
         // Region slice == same region of a full-domain answer.
         let region = Region::new(&[4, 7], &[12, 9]);
         let sliced = {
-            let full = Reader::new(&mut store)
+            let full = Reader::new(&store)
                 .retrieve::<f32>(&Query::full(Target::AbsError(1e-3)))
                 .unwrap();
             crate::chunked::extract_region(&full.data, &[33, 33], &region)
         };
-        let roi = Reader::new(&mut store)
+        let roi = Reader::new(&store)
             .retrieve::<f32>(&Query::region(Target::AbsError(1e-3), region.clone()))
             .unwrap();
         assert_eq!(roi.shape, region.extent);
@@ -1063,7 +1645,7 @@ mod tests {
 
         // Resolution scope == RetrievalSession::reconstruct_at_resolution.
         let level = r.hierarchy.levels.min(2);
-        let coarse = Reader::new(&mut store)
+        let coarse = Reader::new(&store)
             .retrieve::<f32>(&Query::resolution(Target::Lossless, level))
             .unwrap();
         let mut sess = RetrievalSession::new(&r);
@@ -1077,11 +1659,11 @@ mod tests {
     fn resolution_scope_fetches_fewer_bytes_than_full() {
         let data = field(65, 65);
         let artifact = Mdr::with_defaults().refactor(&data, &[65, 65]).unwrap();
-        let mut store = InMemoryStore::from(artifact);
-        let full = Reader::new(&mut store)
+        let store = InMemoryStore::from(artifact);
+        let full = Reader::new(&store)
             .retrieve::<f32>(&Query::full(Target::AbsError(1e-4)))
             .unwrap();
-        let coarse = Reader::new(&mut store)
+        let coarse = Reader::new(&store)
             .retrieve::<f32>(&Query::resolution(Target::AbsError(1e-4), 2))
             .unwrap();
         assert!(
@@ -1097,12 +1679,12 @@ mod tests {
     fn qoi_target_controls_derived_error() {
         let data = field(17, 17);
         let artifact = Mdr::with_defaults().refactor(&data, &[17, 17]).unwrap();
-        let mut store = InMemoryStore::from(artifact);
+        let store = InMemoryStore::from(artifact);
         let q = Query::full(Target::Qoi(
             QoiExpr::Square(Box::new(QoiExpr::Var(0))),
             1e-3,
         ));
-        let a = Reader::new(&mut store).retrieve::<f32>(&q).unwrap();
+        let a = Reader::new(&store).retrieve::<f32>(&q).unwrap();
         assert_eq!(a.shape, vec![17, 17]);
         assert!(a.exhausted || a.achieved <= 1e-3, "{}", a.achieved);
         for (x, r) in data.iter().zip(&a.data) {
@@ -1120,8 +1702,8 @@ mod tests {
             .build()
             .refactor(&data, &[16, 16])
             .unwrap();
-        let mut store = InMemoryStore::from(artifact);
-        let mut reader = Reader::new(&mut store);
+        let store = InMemoryStore::from(artifact);
+        let reader = Reader::new(&store);
 
         let err = reader
             .retrieve::<f64>(&Query::full(Target::AbsError(1e-3)))
@@ -1182,8 +1764,8 @@ mod tests {
             let a = Reader::new(store.as_mut())
                 .retrieve::<f32>(&Query::full(Target::Rel(1e-3)))
                 .unwrap();
-            let mut memory = InMemoryStore::from(artifact);
-            let b = Reader::new(&mut memory)
+            let memory = InMemoryStore::from(artifact);
+            let b = Reader::new(&memory)
                 .retrieve::<f32>(&Query::full(Target::Rel(1e-3)))
                 .unwrap();
             assert_eq!(a, b, "{flavor} answer must equal the in-memory answer");
@@ -1205,5 +1787,202 @@ mod tests {
             .unwrap();
         assert_eq!(a.shape, vec![16, 12]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_store_on_nothing_names_the_path_and_the_expected_layout() {
+        let missing = std::env::temp_dir().join(format!("hpmdr_api_void_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = open_store(&missing).err().unwrap();
+        assert!(
+            matches!(&err, MdrError::InvalidInput(w)
+                if w.contains(&missing.display().to_string()) && w.contains("manifest.json")),
+            "{err}"
+        );
+        // An existing-but-empty directory is the same caller mistake.
+        std::fs::create_dir_all(&missing).unwrap();
+        let err = open_store(&missing).err().unwrap();
+        assert!(matches!(err, MdrError::InvalidInput(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&missing);
+    }
+
+    #[test]
+    fn zero_range_data_trivially_satisfies_relative_targets() {
+        // A constant field has value_range() == 0, so Rel(ε) used to
+        // resolve to an absolute bound of 0.0: strict queries returned
+        // Unsatisfiable and best-effort ones claimed exhaustion, even
+        // though the reconstruction is exact.
+        let data = vec![3.25f32; 18 * 14];
+        let artifact = Mdr::with_defaults().refactor(&data, &[18, 14]).unwrap();
+        assert_eq!(artifact.value_range(), 0.0);
+        let store = InMemoryStore::from(artifact);
+        let a = Reader::new(&store)
+            .retrieve::<f32>(&Query::full(Target::Rel(1e-3)).strict())
+            .unwrap();
+        assert!(!a.exhausted, "zero-range data must not report exhaustion");
+        for v in &a.data {
+            assert!((v - 3.25).abs() < 1e-6, "constant must reconstruct: {v}");
+        }
+        // Region scope takes the same path.
+        let r = Reader::new(&store)
+            .retrieve::<f32>(
+                &Query::region(Target::Rel(1e-6), Region::new(&[2, 3], &[5, 4])).strict(),
+            )
+            .unwrap();
+        assert_eq!(r.shape, vec![5, 4]);
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn cached_store_extends_prefixes_instead_of_refetching() {
+        let data = field(24, 20);
+        let artifact = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build()
+            .refactor(&data, &[24, 20])
+            .unwrap();
+        let store = CachedStore::new(InMemoryStore::from(artifact), usize::MAX);
+        let reader = Reader::new(&store);
+
+        // Coarse query populates the cache with short unit prefixes.
+        let coarse = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-1)))
+            .unwrap();
+        let after_coarse = store.bytes_fetched();
+        assert_eq!(coarse.bytes_fetched, after_coarse);
+
+        // The identical query again: every byte comes from cache.
+        let again = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-1)))
+            .unwrap();
+        assert_eq!(again.bytes_fetched, 0, "repeat query must be free");
+        assert_eq!(again.data, coarse.data);
+        assert_eq!(store.bytes_fetched(), after_coarse);
+
+        // A tighter query needs longer prefixes: only the *suffix* of
+        // each (chunk, group) run is fetched — total backing bytes equal
+        // what a cold store would have paid for the tight query alone.
+        let cold = InMemoryStore::from(
+            MdrConfig::new()
+                .chunked(&[8, 8])
+                .build()
+                .refactor(&data, &[24, 20])
+                .unwrap(),
+        );
+        let want = Reader::new(&cold)
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-4)))
+            .unwrap();
+        let tight = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-4)))
+            .unwrap();
+        assert_eq!(tight.data, want.data);
+        assert_eq!(
+            store.bytes_fetched(),
+            cold.bytes_fetched(),
+            "extending prefixes must never re-fetch a cached byte"
+        );
+        assert!(tight.bytes_fetched < want.bytes_fetched);
+    }
+
+    #[test]
+    fn cached_store_evicts_lru_under_byte_budget() {
+        let data = field(24, 20);
+        let artifact = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build()
+            .refactor(&data, &[24, 20])
+            .unwrap();
+        let total = artifact.total_bytes();
+        // A budget far below the archive forces eviction; queries must
+        // stay correct, just less cache-effective.
+        let store = CachedStore::new(InMemoryStore::from(artifact), total / 8);
+        let reader = Reader::new(&store);
+        let a = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-4)))
+            .unwrap();
+        let b = reader
+            .retrieve::<f32>(&Query::full(Target::AbsError(1e-4)))
+            .unwrap();
+        assert_eq!(a.data, b.data);
+        assert!(
+            store.cache_stats().cached_bytes <= total / 8,
+            "cache must respect its byte budget"
+        );
+    }
+
+    #[test]
+    fn shared_reader_clones_serve_identical_answers() {
+        let data = field(24, 20);
+        let artifact = MdrConfig::new()
+            .chunked(&[7, 6])
+            .build()
+            .refactor(&data, &[24, 20])
+            .unwrap();
+        let reference = {
+            let store = InMemoryStore::from(artifact.clone());
+            Reader::new(&store)
+                .retrieve::<f32>(&Query::full(Target::Rel(1e-4)))
+                .unwrap()
+        };
+        let shared = SharedReader::new(Arc::new(CachedStore::new(
+            InMemoryStore::from(artifact),
+            usize::MAX,
+        )));
+        let clone = shared.clone();
+        let a = shared
+            .retrieve::<f32>(&Query::full(Target::Rel(1e-4)))
+            .unwrap();
+        assert_eq!(a, reference);
+        // The clone shares the cache: its identical query is free.
+        let b = clone
+            .retrieve::<f32>(&Query::full(Target::Rel(1e-4)))
+            .unwrap();
+        assert_eq!(b.data, reference.data);
+        assert_eq!(b.bytes_fetched, 0);
+    }
+
+    #[test]
+    fn overlapped_pipeline_is_bit_identical_to_sequential() {
+        let data = field(30, 26);
+        let artifact = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build()
+            .refactor(&data, &[30, 26])
+            .unwrap();
+        let store = InMemoryStore::from(artifact);
+        for q in [
+            Query::full(Target::AbsError(1e-3)),
+            Query::region(Target::Rel(1e-4), Region::new(&[3, 5], &[20, 14])),
+            Query::full(Target::Lossless),
+        ] {
+            let seq = Reader::new(&store).retrieve::<f32>(&q).unwrap();
+            let ovl = Reader::new(&store)
+                .with_pipeline(PipelineMode::Overlapped)
+                .retrieve::<f32>(&q)
+                .unwrap();
+            assert_eq!(seq, ovl, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn open_shared_serves_from_disk_through_the_cache() {
+        let data = field(24, 20);
+        let artifact = MdrConfig::new()
+            .chunked(&[8, 8])
+            .build()
+            .refactor(&data, &[24, 20])
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("hpmdr_api_shared_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        artifact.write_store(&dir).unwrap();
+        let reader = Mdr::with_defaults().open_shared(&dir).unwrap();
+        assert_eq!(reader.store().flavor(), "cached");
+        let q = Query::region(Target::AbsError(1e-3), Region::new(&[2, 2], &[10, 9]));
+        let first = reader.retrieve::<f32>(&q).unwrap();
+        assert!(first.bytes_fetched > 0);
+        let second = reader.retrieve::<f32>(&q).unwrap();
+        assert_eq!(second.data, first.data);
+        assert_eq!(second.bytes_fetched, 0, "repeat ROI must hit the cache");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,13 +12,16 @@
 //! use hpmdr_core::MdrError;
 //! use std::path::Path;
 //!
-//! // Opening a store that does not exist is an `Io` error carrying the
-//! // offending path; a damaged archive would be `Corrupt`, a manifest
-//! // from a future writer `VersionMismatch`.
+//! // Opening a path that holds no store is `InvalidInput` naming the
+//! // path and describing what a valid store looks like; a damaged
+//! // archive would be `Corrupt`, a manifest from a future writer
+//! // `VersionMismatch`.
 //! let err = hpmdr_core::api::open_store(Path::new("/nonexistent/store")).err().unwrap();
 //! match err {
-//!     MdrError::Io { path, .. } => assert!(path.starts_with("/nonexistent")),
-//!     other => panic!("expected Io, got {other}"),
+//!     MdrError::InvalidInput(why) => {
+//!         assert!(why.contains("/nonexistent/store") && why.contains("manifest.json"));
+//!     }
+//!     other => panic!("expected InvalidInput, got {other}"),
 //! }
 //! ```
 

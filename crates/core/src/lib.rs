@@ -94,8 +94,8 @@ pub mod serialize;
 pub mod storage;
 
 pub use api::{
-    open_store, Approximation, Artifact, InMemoryStore, Mdr, MdrConfig, Query, Reader, Scope,
-    Store, Target,
+    open_store, Approximation, Artifact, CacheStats, CachedStore, InMemoryStore, Mdr, MdrConfig,
+    Query, Reader, Scope, SharedReader, Store, Target, DEFAULT_CACHE_BUDGET,
 };
 pub use chunked::{
     refactor_chunked, refactor_chunked_with, ChunkGrid, ChunkedConfig, ChunkedRefactored,

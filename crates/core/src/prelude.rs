@@ -7,11 +7,12 @@
 //! fully-qualified path — the façade is the recommended surface.
 
 pub use crate::api::{
-    open_store, Approximation, Artifact, InMemoryStore, Mdr, MdrConfig, Query, Reader, Scope,
-    Store, Target,
+    open_store, Approximation, Artifact, CacheStats, CachedStore, InMemoryStore, Mdr, MdrConfig,
+    Query, Reader, Scope, SharedReader, Store, Target, DEFAULT_CACHE_BUDGET,
 };
 pub use crate::chunked::{ChunkGrid, ChunkedConfig, ChunkedRefactored};
 pub use crate::error::MdrError;
+pub use crate::pipeline::PipelineMode;
 pub use crate::qoi_retrieval::EbEstimator;
 pub use crate::refactor::{RefactorConfig, Refactored};
 pub use crate::retrieve::{RetrievalPlan, RetrievalSession};

@@ -274,10 +274,19 @@ pub fn decompress_units(
 }
 
 #[cfg(test)]
-// The deprecated scalar-backend convenience stays covered until removal.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use hpmdr_bitplane::BitplaneChunk;
+
+    /// Decode the first `units` merged units of `stream` on the scalar
+    /// backend — what the deprecated `decompress_units` wrapper does,
+    /// spelled through the supported [`Backend::decode_units`] path.
+    fn decode_prefix(stream: &LevelStream, units: usize) -> BitplaneChunk {
+        let comp = HybridCompressor::new(HybridConfig::default());
+        ScalarBackend::new()
+            .decode_units(&ExecCtx::default(), stream.view(), units, &comp, "f32")
+            .expect("self-produced stream decodes")
+    }
 
     fn field_2d(nx: usize, ny: usize) -> Vec<f32> {
         let mut v = Vec::with_capacity(nx * ny);
@@ -302,11 +311,9 @@ mod tests {
     #[test]
     fn units_decompress_to_original_planes() {
         let data = field_2d(17, 16);
-        let cfg = RefactorConfig::default();
-        let r = refactor(&data, &[17, 16], &cfg);
-        let comp = HybridCompressor::new(cfg.hybrid);
+        let r = refactor(&data, &[17, 16], &RefactorConfig::default());
         for s in &r.streams {
-            let full = decompress_units(s, s.num_units(), &comp, "f32").unwrap();
+            let full = decode_prefix(s, s.num_units());
             full.validate().unwrap();
             assert_eq!(full.num_planes(), s.num_planes);
         }
@@ -315,17 +322,28 @@ mod tests {
     #[test]
     fn partial_units_give_plane_prefix() {
         let data = field_2d(33, 32);
-        let cfg = RefactorConfig::default();
-        let r = refactor(&data, &[33, 32], &cfg);
-        let comp = HybridCompressor::new(cfg.hybrid);
+        let r = refactor(&data, &[33, 32], &RefactorConfig::default());
         let s = r.streams.last().expect("streams");
-        let partial = decompress_units(s, 2, &comp, "f32").unwrap();
-        let full = decompress_units(s, s.num_units(), &comp, "f32").unwrap();
+        let partial = decode_prefix(s, 2);
+        let full = decode_prefix(s, s.num_units());
         assert_eq!(partial.num_planes(), s.planes_in_units(2));
         for p in 0..partial.num_planes() {
             assert_eq!(partial.plane(p), full.plane(p), "plane {p}");
         }
         assert_eq!(partial.signs, full.signs);
+    }
+
+    #[test]
+    // The deprecated wrapper stays covered (narrow allow) until removal.
+    #[allow(deprecated)]
+    fn deprecated_decompress_units_still_matches_decode_units() {
+        let data = field_2d(17, 16);
+        let cfg = RefactorConfig::default();
+        let r = refactor(&data, &[17, 16], &cfg);
+        let comp = HybridCompressor::new(cfg.hybrid);
+        let s = &r.streams[0];
+        let via_wrapper = decompress_units(s, s.num_units(), &comp, "f32").unwrap();
+        assert_eq!(via_wrapper, decode_prefix(s, s.num_units()));
     }
 
     #[test]

@@ -289,8 +289,9 @@ pub fn retrieve_roi_with<F: BitplaneFloat + Real + Default, B: Backend>(
 
 /// Shared assembly path of the in-memory and store-backed ROI retrievals:
 /// reconstruct each planned chunk via `reconstruct(position, chunk_plan)`
-/// (fanned out on `backend`) and copy every chunk∩region box into the
-/// output slab.
+/// (fanned out on `backend` — the closure typically fetches *and*
+/// decodes, so parallel backends overlap chunk I/O with other chunks'
+/// decode) and copy every chunk∩region box into the output slab.
 pub(crate) fn assemble_region<F, B, R>(
     cr: &ChunkedRefactored,
     plan: &RoiPlan,
@@ -311,9 +312,28 @@ where
     }
     let positions: Vec<usize> = (0..plan.chunks.len()).collect();
     let recons = backend.map_batch(ctx, &positions, |&i| reconstruct(i, &plan.chunks[i]));
+    let parts = recons.into_iter().collect::<Result<Vec<_>, _>>()?;
+    assemble_parts(cr, plan, parts)
+}
+
+/// The copy phase of region assembly: place every already-reconstructed
+/// chunk (`parts[i]` is plan chunk `i`'s dense box) into the output
+/// slab. Shared by [`assemble_region`] and the overlapped
+/// (prefetch-thread) retrieval path, so chunk placement can never
+/// diverge between pipelines. Callers have already verified the dtype
+/// (decode would have panicked otherwise).
+pub(crate) fn assemble_parts<F>(
+    cr: &ChunkedRefactored,
+    plan: &RoiPlan,
+    parts: Vec<Vec<F>>,
+) -> Result<RoiResult<F>, MdrError>
+where
+    F: BitplaneFloat + Real + Default,
+{
+    debug_assert_eq!(F::TYPE_NAME, cr.dtype);
+    debug_assert_eq!(parts.len(), plan.chunks.len());
     let mut out = vec![F::default(); plan.region.len()];
-    for (cp, rec) in plan.chunks.iter().zip(recons) {
-        let rec = rec?;
+    for (cp, rec) in plan.chunks.iter().zip(parts) {
         let chunk_region = cr.grid.chunk_region(cp.chunk);
         let inter = chunk_region
             .intersect(&plan.region)

@@ -37,8 +37,15 @@ use hpmdr_bitplane::BitplaneFloat;
 use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
 use hpmdr_mgard::Real;
 use serde::{Deserialize, Serialize};
+use std::fs::File;
 use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Open shard file handles kept per reader (leased per request, so
+/// concurrent loads each get their own seek position).
+const MAX_POOLED_HANDLES: usize = 16;
 
 fn unit_path(dir: &Path, g: usize, u: usize) -> PathBuf {
     dir.join(format!("g{g}_u{u}.bin"))
@@ -66,6 +73,10 @@ pub fn write_store(r: &Refactored, dir: &Path) -> io::Result<usize> {
 }
 
 /// Reader over a unit-file store.
+///
+/// All methods take `&self`: accounting is atomic and every read opens
+/// its own file, so one reader can serve concurrent loads (the
+/// [`crate::api::Store`] sharing contract).
 pub struct StoreReader {
     dir: PathBuf,
     /// Single-chunk grid view of the archive metadata — what the
@@ -73,9 +84,9 @@ pub struct StoreReader {
     /// monolithic skeleton.
     meta: ChunkedRefactored,
     /// Payload bytes read so far.
-    bytes_read: usize,
+    bytes_read: AtomicUsize,
     /// Unit files opened so far.
-    files_read: usize,
+    files_read: AtomicUsize,
 }
 
 impl StoreReader {
@@ -87,8 +98,8 @@ impl StoreReader {
         Ok(StoreReader {
             dir: dir.to_path_buf(),
             meta: ChunkedRefactored::single(skeleton),
-            bytes_read: 0,
-            files_read: 0,
+            bytes_read: AtomicUsize::new(0),
+            files_read: AtomicUsize::new(0),
         })
     }
 
@@ -105,18 +116,56 @@ impl StoreReader {
 
     /// Payload bytes fetched from storage so far.
     pub fn bytes_read(&self) -> usize {
-        self.bytes_read
+        self.bytes_read.load(Ordering::Relaxed)
     }
 
     /// Unit files opened so far.
     pub fn files_read(&self) -> usize {
-        self.files_read
+        self.files_read.load(Ordering::Relaxed)
+    }
+
+    /// Fetch the payloads of units `skip .. skip + take` of level group
+    /// `g` — the [`crate::api::Store::load_units`] fetch primitive (one
+    /// file read per unit). `chunk` must be `0`: unit-file stores are
+    /// monolithic.
+    pub fn load_units(
+        &self,
+        chunk: usize,
+        g: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        if chunk != 0 {
+            return Err(MdrError::InvalidQuery(format!(
+                "chunk {chunk} out of range (monolithic store)"
+            )));
+        }
+        let s = self.meta.chunks[0]
+            .streams
+            .get(g)
+            .ok_or_else(|| MdrError::InvalidQuery(format!("level group {g} out of range")))?;
+        if skip + take > s.units.len() {
+            return Err(MdrError::InvalidQuery(format!(
+                "units {skip}..{} of group {g} out of range ({} stored)",
+                skip + take,
+                s.units.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(take);
+        for u in skip..skip + take {
+            let path = unit_path(&self.dir, g, u);
+            let bytes = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
+            self.bytes_read.fetch_add(bytes.len(), Ordering::Relaxed);
+            self.files_read.fetch_add(1, Ordering::Relaxed);
+            out.push(bytes);
+        }
+        Ok(out)
     }
 
     /// Materialize an in-memory [`Refactored`] containing exactly the
     /// units `plan` needs (other units keep empty payloads and must not
     /// be touched by retrieval).
-    pub fn load_plan(&mut self, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+    pub fn load_plan(&self, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
         let mut out = self.meta.chunks[0].clone();
         if plan.units.len() != out.streams.len() {
             return Err(MdrError::InvalidQuery(
@@ -125,12 +174,8 @@ impl StoreReader {
         }
         for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
             let want = want.min(s.units.len());
-            for u in 0..want {
-                let path = unit_path(&self.dir, g, u);
-                let bytes = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
-                self.bytes_read += bytes.len();
-                self.files_read += 1;
-                s.units[u].payload = bytes;
+            for (u, payload) in self.load_units(0, g, 0, want)?.into_iter().enumerate() {
+                s.units[u].payload = payload;
             }
         }
         Ok(out)
@@ -188,6 +233,11 @@ pub fn write_chunked_store(cr: &ChunkedRefactored, dir: &Path) -> io::Result<usi
 /// Reader over a sharded chunk store: plans against the metadata
 /// skeleton and fetches exactly the byte ranges a plan needs (one
 /// contiguous range per level group per chunk).
+///
+/// All methods take `&self`: accounting is atomic and every fetch
+/// leases an open shard handle from an internal pool (or opens a fresh
+/// one), so a single reader serves concurrent loads without contending
+/// on a shared seek position.
 #[derive(Debug)]
 pub struct ChunkedStoreReader {
     dir: PathBuf,
@@ -195,9 +245,11 @@ pub struct ChunkedStoreReader {
     /// Payload byte length of `unit_lens[chunk][group][unit]`.
     unit_lens: Vec<Vec<Vec<usize>>>,
     /// Payload bytes read so far.
-    bytes_read: usize,
+    bytes_read: AtomicUsize,
     /// Byte ranges requested so far (the store's I/O-op count).
-    ranges_read: usize,
+    ranges_read: AtomicUsize,
+    /// Pool of open shard handles, keyed by chunk index.
+    handles: Mutex<Vec<(usize, File)>>,
 }
 
 impl ChunkedStoreReader {
@@ -269,9 +321,38 @@ impl ChunkedStoreReader {
                 chunks,
             },
             unit_lens,
-            bytes_read: 0,
-            ranges_read: 0,
+            bytes_read: AtomicUsize::new(0),
+            ranges_read: AtomicUsize::new(0),
+            handles: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Lease an open handle for chunk `c` from the pool, or open one.
+    fn lease_handle(&self, c: usize) -> Result<File, MdrError> {
+        let pooled = {
+            let mut pool = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+            pool.iter()
+                .position(|&(chunk, _)| chunk == c)
+                .map(|i| pool.swap_remove(i).1)
+        };
+        match pooled {
+            Some(file) => Ok(file),
+            None => {
+                let path = shard_path(&self.dir, c);
+                File::open(&path).map_err(|e| MdrError::io(&path, e))
+            }
+        }
+    }
+
+    /// Return a leased handle to the pool, evicting the oldest pooled
+    /// handle when full — hot chunks keep cycling through the pool
+    /// instead of later handles being dropped forever.
+    fn return_handle(&self, c: usize, file: File) {
+        let mut pool = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() >= MAX_POOLED_HANDLES {
+            pool.remove(0);
+        }
+        pool.push((c, file));
     }
 
     /// Archive metadata (all unit payloads empty). Planning works
@@ -282,12 +363,12 @@ impl ChunkedStoreReader {
 
     /// Payload bytes fetched from storage so far.
     pub fn bytes_read(&self) -> usize {
-        self.bytes_read
+        self.bytes_read.load(Ordering::Relaxed)
     }
 
     /// Byte ranges requested so far.
     pub fn ranges_read(&self) -> usize {
-        self.ranges_read
+        self.ranges_read.load(Ordering::Relaxed)
     }
 
     /// Bytes `plan` would fetch from this store (computable without I/O;
@@ -314,13 +395,76 @@ impl ChunkedStoreReader {
         Ok(total)
     }
 
-    /// Materialize chunk `c` with exactly the unit prefixes `plan`
-    /// needs, reading one contiguous shard range per level group.
+    /// Fetch the payloads of units `skip .. skip + take` of level group
+    /// `g` of chunk `c` — the [`crate::api::Store::load_units`] fetch
+    /// primitive. Units are contiguous within their group on disk, so
+    /// any unit run is **one** range read, whether it starts the group
+    /// or extends an already-fetched prefix (what
+    /// [`crate::api::CachedStore`] relies on to never re-fetch a byte).
     ///
     /// A shard shorter than its manifest promises is
     /// [`MdrError::Corrupt`] (the archive is damaged); any other read
     /// failure is [`MdrError::Io`].
-    pub fn load_chunk(&mut self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
+    pub fn load_units(
+        &self,
+        c: usize,
+        g: usize,
+        skip: usize,
+        take: usize,
+    ) -> Result<Vec<Vec<u8>>, MdrError> {
+        let chunk_lens = self
+            .unit_lens
+            .get(c)
+            .ok_or_else(|| MdrError::InvalidQuery(format!("chunk {c} out of range")))?;
+        let lens = chunk_lens.get(g).ok_or_else(|| {
+            MdrError::InvalidQuery(format!("level group {g} out of range in chunk {c}"))
+        })?;
+        if skip + take > lens.len() {
+            return Err(MdrError::InvalidQuery(format!(
+                "units {skip}..{} of chunk {c} group {g} out of range ({} stored)",
+                skip + take,
+                lens.len()
+            )));
+        }
+        let nbytes: usize = lens[skip..skip + take].iter().sum();
+        if nbytes == 0 {
+            // Nothing on disk for this run (empty payloads): no I/O.
+            return Ok(vec![Vec::new(); take]);
+        }
+        let group_off: u64 = chunk_lens[..g]
+            .iter()
+            .map(|l| l.iter().sum::<usize>() as u64)
+            .sum();
+        let start = group_off + lens[..skip].iter().sum::<usize>() as u64;
+        let mut buf = vec![0u8; nbytes];
+        let mut file = self.lease_handle(c)?;
+        let path = shard_path(&self.dir, c);
+        file.seek(SeekFrom::Start(start))
+            .and_then(|_| file.read_exact(&mut buf))
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    MdrError::corrupt(format!(
+                        "shard c{c} truncated: group {g} range ends past the file"
+                    ))
+                } else {
+                    MdrError::io(&path, e)
+                }
+            })?;
+        self.return_handle(c, file);
+        self.bytes_read.fetch_add(nbytes, Ordering::Relaxed);
+        self.ranges_read.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(take);
+        let mut off = 0usize;
+        for &len in &lens[skip..skip + take] {
+            out.push(buf[off..off + len].to_vec());
+            off += len;
+        }
+        Ok(out)
+    }
+
+    /// Materialize chunk `c` with exactly the unit prefixes `plan`
+    /// needs, reading one contiguous shard range per level group.
+    pub fn load_chunk(&self, c: usize, plan: &RetrievalPlan) -> Result<Refactored, MdrError> {
         if c >= self.skeleton.chunks.len() {
             return Err(MdrError::InvalidQuery(format!("chunk {c} out of range")));
         }
@@ -330,35 +474,11 @@ impl ChunkedStoreReader {
                 "plan does not match chunk shape".to_string(),
             ));
         }
-        let path = shard_path(&self.dir, c);
-        let mut file = std::fs::File::open(&path).map_err(|e| MdrError::io(&path, e))?;
-        let mut group_off = 0u64;
         for (g, (s, &want)) in out.streams.iter_mut().zip(&plan.units).enumerate() {
-            let lens = &self.unit_lens[c][g];
             let want = want.min(s.units.len());
-            let prefix: usize = lens.iter().take(want).sum();
-            if prefix > 0 {
-                let mut buf = vec![0u8; prefix];
-                file.seek(SeekFrom::Start(group_off))
-                    .and_then(|_| file.read_exact(&mut buf))
-                    .map_err(|e| {
-                        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                            MdrError::corrupt(format!(
-                                "shard c{c} truncated: group {g} range ends past the file"
-                            ))
-                        } else {
-                            MdrError::io(&path, e)
-                        }
-                    })?;
-                self.bytes_read += prefix;
-                self.ranges_read += 1;
-                let mut off = 0usize;
-                for (u, &len) in lens.iter().take(want).enumerate() {
-                    s.units[u].payload = buf[off..off + len].to_vec();
-                    off += len;
-                }
+            for (u, payload) in self.load_units(c, g, 0, want)?.into_iter().enumerate() {
+                s.units[u].payload = payload;
             }
-            group_off += lens.iter().sum::<usize>() as u64;
         }
         Ok(out)
     }
@@ -371,17 +491,17 @@ impl ChunkedStoreReader {
     /// [`crate::api::Scope::Region`] — the store-agnostic form of this
     /// call.
     pub fn retrieve_roi<F: BitplaneFloat + Real + Default>(
-        &mut self,
+        &self,
         req: &RoiRequest,
     ) -> Result<RoiResult<F>, MdrError> {
         self.retrieve_roi_with(req, &ScalarBackend::new(), &ExecCtx::default())
     }
 
-    /// Serve a region query, reconstructing the touched chunks on
-    /// `backend` (I/O stays sequential; decode fans out via
-    /// [`Backend::map_batch`]).
+    /// Serve a region query, fanning each touched chunk's fetch *and*
+    /// reconstruction out via [`Backend::map_batch`] (parallel backends
+    /// overlap shard I/O with other chunks' decode).
     pub fn retrieve_roi_with<F: BitplaneFloat + Real + Default, B: Backend>(
-        &mut self,
+        &self,
         req: &RoiRequest,
         backend: &B,
         ctx: &ExecCtx,
@@ -394,13 +514,9 @@ impl ChunkedStoreReader {
             });
         }
         let plan = RoiPlan::for_request(&self.skeleton, req)?;
-        let loaded: Vec<Refactored> = plan
-            .chunks
-            .iter()
-            .map(|cp| self.load_chunk(cp.chunk, &cp.plan))
-            .collect::<Result<_, _>>()?;
-        crate::roi::assemble_region(&self.skeleton, &plan, backend, ctx, |i, cp| {
-            let mut sess = RetrievalSession::with_backend(&loaded[i], backend.clone());
+        crate::roi::assemble_region(&self.skeleton, &plan, backend, ctx, |_, cp| {
+            let loaded = self.load_chunk(cp.chunk, &cp.plan)?;
+            let mut sess = RetrievalSession::with_backend(&loaded, backend.clone());
             sess.try_refine_to(&cp.plan)
                 .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
             Ok(sess.reconstruct::<F>())
@@ -452,7 +568,7 @@ mod tests {
         let (data, r) = sample();
         let dir = scratch("partial");
         write_store(&r, &dir).unwrap();
-        let mut reader = StoreReader::open(&dir).unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
 
         let eb = 1e-2 * r.value_range;
         let (plan, bound) = RetrievalPlan::for_error(&r, eb);
@@ -475,7 +591,7 @@ mod tests {
         let (_, r) = sample();
         let dir = scratch("full");
         write_store(&r, &dir).unwrap();
-        let mut reader = StoreReader::open(&dir).unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
         let loaded = reader.load_plan(&RetrievalPlan::full(&r)).unwrap();
         assert_eq!(loaded, r);
         let _ = std::fs::remove_dir_all(&dir);
@@ -487,7 +603,7 @@ mod tests {
         let dir = scratch("missing");
         write_store(&r, &dir).unwrap();
         std::fs::remove_file(dir.join("g0_u0.bin")).unwrap();
-        let mut reader = StoreReader::open(&dir).unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
         let err = reader.load_plan(&RetrievalPlan::full(&r)).unwrap_err();
         assert!(
             matches!(&err, MdrError::Io { path, .. } if path.ends_with("g0_u0.bin")),
@@ -534,7 +650,7 @@ mod tests {
         let (_, cr) = chunked_sample();
         let dir = scratch("chunked_full");
         write_chunked_store(&cr, &dir).unwrap();
-        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
         for c in 0..cr.grid.num_chunks() {
             let loaded = reader
                 .load_chunk(c, &RetrievalPlan::full(&cr.chunks[c]))
@@ -550,7 +666,7 @@ mod tests {
         let (data, cr) = chunked_sample();
         let dir = scratch("chunked_roi");
         write_chunked_store(&cr, &dir).unwrap();
-        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
 
         let eb = 1e-2 * cr.value_range();
         let req = RoiRequest::new(Region::new(&[3, 2], &[10, 9]), eb);
@@ -579,7 +695,7 @@ mod tests {
         let (_, cr) = chunked_sample();
         let dir = scratch("chunked_dtype");
         write_chunked_store(&cr, &dir).unwrap();
-        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
         let err = reader
             .retrieve_roi::<f64>(&RoiRequest::new(Region::new(&[0, 0], &[4, 4]), 1e-2))
             .unwrap_err();
@@ -614,7 +730,7 @@ mod tests {
         let dir = scratch("chunked_missing");
         write_chunked_store(&cr, &dir).unwrap();
         std::fs::remove_file(dir.join("c0.shard")).unwrap();
-        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
         let err = reader
             .load_chunk(0, &RetrievalPlan::full(&cr.chunks[0]))
             .unwrap_err();

@@ -43,7 +43,7 @@ fn main() {
     ];
 
     for (label, res_level, rel_tol) in requests {
-        let mut reader = StoreReader::open(&dir).expect("open store");
+        let reader = StoreReader::open(&dir).expect("open store");
         let skeleton = reader.skeleton().clone();
         let eb = rel_tol * skeleton.value_range;
         // Plan precision, then drop the groups a coarse rendering never

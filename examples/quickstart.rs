@@ -31,14 +31,14 @@ fn main() {
 
     // Serve progressively: every tolerance is one Query; the Reader
     // plans on metadata and fetches only the bitplane prefix it needs.
-    let mut store = InMemoryStore::from(artifact);
+    let store = InMemoryStore::from(artifact);
     println!(
         "\n{:>10}  {:>14}  {:>14}  {:>12}",
         "tolerance", "fetched", "achieved", "actual L-inf"
     );
     for eb in [1e0, 1e-1, 1e-2, 1e-3, 1e-4] {
         let approx = mdr
-            .reader(&mut store)
+            .reader(&store)
             .retrieve::<f32>(&Query::full(Target::AbsError(eb)))
             .expect("query serves");
         let err = linf_f32(&data, &approx.data);

@@ -140,7 +140,7 @@ fn corrupted_chunked_shard_is_an_error_not_an_abort() {
     let bytes = std::fs::read(&shard).unwrap();
     std::fs::write(&shard, &bytes[..bytes.len() / 3]).unwrap();
 
-    let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+    let reader = ChunkedStoreReader::open(&dir).unwrap();
     let req = RoiRequest::new(Region::whole(&ds.shape), 1e-6 * cr.value_range());
     let err = reader.retrieve_roi::<f32>(&req).unwrap_err();
     // A truncated shard surfaces as archive damage: either the range
@@ -182,6 +182,37 @@ fn facade_reader_reports_shard_damage_with_the_same_variants() {
         "{err}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn opening_a_missing_or_empty_store_is_a_readable_error() {
+    use hpmdr_core::prelude::*;
+
+    // Nothing at the path at all: InvalidInput naming the path and what
+    // a valid store looks like — not a raw Io error about manifest.json.
+    let missing = std::env::temp_dir().join(format!("hpmdr_fi_missing_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&missing);
+    let err = open_store(&missing).err().unwrap();
+    assert!(
+        matches!(&err, MdrError::InvalidInput(w)
+            if w.contains(&missing.display().to_string())
+                && w.contains("manifest.json")
+                && w.contains("shard")),
+        "{err}"
+    );
+
+    // A directory that exists but holds no manifest: same class.
+    std::fs::create_dir_all(&missing).unwrap();
+    let err = open_store(&missing).err().unwrap();
+    assert!(matches!(&err, MdrError::InvalidInput(_)), "{err}");
+
+    // A manifest that is present but unreadable garbage stays Corrupt —
+    // the not-found mapping must not swallow real damage.
+    std::fs::write(missing.join("manifest.json"), b"not a manifest").unwrap();
+    let err = open_store(&missing).err().unwrap();
+    assert!(matches!(&err, MdrError::Corrupt(_)), "{err}");
+
+    let _ = std::fs::remove_dir_all(&missing);
 }
 
 #[test]

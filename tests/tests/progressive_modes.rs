@@ -79,13 +79,13 @@ fn store_round_trips_through_filesystem_with_partial_io() {
     write_store(&r, &dir).expect("write store");
 
     // Loose request reads strictly fewer files than a tight request.
-    let mut loose_reader = StoreReader::open(&dir).expect("open");
+    let loose_reader = StoreReader::open(&dir).expect("open");
     let (loose_plan, loose_bound) =
         RetrievalPlan::for_error(loose_reader.skeleton(), 1e-1 * r.value_range);
     let loose = loose_reader.load_plan(&loose_plan).expect("load");
     let loose_files = loose_reader.files_read();
 
-    let mut tight_reader = StoreReader::open(&dir).expect("open");
+    let tight_reader = StoreReader::open(&dir).expect("open");
     let (tight_plan, _) = RetrievalPlan::for_error(tight_reader.skeleton(), 1e-5 * r.value_range);
     let _tight = tight_reader.load_plan(&tight_plan).expect("load");
     assert!(tight_reader.files_read() > loose_files);

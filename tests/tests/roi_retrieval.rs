@@ -142,7 +142,7 @@ proptest! {
 
         let dir = scratch("prop", case);
         write_chunked_store(&cr, &dir).unwrap();
-        let mut reader = ChunkedStoreReader::open(&dir).unwrap();
+        let reader = ChunkedStoreReader::open(&dir).unwrap();
         let from_store: RoiResult<f32> = reader.retrieve_roi(&req).unwrap();
         let in_memory: RoiResult<f32> = retrieve_roi(&cr, &req).unwrap();
         prop_assert_eq!(&from_store, &in_memory);

@@ -26,7 +26,7 @@ fn empty_plan_reads_no_files_and_reconstructs_zeros() {
     let (_, r) = sample();
     let dir = scratch("empty");
     write_store(&r, &dir).unwrap();
-    let mut reader = StoreReader::open(&dir).unwrap();
+    let reader = StoreReader::open(&dir).unwrap();
 
     let plan = RetrievalPlan::empty(&r);
     let loaded = reader.load_plan(&plan).unwrap();
@@ -52,7 +52,7 @@ fn partial_plans_read_exactly_the_plans_units() {
     write_store(&r, &dir).unwrap();
 
     // Cumulative reader: totals grow by exactly each plan's increment.
-    let mut reader = StoreReader::open(&dir).unwrap();
+    let reader = StoreReader::open(&dir).unwrap();
     let mut files_so_far = 0usize;
     let mut bytes_so_far = 0usize;
     let mut prev_units = vec![0usize; r.streams.len()];
@@ -64,7 +64,7 @@ fn partial_plans_read_exactly_the_plans_units() {
             assert!(p <= q, "plan regressed a group");
         }
 
-        let mut fresh = StoreReader::open(&dir).unwrap();
+        let fresh = StoreReader::open(&dir).unwrap();
         let loaded = fresh.load_plan(&plan).unwrap();
         let wanted_files: usize = plan.units.iter().sum();
         assert_eq!(
@@ -113,7 +113,7 @@ fn full_plan_roundtrips_the_archive_exactly() {
     let (data, r) = sample();
     let dir = scratch("full");
     let files_written = write_store(&r, &dir).unwrap();
-    let mut reader = StoreReader::open(&dir).unwrap();
+    let reader = StoreReader::open(&dir).unwrap();
 
     let plan = RetrievalPlan::full(&r);
     let loaded = reader.load_plan(&plan).unwrap();

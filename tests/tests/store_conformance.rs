@@ -1,5 +1,5 @@
 //! Store conformance: one generic function, written against
-//! `&mut dyn Store`, serves the same [`Query`] battery from an in-memory
+//! `dyn Store`, serves the same [`Query`] battery from an in-memory
 //! artifact, a unit-file store, and a sharded chunk store — and every
 //! flavor returns **identical** [`Approximation`]s: same data, same
 //! shape, same achieved bound, same byte accounting. Error cases return
@@ -241,7 +241,7 @@ fn error_cases_return_the_same_variant_from_every_store() {
 
     // Dtype mismatch is checked before any I/O, same variant everywhere.
     let q = Query::full(Target::AbsError(1e-3));
-    let a = Reader::new(&mut memory).retrieve::<f64>(&q).err().unwrap();
+    let a = Reader::new(&memory).retrieve::<f64>(&q).err().unwrap();
     let b = Reader::new(sharded.as_mut())
         .retrieve::<f64>(&q)
         .err()
@@ -250,6 +250,53 @@ fn error_cases_return_the_same_variant_from_every_store() {
     assert_eq!(variant(&b), "DtypeMismatch");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_range_relative_targets_are_trivially_satisfied_everywhere() {
+    // Regression: a constant field has value_range() == 0, so Rel(ε)
+    // used to resolve to an absolute bound of 0.0 — strict queries
+    // returned Unsatisfiable and best-effort ones claimed exhaustion
+    // even though the reconstruction is exact. Zero-range data must be
+    // served losslessly and reported as satisfied, from every flavor.
+    let shape = [20usize, 16];
+    let data = vec![-7.5f32; shape[0] * shape[1]];
+    let mono = Mdr::with_defaults().refactor(&data, &shape).unwrap();
+    assert_eq!(mono.value_range(), 0.0);
+    let chunked = MdrConfig::new()
+        .chunked(&[8, 8])
+        .build()
+        .refactor(&data, &shape)
+        .unwrap();
+
+    let unit_dir = scratch("zr_unit");
+    let shard_dir = scratch("zr_shard");
+    mono.write_store(&unit_dir).unwrap();
+    chunked.write_store(&shard_dir).unwrap();
+    let mut memory = InMemoryStore::from(mono);
+    let mut unit_file = open_store(&unit_dir).unwrap();
+    let mut sharded = open_store(&shard_dir).unwrap();
+
+    for q in [
+        Query::full(Target::Rel(1e-3)).strict(),
+        Query::region(Target::Rel(1e-6), Region::new(&[2, 3], &[7, 5])).strict(),
+        Query::full(Target::Rel(0.5)),
+    ] {
+        for (name, store) in [
+            ("memory", &mut memory as &mut dyn Store),
+            ("unit-file", unit_file.as_mut()),
+            ("sharded", sharded.as_mut()),
+        ] {
+            let a = serve(store, &q).unwrap_or_else(|e| panic!("{name} {q:?}: {e}"));
+            assert!(!a.exhausted, "{name} {q:?}: must not claim exhaustion");
+            for v in &a.data {
+                assert!((v + 7.5).abs() < 1e-5, "{name} {q:?}: {v}");
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&unit_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
 }
 
 #[test]
