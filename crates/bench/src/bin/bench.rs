@@ -18,8 +18,14 @@
 //! cached run fetches strictly fewer bytes and that concurrent answers
 //! are byte-identical to the serial reader's.
 //!
+//! The `kernels` section (PR 6) microbenchmarks the bit-level hot loops
+//! scalar-vs-SIMD at the host's best instruction set: 32×32 bit-matrix
+//! transpose, bitplane encode fill, Huffman byte histogram, Huffman
+//! encode, and fixed-point quantize/dequantize — asserting in-bench that
+//! both legs produce identical output before reporting the speedup.
+//!
 //! Knobs (environment):
-//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 5).
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 6).
 //! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
 //! * `HPMDR_BENCH_REPS`   — timed repetitions per measurement (default 5).
 //! * `HPMDR_BENCH_OUT`    — output directory (default current dir).
@@ -91,6 +97,19 @@ struct ConcurrentPoint {
 }
 
 #[derive(Serialize)]
+struct KernelPoint {
+    kernel: String,
+    /// Instruction set the SIMD leg dispatched to.
+    isa: String,
+    /// Working-set size in bytes.
+    bytes: usize,
+    scalar_ms: f64,
+    simd_ms: f64,
+    /// `scalar_ms / simd_ms` (> 1 means the vector kernel is faster).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     pr: usize,
     extent: usize,
@@ -104,6 +123,7 @@ struct Report {
     facade_roi_store_ms: f64,
     concurrent: Vec<ConcurrentPoint>,
     huffman: Vec<CodecPoint>,
+    kernels: Vec<KernelPoint>,
 }
 
 /// The concurrent-clients workload: a cycle of overlapping ROI queries
@@ -182,8 +202,148 @@ fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
     }
 }
 
+/// Scalar-vs-SIMD microbenchmarks of the bit-level hot-loop families, at
+/// the best instruction set the host supports. Each point asserts the two
+/// legs produce identical output before timing them.
+fn kernel_points(reps: usize) -> Vec<KernelPoint> {
+    use hpmdr_bitplane::{simd::transpose32_with_isa, transpose::transpose32, Isa, Layout};
+    use hpmdr_mgard::{dequantize_with_isa, quantize_with_isa};
+
+    let isa = Isa::best_available();
+    let point = |kernel: &str, bytes: usize, scalar_ms: f64, simd_ms: f64| KernelPoint {
+        kernel: kernel.to_string(),
+        isa: isa.name().to_string(),
+        bytes,
+        scalar_ms,
+        simd_ms,
+        speedup: scalar_ms / simd_ms,
+    };
+    let mut points = Vec::new();
+
+    // 32×32 bit-matrix transpose over a working set of tiles.
+    let n_tiles = 1usize << 14;
+    let tiles: Vec<[u32; 32]> = {
+        let mut s = 0x9e3779b9u32;
+        (0..n_tiles)
+            .map(|_| {
+                std::array::from_fn(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 17;
+                    s ^= s << 5;
+                    s
+                })
+            })
+            .collect()
+    };
+    for t in tiles.iter().take(64) {
+        let (mut a, mut b) = (*t, *t);
+        transpose32(&mut a);
+        transpose32_with_isa(&mut b, isa);
+        assert_eq!(a, b, "transpose kernels must agree");
+    }
+    let scalar_ms = time_ms(reps, || {
+        for t in &tiles {
+            let mut c = *t;
+            transpose32(&mut c);
+            std::hint::black_box(&c);
+        }
+    });
+    let simd_ms = time_ms(reps, || {
+        for t in &tiles {
+            let mut c = *t;
+            transpose32_with_isa(&mut c, isa);
+            std::hint::black_box(&c);
+        }
+    });
+    points.push(point("transpose32", n_tiles * 128, scalar_ms, simd_ms));
+
+    // Bitplane encode (fixed-point conversion + word-column fill).
+    let n = 1usize << 20;
+    let field: Vec<f32> = (0..n).map(|i| (i as f32 * 0.0021).sin() * 3.0).collect();
+    assert_eq!(
+        hpmdr_bitplane::encode(&field, 32, Layout::Interleaved32),
+        hpmdr_bitplane::encode_with_isa(&field, 32, Layout::Interleaved32, isa),
+        "encode kernels must agree"
+    );
+    let scalar_ms = time_ms(reps, || {
+        std::hint::black_box(hpmdr_bitplane::encode(&field, 32, Layout::Interleaved32));
+    });
+    let simd_ms = time_ms(reps, || {
+        std::hint::black_box(hpmdr_bitplane::encode_with_isa(
+            &field,
+            32,
+            Layout::Interleaved32,
+            isa,
+        ));
+    });
+    points.push(point("encode_fill", n * 4, scalar_ms, simd_ms));
+
+    // Huffman byte histogram + whole-stream encode, on the zero-dominated
+    // payload shape merged bitplane units actually have.
+    let n = 1usize << 22;
+    let sparse: Vec<u8> = (0..n)
+        .map(|i| if i % 37 == 0 { (i % 7 + 1) as u8 } else { 0 })
+        .collect();
+    assert_eq!(
+        huffman::histogram(&sparse),
+        huffman::histogram_with_isa(&sparse, isa),
+        "histogram kernels must agree"
+    );
+    let scalar_ms = time_ms(reps, || {
+        std::hint::black_box(huffman::histogram(&sparse));
+    });
+    let simd_ms = time_ms(reps, || {
+        std::hint::black_box(huffman::histogram_with_isa(&sparse, isa));
+    });
+    points.push(point("histogram", n, scalar_ms, simd_ms));
+
+    assert_eq!(
+        huffman::compress(&sparse),
+        huffman::compress_with_isa(&sparse, isa),
+        "huffman encoders must agree"
+    );
+    let scalar_ms = time_ms(reps, || {
+        std::hint::black_box(huffman::compress(&sparse));
+    });
+    let simd_ms = time_ms(reps, || {
+        std::hint::black_box(huffman::compress_with_isa(&sparse, isa));
+    });
+    points.push(point("huffman_encode", n, scalar_ms, simd_ms));
+
+    // Fixed-point quantize/dequantize (MGARD baseline codec hot loop).
+    let n = 1usize << 20;
+    let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.0017).sin() * 9.0).collect();
+    let eb = 1e-4;
+    let codes = hpmdr_mgard::quantize::quantize(&vals, eb);
+    assert_eq!(
+        codes,
+        quantize_with_isa(&vals, eb, isa),
+        "quantize kernels must agree"
+    );
+    let scalar_ms = time_ms(reps, || {
+        std::hint::black_box(hpmdr_mgard::quantize::quantize(&vals, eb));
+    });
+    let simd_ms = time_ms(reps, || {
+        std::hint::black_box(quantize_with_isa(&vals, eb, isa));
+    });
+    points.push(point("quantize", n * 8, scalar_ms, simd_ms));
+
+    let deq: Vec<f64> = hpmdr_mgard::quantize::dequantize(&codes, eb);
+    let deq_simd: Vec<f64> = dequantize_with_isa(&codes, eb, isa);
+    assert_eq!(deq, deq_simd, "dequantize kernels must agree");
+    let scalar_ms = time_ms(reps, || {
+        std::hint::black_box(hpmdr_mgard::quantize::dequantize::<f64>(&codes, eb));
+    });
+    let simd_ms = time_ms(reps, || {
+        std::hint::black_box(dequantize_with_isa::<f64>(&codes, eb, isa));
+    });
+    points.push(point("dequantize", n * 8, scalar_ms, simd_ms));
+
+    points
+}
+
 fn main() {
-    let pr = env_usize("HPMDR_BENCH_PR", 5);
+    let pr = env_usize("HPMDR_BENCH_PR", 6);
     let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
     let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
 
@@ -338,6 +498,8 @@ fn main() {
         huffman_point("noisy", noisy, reps),
     ];
 
+    let kernels = kernel_points(reps);
+
     let report = Report {
         pr,
         extent,
@@ -351,6 +513,7 @@ fn main() {
         facade_roi_store_ms,
         concurrent,
         huffman,
+        kernels,
     };
     let json = serde_json::to_vec(&report).expect("report serializes");
     let out_dir = std::env::var("HPMDR_BENCH_OUT").unwrap_or_else(|_| ".".to_string());

@@ -28,10 +28,12 @@ pub mod designs;
 pub mod fixed;
 pub mod layout;
 pub mod native;
+pub mod simd;
 pub mod transpose;
 
 pub use chunk::BitplaneChunk;
 pub use designs::{DesignKind, EncodeOutcome, ShuffleInstr};
 pub use fixed::{align_exponent, prefix_error_bound, BitplaneFloat};
 pub use layout::Layout;
-pub use native::{decode_prefix, encode, Reconstruction};
+pub use native::{decode_prefix, encode, encode_with_isa, Reconstruction};
+pub use simd::Isa;

@@ -10,6 +10,7 @@
 use crate::chunk::BitplaneChunk;
 use crate::fixed::{align_exponent, BitplaneFloat};
 use crate::layout::{Layout, WORD_BITS};
+use crate::simd::{transpose32_fn, Isa, TransposeFn};
 use crate::transpose::transpose32;
 use rayon::prelude::*;
 
@@ -67,6 +68,24 @@ impl<F> ElemWriter<F> {
 /// `planes` is clamped to `F::MAX_PLANES`. All-zero input produces a
 /// plane-less chunk whose reconstruction is exact.
 pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> BitplaneChunk {
+    encode_with_isa(data, planes, layout, Isa::Scalar)
+}
+
+/// [`encode`] with the bit-transpose and fixed-point conversion routed
+/// through the vector kernels of [`crate::simd`] for `isa`.
+///
+/// Output is **bit-identical** to [`encode`] for every input: the SIMD
+/// transpose is an exact data-movement rewrite and the vector conversion
+/// reproduces the scalar `to_fixed` arithmetic operation for operation
+/// (enforced by the cross-backend golden-bytes and equivalence suites).
+/// An ISA unavailable on this CPU degrades to the scalar kernels.
+pub fn encode_with_isa<F: BitplaneFloat>(
+    data: &[F],
+    planes: usize,
+    layout: Layout,
+    isa: Isa,
+) -> BitplaneChunk {
+    let isa = isa.or_scalar();
     let b = planes.min(F::MAX_PLANES).max(1);
     let exp = align_exponent(data);
     if exp == i32::MIN {
@@ -76,6 +95,21 @@ pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> Bi
     let words = layout.words_per_plane(n);
     let mut chunk = BitplaneChunk::zeroed::<F>(n, exp, layout, b);
     let b_hi = b.min(32);
+    let tr = transpose32_fn(isa);
+
+    // Vector ISAs convert the whole group in one contiguous pass (full-
+    // width loads regardless of the layout's gather pattern); the column
+    // loop then only splits/gathers bits. Element order is unchanged and
+    // each element's conversion is independent, so this reordering is
+    // bit-neutral. When the ISA has no conversion for this type/plane
+    // count, conversion stays inline in the column loop.
+    let mut aligned: Vec<u64> = Vec::new();
+    if isa != Isa::Scalar {
+        aligned.resize(n, 0);
+        if !crate::simd::aligned_fixed_with_isa(data, exp, b, isa, &mut aligned) {
+            aligned.clear();
+        }
+    }
 
     {
         let cols = ArenaColumns {
@@ -85,37 +119,81 @@ pub fn encode<F: BitplaneFloat>(data: &[F], planes: usize, layout: Layout) -> Bi
         let signs_col = ElemWriter {
             ptr: chunk.signs.as_mut_ptr(),
         };
-        (0..words).into_par_iter().with_min_len(32).for_each(|u| {
-            let mut hi = [0u32; 32];
-            let mut lo = [0u32; 32];
-            let mut sign_word = 0u32;
-            for r in 0..WORD_BITS {
-                let e = layout.element(u, r);
-                if e >= n {
-                    continue;
+        if aligned.is_empty() {
+            (0..words).into_par_iter().with_min_len(32).for_each(|u| {
+                let mut hi = [0u32; 32];
+                let mut lo = [0u32; 32];
+                let mut sign_word = 0u32;
+                for r in 0..WORD_BITS {
+                    let e = layout.element(u, r);
+                    if e >= n {
+                        continue;
+                    }
+                    let v = data[e];
+                    // Left-align into 64 bits so plane 0 is always bit 63.
+                    let a = v.to_fixed(exp, b) << (64 - b);
+                    hi[r] = (a >> 32) as u32;
+                    lo[r] = a as u32;
+                    sign_word |= (v.is_neg() as u32) << r;
                 }
-                let v = data[e];
-                // Left-align into 64 bits so plane 0 is always bit 63.
-                let aligned = v.to_fixed(exp, b) << (64 - b);
-                hi[r] = (aligned >> 32) as u32;
-                lo[r] = aligned as u32;
-                sign_word |= (v.is_neg() as u32) << r;
-            }
-            transpose32(&mut hi);
-            for (p, col) in hi.iter().rev().take(b_hi).enumerate() {
-                unsafe { cols.set(p, u, *col) };
-            }
-            if b > 32 {
-                transpose32(&mut lo);
-                for (p, col) in lo.iter().rev().take(b - 32).enumerate() {
-                    unsafe { cols.set(32 + p, u, *col) };
+                store_tile(
+                    &cols, &signs_col, u, &mut hi, &mut lo, sign_word, b, b_hi, tr,
+                );
+            });
+        } else {
+            let pre: &[u64] = &aligned;
+            (0..words).into_par_iter().with_min_len(32).for_each(|u| {
+                let mut hi = [0u32; 32];
+                let mut lo = [0u32; 32];
+                let mut sign_word = 0u32;
+                for r in 0..WORD_BITS {
+                    let e = layout.element(u, r);
+                    if e >= n {
+                        continue;
+                    }
+                    let a = pre[e];
+                    hi[r] = (a >> 32) as u32;
+                    lo[r] = a as u32;
+                    sign_word |= (data[e].is_neg() as u32) << r;
                 }
-            }
-            unsafe { signs_col.write(u, sign_word) };
-        });
+                store_tile(
+                    &cols, &signs_col, u, &mut hi, &mut lo, sign_word, b, b_hi, tr,
+                );
+            });
+        }
     }
 
     chunk
+}
+
+/// Transpose one word-column tile and scatter its plane words (and sign
+/// word) into the arena — the shared tail of both encode loop bodies.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn store_tile(
+    cols: &ArenaColumns,
+    signs_col: &ElemWriter<u32>,
+    u: usize,
+    hi: &mut [u32; 32],
+    lo: &mut [u32; 32],
+    sign_word: u32,
+    b: usize,
+    b_hi: usize,
+    tr: TransposeFn,
+) {
+    // Safety: `tr` was resolved from an available ISA by the caller.
+    unsafe { tr(hi) };
+    for (p, col) in hi.iter().rev().take(b_hi).enumerate() {
+        unsafe { cols.set(p, u, *col) };
+    }
+    if b > 32 {
+        // Safety: as above.
+        unsafe { tr(lo) };
+        for (p, col) in lo.iter().rev().take(b - 32).enumerate() {
+            unsafe { cols.set(32 + p, u, *col) };
+        }
+    }
+    unsafe { signs_col.write(u, sign_word) };
 }
 
 /// Decode the first `k` magnitude planes of `chunk` into values.
@@ -445,6 +523,41 @@ mod tests {
         let a: Vec<f32> = decode_prefix(&c, 10, Reconstruction::Truncate);
         let b: Vec<f32> = decode_prefix(&c, 99, Reconstruction::Truncate);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encode_with_isa_is_bit_identical_to_scalar() {
+        let isas: Vec<Isa> = [Isa::Scalar, Isa::Avx2, Isa::Neon]
+            .into_iter()
+            .filter(|i| i.is_available())
+            .collect();
+        for layout in [Layout::Natural, Layout::Interleaved32] {
+            for n in [1usize, 5, 31, 32, 33, 255, 1000, 1024, 1025] {
+                let d32 = wave32(n);
+                let d64 = wave(n, 41.5);
+                for &isa in &isas {
+                    for planes in [1usize, 7, 17, 32] {
+                        let a = encode(&d32, planes, layout);
+                        let b = encode_with_isa(&d32, planes, layout, isa);
+                        assert_eq!(a, b, "f32 {isa} {layout:?} n={n} planes={planes}");
+                    }
+                    for planes in [1usize, 20, 33, 51, 52, 64] {
+                        let a = encode(&d64, planes, layout);
+                        let b = encode_with_isa(&d64, planes, layout, isa);
+                        assert_eq!(a, b, "f64 {isa} {layout:?} n={n} planes={planes}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_with_unavailable_isa_still_correct() {
+        let data = wave32(513);
+        for isa in [Isa::Avx2, Isa::Neon] {
+            let c = encode_with_isa(&data, 32, Layout::Interleaved32, isa);
+            assert_eq!(c, encode(&data, 32, Layout::Interleaved32));
+        }
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! Vectorized kernels for the bitplane hot loops, dispatched by [`Isa`].
+//!
+//! Two kernel families live here:
+//!
+//! * **32×32 bit-matrix transpose** — the same five masked block-swap
+//!   stages as [`crate::transpose::transpose32`], laid out so a 256-bit
+//!   (AVX2) or 128-bit (NEON) register holds 8 or 4 rows: the wide
+//!   stages are pure vector xor/shift/and across registers, and the
+//!   narrow stages become a partner-lane swap (`permute`/`shuffle` /
+//!   `ext`/`rev`) plus a lane blend. ~100 vector ops replace ~400
+//!   scalar word ops per tile.
+//! * **Exponent-aligned fixed-point conversion** — the per-element
+//!   `to_fixed(exp, b) << (64 - b)` of the encode fill, as a vector
+//!   multiply + truncating round + integer convert. Conversion is
+//!   hoisted out of the word-column gather into one contiguous pass so
+//!   full-width loads apply regardless of stream layout.
+//!
+//! Every kernel is bit-identical to its scalar reference: the transpose
+//! is an exact data-movement rewrite, and the conversion performs the
+//! same IEEE-754 multiply then the same truncate-toward-zero integer
+//! conversion the scalar `as u64` cast performs (AVX2 proves the
+//! equivalence with an explicit `ROUND_TO_ZERO` plus the exact
+//! `1.5·2^52` magic-constant conversion, valid because the clamp range
+//! keeps magnitudes below `2^51`; NEON's `FCVTZU` *is* the `as u64`
+//! semantics in hardware). Equivalence is enforced by in-crate tests
+//! and by the cross-backend golden-bytes/property suites.
+//!
+//! # Safety model
+//!
+//! All `unsafe` is confined to `#[target_feature]` leaf functions. Each
+//! leaf's contract is the same single precondition: **the feature named
+//! in its `#[target_feature]` attribute is available on the executing
+//! CPU.** Dispatchers establish it by construction — an [`Isa`] value
+//! only reaches a leaf after `Isa::is_available` gating (see
+//! `hpmdr-simd`) — and every pointer a leaf touches derives from a
+//! slice or array reference, so in-bounds access needs no further
+//! caller obligations.
+
+use crate::fixed::BitplaneFloat;
+use crate::transpose::transpose32;
+pub use hpmdr_simd::Isa;
+use std::any::TypeId;
+
+/// Function-pointer type of an in-place 32×32 bit transpose kernel.
+///
+/// # Safety
+/// The pointee may use the instruction set of the [`Isa`] it was
+/// resolved from; callers must have obtained it via [`transpose32_fn`]
+/// with an available ISA.
+pub type TransposeFn = unsafe fn(&mut [u32; 32]);
+
+/// Resolve the transpose kernel for `isa` (scalar reference when the
+/// ISA has no kernel on this target).
+///
+/// The returned pointer is what the encode/decode loops carry into
+/// their per-column workers: one dispatch per kernel invocation, never
+/// per tile.
+pub fn transpose32_fn(isa: Isa) -> TransposeFn {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => transpose32_avx2,
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => transpose32_neon,
+        _ => transpose32_ref,
+    }
+}
+
+/// Scalar transpose behind the common [`TransposeFn`] signature.
+///
+/// # Safety
+/// None beyond the safe reference it wraps; `unsafe` only to match the
+/// function-pointer type.
+unsafe fn transpose32_ref(m: &mut [u32; 32]) {
+    transpose32(m);
+}
+
+/// Transpose via the kernel selected for `isa` — the safe entry point
+/// benchmarks and tests use for single tiles.
+pub fn transpose32_with_isa(m: &mut [u32; 32], isa: Isa) {
+    let f = transpose32_fn(isa.or_scalar());
+    // Safety: `or_scalar` guarantees the resolved kernel's instruction
+    // set is available on this CPU.
+    unsafe { f(m) };
+}
+
+/// AVX2 32×32 bit transpose: 4×8-row registers.
+///
+/// Stages `s = 16, 8` pair rows living in different registers, so they
+/// are straight vector xor/shift/and; stages `s = 4, 2, 1` pair lanes
+/// within a register, handled by materializing the partner-lane vector
+/// (`permute2x128` for lane `i^4`, `shuffle_epi32` for `i^2`/`i^1`)
+/// and blending the even-row update `r ^ (t << s)` with the odd-row
+/// update `r ^ t`, where `t = ((even >> s) ^ odd) & mask`.
+///
+/// # Safety
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose32_avx2(m: &mut [u32; 32]) {
+    use std::arch::x86_64::*;
+    let p = m.as_mut_ptr() as *mut __m256i;
+    let mut r0 = _mm256_loadu_si256(p);
+    let mut r1 = _mm256_loadu_si256(p.add(1));
+    let mut r2 = _mm256_loadu_si256(p.add(2));
+    let mut r3 = _mm256_loadu_si256(p.add(3));
+
+    // Cross-register stage: rows of `$a` pair with rows of `$b`.
+    macro_rules! wide_stage {
+        ($a:ident, $b:ident, $s:literal, $mask:ident) => {{
+            let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi32::<$s>($a), $b), $mask);
+            $a = _mm256_xor_si256($a, _mm256_slli_epi32::<$s>(t));
+            $b = _mm256_xor_si256($b, t);
+        }};
+    }
+    // Within-register stage: lane `i` pairs with lane `i ^ $s`; `$p`
+    // materializes the partner vector, `$blend` selects the odd-group
+    // lanes (those with `i & $s != 0`).
+    macro_rules! lane_stage {
+        ($r:ident, $p:expr, $blend:literal, $s:literal, $mask:ident) => {{
+            let pv = $p;
+            let te = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi32::<$s>($r), pv), $mask);
+            let to = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi32::<$s>(pv), $r), $mask);
+            let re = _mm256_xor_si256($r, _mm256_slli_epi32::<$s>(te));
+            let ro = _mm256_xor_si256($r, to);
+            $r = _mm256_blend_epi32::<$blend>(re, ro);
+        }};
+    }
+
+    let m16 = _mm256_set1_epi32(0x0000_FFFFu32 as i32);
+    wide_stage!(r0, r2, 16, m16);
+    wide_stage!(r1, r3, 16, m16);
+
+    let m8 = _mm256_set1_epi32(0x00FF_00FFu32 as i32);
+    wide_stage!(r0, r1, 8, m8);
+    wide_stage!(r2, r3, 8, m8);
+
+    let m4 = _mm256_set1_epi32(0x0F0F_0F0Fu32 as i32);
+    lane_stage!(r0, _mm256_permute2x128_si256::<0x01>(r0, r0), 0xF0, 4, m4);
+    lane_stage!(r1, _mm256_permute2x128_si256::<0x01>(r1, r1), 0xF0, 4, m4);
+    lane_stage!(r2, _mm256_permute2x128_si256::<0x01>(r2, r2), 0xF0, 4, m4);
+    lane_stage!(r3, _mm256_permute2x128_si256::<0x01>(r3, r3), 0xF0, 4, m4);
+
+    let m2 = _mm256_set1_epi32(0x3333_3333u32 as i32);
+    lane_stage!(r0, _mm256_shuffle_epi32::<0x4E>(r0), 0xCC, 2, m2);
+    lane_stage!(r1, _mm256_shuffle_epi32::<0x4E>(r1), 0xCC, 2, m2);
+    lane_stage!(r2, _mm256_shuffle_epi32::<0x4E>(r2), 0xCC, 2, m2);
+    lane_stage!(r3, _mm256_shuffle_epi32::<0x4E>(r3), 0xCC, 2, m2);
+
+    let m1 = _mm256_set1_epi32(0x5555_5555u32 as i32);
+    lane_stage!(r0, _mm256_shuffle_epi32::<0xB1>(r0), 0xAA, 1, m1);
+    lane_stage!(r1, _mm256_shuffle_epi32::<0xB1>(r1), 0xAA, 1, m1);
+    lane_stage!(r2, _mm256_shuffle_epi32::<0xB1>(r2), 0xAA, 1, m1);
+    lane_stage!(r3, _mm256_shuffle_epi32::<0xB1>(r3), 0xAA, 1, m1);
+
+    _mm256_storeu_si256(p, r0);
+    _mm256_storeu_si256(p.add(1), r1);
+    _mm256_storeu_si256(p.add(2), r2);
+    _mm256_storeu_si256(p.add(3), r3);
+}
+
+/// NEON 32×32 bit transpose: 8×4-row registers.
+///
+/// With 4-lane registers the `s = 16, 8, 4` stages all pair rows across
+/// registers; only `s = 2` (partner lane `i ^ 2`, via `vextq_u32`
+/// rotation) and `s = 1` (partner lane `i ^ 1`, via `vrev64q_u32`) need
+/// the partner-swap + `vbslq_u32` blend form.
+///
+/// # Safety
+/// NEON must be available on the executing CPU (aarch64 baseline).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn transpose32_neon(m: &mut [u32; 32]) {
+    use std::arch::aarch64::*;
+    let p = m.as_mut_ptr();
+    let mut q: [uint32x4_t; 8] = [
+        vld1q_u32(p),
+        vld1q_u32(p.add(4)),
+        vld1q_u32(p.add(8)),
+        vld1q_u32(p.add(12)),
+        vld1q_u32(p.add(16)),
+        vld1q_u32(p.add(20)),
+        vld1q_u32(p.add(24)),
+        vld1q_u32(p.add(28)),
+    ];
+
+    macro_rules! wide_stage {
+        ($a:expr, $b:expr, $s:literal, $mask:ident) => {{
+            let (ra, rb) = (q[$a], q[$b]);
+            let t = vandq_u32(veorq_u32(vshrq_n_u32::<$s>(ra), rb), $mask);
+            q[$a] = veorq_u32(ra, vshlq_n_u32::<$s>(t));
+            q[$b] = veorq_u32(rb, t);
+        }};
+    }
+
+    let m16 = vdupq_n_u32(0x0000_FFFF);
+    wide_stage!(0, 4, 16, m16);
+    wide_stage!(1, 5, 16, m16);
+    wide_stage!(2, 6, 16, m16);
+    wide_stage!(3, 7, 16, m16);
+
+    let m8 = vdupq_n_u32(0x00FF_00FF);
+    wide_stage!(0, 2, 8, m8);
+    wide_stage!(1, 3, 8, m8);
+    wide_stage!(4, 6, 8, m8);
+    wide_stage!(5, 7, 8, m8);
+
+    let m4 = vdupq_n_u32(0x0F0F_0F0F);
+    wide_stage!(0, 1, 4, m4);
+    wide_stage!(2, 3, 4, m4);
+    wide_stage!(4, 5, 4, m4);
+    wide_stage!(6, 7, 4, m4);
+
+    // Lane selectors for the odd-group lanes of the in-register stages.
+    let sel2 = vcombine_u32(vdup_n_u32(0), vdup_n_u32(u32::MAX)); // lanes 2,3
+    let odd = [0u32, u32::MAX, 0, u32::MAX];
+    let sel1 = vld1q_u32(odd.as_ptr()); // lanes 1,3
+
+    macro_rules! lane_stage {
+        ($i:expr, $p:expr, $sel:ident, $s:literal, $mask:ident) => {{
+            let r = q[$i];
+            let pv = $p(r);
+            let te = vandq_u32(veorq_u32(vshrq_n_u32::<$s>(r), pv), $mask);
+            let to = vandq_u32(veorq_u32(vshrq_n_u32::<$s>(pv), r), $mask);
+            let re = veorq_u32(r, vshlq_n_u32::<$s>(te));
+            let ro = veorq_u32(r, to);
+            q[$i] = vbslq_u32($sel, ro, re);
+        }};
+    }
+
+    #[inline(always)]
+    unsafe fn partner2(r: uint32x4_t) -> uint32x4_t {
+        vextq_u32::<2>(r, r)
+    }
+    #[inline(always)]
+    unsafe fn partner1(r: uint32x4_t) -> uint32x4_t {
+        vrev64q_u32(r)
+    }
+
+    let m2 = vdupq_n_u32(0x3333_3333);
+    lane_stage!(0, partner2, sel2, 2, m2);
+    lane_stage!(1, partner2, sel2, 2, m2);
+    lane_stage!(2, partner2, sel2, 2, m2);
+    lane_stage!(3, partner2, sel2, 2, m2);
+    lane_stage!(4, partner2, sel2, 2, m2);
+    lane_stage!(5, partner2, sel2, 2, m2);
+    lane_stage!(6, partner2, sel2, 2, m2);
+    lane_stage!(7, partner2, sel2, 2, m2);
+
+    let m1 = vdupq_n_u32(0x5555_5555);
+    lane_stage!(0, partner1, sel1, 1, m1);
+    lane_stage!(1, partner1, sel1, 1, m1);
+    lane_stage!(2, partner1, sel1, 1, m1);
+    lane_stage!(3, partner1, sel1, 1, m1);
+    lane_stage!(4, partner1, sel1, 1, m1);
+    lane_stage!(5, partner1, sel1, 1, m1);
+    lane_stage!(6, partner1, sel1, 1, m1);
+    lane_stage!(7, partner1, sel1, 1, m1);
+
+    for (j, v) in q.into_iter().enumerate() {
+        vst1q_u32(p.add(4 * j), v);
+    }
+}
+
+/// Compute the left-aligned fixed-point magnitudes of `data` in one
+/// contiguous vector pass: `out[e] = data[e].to_fixed(exp, b) << (64 - b)`,
+/// bit-identically.
+///
+/// Returns `false` (leaving `out` untouched) when `isa` has no vector
+/// conversion for this element type / plane count on this target — the
+/// caller then keeps the in-loop scalar conversion. `f32` converts for
+/// any `b ≤ 32`; `f64` requires `b ≤ 51` on AVX2 (the exact range of
+/// the magic-constant float→int conversion) and converts for any `b` on
+/// NEON.
+///
+/// # Panics
+/// Panics if `out.len() != data.len()` or `b == 0`.
+pub fn aligned_fixed_with_isa<F: BitplaneFloat>(
+    data: &[F],
+    exp: i32,
+    b: usize,
+    isa: Isa,
+    out: &mut [u64],
+) -> bool {
+    assert_eq!(out.len(), data.len(), "output length mismatch");
+    assert!((1..=64).contains(&b), "plane count out of range");
+    let _ = (exp, isa, &*out);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            if TypeId::of::<F>() == TypeId::of::<f32>() {
+                // Safety: F == f32 (checked above), so the slice cast is
+                // a no-op reinterpretation; AVX2 availability is the
+                // dispatch precondition.
+                unsafe {
+                    let vals = std::slice::from_raw_parts(data.as_ptr() as *const f32, data.len());
+                    aligned_fixed_f32_avx2(vals, exp, b, out);
+                }
+                true
+            } else if TypeId::of::<F>() == TypeId::of::<f64>() && b <= 51 {
+                // Safety: as above, with F == f64.
+                unsafe {
+                    let vals = std::slice::from_raw_parts(data.as_ptr() as *const f64, data.len());
+                    aligned_fixed_f64_avx2(vals, exp, b, out);
+                }
+                true
+            } else {
+                false
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            if TypeId::of::<F>() == TypeId::of::<f32>() {
+                // Safety: F == f32; NEON is the aarch64 baseline.
+                unsafe {
+                    let vals = std::slice::from_raw_parts(data.as_ptr() as *const f32, data.len());
+                    aligned_fixed_f32_neon(vals, exp, b, out);
+                }
+                true
+            } else if TypeId::of::<F>() == TypeId::of::<f64>() {
+                // Safety: F == f64; NEON is the aarch64 baseline.
+                unsafe {
+                    let vals = std::slice::from_raw_parts(data.as_ptr() as *const f64, data.len());
+                    aligned_fixed_f64_neon(vals, exp, b, out);
+                }
+                true
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Scalar tail shared by every conversion kernel.
+fn aligned_fixed_tail<F: BitplaneFloat>(data: &[F], exp: i32, b: usize, out: &mut [u64]) {
+    for (o, &v) in out.iter_mut().zip(data) {
+        *o = v.to_fixed(exp, b) << (64 - b);
+    }
+}
+
+/// AVX2 f32 conversion: widen 4 lanes to f64, multiply by
+/// `2^(b - exp)`, truncate toward zero, convert via the `1.5·2^52`
+/// magic constant (exact for magnitudes `< 2^51`; here `< 2^32` by the
+/// alignment invariant and clamped anyway), clamp to `2^b - 1`, shift
+/// left into plane-0-at-bit-63 position.
+///
+/// # Safety
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn aligned_fixed_f32_avx2(data: &[f32], exp: i32, b: usize, out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let scale = _mm256_set1_pd(crate::fixed::exp2(b as i32 - exp));
+    let max = _mm256_set1_epi64x(((1u64 << b) - 1) as i64); // b ≤ 32
+    let magic = _mm256_set1_pd(f64::from_bits(0x4338_0000_0000_0000));
+    let magic_i = _mm256_set1_epi64x(0x4338_0000_0000_0000u64 as i64);
+    let shift = _mm_cvtsi32_si128((64 - b) as i32);
+    let abs32 = _mm_set1_ps(f32::from_bits(0x7FFF_FFFF));
+    let n = data.len() & !3;
+    for i in (0..n).step_by(4) {
+        let x = _mm_and_ps(_mm_loadu_ps(data.as_ptr().add(i)), abs32);
+        let s = _mm256_mul_pd(_mm256_cvtps_pd(x), scale);
+        let t = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(s);
+        let q = _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(t, magic)), magic_i);
+        let q = _mm256_blendv_epi8(q, max, _mm256_cmpgt_epi64(q, max));
+        let q = _mm256_sll_epi64(q, shift);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, q);
+    }
+    aligned_fixed_tail(&data[n..], exp, b, &mut out[n..]);
+}
+
+/// AVX2 f64 conversion; same pipeline as the f32 kernel without the
+/// widening step. Restricted to `b ≤ 51` so every truncated magnitude
+/// sits in the magic constant's exact range.
+///
+/// # Safety
+/// AVX2 must be available on the executing CPU; callers must pass
+/// `b ≤ 51`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn aligned_fixed_f64_avx2(data: &[f64], exp: i32, b: usize, out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let scale = _mm256_set1_pd(crate::fixed::exp2(b as i32 - exp));
+    let max = _mm256_set1_epi64x(((1u64 << b) - 1) as i64); // b ≤ 51
+    let magic = _mm256_set1_pd(f64::from_bits(0x4338_0000_0000_0000));
+    let magic_i = _mm256_set1_epi64x(0x4338_0000_0000_0000u64 as i64);
+    let shift = _mm_cvtsi32_si128((64 - b) as i32);
+    let sign = _mm256_set1_pd(-0.0);
+    let n = data.len() & !3;
+    for i in (0..n).step_by(4) {
+        let x = _mm256_andnot_pd(sign, _mm256_loadu_pd(data.as_ptr().add(i)));
+        let s = _mm256_mul_pd(x, scale);
+        let t = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(s);
+        let q = _mm256_sub_epi64(_mm256_castpd_si256(_mm256_add_pd(t, magic)), magic_i);
+        let q = _mm256_blendv_epi8(q, max, _mm256_cmpgt_epi64(q, max));
+        let q = _mm256_sll_epi64(q, shift);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, q);
+    }
+    aligned_fixed_tail(&data[n..], exp, b, &mut out[n..]);
+}
+
+/// NEON f32 conversion: widen 2+2 lanes to f64, multiply, `FCVTZU`
+/// (truncate toward zero with saturation — hardware `as u64`
+/// semantics), clamp, shift.
+///
+/// # Safety
+/// NEON must be available on the executing CPU.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn aligned_fixed_f32_neon(data: &[f32], exp: i32, b: usize, out: &mut [u64]) {
+    use std::arch::aarch64::*;
+    let scale = crate::fixed::exp2(b as i32 - exp);
+    let max = vdupq_n_u64((1u64 << b) - 1); // b ≤ 32
+    let shift = vdupq_n_s64((64 - b) as i64);
+    let n = data.len() & !3;
+    for i in (0..n).step_by(4) {
+        let x = vabsq_f32(vld1q_f32(data.as_ptr().add(i)));
+        for (half, off) in [(vget_low_f32(x), 0usize), (vget_high_f32(x), 2)] {
+            let s = vmulq_n_f64(vcvt_f64_f32(half), scale);
+            let q = vcvtq_u64_f64(s);
+            let q = vbslq_u64(vcgtq_u64(q, max), max, q);
+            let q = vshlq_u64(q, shift);
+            vst1q_u64(out.as_mut_ptr().add(i + off), q);
+        }
+    }
+    aligned_fixed_tail(&data[n..], exp, b, &mut out[n..]);
+}
+
+/// NEON f64 conversion; `FCVTZU` saturates across the full u64 range,
+/// so every plane count `b ≤ 64` is exact.
+///
+/// # Safety
+/// NEON must be available on the executing CPU.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn aligned_fixed_f64_neon(data: &[f64], exp: i32, b: usize, out: &mut [u64]) {
+    use std::arch::aarch64::*;
+    let scale = crate::fixed::exp2(b as i32 - exp);
+    let max = vdupq_n_u64(if b >= 64 { u64::MAX } else { (1u64 << b) - 1 });
+    let shift = vdupq_n_s64((64 - b) as i64);
+    let n = data.len() & !1;
+    for i in (0..n).step_by(2) {
+        let x = vabsq_f64(vld1q_f64(data.as_ptr().add(i)));
+        let s = vmulq_n_f64(x, scale);
+        let q = vcvtq_u64_f64(s);
+        let q = vbslq_u64(vcgtq_u64(q, max), max, q);
+        let q = vshlq_u64(q, shift);
+        vst1q_u64(out.as_mut_ptr().add(i), q);
+    }
+    aligned_fixed_tail(&data[n..], exp, b, &mut out[n..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::align_exponent;
+    use crate::transpose::{transpose32_naive, transposed32};
+
+    fn pattern(seed: u32) -> [u32; 32] {
+        let mut s = seed | 1;
+        let mut m = [0u32; 32];
+        for w in m.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            *w = s;
+        }
+        m
+    }
+
+    fn available_isas() -> Vec<Isa> {
+        [Isa::Scalar, Isa::Avx2, Isa::Neon]
+            .into_iter()
+            .filter(|i| i.is_available())
+            .collect()
+    }
+
+    #[test]
+    fn simd_transpose_matches_naive_and_scalar() {
+        for isa in available_isas() {
+            for seed in 0..128u32 {
+                let m = pattern(seed);
+                let mut t = m;
+                transpose32_with_isa(&mut t, isa);
+                assert_eq!(t, transpose32_naive(&m), "{isa} seed {seed}");
+                assert_eq!(t, transposed32(&m), "{isa} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_transpose_special_patterns() {
+        for isa in available_isas() {
+            for m in [
+                [0u32; 32],
+                [u32::MAX; 32],
+                std::array::from_fn(|i| 1u32 << i),
+                std::array::from_fn(|i| if i % 2 == 0 { 0xAAAA_AAAA } else { 0x5555_5555 }),
+            ] {
+                let mut t = m;
+                transpose32_with_isa(&mut t, isa);
+                assert_eq!(t, transpose32_naive(&m), "{isa}");
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_isa_degrades_to_scalar_kernel() {
+        // Forcing an ISA the host lacks must still transpose correctly.
+        for isa in [Isa::Avx2, Isa::Neon] {
+            let m = pattern(99);
+            let mut t = m;
+            transpose32_with_isa(&mut t, isa);
+            assert_eq!(t, transpose32_naive(&m));
+        }
+    }
+
+    fn wave32(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 * 0.37).sin() * 3.7 - 1.1) * if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect()
+    }
+
+    fn wave64(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.013).sin() * 123.0 + (i as f64 * 0.29).cos())
+            .collect()
+    }
+
+    #[test]
+    fn aligned_fixed_matches_scalar_f32() {
+        for isa in available_isas() {
+            for n in [0usize, 1, 3, 4, 5, 31, 32, 33, 1000, 1025] {
+                let data = wave32(n);
+                let exp = align_exponent(&data);
+                if exp == i32::MIN {
+                    continue;
+                }
+                for b in [1usize, 7, 16, 31, 32] {
+                    let mut out = vec![0u64; n];
+                    let took = aligned_fixed_with_isa(&data, exp, b, isa, &mut out);
+                    if !took {
+                        continue;
+                    }
+                    for (e, (&o, &v)) in out.iter().zip(&data).enumerate() {
+                        assert_eq!(o, v.to_fixed(exp, b) << (64 - b), "{isa} n={n} b={b} e={e}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_fixed_matches_scalar_f64() {
+        for isa in available_isas() {
+            for n in [1usize, 2, 3, 63, 64, 65, 999] {
+                let data = wave64(n);
+                let exp = align_exponent(&data);
+                for b in [1usize, 13, 32, 51, 52, 64] {
+                    let mut out = vec![0u64; n];
+                    let took = aligned_fixed_with_isa(&data, exp, b, isa, &mut out);
+                    if !took {
+                        continue;
+                    }
+                    for (e, (&o, &v)) in out.iter().zip(&data).enumerate() {
+                        assert_eq!(o, v.to_fixed(exp, b) << (64 - b), "{isa} n={n} b={b} e={e}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_fixed_saturates_at_range_top() {
+        // Values exactly at / rounding to the top of the fixed range must
+        // hit the same clamp as the scalar path.
+        let data = [1.999_999f32, 0.0, -1.999_999, 1.0, 0.5, -0.25, 1.5, -1.0];
+        let exp = align_exponent(&data);
+        for isa in available_isas() {
+            for b in [1usize, 8, 24, 32] {
+                let mut out = vec![0u64; data.len()];
+                if aligned_fixed_with_isa(&data, exp, b, isa, &mut out) {
+                    for (&o, &v) in out.iter().zip(&data) {
+                        assert_eq!(o, v.to_fixed(exp, b) << (64 - b), "{isa} b={b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_isa_declines_vector_conversion() {
+        let data = wave32(64);
+        let mut out = vec![0u64; 64];
+        assert!(!aligned_fixed_with_isa(&data, 2, 32, Isa::Scalar, &mut out));
+    }
+}

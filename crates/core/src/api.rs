@@ -33,7 +33,7 @@ use crate::retrieve::{RetrievalPlan, RetrievalSession};
 use crate::roi::{assemble_parts, assemble_region, Region, RoiPlan};
 use crate::storage::{ChunkedStoreReader, StoreReader};
 use hpmdr_bitplane::{BitplaneFloat, Layout};
-use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
+use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend, SimdBackend};
 use hpmdr_lossless::HybridConfig;
 use hpmdr_mgard::Real;
 use hpmdr_qoi::QoiExpr;
@@ -148,6 +148,14 @@ impl MdrConfig {
     /// Build an [`Mdr`] on a multi-core [`ParallelBackend`].
     pub fn build_parallel(self) -> Mdr<ParallelBackend> {
         self.build_with(ParallelBackend::new())
+    }
+
+    /// Build an [`Mdr`] on a [`SimdBackend`] using the best instruction
+    /// set the host supports (subject to the `HPMDR_FORCE_SCALAR` /
+    /// `HPMDR_SIMD` environment overrides). Artifacts are bit-identical
+    /// to [`Self::build`]'s; only wall-clock differs.
+    pub fn build_simd(self) -> Mdr<SimdBackend> {
+        self.build_with(SimdBackend::new())
     }
 
     /// Build an [`Mdr`] on any [`Backend`]. Artifacts are bit-identical

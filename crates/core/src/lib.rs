@@ -101,7 +101,7 @@ pub use chunked::{
     refactor_chunked, refactor_chunked_with, ChunkGrid, ChunkedConfig, ChunkedRefactored,
 };
 pub use error::MdrError;
-pub use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
+pub use hpmdr_exec::{Backend, ExecCtx, Isa, ParallelBackend, ScalarBackend, SimdBackend};
 pub use qoi_retrieval::{
     retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,
     MultiQoiRetrievalOutcome, QoiRetrievalOutcome,

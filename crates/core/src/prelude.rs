@@ -18,5 +18,5 @@ pub use crate::refactor::{RefactorConfig, Refactored};
 pub use crate::retrieve::{RetrievalPlan, RetrievalSession};
 pub use crate::roi::{Region, RoiPlan, RoiRequest, RoiResult};
 pub use crate::storage::{write_chunked_store, write_store, ChunkedStoreReader, StoreReader};
-pub use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend};
+pub use hpmdr_exec::{Backend, ExecCtx, Isa, ParallelBackend, ScalarBackend, SimdBackend};
 pub use hpmdr_qoi::QoiExpr;

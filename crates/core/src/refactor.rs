@@ -6,7 +6,7 @@
 //! [`hpmdr_exec::ParallelBackend`] for multi-core hosts), producing
 //! bit-identical artifacts either way.
 
-use hpmdr_bitplane::{BitplaneChunk, BitplaneFloat, Layout};
+use hpmdr_bitplane::{BitplaneFloat, Layout};
 use hpmdr_exec::{Backend, EncodedStream, ExecCtx, ScalarBackend, StreamView};
 use hpmdr_lossless::{CompressedGroup, HybridCompressor, HybridConfig};
 use hpmdr_mgard::{extract_levels, level_error_weights, Hierarchy, Real};
@@ -252,35 +252,13 @@ pub fn refactor_with<F: BitplaneFloat + Real, B: Backend>(
     }
 }
 
-/// Rebuild a (possibly partial) [`BitplaneChunk`] from the first
-/// `units` merged units of `stream`, on the portable [`ScalarBackend`].
-/// Returns a matchable [`crate::MdrError`] if the stream is structurally
-/// corrupt.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by `hpmdr_exec::Backend::decode_units` (PR 3) and the \
-            `core::api` façade; this free function survives only as a \
-            scalar-backend convenience"
-)]
-pub fn decompress_units(
-    stream: &LevelStream,
-    units: usize,
-    compressor: &HybridCompressor,
-    dtype: &str,
-) -> Result<BitplaneChunk, crate::MdrError> {
-    ScalarBackend::new()
-        .decode_units(&ExecCtx::default(), stream.view(), units, compressor, dtype)
-        .map_err(crate::MdrError::from)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hpmdr_bitplane::BitplaneChunk;
 
     /// Decode the first `units` merged units of `stream` on the scalar
-    /// backend — what the deprecated `decompress_units` wrapper does,
-    /// spelled through the supported [`Backend::decode_units`] path.
+    /// backend through the supported [`Backend::decode_units`] path.
     fn decode_prefix(stream: &LevelStream, units: usize) -> BitplaneChunk {
         let comp = HybridCompressor::new(HybridConfig::default());
         ScalarBackend::new()
@@ -331,19 +309,6 @@ mod tests {
             assert_eq!(partial.plane(p), full.plane(p), "plane {p}");
         }
         assert_eq!(partial.signs, full.signs);
-    }
-
-    #[test]
-    // The deprecated wrapper stays covered (narrow allow) until removal.
-    #[allow(deprecated)]
-    fn deprecated_decompress_units_still_matches_decode_units() {
-        let data = field_2d(17, 16);
-        let cfg = RefactorConfig::default();
-        let r = refactor(&data, &[17, 16], &cfg);
-        let comp = HybridCompressor::new(cfg.hybrid);
-        let s = &r.streams[0];
-        let via_wrapper = decompress_units(s, s.num_units(), &comp, "f32").unwrap();
-        assert_eq!(via_wrapper, decode_prefix(s, s.num_units()));
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //!   merged units, and element ranges fan out across a bounded worker
 //!   pool (per-tile parallelism comes from the pipeline layer driving one
 //!   tile per compute submission).
+//! * [`SimdBackend`] — single-threaded execution with the bit-level hot
+//!   loops (32×32 transpose, aligned fixed-point conversion, Huffman
+//!   histogram and encode) dispatched at construction to AVX2 or NEON
+//!   kernels, with a scalar fallback that is always compiled and
+//!   reachable (`HPMDR_FORCE_SCALAR=1`).
 //!
-//! Both produce **bit-identical artifacts**: parallelism only ever splits
+//! All of them produce **bit-identical artifacts**: parallelism only ever splits
 //! independent work (groups, units, elements), never reassociates
 //! arithmetic. `tests/tests/backend_equivalence.rs` property-tests that
 //! invariant, which is the portability property refactored data relies on.
@@ -37,8 +42,11 @@ mod backend;
 mod ctx;
 mod parallel;
 mod scalar;
+mod simd;
 
 pub use backend::{Backend, DecodeError, EncodedStream, StreamView};
 pub use ctx::{ExecCtx, DEFAULT_TILE_ROWS};
+pub use hpmdr_simd::Isa;
 pub use parallel::ParallelBackend;
 pub use scalar::ScalarBackend;
+pub use simd::SimdBackend;

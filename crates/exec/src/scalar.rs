@@ -30,18 +30,22 @@ impl Backend for ScalarBackend {
     }
 
     fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        // One shared one-thread pool pins every parallel-capable leaf
-        // kernel to sequential execution; built once, not per kernel.
-        use std::sync::OnceLock;
-        static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
-        POOL.get_or_init(|| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(1)
-                .build()
-                .expect("one-thread pool always builds")
-        })
-        .install(f)
+        sequential_pool().install(f)
     }
+}
+
+/// One shared one-thread pool pinning every parallel-capable leaf kernel
+/// to sequential execution; built once, not per kernel. Shared by the
+/// scalar and SIMD backends — both run kernels in one canonical order.
+pub(crate) fn sequential_pool() -> &'static rayon::ThreadPool {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("one-thread pool always builds")
+    })
 }
 
 #[cfg(test)]

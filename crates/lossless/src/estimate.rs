@@ -15,16 +15,24 @@
 
 use crate::huffman;
 use crate::rle::varint_len;
+use hpmdr_simd::Isa;
 use rayon::prelude::*;
 
 /// Estimated compression ratio of Huffman coding `data` (original size
 /// divided by estimated compressed size, header included). Returns
 /// `f64::INFINITY` for empty input.
 pub fn estimate_huffman_cr(data: &[u8]) -> f64 {
+    estimate_huffman_cr_with_isa(data, Isa::Scalar)
+}
+
+/// [`estimate_huffman_cr`] with the histogram scan dispatched to `isa`'s
+/// vectorized kernel. The estimate is identical for every ISA — the
+/// histogram is exact — so callers may freely pass [`Isa::detect`].
+pub fn estimate_huffman_cr_with_isa(data: &[u8], isa: Isa) -> f64 {
     if data.is_empty() {
         return f64::INFINITY;
     }
-    let hist = huffman::histogram(data);
+    let hist = huffman::histogram_with_isa(data, isa);
     let lens = huffman::code_lengths(&hist);
     let payload_bits: u64 = hist
         .iter()

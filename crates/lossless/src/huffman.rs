@@ -22,6 +22,7 @@
 //! ```
 
 use crate::framing::{carve_output, parse_frames, ChunkFrames, FramingError};
+use hpmdr_simd::Isa;
 use rayon::prelude::*;
 
 /// Chunk granularity for parallel encode/decode.
@@ -106,6 +107,142 @@ pub fn histogram(data: &[u8]) -> [u64; 256] {
                 a
             },
         )
+}
+
+/// [`histogram`] with the per-chunk counting kernel dispatched by `isa`.
+///
+/// The vector kernels classify 32 (AVX2) / 16 (NEON) bytes per compare
+/// and count the zero bytes from the resulting mask, so the dominant
+/// symbol of bitplane data costs one popcount per vector instead of one
+/// increment per byte; only the non-zero minority goes through the
+/// interleaved sub-histogram counters. Counts are exact for every input
+/// — an ISA without a kernel on this target degrades to [`histogram`].
+pub fn histogram_with_isa(data: &[u8], isa: Isa) -> [u64; 256] {
+    match isa.or_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => data
+            .par_chunks(1 << 20)
+            .map(|chunk| {
+                // Safety: the `or_scalar` gate above proves AVX2 is
+                // available on this CPU.
+                unsafe { histogram_chunk_avx2(chunk) }
+            })
+            .reduce(
+                || [0u64; 256],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
+                        *x += y;
+                    }
+                    a
+                },
+            ),
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => data
+            .par_chunks(1 << 20)
+            .map(|chunk| {
+                // Safety: NEON availability established by `or_scalar`.
+                unsafe { histogram_chunk_neon(chunk) }
+            })
+            .reduce(
+                || [0u64; 256],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
+                        *x += y;
+                    }
+                    a
+                },
+            ),
+        _ => histogram(data),
+    }
+}
+
+/// Merge interleaved u32 sub-histogram lanes plus a separate zero-byte
+/// count into a u64 histogram — shared tail of the vector kernels.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn merge_lanes(lanes: &[[u32; 256]; 4], zeros: u64) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    h[0] = zeros;
+    for lane in lanes {
+        for (x, &y) in h.iter_mut().zip(lane.iter()) {
+            *x += y as u64;
+        }
+    }
+    h
+}
+
+/// AVX2 histogram of one worker chunk (≤ 2^20 bytes, so u32 lanes
+/// cannot overflow): compare 32 bytes against zero per iteration, count
+/// the zeros via movemask+popcount, and scatter only the non-zero bytes
+/// into four interleaved sub-histograms.
+///
+/// # Safety
+/// AVX2 must be available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn histogram_chunk_avx2(chunk: &[u8]) -> [u64; 256] {
+    use std::arch::x86_64::*;
+    let zero = _mm256_setzero_si256();
+    let mut lanes = [[0u32; 256]; 4];
+    let mut zeros = 0u64;
+    let n = chunk.len() & !31;
+    for i in (0..n).step_by(32) {
+        let v = _mm256_loadu_si256(chunk.as_ptr().add(i) as *const __m256i);
+        let mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)) as u32;
+        zeros += mask.count_ones() as u64;
+        let mut nz = !mask;
+        while nz != 0 {
+            let j = nz.trailing_zeros() as usize;
+            nz &= nz - 1;
+            lanes[j & 3][chunk[i + j] as usize] += 1;
+        }
+    }
+    for &b in &chunk[n..] {
+        if b == 0 {
+            zeros += 1;
+        } else {
+            lanes[0][b as usize] += 1;
+        }
+    }
+    merge_lanes(&lanes, zeros)
+}
+
+/// NEON histogram of one worker chunk: 16-byte zero compare, zero count
+/// via the `vshrn` nibble-mask reduction, non-zero scatter as in the
+/// AVX2 kernel.
+///
+/// # Safety
+/// NEON must be available on the executing CPU.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn histogram_chunk_neon(chunk: &[u8]) -> [u64; 256] {
+    use std::arch::aarch64::*;
+    let zero = vdupq_n_u8(0);
+    let mut lanes = [[0u32; 256]; 4];
+    let mut zeros = 0u64;
+    let n = chunk.len() & !15;
+    for i in (0..n).step_by(16) {
+        let v = vld1q_u8(chunk.as_ptr().add(i));
+        let eq = vceqq_u8(v, zero);
+        // One nibble per byte: 0xF where the byte is zero.
+        let nib = vshrn_n_u16::<4>(vreinterpretq_u16_u8(eq));
+        let mask = vget_lane_u64::<0>(vreinterpret_u64_u8(nib));
+        zeros += (mask.count_ones() / 4) as u64;
+        let mut nz = !mask;
+        while nz != 0 {
+            let tz = nz.trailing_zeros();
+            let j = (tz >> 2) as usize;
+            nz &= !(0xFu64 << (tz & !3));
+            lanes[j & 3][chunk[i + j] as usize] += 1;
+        }
+    }
+    for &b in &chunk[n..] {
+        if b == 0 {
+            zeros += 1;
+        } else {
+            lanes[0][b as usize] += 1;
+        }
+    }
+    merge_lanes(&lanes, zeros)
 }
 
 /// Optimal prefix-code lengths for `hist` (0 for absent symbols).
@@ -203,34 +340,37 @@ pub fn canonical_codes(lens: &[u8; 256]) -> [u64; 256] {
 
 /// Compress `data`; the result decompresses with [`decompress`].
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let hist = histogram(data);
+    compress_with_isa(data, Isa::Scalar)
+}
+
+/// [`compress`] with the histogram and accumulator packing loop
+/// dispatched by `isa`. **Byte-identical output** for every `isa`: the
+/// fast packing loop emits the same MSB-first bitstream with the same
+/// zero-padded chunk tails, it just flushes the accumulator a word at a
+/// time instead of a byte at a time (enforced by the equivalence tests
+/// below and the cross-backend golden-bytes suite).
+pub fn compress_with_isa(data: &[u8], isa: Isa) -> Vec<u8> {
+    let isa = isa.or_scalar();
+    let hist = histogram_with_isa(data, isa);
     let lens = code_lengths(&hist);
     let codes = canonical_codes(&lens);
     let n_chunks = data.len().div_ceil(CHUNK_SIZE).max(1);
+
+    // Packed per-symbol entry table for the fast loop: `code | len<<58`
+    // (codes are ≤ 56 bits), so one load serves both fields.
+    let mut packed = [0u64; 256];
+    for (p, (&c, &l)) in packed.iter_mut().zip(codes.iter().zip(lens.iter())) {
+        *p = c | ((l as u64) << 58);
+    }
 
     let payloads: Vec<Vec<u8>> = data
         .par_chunks(CHUNK_SIZE.max(1))
         .map(|chunk| {
             let mut out = Vec::with_capacity(chunk.len() / 2 + 8);
-            // Whole codes land in a 64-bit accumulator. The flush keeps
-            // pending < 8, and pending + MAX_CODE_LEN = 7 + 56 ≤ 63, so
-            // the shift below can never push live bits off the top.
-            let mut acc = 0u64;
-            let mut pending = 0u32;
-            for &b in chunk {
-                let len = lens[b as usize] as u32;
-                debug_assert!(pending < 8 && len as usize <= MAX_CODE_LEN);
-                acc = (acc << len) | codes[b as usize];
-                pending += len;
-                while pending >= 8 {
-                    pending -= 8;
-                    out.push((acc >> pending) as u8);
-                }
-            }
-            // The per-symbol flush leaves pending < 8: only a padded
-            // tail byte can remain.
-            if pending > 0 {
-                out.push((acc << (8 - pending)) as u8);
+            if isa == Isa::Scalar {
+                encode_chunk_reference(chunk, &lens, &codes, &mut out);
+            } else {
+                encode_chunk_wide(chunk, &packed, &mut out);
             }
             out
         })
@@ -250,6 +390,72 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         out.extend_from_slice(p);
     }
     out
+}
+
+/// Reference chunk encoder: right-aligned 64-bit accumulator, one
+/// shift+or per symbol, byte-at-a-time flush. This is the semantics
+/// pin every fast variant must reproduce byte for byte.
+fn encode_chunk_reference(chunk: &[u8], lens: &[u8; 256], codes: &[u64; 256], out: &mut Vec<u8>) {
+    // Whole codes land in a 64-bit accumulator. The flush keeps
+    // pending < 8, and pending + MAX_CODE_LEN = 7 + 56 ≤ 63, so
+    // the shift below can never push live bits off the top.
+    let mut acc = 0u64;
+    let mut pending = 0u32;
+    for &b in chunk {
+        let len = lens[b as usize] as u32;
+        debug_assert!(pending < 8 && len as usize <= MAX_CODE_LEN);
+        acc = (acc << len) | codes[b as usize];
+        pending += len;
+        while pending >= 8 {
+            pending -= 8;
+            out.push((acc >> pending) as u8);
+        }
+    }
+    // The per-symbol flush leaves pending < 8: only a padded
+    // tail byte can remain.
+    if pending > 0 {
+        out.push((acc << (8 - pending)) as u8);
+    }
+}
+
+/// Wide-flush chunk encoder: left-aligned accumulator holding up to 64
+/// pending bits, one packed-table load per symbol (gather-free), and a
+/// 4-byte flush whenever ≥ 32 bits are pending — the per-symbol
+/// byte-at-a-time flush loop of the reference encoder becomes one
+/// branch. Emits the identical MSB-first bitstream with the identical
+/// zero-padded tail byte.
+fn encode_chunk_wide(chunk: &[u8], packed: &[u64; 256], out: &mut Vec<u8>) {
+    const LEN_SHIFT: u32 = 58;
+    const CODE_MASK: u64 = (1u64 << LEN_SHIFT) - 1;
+    // Invariant at loop top: bits ≤ 32, so room = 64 - bits ≥ 32.
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    for &b in chunk {
+        let e = packed[b as usize];
+        let len = (e >> LEN_SHIFT) as u32;
+        let code = e & CODE_MASK;
+        let room = 64 - bits;
+        if len <= room {
+            // room - len ≤ 63 (len ≥ 1 for any present symbol).
+            acc |= code << (room - len);
+            bits += len;
+        } else {
+            // Code straddles the accumulator: place the top `room` bits,
+            // flush all 8 bytes, restart with the low `len - room` bits.
+            let hang = len - room; // 1 ..= MAX_CODE_LEN - 1
+            acc |= code >> hang;
+            out.extend_from_slice(&acc.to_be_bytes());
+            acc = code << (64 - hang);
+            bits = hang;
+        }
+        if bits >= 32 {
+            out.extend_from_slice(&((acc >> 32) as u32).to_be_bytes());
+            acc <<= 32;
+            bits -= 32;
+        }
+    }
+    // Tail: whole pending bytes plus one zero-padded partial byte.
+    out.extend_from_slice(&acc.to_be_bytes()[..bits.div_ceil(8) as usize]);
 }
 
 /// Most symbols a single batched-LUT entry resolves (its packed `u64`
@@ -826,6 +1032,77 @@ mod tests {
             .map(|&l| 2f64.powi(-(l as i32)))
             .sum();
         assert!(kraft <= 1.0 + 1e-9);
+    }
+
+    /// Every ISA the host supports, plus `Scalar` (always supported).
+    fn available_isas() -> Vec<Isa> {
+        [Isa::Scalar, Isa::Avx2, Isa::Neon]
+            .into_iter()
+            .filter(|i| i.is_available())
+            .collect()
+    }
+
+    /// Payload shapes that exercise every encoder branch: empty input,
+    /// one symbol, dense random bytes (long codes, frequent straddles),
+    /// zero-dominated bitplane-like data (the zero-skip histogram fast
+    /// path), single-symbol runs, and exact chunk boundaries.
+    fn equivalence_payloads() -> Vec<Vec<u8>> {
+        vec![
+            Vec::new(),
+            vec![42],
+            xorshift_bytes(300_000, 0x1234),
+            (0..200_000u32)
+                .map(|i| if i % 10 == 0 { (i % 256) as u8 } else { 0 })
+                .collect(),
+            vec![7u8; 100_000],
+            xorshift_bytes(CHUNK_SIZE - 1, 7),
+            xorshift_bytes(CHUNK_SIZE, 8),
+            xorshift_bytes(CHUNK_SIZE + 1, 9),
+            xorshift_bytes(2 * CHUNK_SIZE + 13, 10),
+        ]
+    }
+
+    #[test]
+    fn histogram_with_isa_matches_scalar() {
+        for data in equivalence_payloads() {
+            let want = histogram(&data);
+            for isa in available_isas() {
+                assert_eq!(
+                    histogram_with_isa(&data, isa),
+                    want,
+                    "isa={isa} n={}",
+                    data.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compress_with_isa_is_byte_identical_to_scalar() {
+        for data in equivalence_payloads() {
+            let want = compress(&data);
+            for isa in available_isas() {
+                let got = compress_with_isa(&data, isa);
+                assert_eq!(got, want, "isa={isa} n={}", data.len());
+                assert_eq!(decompress(&got).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_encoder_handles_long_codes() {
+        // A near-degenerate distribution drives code lengths toward
+        // MAX_CODE_LEN, forcing the wide encoder's straddle branch.
+        let mut data = Vec::new();
+        for sym in 0..=255u8 {
+            let reps = 1usize << (sym % 18);
+            data.extend(std::iter::repeat_n(sym, reps));
+        }
+        let want = compress(&data);
+        for isa in available_isas() {
+            assert_eq!(compress_with_isa(&data, isa), want, "isa={isa}");
+        }
+        assert_eq!(decompress(&want).unwrap(), data);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::huffman::HuffmanError;
 use crate::rle::RleError;
 use crate::{estimate, huffman, rle};
+use hpmdr_simd::Isa;
 use serde::{Deserialize, Serialize};
 
 /// Why a compressed group failed to decode: the typed union of the two
@@ -126,12 +127,34 @@ impl CompressedGroup {
 pub struct HybridCompressor {
     /// Selection configuration.
     pub config: HybridConfig,
+    /// Instruction set the Huffman kernels dispatch to. `Scalar` by
+    /// default, so existing callers keep the reference code paths; SIMD
+    /// backends opt in via [`Self::with_isa`]. Every ISA produces
+    /// byte-identical streams.
+    isa: Isa,
 }
 
 impl HybridCompressor {
     /// Compressor with the given configuration.
     pub fn new(config: HybridConfig) -> Self {
-        HybridCompressor { config }
+        HybridCompressor {
+            config,
+            isa: Isa::Scalar,
+        }
+    }
+
+    /// Same compressor, with Huffman histogram/encode kernels dispatched
+    /// to `isa` (degraded to `Scalar` if the host lacks it). Output bytes
+    /// are identical for every ISA; only throughput changes.
+    #[must_use]
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        self.isa = isa.or_scalar();
+        self
+    }
+
+    /// Instruction set the kernels currently dispatch to.
+    pub fn isa(&self) -> Isa {
+        self.isa
     }
 
     /// Decide which codec Algorithm 2 would pick for `group` without
@@ -140,7 +163,7 @@ impl HybridCompressor {
         if group.len() <= self.config.size_threshold {
             return Codec::Direct;
         }
-        let r_h = estimate::estimate_huffman_cr(group);
+        let r_h = estimate::estimate_huffman_cr_with_isa(group, self.isa);
         if r_h > self.config.cr_threshold {
             return Codec::Huffman;
         }
@@ -165,7 +188,7 @@ impl HybridCompressor {
         let codec = self.select(group);
         let original_len = group.len();
         let payload = match codec {
-            Codec::Huffman => huffman::compress(group),
+            Codec::Huffman => huffman::compress_with_isa(group, self.isa),
             Codec::Rle => rle::compress(group),
             Codec::Direct => std::mem::take(group),
         };
@@ -180,7 +203,7 @@ impl HybridCompressor {
     /// all-RLE baselines).
     pub fn compress_with(&self, group: &[u8], codec: Codec) -> CompressedGroup {
         let payload = match codec {
-            Codec::Huffman => huffman::compress(group),
+            Codec::Huffman => huffman::compress_with_isa(group, self.isa),
             Codec::Rle => rle::compress(group),
             Codec::Direct => group.to_vec(),
         };
@@ -378,6 +401,45 @@ mod tests {
             .map(|i| if i % 50 == 0 { 3 } else { 0 })
             .collect();
         assert_eq!(c.select(&data), Codec::Direct);
+    }
+
+    #[test]
+    fn with_isa_is_byte_identical_and_sticky() {
+        let base = compressor(1.0);
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Neon] {
+            if !isa.is_available() {
+                continue;
+            }
+            let c = base.with_isa(isa);
+            assert_eq!(c.isa(), isa);
+            for data in [
+                vec![0u8; 100_000],
+                xorshift_bytes(100_000, 31),
+                (0..100_000)
+                    .map(|i| if i % 50 == 0 { 3 } else { 0 })
+                    .collect::<Vec<u8>>(),
+            ] {
+                assert_eq!(c.select(&data), base.select(&data), "isa={isa}");
+                assert_eq!(c.compress(&data), base.compress(&data), "isa={isa}");
+                for codec in [Codec::Huffman, Codec::Rle, Codec::Direct] {
+                    assert_eq!(
+                        c.compress_with(&data, codec),
+                        base.compress_with(&data, codec),
+                        "isa={isa} {codec:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_isa_degrades_to_scalar() {
+        let missing = [Isa::Avx2, Isa::Neon]
+            .into_iter()
+            .find(|i| !i.is_available());
+        if let Some(isa) = missing {
+            assert_eq!(compressor(1.0).with_isa(isa).isa(), Isa::Scalar);
+        }
     }
 
     #[test]

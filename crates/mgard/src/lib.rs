@@ -22,11 +22,15 @@
 //!   uses.
 //! * [`quantize`] — uniform level-scaled quantization (used by the MGARD
 //!   baseline codec of the evaluation, not by HP-MDR's bitplane path).
+//! * [`mod@simd`] — runtime-dispatched AVX2/NEON kernels for the
+//!   quantize/dequantize/zig-zag hot loops, bit-identical to the scalar
+//!   reference on every ISA.
 
 pub mod grid;
 pub mod levels;
 pub mod line;
 pub mod quantize;
+pub mod simd;
 pub mod transform;
 
 pub use grid::Hierarchy;
@@ -34,6 +38,7 @@ pub use levels::{
     extract_levels, extract_levels_with, inject_levels, inject_levels_with, level_error_weights,
     LevelSet,
 };
+pub use simd::{dequantize_with_isa, quantize_with_isa, quantize_zigzag_with_isa, Isa};
 pub use transform::{decompose, extract_active_grid, recompose, recompose_to_level};
 
 /// Minimal float abstraction for the decomposition math.

@@ -2,7 +2,8 @@
 //!
 //! HP-MDR's portability guarantee is that refactored data is
 //! byte-identical regardless of the producing device; for the executor
-//! layer that means [`ScalarBackend`] and [`ParallelBackend`] must
+//! layer that means [`ScalarBackend`], [`ParallelBackend`], and
+//! [`SimdBackend`] (whatever instruction set it dispatches to) must
 //! produce bit-identical `Refactored` artifacts and identical retrieval
 //! error bounds on arbitrary inputs.
 
@@ -10,7 +11,8 @@ use hpmdr_core::chunked::{refactor_chunked_with, ChunkedConfig};
 use hpmdr_core::refactor::refactor_with;
 use hpmdr_core::storage::write_chunked_store;
 use hpmdr_core::{
-    ExecCtx, ParallelBackend, RefactorConfig, RetrievalPlan, RetrievalSession, ScalarBackend,
+    Backend, ExecCtx, Isa, ParallelBackend, RefactorConfig, RetrievalPlan, RetrievalSession,
+    ScalarBackend, SimdBackend,
 };
 use proptest::prelude::*;
 
@@ -58,6 +60,18 @@ proptest! {
             hpmdr_core::serialize::to_bytes(&scalar),
             hpmdr_core::serialize::to_bytes(&parallel)
         );
+
+        // The SIMD backend — at its best ISA and pinned to its scalar
+        // fallback — must match bit for bit as well.
+        for simd in [SimdBackend::best_available(), SimdBackend::with_isa(Isa::Scalar)] {
+            let artifact = refactor_with(&data, &[nx, ny], &config, &simd, &ctx);
+            prop_assert_eq!(&scalar, &artifact, "backend {}", simd.name());
+            prop_assert_eq!(
+                hpmdr_core::serialize::to_bytes(&scalar),
+                hpmdr_core::serialize::to_bytes(&artifact),
+                "backend {}", simd.name()
+            );
+        }
     }
 
     #[test]
@@ -79,11 +93,17 @@ proptest! {
             &ctx,
         );
 
+        let simd_artifact =
+            refactor_with(&data, &[nx, ny], &config, &SimdBackend::best_available(), &ctx);
+
         let eb = rel * scalar.value_range.max(1e-9);
         let (plan_s, bound_s) = RetrievalPlan::for_error(&scalar, eb);
         let (plan_p, bound_p) = RetrievalPlan::for_error(&parallel, eb);
+        let (plan_v, bound_v) = RetrievalPlan::for_error(&simd_artifact, eb);
         prop_assert_eq!(&plan_s, &plan_p, "plans must match");
         prop_assert_eq!(bound_s, bound_p, "guaranteed bounds must match");
+        prop_assert_eq!(&plan_s, &plan_v, "SIMD plan must match");
+        prop_assert_eq!(bound_s, bound_v, "SIMD bound must match");
 
         // Reconstructing the scalar artifact on the parallel backend (and
         // vice versa) must give identical floats: retrieval kernels are
@@ -96,8 +116,15 @@ proptest! {
         sess_ss.refine_to(&plan_s);
         let rec_ss: Vec<f32> = sess_ss.reconstruct();
 
-        prop_assert_eq!(rec_sp, rec_ss);
+        let mut sess_sv =
+            RetrievalSession::with_backend(&scalar, SimdBackend::best_available());
+        sess_sv.refine_to(&plan_s);
+        let rec_sv: Vec<f32> = sess_sv.reconstruct();
+
+        prop_assert_eq!(&rec_sp, &rec_ss);
+        prop_assert_eq!(&rec_sv, &rec_ss);
         prop_assert_eq!(sess_sp.error_bound(), sess_ss.error_bound());
+        prop_assert_eq!(sess_sv.error_bound(), sess_ss.error_bound());
     }
 
     #[test]
@@ -125,6 +152,14 @@ proptest! {
             &ctx,
         );
         prop_assert_eq!(&scalar, &parallel);
+        let simd = refactor_chunked_with(
+            &data,
+            &[nx, ny],
+            &cfg,
+            &SimdBackend::best_available(),
+            &ctx,
+        );
+        prop_assert_eq!(&scalar, &simd);
 
         let base = std::env::temp_dir().join(format!(
             "hpmdr_chunk_equiv_{}_{case}",
@@ -154,4 +189,69 @@ proptest! {
         }
         let _ = std::fs::remove_dir_all(&base);
     }
+}
+
+/// Odd and tail-heavy extents stress every kernel's remainder handling:
+/// sizes straddling the 32-element tile (vector kernels handle full tiles,
+/// scalar code the stragglers) and the 4-/2-lane conversion strides.
+#[test]
+fn simd_backend_matches_scalar_on_odd_and_tail_sizes() {
+    let ctx = ExecCtx::default();
+    let config = RefactorConfig::default();
+    let scalar = ScalarBackend::new();
+    for &(nx, ny) in &[
+        (1usize, 1usize),
+        (1, 5),
+        (3, 11),
+        (31, 1),
+        (32, 1),
+        (33, 1),
+        (5, 31),
+        (8, 33),
+        (63, 1),
+        (65, 3),
+        (7, 146),
+        (41, 25),
+    ] {
+        let data = random_field(nx, ny, (nx * 131 + ny) as u32);
+        let want = refactor_with(&data, &[nx, ny], &config, &scalar, &ctx);
+        for simd in [
+            SimdBackend::best_available(),
+            SimdBackend::with_isa(Isa::Scalar),
+        ] {
+            let got = refactor_with(&data, &[nx, ny], &config, &simd, &ctx);
+            assert_eq!(want, got, "backend {} on {nx}x{ny}", simd.name());
+        }
+    }
+}
+
+/// The environment overrides must force the runtime dispatch down to the
+/// scalar kernels — the always-compiled fallback path of the tentpole —
+/// and those kernels must produce the same artifact. Both variables are
+/// exercised in one test because the process environment is global.
+#[test]
+fn env_overrides_force_scalar_fallback() {
+    let ctx = ExecCtx::default();
+    let config = RefactorConfig::default();
+    let data = random_field(19, 23, 0xC0FFEE);
+    let want = refactor_with(&data, &[19, 23], &config, &ScalarBackend::new(), &ctx);
+
+    std::env::set_var("HPMDR_FORCE_SCALAR", "1");
+    let forced = SimdBackend::new();
+    std::env::remove_var("HPMDR_FORCE_SCALAR");
+    assert_eq!(forced.isa(), Isa::Scalar, "HPMDR_FORCE_SCALAR=1 must win");
+    assert_eq!(forced.name(), "simd-scalar");
+    assert_eq!(
+        want,
+        refactor_with(&data, &[19, 23], &config, &forced, &ctx)
+    );
+
+    std::env::set_var("HPMDR_SIMD", "scalar");
+    let selected = SimdBackend::new();
+    std::env::remove_var("HPMDR_SIMD");
+    assert_eq!(selected.isa(), Isa::Scalar, "HPMDR_SIMD=scalar must win");
+    assert_eq!(
+        want,
+        refactor_with(&data, &[19, 23], &config, &selected, &ctx)
+    );
 }
