@@ -22,18 +22,32 @@
 //! scalar-vs-SIMD at the host's best instruction set: 32×32 bit-matrix
 //! transpose, bitplane encode fill, Huffman byte histogram, Huffman
 //! encode, and fixed-point quantize/dequantize — asserting in-bench that
-//! both legs produce identical output before reporting the speedup.
+//! both legs produce identical output before reporting the speedup. The
+//! `huffman_encode` point carries a `decision` record for the PR 7
+//! retune (pairwise code precombine in the wide encoder).
+//!
+//! The `ingest` section (PR 7) compares streaming ingest against the
+//! whole-input chunked refactor on a larger volume: wall-clock plus
+//! peak staged payload bytes from the pipeline's stage-buffer
+//! accounting, asserting in-bench that both streaming legs stay within
+//! their `lookahead × max-chunk-footprint` bound and that the
+//! overlapped schedule is no slower than the serial compute-then-write
+//! baseline.
 //!
 //! Knobs (environment):
-//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 6).
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 7).
 //! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
+//! * `HPMDR_BENCH_INGEST_EXTENT` — cubic extent for the ingest section
+//!   (default `max(HPMDR_BENCH_EXTENT, 128)`; the acceptance run uses
+//!   `HPMDR_BENCH_EXTENT=512`).
 //! * `HPMDR_BENCH_REPS`   — timed repetitions per measurement (default 5).
 //! * `HPMDR_BENCH_OUT`    — output directory (default current dir).
 
 use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
+use hpmdr_core::ingest::{IngestOptions, SliceSource};
 use hpmdr_core::prelude::{
-    open_store, Approximation, CachedStore, InMemoryStore, Mdr, ParallelBackend, Query, Reader,
-    SharedReader, Store, Target,
+    open_store, Approximation, CachedStore, InMemoryStore, Mdr, MdrConfig, ParallelBackend, Query,
+    Reader, SharedReader, Store, Target,
 };
 use hpmdr_core::roi::{Region, RoiRequest};
 use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
@@ -107,6 +121,26 @@ struct KernelPoint {
     simd_ms: f64,
     /// `scalar_ms / simd_ms` (> 1 means the vector kernel is faster).
     speedup: f64,
+    /// Tuning decision recorded for this kernel (PR 7: the wide Huffman
+    /// encoder retune), derived from the measured speedup.
+    decision: Option<String>,
+}
+
+/// One leg of the streaming-vs-whole-input ingest comparison.
+#[derive(Serialize)]
+struct IngestPoint {
+    /// `whole_input`, `serial`, or `overlapped`.
+    mode: String,
+    wall_ms: f64,
+    /// High-water mark of staged payload bytes (stage-buffer accounting
+    /// for the streaming legs; the materialized input for whole-input).
+    peak_staged_bytes: usize,
+    /// `lookahead × max-chunk-footprint` memory bound (0 = unbounded:
+    /// the whole-input path must materialize the dataset).
+    staging_bound_bytes: usize,
+    lookahead: usize,
+    chunks: usize,
+    bytes_written: usize,
 }
 
 #[derive(Serialize)]
@@ -124,6 +158,8 @@ struct Report {
     concurrent: Vec<ConcurrentPoint>,
     huffman: Vec<CodecPoint>,
     kernels: Vec<KernelPoint>,
+    ingest_extent: usize,
+    ingest: Vec<IngestPoint>,
 }
 
 /// The concurrent-clients workload: a cycle of overlapping ROI queries
@@ -217,6 +253,7 @@ fn kernel_points(reps: usize) -> Vec<KernelPoint> {
         scalar_ms,
         simd_ms,
         speedup: scalar_ms / simd_ms,
+        decision: None,
     };
     let mut points = Vec::new();
 
@@ -308,7 +345,23 @@ fn kernel_points(reps: usize) -> Vec<KernelPoint> {
     let simd_ms = time_ms(reps, || {
         std::hint::black_box(huffman::compress_with_isa(&sparse, isa));
     });
-    points.push(point("huffman_encode", n, scalar_ms, simd_ms));
+    // PR 7 retune: adjacent codes are pre-combined into one accumulator
+    // insert when their joint length fits MAX_CODE_LEN, halving the
+    // serial accumulate/flush chain (was 1.16x in BENCH_pr6.json).
+    let speedup = scalar_ms / simd_ms;
+    let mut p = point("huffman_encode", n, scalar_ms, simd_ms);
+    p.decision = Some(if speedup >= 1.05 {
+        format!(
+            "retained wide encoder: pairwise code precombine, {speedup:.2}x vs scalar \
+             on this host (1.16x before the PR 7 retune)"
+        )
+    } else {
+        format!(
+            "wide encoder not profitable on this host ({speedup:.2}x); \
+             HPMDR_FORCE_SCALAR=1 selects the scalar reference encoder"
+        )
+    });
+    points.push(p);
 
     // Fixed-point quantize/dequantize (MGARD baseline codec hot loop).
     let n = 1usize << 20;
@@ -342,8 +395,105 @@ fn kernel_points(reps: usize) -> Vec<KernelPoint> {
     points
 }
 
+/// Streaming-vs-whole-input ingest comparison on a `side³` volume.
+///
+/// Three legs over the same fixed-seed dataset and chunk grid: the
+/// whole-input baseline (refactor the materialized dataset, then write
+/// every shard — peak staged payload is O(dataset) by construction),
+/// then `Mdr::ingest_with` under the `Sequential` and `Overlapped`
+/// schedules, whose peak comes from the pipeline's stage-buffer
+/// accounting. Asserts in-bench that both streaming legs honor their
+/// `lookahead × max-chunk-footprint` bound and that overlap is no
+/// slower than the serial compute-then-write baseline.
+fn ingest_points(side: usize, reps: usize) -> Vec<IngestPoint> {
+    let shape = vec![side, side, side];
+    let ds = Dataset::generate_with_shape(DatasetKind::Jhtdb, &shape, SEED);
+    let data = ds.variables[0].as_f32();
+    let raw_bytes = data.len() * 4;
+    let chunk = (side / 4).max(8);
+    let chunk_extent = [chunk, chunk, chunk];
+    let n_chunks: usize = shape.iter().map(|&s| s.div_ceil(chunk)).product();
+    let base = std::env::temp_dir().join(format!("hpmdr_bench_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut points = Vec::new();
+
+    let dir = base.join("whole");
+    let cfg = ChunkedConfig::with_extent(&chunk_extent);
+    let wall_ms = time_ms(reps, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let cr = refactor_chunked(&data, &shape, &cfg);
+        write_chunked_store(&cr, &dir).expect("store writes");
+    });
+    let shard_bytes: usize = std::fs::read_dir(&dir)
+        .expect("store dir lists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "shard"))
+        .map(|e| e.metadata().map(|m| m.len() as usize).unwrap_or(0))
+        .sum();
+    points.push(IngestPoint {
+        mode: "whole_input".to_string(),
+        wall_ms,
+        peak_staged_bytes: raw_bytes,
+        staging_bound_bytes: 0,
+        lookahead: 0,
+        chunks: n_chunks,
+        bytes_written: shard_bytes,
+    });
+
+    // Both streaming legs run the scalar backend so the serial-vs-
+    // overlapped comparison isolates the stage overlap itself.
+    let mdr = MdrConfig::new().chunked(&chunk_extent).build();
+    let streaming = |mode: &str, opts: IngestOptions| {
+        let dir = base.join(mode);
+        let mut last = None;
+        let wall_ms = time_ms(reps, || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let source = SliceSource::new(&data, &shape).expect("length matches shape");
+            last = Some(
+                mdr.ingest_with(source, &dir, &opts)
+                    .expect("ingest succeeds"),
+            );
+        });
+        let r = last.expect("at least one timed run");
+        assert!(
+            r.peak_staged_bytes <= r.staging_bound_bytes(),
+            "{mode} ingest exceeded its staging bound: {} > {}",
+            r.peak_staged_bytes,
+            r.staging_bound_bytes()
+        );
+        assert!(
+            r.peak_staged_bytes < raw_bytes,
+            "streaming ingest must stage less than the whole dataset"
+        );
+        IngestPoint {
+            mode: mode.to_string(),
+            wall_ms,
+            peak_staged_bytes: r.peak_staged_bytes,
+            staging_bound_bytes: r.staging_bound_bytes(),
+            lookahead: r.lookahead,
+            chunks: r.chunks_written,
+            bytes_written: r.bytes_written,
+        }
+    };
+    let serial = streaming("serial", IngestOptions::sequential());
+    let overlapped = streaming("overlapped", IngestOptions::overlapped());
+    // 10% grace absorbs scheduler noise on small/oversubscribed hosts;
+    // the JSON carries the exact wall-clocks.
+    assert!(
+        overlapped.wall_ms <= serial.wall_ms * 1.10,
+        "overlapped ingest must not lose to the serial baseline: {:.2}ms vs {:.2}ms",
+        overlapped.wall_ms,
+        serial.wall_ms
+    );
+    points.push(serial);
+    points.push(overlapped);
+
+    let _ = std::fs::remove_dir_all(&base);
+    points
+}
+
 fn main() {
-    let pr = env_usize("HPMDR_BENCH_PR", 6);
+    let pr = env_usize("HPMDR_BENCH_PR", 7);
     let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
     let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
 
@@ -500,6 +650,9 @@ fn main() {
 
     let kernels = kernel_points(reps);
 
+    let ingest_extent = env_usize("HPMDR_BENCH_INGEST_EXTENT", extent.max(128));
+    let ingest = ingest_points(ingest_extent, reps);
+
     let report = Report {
         pr,
         extent,
@@ -514,6 +667,8 @@ fn main() {
         concurrent,
         huffman,
         kernels,
+        ingest_extent,
+        ingest,
     };
     let json = serde_json::to_vec(&report).expect("report serializes");
     let out_dir = std::env::var("HPMDR_BENCH_OUT").unwrap_or_else(|_| ".".to_string());

@@ -24,14 +24,15 @@
 //! façade costs planning and metadata bookkeeping, never an extra pass
 //! over payload bytes.
 
-use crate::chunked::{refactor_chunked_with, ChunkedConfig, ChunkedRefactored};
+use crate::chunked::{refactor_chunked_with, ChunkGrid, ChunkedConfig, ChunkedRefactored};
 use crate::error::MdrError;
+use crate::ingest::{run_ingest, ChunkSource, IngestOptions, IngestReport};
 use crate::pipeline::PipelineMode;
 use crate::qoi_retrieval::{retrieve_with_qoi_control, EbEstimator};
 use crate::refactor::{refactor_with, RefactorConfig, Refactored};
 use crate::retrieve::{RetrievalPlan, RetrievalSession};
 use crate::roi::{assemble_parts, assemble_region, Region, RoiPlan};
-use crate::storage::{ChunkedStoreReader, StoreReader};
+use crate::storage::{ChunkedStoreReader, ChunkedStoreWriter, StoreReader};
 use hpmdr_bitplane::{BitplaneFloat, Layout};
 use hpmdr_exec::{Backend, ExecCtx, ParallelBackend, ScalarBackend, SimdBackend};
 use hpmdr_lossless::HybridConfig;
@@ -202,6 +203,24 @@ impl Mdr<ScalarBackend> {
     }
 }
 
+/// Ingest sink delivering refactored chunks to `writer` in chunk order.
+fn writer_sink(
+    writer: &mut ChunkedStoreWriter,
+) -> impl FnMut(usize, Refactored) -> Result<(), MdrError> + Send + '_ {
+    move |_, r| writer.append_chunk(&r).map(|_| ())
+}
+
+/// Fold `writer`'s byte accounting into `report` and commit its
+/// manifest atomically.
+fn finish_writer(
+    writer: ChunkedStoreWriter,
+    mut report: IngestReport,
+) -> Result<IngestReport, MdrError> {
+    report.bytes_written = writer.bytes_written();
+    writer.finish()?;
+    Ok(report)
+}
+
 impl<B: Backend> Mdr<B> {
     /// The configuration this handle was built with.
     pub fn config(&self) -> &MdrConfig {
@@ -273,6 +292,157 @@ impl<B: Backend> Mdr<B> {
                 &self.ctx,
             ))),
         }
+    }
+
+    /// Stream `source` into a **new** sharded store at `dir` with the
+    /// default overlapped schedule — see [`ingest_with`](Self::ingest_with).
+    pub fn ingest<F, S>(&self, source: S, dir: &Path) -> Result<IngestReport, MdrError>
+    where
+        F: BitplaneFloat + Real + Default,
+        S: ChunkSource<F>,
+    {
+        self.ingest_with(source, dir, &IngestOptions::default())
+    }
+
+    /// Stream `source` chunk-by-chunk into a new sharded store at
+    /// `dir`: a producer thread pulls chunk k+1 from the source while
+    /// the backend refactors chunk k and a writer thread flushes chunk
+    /// k−1's shard ([`PipelineMode::Overlapped`]; `Sequential` is the
+    /// serial baseline). Peak staged payload is bounded by
+    /// `opts.lookahead ×` the largest chunk footprint — never the
+    /// dataset — and the measured high-water mark comes back in the
+    /// [`IngestReport`].
+    ///
+    /// The store is **bit-identical** to writing
+    /// [`Self::refactor`]'s chunked artifact with
+    /// [`crate::storage::write_chunked_store`]: both paths run the same
+    /// per-chunk fan. The manifest is committed atomically at the end;
+    /// a crashed ingest leaves no manifest (and [`open_store`] fails
+    /// cleanly) rather than a torn store.
+    ///
+    /// Requires a chunked configuration ([`MdrConfig::chunked`]);
+    /// non-finite samples from the source are [`MdrError::InvalidInput`],
+    /// not a panic.
+    pub fn ingest_with<F, S>(
+        &self,
+        source: S,
+        dir: &Path,
+        opts: &IngestOptions,
+    ) -> Result<IngestReport, MdrError>
+    where
+        F: BitplaneFloat + Real + Default,
+        S: ChunkSource<F>,
+    {
+        let Some(extent) = &self.config.chunk_extent else {
+            return Err(MdrError::InvalidInput(
+                "streaming ingest requires a chunked configuration (MdrConfig::chunked)"
+                    .to_string(),
+            ));
+        };
+        let shape = source.shape().to_vec();
+        let nd = shape.len();
+        if nd == 0 || nd > hpmdr_mgard::grid::MAX_DIMS || shape.contains(&0) {
+            return Err(MdrError::InvalidInput(format!(
+                "source shape {shape:?} unsupported (1-{} non-empty dimensions)",
+                hpmdr_mgard::grid::MAX_DIMS
+            )));
+        }
+        if extent.len() != nd || extent.contains(&0) {
+            return Err(MdrError::InvalidInput(format!(
+                "chunk extent {extent:?} incompatible with source shape {shape:?}"
+            )));
+        }
+        let grid = ChunkGrid::new(&shape, extent);
+        let mut writer = ChunkedStoreWriter::create(dir, grid.clone(), F::TYPE_NAME)?;
+        let mut report = self.run_pipeline(source, &grid, opts, writer_sink(&mut writer))?;
+        report.shape = shape;
+        finish_writer(writer, report)
+    }
+
+    /// Grow the store at `dir` by `source` along dimension 0 with the
+    /// default overlapped schedule — see [`append_with`](Self::append_with).
+    pub fn append<F, S>(&self, dir: &Path, source: S) -> Result<IngestReport, MdrError>
+    where
+        F: BitplaneFloat + Real + Default,
+        S: ChunkSource<F>,
+    {
+        self.append_with(dir, source, &IngestOptions::default())
+    }
+
+    /// Append `source` to the existing sharded store at `dir`, growing
+    /// the domain along dimension 0 (the slowest-varying axis — the
+    /// time-series direction). New chunks stream through the same
+    /// bounded pipeline as [`Self::ingest_with`]; existing shards are
+    /// untouched, and the grown manifest replaces the old one
+    /// atomically only after every new shard is flushed — an
+    /// interrupted append leaves the prior store fully readable.
+    ///
+    /// The source's shape must match the stored shape on every trailing
+    /// dimension, the stored leading dimension must be a multiple of
+    /// the chunk extent, and this handle must use the same refactoring
+    /// configuration the store was written with (so the grown store is
+    /// bit-identical to a one-shot refactor of the concatenated
+    /// domain). A manifest from a newer writer is
+    /// [`MdrError::VersionMismatch`].
+    pub fn append_with<F, S>(
+        &self,
+        dir: &Path,
+        source: S,
+        opts: &IngestOptions,
+    ) -> Result<IngestReport, MdrError>
+    where
+        F: BitplaneFloat + Real + Default,
+        S: ChunkSource<F>,
+    {
+        let slab_shape = source.shape().to_vec();
+        let mut writer = ChunkedStoreWriter::append_to(dir, &slab_shape, F::TYPE_NAME)?;
+        let extent = writer.grid().chunk_extent.clone();
+        if let Some(cfg_extent) = &self.config.chunk_extent {
+            if *cfg_extent != extent {
+                return Err(MdrError::InvalidInput(format!(
+                    "configured chunk extent {cfg_extent:?} differs from the store's {extent:?}"
+                )));
+            }
+        }
+        let final_shape = writer.grid().shape.clone();
+        let slab_grid = ChunkGrid::new(&slab_shape, &extent);
+        let mut report = self.run_pipeline(source, &slab_grid, opts, writer_sink(&mut writer))?;
+        report.shape = final_shape;
+        finish_writer(writer, report)
+    }
+
+    /// Shared tail of [`Self::ingest_with`] / [`Self::append_with`]:
+    /// run the bounded pipeline over `grid` and assemble the metrics
+    /// side of the report (`shape` is filled in by the caller).
+    fn run_pipeline<F, S>(
+        &self,
+        source: S,
+        grid: &ChunkGrid,
+        opts: &IngestOptions,
+        mut sink: impl FnMut(usize, Refactored) -> Result<(), MdrError> + Send,
+    ) -> Result<IngestReport, MdrError>
+    where
+        F: BitplaneFloat + Real + Default,
+        S: ChunkSource<F>,
+    {
+        let metrics = run_ingest(
+            source,
+            grid,
+            &self.config.refactor,
+            &self.backend,
+            &self.ctx,
+            opts,
+            true,
+            &mut sink,
+        )?;
+        Ok(IngestReport {
+            shape: grid.shape.clone(),
+            chunks_written: metrics.chunks,
+            bytes_written: 0,
+            peak_staged_bytes: metrics.peak_staged_bytes,
+            max_chunk_footprint_bytes: metrics.max_chunk_footprint_bytes,
+            lookahead: opts.lookahead.max(1),
+        })
     }
 
     /// A [`Reader`] over `store` sharing this handle's backend (with a

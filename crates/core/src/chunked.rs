@@ -349,10 +349,41 @@ pub fn refactor_chunked<F: BitplaneFloat + Real + Default>(
     )
 }
 
+/// Refactor chunk `c` of `grid` from its dense row-major samples — the
+/// single per-chunk refactor entry. Both the whole-input fan below and
+/// the streaming ingest pipeline ([`crate::ingest`]) funnel every chunk
+/// through this function, so the two paths are bit-identical by
+/// construction.
+///
+/// # Panics
+/// Panics if `data.len()` does not match chunk `c`'s region, or on
+/// non-finite input.
+pub fn refactor_grid_chunk_with<F: BitplaneFloat + Real, B: Backend>(
+    grid: &ChunkGrid,
+    c: usize,
+    data: &[F],
+    config: &RefactorConfig,
+    backend: &B,
+    ctx: &ExecCtx,
+) -> Refactored {
+    let region = grid.chunk_region(c);
+    assert_eq!(
+        data.len(),
+        region.len(),
+        "chunk data length must match its grid region"
+    );
+    refactor_with(data, &region.extent, config, backend, ctx)
+}
+
 /// Chunk-refactor one variable on `backend`: every chunk is extracted and
 /// refactored independently, fanned out through [`Backend::map_batch`]
 /// (so a parallel backend runs whole chunks concurrently). Per-chunk
 /// artifacts are bit-identical across backends.
+///
+/// This is the streaming ingest pipeline run over an in-memory source
+/// ([`crate::ingest::SliceSource`]) in its serial schedule — the same
+/// fan that serves [`crate::api::Mdr::ingest`], proven identical by the
+/// conformance suite.
 ///
 /// # Panics
 /// Panics if `data.len()` does not match `shape`, or on non-finite input.
@@ -369,12 +400,28 @@ pub fn refactor_chunked_with<F: BitplaneFloat + Real + Default, B: Backend>(
         grid.domain_len(),
         "data length must match shape"
     );
-    let indices: Vec<usize> = (0..grid.num_chunks()).collect();
-    let chunks = backend.map_batch(ctx, &indices, |&c| {
-        let region = grid.chunk_region(c);
-        let sub = extract_region(data, shape, &region);
-        refactor_with(&sub, &region.extent, &config.refactor, backend, ctx)
-    });
+    let source = crate::ingest::SliceSource::new(data, shape).expect("length checked above");
+    // Batch a backend's worth of chunks per fan: parallel backends keep
+    // chunk-level concurrency while extracted copies stay bounded by
+    // the batch, not the dataset.
+    let batch = backend.threads().max(1).saturating_mul(2);
+    let opts = crate::ingest::IngestOptions::sequential().with_lookahead(batch);
+    let mut chunks: Vec<Refactored> = Vec::with_capacity(grid.num_chunks());
+    crate::ingest::run_ingest(
+        source,
+        &grid,
+        &config.refactor,
+        backend,
+        ctx,
+        &opts,
+        false,
+        &mut |c, r| {
+            debug_assert_eq!(c, chunks.len(), "chunks arrive in order");
+            chunks.push(r);
+            Ok(())
+        },
+    )
+    .expect("in-memory ingest cannot fail");
     ChunkedRefactored {
         grid,
         dtype: F::TYPE_NAME.to_string(),

@@ -83,6 +83,7 @@
 pub mod api;
 pub mod chunked;
 pub mod error;
+pub mod ingest;
 pub mod multi_device;
 pub mod pipeline;
 pub mod prelude;
@@ -98,10 +99,14 @@ pub use api::{
     Query, Reader, Scope, SharedReader, Store, Target, DEFAULT_CACHE_BUDGET,
 };
 pub use chunked::{
-    refactor_chunked, refactor_chunked_with, ChunkGrid, ChunkedConfig, ChunkedRefactored,
+    refactor_chunked, refactor_chunked_with, refactor_grid_chunk_with, ChunkGrid, ChunkedConfig,
+    ChunkedRefactored,
 };
 pub use error::MdrError;
 pub use hpmdr_exec::{Backend, ExecCtx, Isa, ParallelBackend, ScalarBackend, SimdBackend};
+pub use ingest::{
+    ChunkSource, FileSource, FnSource, IngestElem, IngestOptions, IngestReport, SliceSource,
+};
 pub use qoi_retrieval::{
     retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,
     MultiQoiRetrievalOutcome, QoiRetrievalOutcome,

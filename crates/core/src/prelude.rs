@@ -12,6 +12,9 @@ pub use crate::api::{
 };
 pub use crate::chunked::{ChunkGrid, ChunkedConfig, ChunkedRefactored};
 pub use crate::error::MdrError;
+pub use crate::ingest::{
+    ChunkSource, FileSource, FnSource, IngestElem, IngestOptions, IngestReport, SliceSource,
+};
 pub use crate::pipeline::PipelineMode;
 pub use crate::qoi_retrieval::EbEstimator;
 pub use crate::refactor::{RefactorConfig, Refactored};

@@ -200,33 +200,242 @@ struct ChunkedManifest {
     chunks: Vec<HeaderMeta>,
 }
 
-/// Write `cr` as a sharded chunk store under `dir` (created if absent):
-/// one shard file per chunk with its unit payloads concatenated
-/// group-major, plus a versioned `manifest.json`. Returns the number of
-/// shard files written. Payloads stream straight from `cr` — nothing is
-/// cloned.
-pub fn write_chunked_store(cr: &ChunkedRefactored, dir: &Path) -> io::Result<usize> {
-    std::fs::create_dir_all(dir)?;
-    for (c, chunk) in cr.chunks.iter().enumerate() {
-        let file = std::fs::File::create(shard_path(dir, c))?;
+/// Read and structurally validate the chunked manifest under `dir`:
+/// version gate, geometry sanity, chunk count. Shared by the reader and
+/// the append path of [`ChunkedStoreWriter`].
+fn read_chunked_manifest(dir: &Path) -> Result<(ChunkedManifest, ChunkGrid), MdrError> {
+    let path = dir.join("manifest.json");
+    let raw = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
+    let manifest: ChunkedManifest = match serde_json::from_slice(&raw) {
+        Ok(m) => m,
+        Err(e) => {
+            // A newer schema's field changes fail the strict parse;
+            // surface the declared version matchably instead.
+            check_probed_version(&raw, "chunked store manifest")?;
+            return Err(MdrError::corrupt(format!(
+                "chunked manifest parse error: {e}"
+            )));
+        }
+    };
+    check_manifest_version(manifest.version.unwrap_or(1), "chunked store manifest")?;
+    // Geometry is untrusted on-disk input: reject it here rather
+    // than tripping ChunkGrid::new's asserts.
+    let nd = manifest.shape.len();
+    if nd == 0
+        || nd > hpmdr_mgard::grid::MAX_DIMS
+        || manifest.chunk_extent.len() != nd
+        || manifest.shape.contains(&0)
+        || manifest.chunk_extent.contains(&0)
+    {
+        return Err(MdrError::corrupt(format!(
+            "chunked manifest declares invalid geometry: shape {:?}, chunk extent {:?}",
+            manifest.shape, manifest.chunk_extent
+        )));
+    }
+    let grid = ChunkGrid::new(&manifest.shape, &manifest.chunk_extent);
+    if manifest.chunks.len() != grid.num_chunks() {
+        return Err(MdrError::corrupt(format!(
+            "chunked manifest lists {} chunks, grid has {}",
+            manifest.chunks.len(),
+            grid.num_chunks()
+        )));
+    }
+    Ok((manifest, grid))
+}
+
+/// Incremental writer for the sharded chunk store: shards stream out
+/// one chunk at a time ([`append_chunk`](Self::append_chunk)) and the
+/// versioned manifest is committed **atomically** at
+/// [`finish`](Self::finish) — written to `manifest.json.tmp`, then
+/// renamed over `manifest.json`. An ingest that dies mid-run therefore
+/// leaves either no manifest (fresh store) or the intact prior version
+/// (append): stray newer shards are invisible until a manifest names
+/// them, so readers never observe a torn store.
+pub struct ChunkedStoreWriter {
+    dir: PathBuf,
+    /// Grid of the **final** domain (for an append: the grown shape).
+    grid: ChunkGrid,
+    dtype: String,
+    /// Metadata of every chunk written so far (append: pre-existing
+    /// chunks included).
+    chunks: Vec<HeaderMeta>,
+    /// Shard payload bytes written by *this* writer.
+    bytes_written: usize,
+}
+
+impl ChunkedStoreWriter {
+    /// Start a fresh store for `grid` under `dir` (created if absent).
+    /// No manifest exists until [`finish`](Self::finish) commits one.
+    pub fn create(dir: &Path, grid: ChunkGrid, dtype: &str) -> Result<Self, MdrError> {
+        std::fs::create_dir_all(dir).map_err(|e| MdrError::io(dir, e))?;
+        Ok(ChunkedStoreWriter {
+            dir: dir.to_path_buf(),
+            grid,
+            dtype: dtype.to_string(),
+            chunks: Vec::new(),
+            bytes_written: 0,
+        })
+    }
+
+    /// Open the existing store under `dir` to grow it by `slab_shape`
+    /// along dimension 0 (the slowest-varying axis — the time-series
+    /// direction). Existing shards and their manifest entries are kept
+    /// as-is; new chunks continue the shard numbering. The stored
+    /// domain keeps serving reads from the prior manifest until
+    /// [`finish`](Self::finish) atomically commits the grown one.
+    ///
+    /// Requirements: the manifest must be current-version (else
+    /// [`MdrError::VersionMismatch`]), `dtype` must match (else
+    /// [`MdrError::DtypeMismatch`]), `slab_shape` must agree with the
+    /// stored shape on every trailing dimension, and the stored leading
+    /// dimension must be a multiple of the chunk extent (else
+    /// [`MdrError::Unsupported`] — a clipped trailing chunk would have
+    /// to be re-refactored, not appended after).
+    pub fn append_to(dir: &Path, slab_shape: &[usize], dtype: &str) -> Result<Self, MdrError> {
+        let (manifest, grid) = read_chunked_manifest(dir)?;
+        if manifest.dtype != dtype {
+            return Err(MdrError::DtypeMismatch {
+                stored: manifest.dtype,
+                requested: dtype.to_string(),
+            });
+        }
+        let nd = grid.shape.len();
+        if slab_shape.len() != nd || slab_shape.contains(&0) || slab_shape[1..] != grid.shape[1..] {
+            return Err(MdrError::InvalidInput(format!(
+                "append slab shape {slab_shape:?} does not extend stored shape {:?} \
+                 along dimension 0",
+                grid.shape
+            )));
+        }
+        if grid.shape[0] % grid.chunk_extent[0] != 0 {
+            return Err(MdrError::Unsupported(format!(
+                "cannot append: stored leading dimension {} is not a multiple of the \
+                 chunk extent {} (the clipped trailing chunk would need re-refactoring)",
+                grid.shape[0], grid.chunk_extent[0]
+            )));
+        }
+        let mut final_shape = grid.shape.clone();
+        final_shape[0] += slab_shape[0];
+        let final_grid = ChunkGrid::new(&final_shape, &grid.chunk_extent);
+        Ok(ChunkedStoreWriter {
+            dir: dir.to_path_buf(),
+            grid: final_grid,
+            dtype: manifest.dtype,
+            chunks: manifest.chunks,
+            bytes_written: 0,
+        })
+    }
+
+    /// Grid of the final (post-[`finish`](Self::finish)) domain.
+    pub fn grid(&self) -> &ChunkGrid {
+        &self.grid
+    }
+
+    /// Index of the next chunk this writer expects (equals the number
+    /// of chunks already recorded, pre-existing ones included).
+    pub fn next_chunk(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Shard payload bytes written by this writer so far.
+    pub fn bytes_written(&self) -> usize {
+        self.bytes_written
+    }
+
+    /// Write chunk `next_chunk()`'s shard and record its metadata.
+    /// Returns the payload bytes written. The chunk's shape must match
+    /// its grid region, and all of the grid's chunks must eventually be
+    /// supplied in index order.
+    pub fn append_chunk(&mut self, r: &Refactored) -> Result<usize, MdrError> {
+        let c = self.chunks.len();
+        if c >= self.grid.num_chunks() {
+            return Err(MdrError::InvalidInput(format!(
+                "store already holds all {} chunks",
+                self.grid.num_chunks()
+            )));
+        }
+        if r.shape != self.grid.chunk_region(c).extent {
+            return Err(MdrError::InvalidInput(format!(
+                "chunk {c} shape {:?} does not match its grid region {:?}",
+                r.shape,
+                self.grid.chunk_region(c).extent
+            )));
+        }
+        if r.dtype != self.dtype {
+            return Err(MdrError::DtypeMismatch {
+                stored: self.dtype.clone(),
+                requested: r.dtype.clone(),
+            });
+        }
+        let path = shard_path(&self.dir, c);
+        let file = std::fs::File::create(&path).map_err(|e| MdrError::io(&path, e))?;
         let mut w = std::io::BufWriter::new(file);
-        for s in &chunk.streams {
+        let mut nbytes = 0usize;
+        for s in &r.streams {
             for u in &s.units {
-                w.write_all(&u.payload)?;
+                w.write_all(&u.payload)
+                    .map_err(|e| MdrError::io(&path, e))?;
+                nbytes += u.payload.len();
             }
         }
         w.into_inner()
-            .map_err(std::io::IntoInnerError::into_error)?;
+            .map_err(|e| MdrError::io(&path, e.into_error()))?;
+        self.chunks.push(HeaderMeta::of(r));
+        self.bytes_written += nbytes;
+        Ok(nbytes)
     }
-    let manifest = ChunkedManifest {
-        version: Some(MANIFEST_VERSION),
-        shape: cr.grid.shape.clone(),
-        chunk_extent: cr.grid.chunk_extent.clone(),
-        dtype: cr.dtype.clone(),
-        chunks: cr.chunks.iter().map(HeaderMeta::of).collect(),
-    };
-    let json = serde_json::to_vec(&manifest).map_err(io::Error::other)?;
-    std::fs::write(dir.join("manifest.json"), json)?;
+
+    /// Commit the manifest atomically: serialize to `manifest.json.tmp`,
+    /// flush, and rename over `manifest.json`. Errors without renaming
+    /// if any grid chunk is still missing — an incomplete ingest never
+    /// replaces a readable manifest.
+    pub fn finish(self) -> Result<(), MdrError> {
+        if self.chunks.len() != self.grid.num_chunks() {
+            return Err(MdrError::InvalidInput(format!(
+                "ingest incomplete: {} of {} chunks written; manifest not committed",
+                self.chunks.len(),
+                self.grid.num_chunks()
+            )));
+        }
+        let manifest = ChunkedManifest {
+            version: Some(MANIFEST_VERSION),
+            shape: self.grid.shape.clone(),
+            chunk_extent: self.grid.chunk_extent.clone(),
+            dtype: self.dtype.clone(),
+            chunks: self.chunks,
+        };
+        let json = serde_json::to_vec(&manifest)
+            .map_err(|e| MdrError::corrupt(format!("manifest serialization failed: {e}")))?;
+        let tmp = self.dir.join("manifest.json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| MdrError::io(&tmp, e))?;
+            f.write_all(&json).map_err(|e| MdrError::io(&tmp, e))?;
+            // Durability is best-effort; atomicity comes from the rename.
+            let _ = f.sync_all();
+        }
+        let dst = self.dir.join("manifest.json");
+        std::fs::rename(&tmp, &dst).map_err(|e| MdrError::io(&dst, e))?;
+        Ok(())
+    }
+}
+
+/// Write `cr` as a sharded chunk store under `dir` (created if absent):
+/// one shard file per chunk with its unit payloads concatenated
+/// group-major, plus a versioned `manifest.json` committed atomically
+/// via [`ChunkedStoreWriter`]. Returns the number of shard files
+/// written. Payloads stream straight from `cr` — nothing is cloned.
+pub fn write_chunked_store(cr: &ChunkedRefactored, dir: &Path) -> io::Result<usize> {
+    fn into_io(e: MdrError) -> io::Error {
+        match e {
+            MdrError::Io { source, .. } => source,
+            other => io::Error::other(other.to_string()),
+        }
+    }
+    let mut w = ChunkedStoreWriter::create(dir, cr.grid.clone(), &cr.dtype).map_err(into_io)?;
+    for chunk in &cr.chunks {
+        w.append_chunk(chunk).map_err(into_io)?;
+    }
+    w.finish().map_err(into_io)?;
     Ok(cr.chunks.len())
 }
 
@@ -258,42 +467,7 @@ impl ChunkedStoreReader {
     /// Damage is [`MdrError::Corrupt`]; a manifest from a future writer
     /// is [`MdrError::VersionMismatch`].
     pub fn open(dir: &Path) -> Result<Self, MdrError> {
-        let path = dir.join("manifest.json");
-        let raw = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
-        let manifest: ChunkedManifest = match serde_json::from_slice(&raw) {
-            Ok(m) => m,
-            Err(e) => {
-                // A newer schema's field changes fail the strict parse;
-                // surface the declared version matchably instead.
-                check_probed_version(&raw, "chunked store manifest")?;
-                return Err(MdrError::corrupt(format!(
-                    "chunked manifest parse error: {e}"
-                )));
-            }
-        };
-        check_manifest_version(manifest.version.unwrap_or(1), "chunked store manifest")?;
-        // Geometry is untrusted on-disk input: reject it here rather
-        // than tripping ChunkGrid::new's asserts.
-        let nd = manifest.shape.len();
-        if nd == 0
-            || nd > hpmdr_mgard::grid::MAX_DIMS
-            || manifest.chunk_extent.len() != nd
-            || manifest.shape.contains(&0)
-            || manifest.chunk_extent.contains(&0)
-        {
-            return Err(MdrError::corrupt(format!(
-                "chunked manifest declares invalid geometry: shape {:?}, chunk extent {:?}",
-                manifest.shape, manifest.chunk_extent
-            )));
-        }
-        let grid = ChunkGrid::new(&manifest.shape, &manifest.chunk_extent);
-        if manifest.chunks.len() != grid.num_chunks() {
-            return Err(MdrError::corrupt(format!(
-                "chunked manifest lists {} chunks, grid has {}",
-                manifest.chunks.len(),
-                grid.num_chunks()
-            )));
-        }
+        let (manifest, grid) = read_chunked_manifest(dir)?;
         let mut unit_lens = Vec::with_capacity(manifest.chunks.len());
         let mut chunks = Vec::with_capacity(manifest.chunks.len());
         for (c, hm) in manifest.chunks.into_iter().enumerate() {

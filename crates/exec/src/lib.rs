@@ -43,6 +43,7 @@ mod ctx;
 mod parallel;
 mod scalar;
 mod simd;
+pub mod stages;
 
 pub use backend::{Backend, DecodeError, EncodedStream, StreamView};
 pub use ctx::{ExecCtx, DEFAULT_TILE_ROWS};

@@ -1,0 +1,424 @@
+//! Staged-pipeline scheduling for streaming workloads.
+//!
+//! The retrieval side of the crate overlaps fetch with decode
+//! ([`crate::Backend`] consumers wire that up through channels of their
+//! own); this module provides the matching *ingest* schedule: a
+//! three-stage `produce → transform → consume` pipeline where the
+//! producer and consumer run on dedicated threads and the transform
+//! runs on the caller's thread (so it may fan work out through a
+//! backend without nesting thread pools).
+//!
+//! The defining property is the **slot gate**: at most `slots` produced
+//! items exist anywhere in the pipeline at once. The producer blocks
+//! before reading item k+`slots` until the consumer has fully retired
+//! item k, which is what turns "stream a dataset" into "hold a bounded
+//! window of it". Callers translate `slots` into a memory bound:
+//! peak staged bytes ≤ `slots` × max-item-footprint.
+//!
+//! Errors from any stage abort the pipeline: the first error wins, the
+//! gate is released so no thread deadlocks, and both worker threads are
+//! joined before the call returns.
+
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+/// Counting gate bounding how many produced items are in flight.
+///
+/// `acquire` blocks while `in_flight == slots`; `release` retires one
+/// item. `abort` wakes every waiter and makes all further `acquire`
+/// calls fail, so an erroring stage can never strand the producer on a
+/// full gate.
+struct SlotGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    slots: usize,
+}
+
+struct GateState {
+    in_flight: usize,
+    aborted: bool,
+}
+
+impl SlotGate {
+    fn new(slots: usize) -> Self {
+        SlotGate {
+            state: Mutex::new(GateState {
+                in_flight: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            slots: slots.max(1),
+        }
+    }
+
+    /// Claim a slot; returns `false` if the pipeline aborted instead.
+    fn acquire(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.in_flight >= self.slots && !st.aborted {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.aborted {
+            return false;
+        }
+        st.in_flight += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight = st.in_flight.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    fn abort(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Run a three-stage overlapped pipeline.
+///
+/// * `produce` is called repeatedly on a dedicated thread; `None` ends
+///   the stream. Each `Some` item first claims one of `slots` gate
+///   slots, so at most `slots` items are staged pipeline-wide.
+/// * `transform` runs on the calling thread. It receives batches of at
+///   least one item — up to `max_batch` when the producer has run ahead
+///   — and may fan each batch out across worker threads. Outputs are
+///   forwarded to the consumer in production order.
+/// * `consume` runs on a second dedicated thread; each retired item
+///   releases one gate slot.
+///
+/// The first error from any stage cancels the other stages and is
+/// returned; remaining in-flight items are dropped, not consumed.
+pub fn run_overlapped<A, B, E, P, T, C>(
+    slots: usize,
+    max_batch: usize,
+    mut produce: P,
+    mut transform: T,
+    mut consume: C,
+) -> Result<(), E>
+where
+    A: Send,
+    B: Send,
+    E: Send,
+    P: FnMut() -> Option<Result<A, E>> + Send,
+    T: FnMut(Vec<A>) -> Result<Vec<B>, E>,
+    C: FnMut(B) -> Result<(), E> + Send,
+{
+    let max_batch = max_batch.max(1);
+    let gate = SlotGate::new(slots);
+    let gate = &gate;
+
+    // If the transform stage panics, this unwinds before the scope
+    // joins its threads; aborting the gate unblocks a producer parked
+    // on a full pipeline so the join can complete. On the normal path
+    // it fires after both threads have already exited — a no-op.
+    struct AbortOnDrop<'a>(&'a SlotGate);
+    impl Drop for AbortOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.abort();
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let _abort_guard = AbortOnDrop(gate);
+        let (tx_a, rx_a) = mpsc::channel::<Result<A, E>>();
+        let (tx_b, rx_b) = mpsc::channel::<B>();
+
+        scope.spawn(move || {
+            loop {
+                if !gate.acquire() {
+                    break; // pipeline aborted downstream
+                }
+                let Some(item) = produce() else {
+                    gate.release();
+                    break;
+                };
+                let failed = item.is_err();
+                if tx_a.send(item).is_err() {
+                    gate.release();
+                    break; // transform stage gone
+                }
+                if failed {
+                    break; // stop at the first source error
+                }
+            }
+        });
+
+        let writer = scope.spawn(move || -> Result<(), E> {
+            while let Ok(item) = rx_b.recv() {
+                if let Err(e) = consume(item) {
+                    gate.abort();
+                    return Err(e);
+                }
+                gate.release();
+            }
+            Ok(())
+        });
+
+        // Transform stage on the caller's thread: drain whatever the
+        // producer has staged (up to `max_batch`) so a backend fan sees
+        // several chunks per dispatch when the producer runs ahead.
+        let mut transform_err: Option<E> = None;
+        'pump: loop {
+            let first = match rx_a.recv() {
+                Ok(Ok(a)) => a,
+                Ok(Err(e)) => {
+                    transform_err = Some(e);
+                    break;
+                }
+                Err(_) => break, // producer finished
+            };
+            let mut batch = vec![first];
+            while batch.len() < max_batch {
+                match rx_a.try_recv() {
+                    Ok(Ok(a)) => batch.push(a),
+                    Ok(Err(e)) => {
+                        transform_err = Some(e);
+                        break 'pump; // source failed; staged items are moot
+                    }
+                    Err(_) => break,
+                }
+            }
+            match transform(batch) {
+                Ok(outs) => {
+                    for out in outs {
+                        if tx_b.send(out).is_err() {
+                            // Consumer died; its error is authoritative.
+                            break 'pump;
+                        }
+                    }
+                }
+                Err(e) => {
+                    transform_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if transform_err.is_some() {
+            gate.abort(); // unblock a producer waiting on a full gate
+        }
+        drop(rx_a); // producer's next send fails -> it exits
+        drop(tx_b); // consumer drains and exits
+
+        let writer_result = writer.join().expect("ingest writer thread panicked");
+        match transform_err {
+            Some(e) => Err(e),
+            None => writer_result,
+        }
+    })
+}
+
+/// Serial reference schedule: read up to `max_batch` items, transform
+/// them as one batch, retire the outputs, repeat. Same stage contract
+/// and error semantics as [`run_overlapped`] with zero threads — the
+/// compute-then-write baseline, and the path that reproduces the
+/// historical whole-input fan when `max_batch` covers the dataset.
+pub fn run_serial<A, B, E, P, T, C>(
+    max_batch: usize,
+    mut produce: P,
+    mut transform: T,
+    mut consume: C,
+) -> Result<(), E>
+where
+    P: FnMut() -> Option<Result<A, E>>,
+    T: FnMut(Vec<A>) -> Result<Vec<B>, E>,
+    C: FnMut(B) -> Result<(), E>,
+{
+    let max_batch = max_batch.max(1);
+    let mut done = false;
+    while !done {
+        let mut batch = Vec::new();
+        while batch.len() < max_batch {
+            match produce() {
+                Some(Ok(a)) => batch.push(a),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        for out in transform(batch)? {
+            consume(out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn counting_producer(n: usize) -> impl FnMut() -> Option<Result<usize, String>> + Send {
+        let mut next = 0;
+        move || {
+            if next == n {
+                None
+            } else {
+                next += 1;
+                Some(Ok(next - 1))
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_preserves_order_and_visits_everything() {
+        let mut seen = Vec::new();
+        run_overlapped(
+            3,
+            2,
+            counting_producer(100),
+            |batch: Vec<usize>| Ok(batch.into_iter().map(|x| x * 10).collect()),
+            |out| {
+                seen.push(out);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, (0..100).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn in_flight_never_exceeds_slots() {
+        const SLOTS: usize = 3;
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let (l, p) = (live.clone(), peak.clone());
+        let mut next = 0usize;
+        run_overlapped(
+            SLOTS,
+            1,
+            move || {
+                if next == 64 {
+                    return None;
+                }
+                next += 1;
+                let now = l.fetch_add(1, Ordering::SeqCst) + 1;
+                p.fetch_max(now, Ordering::SeqCst);
+                Some(Ok::<_, String>(Tracked(l.clone())))
+            },
+            Ok,
+            |item| {
+                std::thread::yield_now();
+                drop(item);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+        assert!(
+            peak.load(Ordering::SeqCst) <= SLOTS,
+            "peak in-flight {} exceeded {} slots",
+            peak.load(Ordering::SeqCst),
+            SLOTS
+        );
+    }
+
+    #[test]
+    fn producer_error_propagates() {
+        let mut next = 0;
+        let err = run_overlapped(
+            2,
+            1,
+            move || {
+                next += 1;
+                if next == 5 {
+                    Some(Err("source failed".to_string()))
+                } else {
+                    Some(Ok(next))
+                }
+            },
+            |batch: Vec<i32>| Ok(batch),
+            |_| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err, "source failed");
+    }
+
+    #[test]
+    fn transform_error_propagates() {
+        let err = run_overlapped(
+            2,
+            1,
+            counting_producer(1000),
+            |batch: Vec<usize>| {
+                if batch.contains(&7) {
+                    Err("transform failed".to_string())
+                } else {
+                    Ok(batch)
+                }
+            },
+            |_| Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(err, "transform failed");
+    }
+
+    #[test]
+    fn consumer_error_propagates_and_does_not_hang_a_full_gate() {
+        let err = run_overlapped(
+            2,
+            1,
+            counting_producer(1000),
+            |batch: Vec<usize>| Ok(batch),
+            |out| {
+                if out == 3 {
+                    Err("writer failed".to_string())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, "writer failed");
+    }
+
+    #[test]
+    fn serial_matches_overlapped_output() {
+        let mut serial = Vec::new();
+        run_serial(
+            4,
+            counting_producer(33),
+            |batch: Vec<usize>| Ok::<_, String>(batch.into_iter().map(|x| x + 1).collect()),
+            |out| {
+                serial.push(out);
+                Ok(())
+            },
+        )
+        .unwrap();
+        let mut overlapped = Vec::new();
+        run_overlapped(
+            4,
+            4,
+            counting_producer(33),
+            |batch: Vec<usize>| Ok::<_, String>(batch.into_iter().map(|x| x + 1).collect()),
+            |out| {
+                overlapped.push(out);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, overlapped);
+        assert_eq!(serial.len(), 33);
+    }
+
+    #[test]
+    fn serial_empty_stream_is_ok() {
+        run_serial(8, || None::<Result<usize, String>>, Ok, |_| Ok(())).unwrap();
+    }
+}

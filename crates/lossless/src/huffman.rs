@@ -420,39 +420,70 @@ fn encode_chunk_reference(chunk: &[u8], lens: &[u8; 256], codes: &[u64; 256], ou
 
 /// Wide-flush chunk encoder: left-aligned accumulator holding up to 64
 /// pending bits, one packed-table load per symbol (gather-free), and a
-/// 4-byte flush whenever ≥ 32 bits are pending — the per-symbol
-/// byte-at-a-time flush loop of the reference encoder becomes one
-/// branch. Emits the identical MSB-first bitstream with the identical
-/// zero-padded tail byte.
+/// 4-byte flush whenever ≥ 32 bits are pending. Symbols are inserted
+/// **two at a time** — adjacent codes whose combined length fits
+/// [`MAX_CODE_LEN`] are pre-merged into one shift+or, so the serial
+/// accumulate/flush dependency chain advances once per pair instead of
+/// once per symbol for the short codes that dominate skewed bitplane
+/// streams. Emits the identical MSB-first bitstream with the identical
+/// zero-padded tail byte as the reference encoder.
 fn encode_chunk_wide(chunk: &[u8], packed: &[u64; 256], out: &mut Vec<u8>) {
     const LEN_SHIFT: u32 = 58;
     const CODE_MASK: u64 = (1u64 << LEN_SHIFT) - 1;
-    // Invariant at loop top: bits ≤ 32, so room = 64 - bits ≥ 32.
-    let mut acc = 0u64;
-    let mut bits = 0u32;
-    for &b in chunk {
-        let e = packed[b as usize];
-        let len = (e >> LEN_SHIFT) as u32;
-        let code = e & CODE_MASK;
-        let room = 64 - bits;
+
+    /// Append `len` bits of `code` (≤ [`MAX_CODE_LEN`], so `len ≤ 56`)
+    /// to the accumulator. Invariant: `bits ≤ 32` on entry and exit, so
+    /// `room = 64 - bits ≥ 32` and a straddling code hangs over by at
+    /// most `56 - 32 = 24` bits.
+    #[inline(always)]
+    fn insert(acc: &mut u64, bits: &mut u32, code: u64, len: u32, out: &mut Vec<u8>) {
+        debug_assert!(*bits <= 32 && len as usize <= MAX_CODE_LEN);
+        let room = 64 - *bits;
         if len <= room {
             // room - len ≤ 63 (len ≥ 1 for any present symbol).
-            acc |= code << (room - len);
-            bits += len;
+            *acc |= code << (room - len);
+            *bits += len;
         } else {
             // Code straddles the accumulator: place the top `room` bits,
             // flush all 8 bytes, restart with the low `len - room` bits.
-            let hang = len - room; // 1 ..= MAX_CODE_LEN - 1
-            acc |= code >> hang;
+            let hang = len - room; // 1 ..= 24
+            *acc |= code >> hang;
             out.extend_from_slice(&acc.to_be_bytes());
-            acc = code << (64 - hang);
-            bits = hang;
+            *acc = code << (64 - hang);
+            *bits = hang;
         }
-        if bits >= 32 {
-            out.extend_from_slice(&((acc >> 32) as u32).to_be_bytes());
-            acc <<= 32;
-            bits -= 32;
+        if *bits >= 32 {
+            out.extend_from_slice(&((*acc >> 32) as u32).to_be_bytes());
+            *acc <<= 32;
+            *bits -= 32;
         }
+    }
+
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    let mut pairs = chunk.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        let e0 = packed[pair[0] as usize];
+        let e1 = packed[pair[1] as usize];
+        let l0 = (e0 >> LEN_SHIFT) as u32;
+        let l1 = (e1 >> LEN_SHIFT) as u32;
+        if (l0 + l1) as usize <= MAX_CODE_LEN {
+            let code = ((e0 & CODE_MASK) << l1) | (e1 & CODE_MASK);
+            insert(&mut acc, &mut bits, code, l0 + l1, out);
+        } else {
+            insert(&mut acc, &mut bits, e0 & CODE_MASK, l0, out);
+            insert(&mut acc, &mut bits, e1 & CODE_MASK, l1, out);
+        }
+    }
+    if let [b] = pairs.remainder() {
+        let e = packed[*b as usize];
+        insert(
+            &mut acc,
+            &mut bits,
+            e & CODE_MASK,
+            (e >> LEN_SHIFT) as u32,
+            out,
+        );
     }
     // Tail: whole pending bytes plus one zero-padded partial byte.
     out.extend_from_slice(&acc.to_be_bytes()[..bits.div_ceil(8) as usize]);

@@ -189,6 +189,91 @@ proptest! {
         }
         let _ = std::fs::remove_dir_all(&base);
     }
+
+    #[test]
+    fn ingested_stores_are_byte_identical_across_backends_and_schedules(
+        nx in 8usize..20,
+        ny in 8usize..20,
+        cx in 3usize..8,
+        cy in 3usize..8,
+        seed in any::<u32>(),
+        lookahead in 1usize..6,
+        case in any::<u64>(),
+    ) {
+        // The portability guarantee extends to streaming ingest: the
+        // bounded pipeline on any backend, under either schedule and
+        // any lookahead, must write the same store the whole-input
+        // chunked path does — file for file.
+        use hpmdr_core::{IngestOptions, MdrConfig, SliceSource};
+
+        let data = random_field(nx, ny, seed);
+        let cfg = ChunkedConfig::with_extent(&[cx, cy]);
+        let reference = refactor_chunked_with(
+            &data,
+            &[nx, ny],
+            &cfg,
+            &ScalarBackend::new(),
+            &ExecCtx::default(),
+        );
+        let base = std::env::temp_dir().join(format!(
+            "hpmdr_ingest_equiv_{}_{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir_ref = base.join("reference");
+        write_chunked_store(&reference, &dir_ref).unwrap();
+        let want: Vec<(String, Vec<u8>)> = {
+            let mut files: Vec<_> = std::fs::read_dir(&dir_ref)
+                .unwrap()
+                .map(|e| {
+                    let e = e.unwrap();
+                    (
+                        e.file_name().into_string().unwrap(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort_by(|a, b| a.0.cmp(&b.0));
+            files
+        };
+
+        let config = MdrConfig::new().chunked(&[cx, cy]);
+        for backend in ["scalar", "parallel", "simd"] {
+            for (schedule, opts) in [
+                ("seq", IngestOptions::sequential().with_lookahead(lookahead)),
+                ("ovl", IngestOptions::overlapped().with_lookahead(lookahead)),
+            ] {
+                let dir = base.join(format!("{backend}_{schedule}"));
+                let source = SliceSource::new(&data, &[nx, ny]).unwrap();
+                match backend {
+                    "scalar" => config.clone().build().ingest_with(source, &dir, &opts),
+                    "parallel" => config
+                        .clone()
+                        .build_parallel()
+                        .ingest_with(source, &dir, &opts),
+                    _ => config.clone().build_simd().ingest_with(source, &dir, &opts),
+                }
+                .unwrap();
+                let mut got: Vec<_> = std::fs::read_dir(&dir)
+                    .unwrap()
+                    .map(|e| {
+                        let e = e.unwrap();
+                        (
+                            e.file_name().into_string().unwrap(),
+                            std::fs::read(e.path()).unwrap(),
+                        )
+                    })
+                    .collect();
+                got.sort_by(|a, b| a.0.cmp(&b.0));
+                prop_assert_eq!(
+                    &want, &got,
+                    "{} ingest under {} must match the whole-input store",
+                    backend, schedule
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
 }
 
 /// Odd and tail-heavy extents stress every kernel's remainder handling:
