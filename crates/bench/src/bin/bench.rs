@@ -34,8 +34,16 @@
 //! overlapped schedule is no slower than the serial compute-then-write
 //! baseline.
 //!
+//! The `remote` section (PR 8) serves the sharded store over a loopback
+//! HTTP server with injected per-request latency and replays centered
+//! ROI queries at 0.1%/1%/10% selectivity through `RemoteStore` twice —
+//! one range request per touched group versus coalesced fetch plans —
+//! plus a warm re-query against `CachedStore<RemoteStore>`. Asserts
+//! in-bench that coalescing issues strictly fewer requests and that the
+//! warm re-query reaches the network exactly zero times.
+//!
 //! Knobs (environment):
-//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 7).
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 8).
 //! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
 //! * `HPMDR_BENCH_INGEST_EXTENT` — cubic extent for the ingest section
 //!   (default `max(HPMDR_BENCH_EXTENT, 128)`; the acceptance run uses
@@ -47,13 +55,14 @@ use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
 use hpmdr_core::ingest::{IngestOptions, SliceSource};
 use hpmdr_core::prelude::{
     open_store, Approximation, CachedStore, InMemoryStore, Mdr, MdrConfig, ParallelBackend, Query,
-    Reader, SharedReader, Store, Target,
+    Reader, RemoteStore, RemoteStoreConfig, SharedReader, Store, Target,
 };
 use hpmdr_core::roi::{Region, RoiRequest};
 use hpmdr_core::storage::{write_chunked_store, ChunkedStoreReader};
 use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
 use hpmdr_datasets::{Dataset, DatasetKind};
 use hpmdr_lossless::huffman;
+use hpmdr_netstore::{FaultPlan, LoopbackShardServer};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -108,6 +117,11 @@ struct ConcurrentPoint {
     cached_bytes: usize,
     cache_hits: usize,
     cache_misses: usize,
+    /// `hits / (hits + misses)` over the cached run.
+    cache_hit_rate: f64,
+    /// Misses that only extended an already-cached unit prefix (the
+    /// progressive-refinement fast path) rather than starting cold.
+    cache_extensions: usize,
 }
 
 #[derive(Serialize)]
@@ -124,6 +138,28 @@ struct KernelPoint {
     /// Tuning decision recorded for this kernel (PR 7: the wide Huffman
     /// encoder retune), derived from the measured speedup.
     decision: Option<String>,
+}
+
+/// One ROI selectivity served over the network tier, per-group vs
+/// coalesced vs warm-cache.
+#[derive(Serialize)]
+struct RemotePoint {
+    /// Fraction of the domain the centered ROI covers.
+    selectivity: f64,
+    region_side: usize,
+    /// One `Range:` request per touched (chunk, group) — coalescing off.
+    per_group_requests: usize,
+    per_group_bytes: usize,
+    per_group_wall_ms: f64,
+    /// Merged ranges under the default gap threshold.
+    coalesced_requests: usize,
+    coalesced_bytes: usize,
+    /// Gap bytes fetched and discarded to merge ranges.
+    coalesced_wasted_bytes: usize,
+    coalesced_wall_ms: f64,
+    /// Backing requests the warm re-query issued (asserted zero).
+    warm_requests: usize,
+    warm_wall_ms: f64,
 }
 
 /// One leg of the streaming-vs-whole-input ingest comparison.
@@ -156,6 +192,7 @@ struct Report {
     roi_store_ms: f64,
     facade_roi_store_ms: f64,
     concurrent: Vec<ConcurrentPoint>,
+    remote: Vec<RemotePoint>,
     huffman: Vec<CodecPoint>,
     kernels: Vec<KernelPoint>,
     ingest_extent: usize,
@@ -214,6 +251,126 @@ fn hammer(
             .expect("at least one client")
     });
     (t.elapsed().as_secs_f64() * 1e3, answers)
+}
+
+/// Replay centered ROI queries of rising selectivity against the
+/// sharded store served over loopback HTTP: one range request per
+/// touched group vs coalesced fetch plans, then a warm re-query
+/// through the memory tier. Per-request latency is injected so fewer
+/// requests shows up as less wall-clock, not just smaller counters.
+fn remote_points(
+    dir: &std::path::Path,
+    extent: usize,
+    value_range: f64,
+    reps: usize,
+) -> Vec<RemotePoint> {
+    let server = LoopbackShardServer::serve_with_faults(
+        dir,
+        FaultPlan {
+            latency: std::time::Duration::from_micros(300),
+            ..FaultPlan::default()
+        },
+    )
+    .expect("loopback server starts");
+    let url = server.url();
+    let local = ChunkedStoreReader::open(dir).expect("store opens");
+
+    [0.001f64, 0.01, 0.1]
+        .into_iter()
+        .map(|selectivity| {
+            let side = ((extent as f64 * selectivity.cbrt()) as usize + 1).min(extent);
+            let start = (extent - side) / 2;
+            let query = Query::region(
+                Target::AbsError(1e-4 * value_range),
+                Region::new(&[start; 3], &[side; 3]),
+            );
+            let want = Reader::new(&local)
+                .retrieve::<f32>(&query)
+                .expect("query serves");
+
+            // Leg 1: coalescing off — the trait-default schedule, one
+            // range request per touched (chunk, group).
+            let per_group = RemoteStore::open_with(
+                &url,
+                RemoteStoreConfig {
+                    coalesce: false,
+                    ..RemoteStoreConfig::default()
+                },
+            )
+            .expect("remote store opens");
+            let (req0, xfer0) = (per_group.requests(), per_group.transfer_bytes());
+            let got = Reader::new(&per_group)
+                .retrieve::<f32>(&query)
+                .expect("query serves");
+            assert_eq!(got.data, want.data, "remote answer must match local");
+            let per_group_requests = per_group.requests() - req0;
+            let per_group_bytes = per_group.transfer_bytes() - xfer0;
+            let per_group_wall_ms = time_ms(reps, || {
+                let r = Reader::new(&per_group);
+                std::hint::black_box(r.retrieve::<f32>(&query).expect("query serves"));
+            });
+
+            // Leg 2: coalesced fetch plans under the default gap
+            // threshold.
+            let coalesced =
+                RemoteStore::open_with(&url, RemoteStoreConfig::default()).expect("remote opens");
+            let (req0, xfer0, waste0) = (
+                coalesced.requests(),
+                coalesced.transfer_bytes(),
+                coalesced.wasted_bytes(),
+            );
+            let got = Reader::new(&coalesced)
+                .retrieve::<f32>(&query)
+                .expect("query serves");
+            assert_eq!(got.data, want.data, "coalesced answer must match local");
+            let coalesced_requests = coalesced.requests() - req0;
+            let coalesced_bytes = coalesced.transfer_bytes() - xfer0;
+            let coalesced_wasted_bytes = coalesced.wasted_bytes() - waste0;
+            assert!(
+                coalesced_requests < per_group_requests,
+                "coalescing must issue fewer requests: {coalesced_requests} vs {per_group_requests}"
+            );
+            let coalesced_wall_ms = time_ms(reps, || {
+                let r = Reader::new(&coalesced);
+                std::hint::black_box(r.retrieve::<f32>(&query).expect("query serves"));
+            });
+
+            // Leg 3: the two-tier hierarchy — after one cold query,
+            // repeats must never reach the network.
+            let cached = CachedStore::with_default_budget(
+                RemoteStore::open_url(&url).expect("remote store opens"),
+            );
+            let cold = Reader::new(&cached)
+                .retrieve::<f32>(&query)
+                .expect("query serves");
+            assert_eq!(cold.data, want.data, "cached answer must match local");
+            let req0 = cached.requests();
+            let warm = Reader::new(&cached)
+                .retrieve::<f32>(&query)
+                .expect("query serves");
+            let warm_requests = cached.requests() - req0;
+            assert_eq!(warm_requests, 0, "warm re-query must issue zero requests");
+            assert_eq!(warm.data, want.data, "warm answer must match local");
+            let warm_wall_ms = time_ms(reps, || {
+                let r = Reader::new(&cached);
+                std::hint::black_box(r.retrieve::<f32>(&query).expect("query serves"));
+            });
+
+            RemotePoint {
+                selectivity,
+                region_side: side,
+                per_group_requests,
+                per_group_bytes,
+                per_group_wall_ms,
+                coalesced_requests,
+                coalesced_bytes,
+                coalesced_wasted_bytes,
+                coalesced_wall_ms,
+                warm_requests,
+                warm_wall_ms,
+            }
+        })
+        .collect()
 }
 
 fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
@@ -493,7 +650,7 @@ fn ingest_points(side: usize, reps: usize) -> Vec<IngestPoint> {
 }
 
 fn main() {
-    let pr = env_usize("HPMDR_BENCH_PR", 7);
+    let pr = env_usize("HPMDR_BENCH_PR", 8);
     let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
     let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
 
@@ -623,9 +780,15 @@ fn main() {
                 cached_bytes,
                 cache_hits: stats.hits,
                 cache_misses: stats.misses,
+                cache_hit_rate: stats.hit_rate(),
+                cache_extensions: stats.extensions,
             }
         })
         .collect();
+
+    // Remote object-store tier: the same sharded store over loopback
+    // HTTP, per-group vs coalesced vs warm-cache.
+    let remote = remote_points(&dir, extent, cr.value_range(), reps);
     let _ = std::fs::remove_dir_all(&dir);
 
     let n = 1usize << 20;
@@ -665,6 +828,7 @@ fn main() {
         roi_store_ms,
         facade_roi_store_ms,
         concurrent,
+        remote,
         huffman,
         kernels,
         ingest_extent,

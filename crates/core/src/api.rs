@@ -460,6 +460,11 @@ impl<B: Backend> Mdr<B> {
     /// [`DEFAULT_CACHE_BUDGET`]) and return an [`Arc`]-clonable
     /// [`SharedReader`] on this handle's backend — the one-call setup
     /// for serving many concurrent clients from one archive.
+    ///
+    /// `path` may also carry an `http://` URL (see [`open_store`]):
+    /// the result is then the two-tier memory ← network hierarchy,
+    /// where a repeated query is a pure cache hit (zero requests) and
+    /// a refinement extends each cached prefix with one range request.
     pub fn open_shared(&self, path: &Path) -> Result<SharedReader<B>, MdrError> {
         let store = CachedStore::with_default_budget(open_store(path)?);
         Ok(self.shared_reader(Arc::new(store)))
@@ -906,6 +911,7 @@ struct CacheState {
     tick: u64,
     hits: usize,
     misses: usize,
+    extensions: usize,
     served_bytes: usize,
 }
 
@@ -917,10 +923,29 @@ pub struct CacheStats {
     /// `load_units` calls that had to touch the backing store (to fill
     /// or extend a prefix).
     pub misses: usize,
+    /// The subset of `misses` that *extended* an already-cached prefix
+    /// — only the missing suffix was fetched. Over a progressive
+    /// refinement sequence (same region, tightening bounds) virtually
+    /// every miss should be an extension; a low ratio means the cache
+    /// is evicting prefixes between refinements (budget too small).
+    pub extensions: usize,
     /// Payload bytes currently held.
     pub cached_bytes: usize,
     /// Payload bytes handed to callers (from cache or fresh).
     pub served_bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of `load_units` calls served without touching the
+    /// backing store (`0.0` when nothing was asked yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A byte-budgeted read-through cache over any [`Store`].
@@ -981,6 +1006,7 @@ impl<S: Store> CachedStore<S> {
         CacheStats {
             hits: state.hits,
             misses: state.misses,
+            extensions: state.extensions,
             cached_bytes: state.cached_bytes,
             served_bytes: state.served_bytes,
         }
@@ -1031,7 +1057,7 @@ impl<S: Store> Store for CachedStore<S> {
         // The backing I/O runs here, so concurrent requests for the
         // *same* prefix trigger one fetch while misses on other entries
         // proceed in parallel.
-        let (out, added, fetched) = {
+        let (out, added, fetched, extended) = {
             let mut cached = handle.lock().unwrap_or_else(|p| p.into_inner());
             let have = cached.units.len();
             let mut added = 0usize;
@@ -1041,7 +1067,12 @@ impl<S: Store> Store for CachedStore<S> {
                 added = fresh.iter().map(Vec::len).sum();
                 cached.units.extend(fresh);
             }
-            (cached.units[skip..end].to_vec(), added, fetched)
+            (
+                cached.units[skip..end].to_vec(),
+                added,
+                fetched,
+                fetched && have > 0,
+            )
         };
         // Phase 3 — directory lock: publish accounting and evict
         // least-recently-used entries while over budget (the entry just
@@ -1051,6 +1082,9 @@ impl<S: Store> Store for CachedStore<S> {
         let state = &mut *state;
         if fetched {
             state.misses += 1;
+            if extended {
+                state.extensions += 1;
+            }
         } else {
             state.hits += 1;
         }
@@ -1093,16 +1127,32 @@ impl<S: Store> Store for CachedStore<S> {
     }
 }
 
-/// Open whatever store lives at `path`, sniffing its flavor: a plain
-/// file is a serialized artifact loaded into an [`InMemoryStore`]; a
-/// directory is a unit-file or sharded store, told apart by their
-/// manifest formats (framed-binary vs bare JSON).
+/// Open whatever store lives at `path`, sniffing its flavor: an
+/// `http://` URL is a [`RemoteStore`](crate::remote::RemoteStore)
+/// serving the sharded layout over range requests; a plain file is a
+/// serialized artifact loaded into an [`InMemoryStore`]; a directory
+/// is a unit-file or sharded store, told apart by their manifest
+/// formats (framed-binary vs bare JSON).
 ///
-/// A `path` that holds no store at all — nothing there, or a directory
-/// without a `manifest.json` — is [`MdrError::InvalidInput`] describing
-/// what a valid store looks like, not a raw I/O error about a file the
-/// caller never named.
+/// A `path` that holds no store at all — nothing there, a directory
+/// without a `manifest.json`, or a URL whose manifest the server will
+/// not serve — is [`MdrError::InvalidInput`] describing what went
+/// wrong (for a remote store: the URL and the HTTP status), not a raw
+/// I/O error about a file the caller never named.
 pub fn open_store(path: &Path) -> Result<Box<dyn Store>, MdrError> {
+    // URL sniffing first: a URL is never a local path (and `is_file`
+    // on one would just stat a nonexistent `./http:/…`).
+    let spec = path.to_string_lossy();
+    if spec.starts_with("http://") {
+        return Ok(Box::new(crate::remote::RemoteStore::open_url(&spec)?));
+    }
+    if spec.starts_with("https://") {
+        return Err(MdrError::Unsupported(
+            "https:// stores are unavailable in this pure-std build; serve the \
+             store over http:// instead"
+                .to_string(),
+        ));
+    }
     if path.is_file() {
         return Ok(Box::new(<InMemoryStore as Store>::open(path)?));
     }

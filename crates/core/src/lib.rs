@@ -70,7 +70,11 @@
 //!   [`hpmdr_exec::Backend::map_batch`];
 //! * [`roi`] — region-of-interest progressive retrieval: per-chunk unit
 //!   prefixes for only the chunks a hyperslab intersects, assembled with
-//!   a guaranteed L∞ bound.
+//!   a guaranteed L∞ bound;
+//! * [`remote`] — the network storage tier: [`remote::RemoteStore`]
+//!   serves the sharded layout over HTTP range requests with request
+//!   coalescing ([`roi::FetchPlan`]), pooled connections, and bounded
+//!   retry (transport in [`hpmdr_netstore`]).
 //!
 //! Every hot stage executes through the portable executor layer of
 //! [`hpmdr_exec`]: [`refactor()`], [`RetrievalSession`], and both
@@ -89,6 +93,7 @@ pub mod pipeline;
 pub mod prelude;
 pub mod qoi_retrieval;
 pub mod refactor;
+pub mod remote;
 pub mod retrieve;
 pub mod roi;
 pub mod serialize;
@@ -112,5 +117,9 @@ pub use qoi_retrieval::{
     MultiQoiRetrievalOutcome, QoiRetrievalOutcome,
 };
 pub use refactor::{refactor, refactor_with, RefactorConfig, Refactored};
+pub use remote::{RemoteStore, RemoteStoreConfig};
 pub use retrieve::{RetrievalPlan, RetrievalSession};
-pub use roi::{retrieve_roi, retrieve_roi_with, Region, RoiPlan, RoiRequest, RoiResult};
+pub use roi::{
+    retrieve_roi, retrieve_roi_with, FetchPlan, FetchRange, FetchSegment, Region, RoiPlan,
+    RoiRequest, RoiResult,
+};

@@ -18,8 +18,9 @@ pub use crate::ingest::{
 pub use crate::pipeline::PipelineMode;
 pub use crate::qoi_retrieval::EbEstimator;
 pub use crate::refactor::{RefactorConfig, Refactored};
+pub use crate::remote::{RemoteStore, RemoteStoreConfig};
 pub use crate::retrieve::{RetrievalPlan, RetrievalSession};
-pub use crate::roi::{Region, RoiPlan, RoiRequest, RoiResult};
+pub use crate::roi::{FetchPlan, Region, RoiPlan, RoiRequest, RoiResult};
 pub use crate::storage::{write_chunked_store, write_store, ChunkedStoreReader, StoreReader};
 pub use hpmdr_exec::{Backend, ExecCtx, Isa, ParallelBackend, ScalarBackend, SimdBackend};
 pub use hpmdr_qoi::QoiExpr;

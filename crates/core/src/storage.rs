@@ -184,14 +184,20 @@ impl StoreReader {
 
 // ---- chunked shard store ----------------------------------------------
 
+/// File name of chunk `c`'s shard — shared with the network tier, whose
+/// range requests target the same objects a local store lays on disk.
+pub(crate) fn shard_name(c: usize) -> String {
+    format!("c{c}.shard")
+}
+
 fn shard_path(dir: &Path, c: usize) -> PathBuf {
-    dir.join(format!("c{c}.shard"))
+    dir.join(shard_name(c))
 }
 
 /// The chunked store's versioned manifest: grid geometry plus per-chunk
 /// stream metadata (payload lengths kept, bytes elided).
 #[derive(Serialize, Deserialize)]
-struct ChunkedManifest {
+pub(crate) struct ChunkedManifest {
     /// Manifest schema version (`None` only in pre-versioning files).
     version: Option<u32>,
     shape: Vec<usize>,
@@ -206,12 +212,19 @@ struct ChunkedManifest {
 fn read_chunked_manifest(dir: &Path) -> Result<(ChunkedManifest, ChunkGrid), MdrError> {
     let path = dir.join("manifest.json");
     let raw = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
-    let manifest: ChunkedManifest = match serde_json::from_slice(&raw) {
+    parse_chunked_manifest(&raw)
+}
+
+/// Parse and structurally validate chunked-manifest bytes, wherever
+/// they came from (a local `manifest.json` or a remote fetch): version
+/// gate, geometry sanity, chunk count.
+pub(crate) fn parse_chunked_manifest(raw: &[u8]) -> Result<(ChunkedManifest, ChunkGrid), MdrError> {
+    let manifest: ChunkedManifest = match serde_json::from_slice(raw) {
         Ok(m) => m,
         Err(e) => {
             // A newer schema's field changes fail the strict parse;
             // surface the declared version matchably instead.
-            check_probed_version(&raw, "chunked store manifest")?;
+            check_probed_version(raw, "chunked store manifest")?;
             return Err(MdrError::corrupt(format!(
                 "chunked manifest parse error: {e}"
             )));
@@ -241,6 +254,88 @@ fn read_chunked_manifest(dir: &Path) -> Result<(ChunkedManifest, ChunkGrid), Mdr
         )));
     }
     Ok((manifest, grid))
+}
+
+/// Per-unit payload byte lengths, indexed `[chunk][group][unit]`.
+pub(crate) type UnitLens = Vec<Vec<Vec<usize>>>;
+
+/// Build the payload-free skeleton plus per-unit byte lengths
+/// (`unit_lens[chunk][group][unit]`) from a validated manifest — the
+/// planning state every chunked reader holds, local or remote.
+pub(crate) fn manifest_skeleton(
+    manifest: ChunkedManifest,
+    grid: ChunkGrid,
+) -> Result<(ChunkedRefactored, UnitLens), MdrError> {
+    let mut unit_lens = Vec::with_capacity(manifest.chunks.len());
+    let mut chunks = Vec::with_capacity(manifest.chunks.len());
+    for (c, hm) in manifest.chunks.into_iter().enumerate() {
+        let lens: Vec<Vec<usize>> = hm
+            .streams
+            .iter()
+            .map(|s| s.units.iter().map(|u| u.payload_len).collect())
+            .collect();
+        let skeleton = hm.into_refactored(|_, _, _| Ok(Vec::new()))?;
+        if skeleton.shape != grid.chunk_region(c).extent {
+            return Err(MdrError::corrupt(format!(
+                "chunk {c} shape {:?} does not match its grid region {:?}",
+                skeleton.shape,
+                grid.chunk_region(c).extent
+            )));
+        }
+        unit_lens.push(lens);
+        chunks.push(skeleton);
+    }
+    Ok((
+        ChunkedRefactored {
+            grid,
+            dtype: manifest.dtype,
+            chunks,
+        },
+        unit_lens,
+    ))
+}
+
+/// Bounds-check units `skip .. skip + take` of group `g` against
+/// `chunk_lens` (one chunk's `unit_lens`) and return the run's byte
+/// range in the group-major shard: `(start, nbytes)`. Shared by the
+/// local shard reader and the network tier, which must agree exactly on
+/// shard addressing.
+pub(crate) fn unit_run_range(
+    chunk_lens: &[Vec<usize>],
+    c: usize,
+    g: usize,
+    skip: usize,
+    take: usize,
+) -> Result<(u64, usize), MdrError> {
+    let lens = chunk_lens.get(g).ok_or_else(|| {
+        MdrError::InvalidQuery(format!("level group {g} out of range in chunk {c}"))
+    })?;
+    if skip + take > lens.len() {
+        return Err(MdrError::InvalidQuery(format!(
+            "units {skip}..{} of chunk {c} group {g} out of range ({} stored)",
+            skip + take,
+            lens.len()
+        )));
+    }
+    let group_off: u64 = chunk_lens[..g]
+        .iter()
+        .map(|l| l.iter().sum::<usize>() as u64)
+        .sum();
+    let start = group_off + lens[..skip].iter().sum::<usize>() as u64;
+    let nbytes: usize = lens[skip..skip + take].iter().sum();
+    Ok((start, nbytes))
+}
+
+/// Slice a contiguous group-major fetch back into per-unit payloads
+/// according to `lens[skip .. skip + take]`.
+pub(crate) fn split_units(buf: &[u8], lens: &[usize], skip: usize, take: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(take);
+    let mut off = 0usize;
+    for &len in &lens[skip..skip + take] {
+        out.push(buf[off..off + len].to_vec());
+        off += len;
+    }
+    out
 }
 
 /// Incremental writer for the sharded chunk store: shards stream out
@@ -468,32 +563,10 @@ impl ChunkedStoreReader {
     /// is [`MdrError::VersionMismatch`].
     pub fn open(dir: &Path) -> Result<Self, MdrError> {
         let (manifest, grid) = read_chunked_manifest(dir)?;
-        let mut unit_lens = Vec::with_capacity(manifest.chunks.len());
-        let mut chunks = Vec::with_capacity(manifest.chunks.len());
-        for (c, hm) in manifest.chunks.into_iter().enumerate() {
-            let lens: Vec<Vec<usize>> = hm
-                .streams
-                .iter()
-                .map(|s| s.units.iter().map(|u| u.payload_len).collect())
-                .collect();
-            let skeleton = hm.into_refactored(|_, _, _| Ok(Vec::new()))?;
-            if skeleton.shape != grid.chunk_region(c).extent {
-                return Err(MdrError::corrupt(format!(
-                    "chunk {c} shape {:?} does not match its grid region {:?}",
-                    skeleton.shape,
-                    grid.chunk_region(c).extent
-                )));
-            }
-            unit_lens.push(lens);
-            chunks.push(skeleton);
-        }
+        let (skeleton, unit_lens) = manifest_skeleton(manifest, grid)?;
         Ok(ChunkedStoreReader {
             dir: dir.to_path_buf(),
-            skeleton: ChunkedRefactored {
-                grid,
-                dtype: manifest.dtype,
-                chunks,
-            },
+            skeleton,
             unit_lens,
             bytes_read: AtomicUsize::new(0),
             ranges_read: AtomicUsize::new(0),
@@ -590,26 +663,11 @@ impl ChunkedStoreReader {
             .unit_lens
             .get(c)
             .ok_or_else(|| MdrError::InvalidQuery(format!("chunk {c} out of range")))?;
-        let lens = chunk_lens.get(g).ok_or_else(|| {
-            MdrError::InvalidQuery(format!("level group {g} out of range in chunk {c}"))
-        })?;
-        if skip + take > lens.len() {
-            return Err(MdrError::InvalidQuery(format!(
-                "units {skip}..{} of chunk {c} group {g} out of range ({} stored)",
-                skip + take,
-                lens.len()
-            )));
-        }
-        let nbytes: usize = lens[skip..skip + take].iter().sum();
+        let (start, nbytes) = unit_run_range(chunk_lens, c, g, skip, take)?;
         if nbytes == 0 {
             // Nothing on disk for this run (empty payloads): no I/O.
             return Ok(vec![Vec::new(); take]);
         }
-        let group_off: u64 = chunk_lens[..g]
-            .iter()
-            .map(|l| l.iter().sum::<usize>() as u64)
-            .sum();
-        let start = group_off + lens[..skip].iter().sum::<usize>() as u64;
         let mut buf = vec![0u8; nbytes];
         let mut file = self.lease_handle(c)?;
         let path = shard_path(&self.dir, c);
@@ -627,13 +685,7 @@ impl ChunkedStoreReader {
         self.return_handle(c, file);
         self.bytes_read.fetch_add(nbytes, Ordering::Relaxed);
         self.ranges_read.fetch_add(1, Ordering::Relaxed);
-        let mut out = Vec::with_capacity(take);
-        let mut off = 0usize;
-        for &len in &lens[skip..skip + take] {
-            out.push(buf[off..off + len].to_vec());
-            off += len;
-        }
-        Ok(out)
+        Ok(split_units(&buf, &chunk_lens[g], skip, take))
     }
 
     /// Materialize chunk `c` with exactly the unit prefixes `plan`

@@ -1,0 +1,617 @@
+//! The range-GET client: pooled keep-alive connections, per-request
+//! deadlines, and bounded retry with exponential backoff + jitter.
+//!
+//! The client speaks exactly the HTTP/1.1 subset a shard fetch needs —
+//! `GET` with an optional single `Range: bytes=a-b` header, responses
+//! framed by `Content-Length` — over [`std::net::TcpStream`], so the
+//! whole network tier builds offline with no TLS or protocol crates.
+//!
+//! Failure handling is the point of this module:
+//!
+//! * **transient** failures (connect/read errors, timeouts, 5xx
+//!   statuses, bodies shorter than their declared length) are retried up
+//!   to [`RetryPolicy::max_attempts`] times with exponential backoff and
+//!   deterministic jitter, on a *fresh* connection;
+//! * **permanent** failures (4xx statuses, malformed responses) fail the
+//!   request immediately;
+//! * when retries run out the last transient error is returned wrapped
+//!   in [`HttpError::RetriesExhausted`], so callers can still tell a
+//!   dead server from a truncating one.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Idle keep-alive connections retained per client.
+const MAX_POOLED_CONNECTIONS: usize = 8;
+
+/// Hard cap on response header size (a shard server's headers are a few
+/// hundred bytes; anything larger is a broken peer, not a big header).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Why an HTTP request failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The transport failed: connect, read, or write error.
+    Io(std::io::Error),
+    /// The per-request deadline elapsed before the response completed.
+    Timeout {
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// The server answered with a non-success status.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The requested URL.
+        url: String,
+    },
+    /// The body ended before its declared `Content-Length`.
+    ShortBody {
+        /// Bytes the response promised.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The response violated the protocol (unparsable status line,
+    /// missing `Content-Length`, bad URL).
+    Protocol(String),
+    /// Every allowed attempt failed; `last` is the final transient
+    /// error.
+    RetriesExhausted {
+        /// Attempts made (the first try included).
+        attempts: u32,
+        /// The error the last attempt died with.
+        last: Box<HttpError>,
+    },
+}
+
+impl HttpError {
+    /// Whether a fresh attempt could plausibly succeed: transport
+    /// errors, timeouts, truncated bodies, and 5xx statuses are
+    /// transient; 4xx statuses and protocol violations are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            HttpError::Io(_) | HttpError::Timeout { .. } | HttpError::ShortBody { .. } => true,
+            HttpError::Status { status, .. } => *status >= 500,
+            HttpError::Protocol(_) | HttpError::RetriesExhausted { .. } => false,
+        }
+    }
+
+    /// The HTTP status this error carries, unwrapping exhausted retries.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Status { status, .. } => Some(*status),
+            HttpError::RetriesExhausted { last, .. } => last.status(),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+            HttpError::Timeout { deadline } => {
+                write!(f, "request deadline of {deadline:?} elapsed")
+            }
+            HttpError::Status { status, url } => write!(f, "HTTP {status} for {url}"),
+            HttpError::ShortBody { expected, got } => {
+                write!(f, "body truncated: {got} of {expected} declared bytes")
+            }
+            HttpError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            HttpError::RetriesExhausted { attempts, last } => {
+                write!(f, "{attempts} attempts exhausted; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            HttpError::RetriesExhausted { last, .. } => Some(last),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded-retry schedule: exponential backoff from
+/// [`base_backoff`](Self::base_backoff) doubling per attempt, capped at
+/// [`max_backoff`](Self::max_backoff), with ±50% deterministic jitter so
+/// a fleet of clients retrying the same stalled server spreads out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), jittered by
+    /// `seed`: `base * 2^(retry-1)` capped at `max`, scaled into
+    /// `[50%, 100%]`.
+    fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (retry - 1).min(16))
+            .min(self.max_backoff);
+        // 50–100% of the exponential step: full-jitter keeps herds
+        // apart without ever sleeping shorter than half the schedule.
+        let scale = 0.5 + 0.5 * ((seed % 1024) as f64 / 1023.0);
+        exp.mul_f64(scale)
+    }
+}
+
+/// Client knobs: deadline, retry schedule, pool size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Wall-clock budget per request *attempt* (connect + send +
+    /// receive). Elapsing mid-response is [`HttpError::Timeout`].
+    pub deadline: Duration,
+    /// The bounded-retry schedule.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A parsed `http://host:port/path` URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    /// `host:port` (port defaulted to 80).
+    pub authority: String,
+    /// Absolute path, always starting with `/`.
+    pub path: String,
+}
+
+impl Url {
+    /// Parse an `http://` URL. `https` is rejected (no TLS in a
+    /// pure-std build); so is anything without a host.
+    pub fn parse(url: &str) -> Result<Url, HttpError> {
+        let rest = url.strip_prefix("http://").ok_or_else(|| {
+            HttpError::Protocol(format!(
+                "unsupported URL {url:?}: only http:// is available in this build"
+            ))
+        })?;
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() {
+            return Err(HttpError::Protocol(format!("URL {url:?} has no host")));
+        }
+        let authority = if host.contains(':') {
+            host.to_string()
+        } else {
+            format!("{host}:80")
+        };
+        Ok(Url {
+            authority,
+            path: path.to_string(),
+        })
+    }
+}
+
+/// One successful response: status and body.
+#[derive(Debug)]
+pub struct Response {
+    /// The HTTP status (200 or 206 for the requests this client makes).
+    pub status: u16,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// The pooled, retrying range-GET client.
+///
+/// All methods take `&self`: the connection pool is internally locked
+/// and the counters are atomic, so one client serves concurrent
+/// fetches — each in-flight request holds its own connection, and
+/// completed connections return to the pool for reuse (HTTP/1.1
+/// keep-alive).
+#[derive(Debug)]
+pub struct HttpClient {
+    config: ClientConfig,
+    /// Idle keep-alive connections, keyed by authority.
+    pool: Mutex<Vec<(String, TcpStream)>>,
+    /// HTTP requests sent (retries counted individually).
+    requests: AtomicUsize,
+    /// Retries performed (requests beyond each first attempt).
+    retries: AtomicUsize,
+    /// Body bytes received across successful responses.
+    bytes_received: AtomicUsize,
+    /// Jitter state (deterministic xorshift; no RNG dependency).
+    jitter: AtomicU64,
+}
+
+impl HttpClient {
+    /// A client with `config`.
+    pub fn new(config: ClientConfig) -> Self {
+        HttpClient {
+            config,
+            pool: Mutex::new(Vec::new()),
+            requests: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            bytes_received: AtomicUsize::new(0),
+            jitter: AtomicU64::new(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// A client with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ClientConfig::default())
+    }
+
+    /// The configuration this client runs under.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// HTTP requests sent so far (each retry counts).
+    pub fn requests(&self) -> usize {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Retries performed so far.
+    pub fn retries(&self) -> usize {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Body bytes received across successful responses.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// `GET url` — the whole resource.
+    pub fn get(&self, url: &str) -> Result<Vec<u8>, HttpError> {
+        self.request(url, None).map(|r| r.body)
+    }
+
+    /// `GET url` with `Range: bytes=start-start+len-1` — exactly `len`
+    /// bytes from offset `start`. A server answering `200` with the
+    /// full resource is accepted and sliced client-side; a `206` must
+    /// carry exactly the requested length.
+    pub fn get_range(&self, url: &str, start: usize, len: usize) -> Result<Vec<u8>, HttpError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let response = self.request(url, Some((start, len)))?;
+        match response.status {
+            206 => {
+                if response.body.len() != len {
+                    return Err(HttpError::Protocol(format!(
+                        "range {start}+{len} answered with {} bytes",
+                        response.body.len()
+                    )));
+                }
+                Ok(response.body)
+            }
+            // Range-oblivious server: take the slice ourselves.
+            200 => {
+                let end = start
+                    .checked_add(len)
+                    .filter(|&e| e <= response.body.len())
+                    .ok_or_else(|| {
+                        HttpError::Protocol(format!(
+                            "range {start}+{len} exceeds the {}-byte resource",
+                            response.body.len()
+                        ))
+                    })?;
+                Ok(response.body[start..end].to_vec())
+            }
+            status => Err(HttpError::Status {
+                status,
+                url: url.to_string(),
+            }),
+        }
+    }
+
+    /// The retry loop around [`Self::attempt`].
+    fn request(&self, url: &str, range: Option<(usize, usize)>) -> Result<Response, HttpError> {
+        let parsed = Url::parse(url)?;
+        let max = self.config.retry.max_attempts.max(1);
+        let mut last: Option<HttpError> = None;
+        for attempt in 1..=max {
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.config.retry.backoff(attempt - 1, self.next_jitter()));
+            }
+            match self.attempt(&parsed, url, range) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(HttpError::RetriesExhausted {
+            attempts: max,
+            last: Box::new(last.expect("loop ran at least once")),
+        })
+    }
+
+    /// One request attempt on one connection (pooled or fresh).
+    fn attempt(
+        &self,
+        parsed: &Url,
+        url: &str,
+        range: Option<(usize, usize)>,
+    ) -> Result<Response, HttpError> {
+        let deadline = Instant::now() + self.config.deadline;
+        // A pooled connection may have been closed by the server since
+        // its last use; that surfaces as a transient I/O error and the
+        // retry takes a fresh connection.
+        let mut stream = match self.lease(&parsed.authority) {
+            Some(stream) => stream,
+            None => self.connect(&parsed.authority, deadline)?,
+        };
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.roundtrip(&mut stream, parsed, url, range, deadline);
+        if let Ok((response, keep_alive)) = &result {
+            self.bytes_received
+                .fetch_add(response.body.len(), Ordering::Relaxed);
+            if *keep_alive {
+                self.keep(&parsed.authority, stream);
+            }
+        }
+        result.map(|(response, _)| response)
+    }
+
+    /// Send the request and read the full response off `stream`.
+    /// Returns the response and whether the connection may be reused.
+    fn roundtrip(
+        &self,
+        stream: &mut TcpStream,
+        parsed: &Url,
+        url: &str,
+        range: Option<(usize, usize)>,
+        deadline: Instant,
+    ) -> Result<(Response, bool), HttpError> {
+        let mut request = format!(
+            "GET {} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n",
+            parsed.path, parsed.authority
+        );
+        if let Some((start, len)) = range {
+            let end = start
+                .checked_add(len)
+                .and_then(|e| e.checked_sub(1))
+                .ok_or_else(|| HttpError::Protocol(format!("range {start}+{len} overflows")))?;
+            request.push_str(&format!("Range: bytes={start}-{end}\r\n"));
+        }
+        request.push_str("\r\n");
+
+        arm(stream, deadline)?;
+        stream
+            .write_all(request.as_bytes())
+            .map_err(map_io(deadline, self.config.deadline))?;
+
+        // Read headers byte-wise up to the blank line (responses are a
+        // few hundred header bytes; body reads below are bulk).
+        let mut head = Vec::with_capacity(256);
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            if head.len() > MAX_HEADER_BYTES {
+                return Err(HttpError::Protocol("response headers never ended".into()));
+            }
+            arm(stream, deadline)?;
+            match stream.read(&mut byte) {
+                Ok(0) => {
+                    return Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-headers",
+                    )))
+                }
+                Ok(_) => head.push(byte[0]),
+                Err(e) => return Err(map_io(deadline, self.config.deadline)(e)),
+            }
+        }
+        let head = String::from_utf8_lossy(&head);
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        let mut keep_alive = true;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            }
+        }
+        let expected = content_length
+            .ok_or_else(|| HttpError::Protocol("response carries no Content-Length".into()))?;
+
+        let mut body = vec![0u8; expected];
+        let mut got = 0usize;
+        while got < expected {
+            arm(stream, deadline)?;
+            match stream.read(&mut body[got..]) {
+                Ok(0) => return Err(HttpError::ShortBody { expected, got }),
+                Ok(n) => got += n,
+                Err(e) => return Err(map_io(deadline, self.config.deadline)(e)),
+            }
+        }
+
+        // Error statuses consume their body (keeping the connection in
+        // sync) but surface as errors; 5xx is transient, 4xx is not.
+        if status != 200 && status != 206 {
+            return Err(HttpError::Status {
+                status,
+                url: url.to_string(),
+            });
+        }
+        Ok((Response { status, body }, keep_alive))
+    }
+
+    /// Connect to `authority` within the remaining deadline.
+    fn connect(&self, authority: &str, deadline: Instant) -> Result<TcpStream, HttpError> {
+        let remaining =
+            deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(HttpError::Timeout {
+                    deadline: self.config.deadline,
+                })?;
+        let addr = authority
+            .parse()
+            .map_err(|_| HttpError::Protocol(format!("unresolvable authority {authority:?}")))?;
+        let stream = TcpStream::connect_timeout(&addr, remaining)
+            .map_err(map_io(deadline, self.config.deadline))?;
+        stream.set_nodelay(true).map_err(HttpError::Io)?;
+        Ok(stream)
+    }
+
+    /// Take an idle connection to `authority` from the pool.
+    fn lease(&self, authority: &str) -> Option<TcpStream> {
+        let mut pool = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+        pool.iter()
+            .position(|(a, _)| a == authority)
+            .map(|i| pool.swap_remove(i).1)
+    }
+
+    /// Return a healthy keep-alive connection to the pool.
+    fn keep(&self, authority: &str, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() >= MAX_POOLED_CONNECTIONS {
+            pool.remove(0);
+        }
+        pool.push((authority.to_string(), stream));
+    }
+
+    /// Next jitter word (xorshift64*; deterministic, dependency-free).
+    fn next_jitter(&self) -> u64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Arm the socket's read/write timeouts with the time left until
+/// `deadline`; an already-elapsed deadline is [`HttpError::Timeout`].
+fn arm(stream: &TcpStream, deadline: Instant) -> Result<(), HttpError> {
+    let remaining = deadline.checked_duration_since(Instant::now());
+    match remaining {
+        Some(r) if r > Duration::ZERO => {
+            stream.set_read_timeout(Some(r)).map_err(HttpError::Io)?;
+            stream.set_write_timeout(Some(r)).map_err(HttpError::Io)?;
+            Ok(())
+        }
+        _ => Err(HttpError::Timeout {
+            deadline: Duration::ZERO,
+        }),
+    }
+}
+
+/// Map an I/O error, turning timeout kinds into [`HttpError::Timeout`]
+/// when the deadline has indeed elapsed.
+fn map_io(deadline: Instant, configured: Duration) -> impl Fn(std::io::Error) -> HttpError {
+    move |e| {
+        let timed_out = matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        );
+        if timed_out && Instant::now() >= deadline {
+            HttpError::Timeout {
+                deadline: configured,
+            }
+        } else {
+            HttpError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_covers_ports_paths_and_rejection() {
+        let u = Url::parse("http://127.0.0.1:8080/store/manifest.json").unwrap();
+        assert_eq!(u.authority, "127.0.0.1:8080");
+        assert_eq!(u.path, "/store/manifest.json");
+        let u = Url::parse("http://localhost").unwrap();
+        assert_eq!(u.authority, "localhost:80");
+        assert_eq!(u.path, "/");
+        assert!(Url::parse("https://secure.example").is_err());
+        assert!(Url::parse("file:///tmp/store").is_err());
+        assert!(Url::parse("http://").is_err());
+    }
+
+    #[test]
+    fn transient_classification_matches_the_retry_contract() {
+        assert!(HttpError::Io(std::io::Error::other("boom")).is_transient());
+        assert!(HttpError::Timeout {
+            deadline: Duration::from_secs(1)
+        }
+        .is_transient());
+        assert!(HttpError::ShortBody {
+            expected: 10,
+            got: 3
+        }
+        .is_transient());
+        assert!(HttpError::Status {
+            status: 503,
+            url: "http://x/".into()
+        }
+        .is_transient());
+        assert!(!HttpError::Status {
+            status: 404,
+            url: "http://x/".into()
+        }
+        .is_transient());
+        assert!(!HttpError::Protocol("bad".into()).is_transient());
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered_within_half() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        };
+        for (retry, full) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80), (5, 100), (9, 100)] {
+            for seed in [0u64, 7, 511, 1023] {
+                let b = p.backoff(retry, seed).as_millis() as u64;
+                assert!(b >= full / 2 && b <= full, "retry {retry} seed {seed}: {b}");
+            }
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   pipeline with and without overlap.
 //! * `roi_query` — region-of-interest queries over a sharded chunk
 //!   store: fetch only the chunks (and unit prefixes) a hyperslab needs.
+//! * `remote_retrieval` — open a store by `http://` URL over a loopback
+//!   shard server: coalesced range requests, then warm re-queries
+//!   served without touching the network.
 //!
 //! Run any of them with `cargo run -p hpmdr-examples --release --bin <name>`.
 

@@ -216,6 +216,43 @@ fn opening_a_missing_or_empty_store_is_a_readable_error() {
 }
 
 #[test]
+fn opening_a_remote_store_without_a_manifest_names_the_url_and_status() {
+    use hpmdr_core::prelude::*;
+    use hpmdr_netstore::LoopbackShardServer;
+
+    // A reachable server with nothing behind it: the remote mirror of
+    // the missing-path case above. InvalidInput naming the URL and the
+    // HTTP status the manifest fetch died with — not a bare transport
+    // error about a connection the caller never opened.
+    let empty = std::env::temp_dir().join(format!("hpmdr_fi_remote_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&empty);
+    std::fs::create_dir_all(&empty).unwrap();
+    let server = LoopbackShardServer::serve(&empty).unwrap();
+    let url = server.url();
+
+    let err = open_store(std::path::Path::new(&url)).err().unwrap();
+    assert!(
+        matches!(&err, MdrError::InvalidInput(w)
+            if w.contains(&url) && w.contains("manifest.json") && w.contains("404")),
+        "{err}"
+    );
+
+    // https is refused up front with a matchable variant, no sockets.
+    let err = open_store(std::path::Path::new("https://example.invalid/store"))
+        .err()
+        .unwrap();
+    assert!(matches!(&err, MdrError::Unsupported(_)), "{err}");
+
+    // Remote garbage stays Corrupt, exactly like the local case.
+    std::fs::write(empty.join("manifest.json"), b"not a manifest").unwrap();
+    let err = open_store(std::path::Path::new(&url)).err().unwrap();
+    assert!(matches!(&err, MdrError::Corrupt(_)), "{err}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+#[test]
 fn version_mismatch_is_a_matchable_variant_end_to_end() {
     use hpmdr_core::prelude::*;
 

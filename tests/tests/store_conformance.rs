@@ -1,11 +1,13 @@
 //! Store conformance: one generic function, written against
 //! `dyn Store`, serves the same [`Query`] battery from an in-memory
-//! artifact, a unit-file store, and a sharded chunk store — and every
-//! flavor returns **identical** [`Approximation`]s: same data, same
-//! shape, same achieved bound, same byte accounting. Error cases return
-//! the same [`MdrError`] variant everywhere.
+//! artifact, a unit-file store, a sharded chunk store, and the same
+//! shards served over HTTP — and every flavor returns **identical**
+//! [`Approximation`]s: same data, same shape, same achieved bound,
+//! same byte accounting. Error cases return the same [`MdrError`]
+//! variant everywhere.
 
 use hpmdr_core::prelude::*;
+use hpmdr_netstore::LoopbackShardServer;
 
 /// THE generic serving function of the acceptance criterion: it only
 /// knows `dyn Store`.
@@ -110,8 +112,11 @@ fn all_three_store_flavors_serve_identical_approximations() {
     let mut memory_chunked = InMemoryStore::from(chunked);
     let mut unit_file = open_store(&unit_dir).unwrap();
     let mut sharded = open_store(&shard_dir).unwrap();
+    let server = LoopbackShardServer::serve(&shard_dir).unwrap();
+    let mut remote = open_store(std::path::Path::new(&server.url())).unwrap();
     assert_eq!(unit_file.flavor(), "unit-file");
     assert_eq!(sharded.flavor(), "sharded");
+    assert_eq!(remote.flavor(), "remote");
 
     let region = Region::new(&[3, 5], &[14, 9]);
     for (label, q) in full_battery(region, 1) {
@@ -121,6 +126,7 @@ fn all_three_store_flavors_serve_identical_approximations() {
             ("memory/chunked", &mut memory_chunked as &mut dyn Store),
             ("unit-file", unit_file.as_mut()),
             ("sharded", sharded.as_mut()),
+            ("remote", remote.as_mut()),
         ] {
             let got = serve(store, &q).unwrap();
             assert_eq!(
@@ -130,6 +136,7 @@ fn all_three_store_flavors_serve_identical_approximations() {
         }
     }
 
+    drop(server);
     let _ = std::fs::remove_dir_all(&unit_dir);
     let _ = std::fs::remove_dir_all(&shard_dir);
 }
@@ -149,6 +156,8 @@ fn multi_chunk_memory_and_sharded_stores_agree() {
     artifact.write_store(&dir).unwrap();
     let mut memory = InMemoryStore::from(artifact);
     let mut sharded = open_store(&dir).unwrap();
+    let server = LoopbackShardServer::serve(&dir).unwrap();
+    let mut remote = open_store(std::path::Path::new(&server.url())).unwrap();
 
     let region = Region::new(&[2, 3], &[9, 8]);
     let battery = [
@@ -170,13 +179,16 @@ fn multi_chunk_memory_and_sharded_stores_agree() {
     for (label, q) in battery {
         let a = serve(&mut memory, &q).unwrap();
         let b = serve(sharded.as_mut(), &q).unwrap();
+        let c = serve(remote.as_mut(), &q).unwrap();
         assert_eq!(a, b, "{label}");
+        assert_eq!(a, c, "{label} (remote)");
     }
 
     // Region queries fetch strictly less than the archive holds.
     let roi = serve(&mut memory, &Query::region(Target::AbsError(1e-3), region)).unwrap();
     assert!(roi.bytes_fetched < total);
 
+    drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
