@@ -42,15 +42,33 @@
 //! in-bench that coalescing issues strictly fewer requests and that the
 //! warm re-query reaches the network exactly zero times.
 //!
+//! The `server` section (PR 9) is a tail-latency load harness for the
+//! progressive retrieval server: an open-loop generator drives fleets
+//! of 1→1000 keep-alive protocol clients against a loopback
+//! `ProgressiveServer`, with every request's latency measured from its
+//! *scheduled* arrival time (not the moment a client thread got around
+//! to sending it), so queueing delay on a saturated server counts
+//! against the tail instead of being coordinated-omitted away. Steady
+//! points replay overlapping ROI streams under a generous in-flight
+//! budget and assert the shed count stays zero; the final overload
+//! point squeezes the budget below one full-domain response and
+//! asserts shedding engages as typed `OverBudget` rejects (never a
+//! dropped connection), while the gate's idle-admission rule keeps
+//! exactly one oversized stream making progress. Per-point cache and
+//! admission counters come over the wire from a STATS request.
+//!
 //! Knobs (environment):
-//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 8).
+//! * `HPMDR_BENCH_PR`     — PR number for the file name (default 9).
 //! * `HPMDR_BENCH_EXTENT` — cubic grid extent (default 48).
 //! * `HPMDR_BENCH_INGEST_EXTENT` — cubic extent for the ingest section
 //!   (default `max(HPMDR_BENCH_EXTENT, 128)`; the acceptance run uses
 //!   `HPMDR_BENCH_EXTENT=512`).
 //! * `HPMDR_BENCH_REPS`   — timed repetitions per measurement (default 5).
+//! * `HPMDR_BENCH_SERVER_CLIENTS` — cap on the client-fleet sweep of the
+//!   `server` section (default 1000; smoke runs use a small cap).
 //! * `HPMDR_BENCH_OUT`    — output directory (default current dir).
 
+use hpmdr_core::chunked::ChunkedRefactored;
 use hpmdr_core::chunked::{refactor_chunked, ChunkedConfig};
 use hpmdr_core::ingest::{IngestOptions, SliceSource};
 use hpmdr_core::prelude::{
@@ -63,9 +81,15 @@ use hpmdr_core::{refactor, RefactorConfig, RetrievalPlan, RetrievalSession};
 use hpmdr_datasets::{Dataset, DatasetKind};
 use hpmdr_lossless::huffman;
 use hpmdr_netstore::{FaultPlan, LoopbackShardServer};
+use hpmdr_server::{
+    ProgressiveClient, ProgressiveServer, QueryOutcome, QueryRequest, Registry, RejectCode,
+    ServerConfig, StatsReply,
+};
 use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SEED: u64 = 5;
 
@@ -179,6 +203,42 @@ struct IngestPoint {
     bytes_written: usize,
 }
 
+/// One client-fleet step of the progressive-server load harness.
+#[derive(Serialize)]
+struct ServerPoint {
+    /// `steady` (generous budget, overlapping ROI streams) or
+    /// `overload` (budget below one full-domain response).
+    mode: String,
+    clients: usize,
+    /// Requests issued by the open-loop schedule (each is a whole
+    /// refinement stream or a typed reject, never a dropped request).
+    requests: usize,
+    /// The server's in-flight admission budget for this point.
+    budget_bytes: usize,
+    /// Arrival rate the open-loop schedule offered.
+    offered_qps: f64,
+    /// Completed responses per second of schedule wall-clock.
+    achieved_qps: f64,
+    /// Latency percentiles measured from each request's *scheduled*
+    /// arrival (coordinated-omission-safe), over all responses —
+    /// streams and typed rejects alike.
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    /// Admission counters from the wire STATS reply.
+    accepted: u64,
+    shed: u64,
+    /// `shed / (accepted + shed)` — zero on every steady point,
+    /// non-zero (and typed `OverBudget`) on the overload point.
+    shed_rate: f64,
+    /// Approximation frames the server wrote during this point.
+    served_frames: u64,
+    /// Shared-cache counters for the dataset, from the same STATS reply.
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_hit_rate: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     pr: usize,
@@ -193,6 +253,7 @@ struct Report {
     facade_roi_store_ms: f64,
     concurrent: Vec<ConcurrentPoint>,
     remote: Vec<RemotePoint>,
+    server: Vec<ServerPoint>,
     huffman: Vec<CodecPoint>,
     kernels: Vec<KernelPoint>,
     ingest_extent: usize,
@@ -371,6 +432,242 @@ fn remote_points(
             }
         })
         .collect()
+}
+
+/// What one open-loop run produced: per-request latencies (from
+/// scheduled arrival), the schedule's wall-clock, and every typed
+/// reject the fleet saw.
+struct LoadOutcome {
+    latencies_ms: Vec<f64>,
+    wall_ms: f64,
+    reject_codes: Vec<RejectCode>,
+}
+
+fn connect_with_retry(addr: SocketAddr) -> ProgressiveClient {
+    for attempt in 1..=50u64 {
+        match ProgressiveClient::connect(addr) {
+            Ok(c) => return c,
+            Err(_) => std::thread::sleep(Duration::from_millis(5 * attempt)),
+        }
+    }
+    panic!("cannot connect to the loopback progressive server at {addr}");
+}
+
+/// Drive `total` requests through `clients` keep-alive connections on a
+/// global open-loop arrival schedule (one request every `interarrival`,
+/// cycling through `requests`). Latency is measured from the request's
+/// *scheduled* arrival, so time spent waiting for a free client on a
+/// saturated server lands in the tail instead of being coordinated-
+/// omitted away.
+fn drive_open_loop(
+    addr: SocketAddr,
+    clients: usize,
+    total: usize,
+    interarrival: Duration,
+    requests: &[QueryRequest],
+) -> LoadOutcome {
+    let next = AtomicUsize::new(0);
+    // The schedule opens after a grace period so the whole fleet is
+    // connected before the first arrival is considered late.
+    let open = Instant::now() + Duration::from_millis(50 + clients as u64 / 2);
+    let per_client = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut client = connect_with_retry(addr);
+                    let mut latencies = Vec::new();
+                    let mut rejects = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let scheduled = open + interarrival * i as u32;
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let req = &requests[i % requests.len()];
+                        let deadline = Instant::now() + Duration::from_secs(60);
+                        match client.query::<f32>(req, deadline).expect("transport holds") {
+                            QueryOutcome::Frames(frames) => {
+                                assert!(
+                                    frames.last().is_some_and(|f| f.header.is_final),
+                                    "every served stream ends with a final frame"
+                                );
+                            }
+                            QueryOutcome::Rejected(r) => rejects.push(r.code),
+                        }
+                        latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    }
+                    (latencies, rejects)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    let wall_ms = open.elapsed().as_secs_f64() * 1e3;
+    let mut latencies_ms = Vec::with_capacity(total);
+    let mut reject_codes = Vec::new();
+    for (lat, rej) in per_client {
+        latencies_ms.extend(lat);
+        reject_codes.extend(rej);
+    }
+    LoadOutcome {
+        latencies_ms,
+        wall_ms,
+        reject_codes,
+    }
+}
+
+/// Fetch the server's registry/cache/admission counters over the wire —
+/// the same STATS frame any remote operator would use.
+fn wire_stats(addr: SocketAddr) -> StatsReply {
+    let mut client = connect_with_retry(addr);
+    client
+        .stats(Instant::now() + Duration::from_secs(10))
+        .expect("stats round-trip")
+}
+
+fn summarize_load(
+    mode: &str,
+    clients: usize,
+    budget_bytes: usize,
+    offered_qps: f64,
+    out: &LoadOutcome,
+    stats: &StatsReply,
+) -> ServerPoint {
+    let mut lat = out.latencies_ms.clone();
+    lat.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx]
+    };
+    let ds = &stats.datasets[0];
+    let admitted = stats.accepted + stats.shed;
+    ServerPoint {
+        mode: mode.to_string(),
+        clients,
+        requests: lat.len(),
+        budget_bytes,
+        offered_qps,
+        achieved_qps: lat.len() as f64 / (out.wall_ms / 1e3),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        max_ms: *lat.last().expect("at least one request"),
+        accepted: stats.accepted,
+        shed: stats.shed,
+        shed_rate: stats.shed as f64 / admitted.max(1) as f64,
+        served_frames: stats.served_frames,
+        cache_hits: ds.hits,
+        cache_misses: ds.misses,
+        cache_hit_rate: ds.hit_rate,
+    }
+}
+
+/// The tail-latency load harness: open-loop fleets of 1→`max_clients`
+/// protocol clients against a loopback [`ProgressiveServer`], one fresh
+/// server (cold cache, zeroed counters) per point, then one overload
+/// point whose budget cannot hold even a single full-domain response.
+fn server_points(cr: &ChunkedRefactored, extent: usize, max_clients: usize) -> Vec<ServerPoint> {
+    let serve = |budget: usize| {
+        let mut registry = Registry::new();
+        registry.register("bench", Box::new(InMemoryStore::from(cr.clone())), 64 << 20);
+        ProgressiveServer::serve(
+            registry,
+            ServerConfig {
+                inflight_budget: budget,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("loopback server binds")
+    };
+
+    // Steady workload: overlapping ROI refinement streams, the shape the
+    // shared cache and the admission estimate are both sized for.
+    let value_range = cr.value_range();
+    let side = (extent / 4).max(4).min(extent);
+    let step = ((extent - side).max(1) / 4).max(1);
+    let roi_requests: Vec<QueryRequest> = (0..8)
+        .map(|i| {
+            let start = (i * step).min(extent - side);
+            let query = Query::region(
+                Target::AbsError(1e-3 * value_range),
+                Region::new(&[start; 3], &[side; 3]),
+            );
+            QueryRequest::new("bench", "f32", &query)
+        })
+        .collect();
+
+    let fleet: Vec<usize> = [1usize, 10, 100, 1000]
+        .into_iter()
+        .filter(|&c| c <= max_clients.max(1))
+        .collect();
+    let mut points = Vec::new();
+    for clients in fleet {
+        let server = serve(256 << 20);
+        let total = (clients * 4).clamp(64, 1200);
+        let offered_qps = ((clients * 100) as f64).min(8000.0);
+        let interarrival = Duration::from_secs_f64(1.0 / offered_qps);
+        let out = drive_open_loop(server.addr(), clients, total, interarrival, &roi_requests);
+        assert!(
+            out.reject_codes.is_empty(),
+            "steady load must not shed: {:?}",
+            out.reject_codes
+        );
+        let stats = wire_stats(server.addr());
+        assert_eq!(stats.shed, 0, "steady load must not shed");
+        points.push(summarize_load(
+            "steady",
+            clients,
+            server.admission().budget(),
+            offered_qps,
+            &out,
+            &stats,
+        ));
+    }
+
+    // Overload: full-domain streams against a budget half their size.
+    // The gate's idle-admission rule lets exactly one oversized stream
+    // make progress at a time; every concurrent arrival is answered
+    // with a typed OverBudget reject, never a dropped connection.
+    let full_response_bytes: usize = [extent; 3].iter().product::<usize>() * 4;
+    let budget = (full_response_bytes / 2).max(1);
+    let server = serve(budget);
+    let clients = max_clients.clamp(4, 64);
+    let total = (clients * 8).clamp(64, 256);
+    let offered_qps = 2000.0;
+    let full = QueryRequest::new("bench", "f32", &Query::full(Target::Rel(1e-2)));
+    let out = drive_open_loop(
+        server.addr(),
+        clients,
+        total,
+        Duration::from_secs_f64(1.0 / offered_qps),
+        std::slice::from_ref(&full),
+    );
+    for code in &out.reject_codes {
+        assert_eq!(
+            *code,
+            RejectCode::OverBudget,
+            "overload sheds must be typed OverBudget"
+        );
+    }
+    let stats = wire_stats(server.addr());
+    assert!(stats.shed > 0, "over-budget load must engage shedding");
+    assert!(stats.accepted > 0, "shedding must not starve the gate");
+    points.push(summarize_load(
+        "overload",
+        clients,
+        budget,
+        offered_qps,
+        &out,
+        &stats,
+    ));
+    points
 }
 
 fn huffman_point(name: &str, data: Vec<u8>, reps: usize) -> CodecPoint {
@@ -650,7 +947,7 @@ fn ingest_points(side: usize, reps: usize) -> Vec<IngestPoint> {
 }
 
 fn main() {
-    let pr = env_usize("HPMDR_BENCH_PR", 8);
+    let pr = env_usize("HPMDR_BENCH_PR", 9);
     let extent = env_usize("HPMDR_BENCH_EXTENT", 48).max(8);
     let reps = env_usize("HPMDR_BENCH_REPS", 5).max(1);
 
@@ -791,6 +1088,11 @@ fn main() {
     let remote = remote_points(&dir, extent, cr.value_range(), reps);
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Progressive retrieval server: open-loop fleets against a loopback
+    // ProgressiveServer, steady then deliberately over budget.
+    let server_clients = env_usize("HPMDR_BENCH_SERVER_CLIENTS", 1000);
+    let server = server_points(&cr, extent, server_clients);
+
     let n = 1usize << 20;
     let sparse: Vec<u8> = (0..n)
         .map(|i| if i % 37 == 0 { (i % 7 + 1) as u8 } else { 0 })
@@ -829,6 +1131,7 @@ fn main() {
         facade_roi_store_ms,
         concurrent,
         remote,
+        server,
         huffman,
         kernels,
         ingest_extent,

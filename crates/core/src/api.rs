@@ -1313,7 +1313,7 @@ pub struct Approximation<F> {
 
 /// Resolved numeric form of a [`Target`] (relative bounds scaled by the
 /// archive's value range).
-enum ResolvedTarget {
+pub(crate) enum ResolvedTarget {
     Abs(f64),
     Rmse(f64),
     Lossless,
@@ -1321,7 +1321,7 @@ enum ResolvedTarget {
 
 impl ResolvedTarget {
     /// The threshold `achieved` is compared against for exhaustion.
-    fn threshold(&self) -> f64 {
+    pub(crate) fn threshold(&self) -> f64 {
         match self {
             ResolvedTarget::Abs(eb) => *eb,
             ResolvedTarget::Rmse(t) => *t,
@@ -1337,6 +1337,39 @@ fn finite_nonneg(value: f64, what: &str) -> Result<f64, MdrError> {
     Ok(value)
 }
 
+/// Resolve a non-QoI [`Target`] against `store`'s metadata: validate the
+/// figure and scale relative bounds by the archive's value range. Shared
+/// by [`serve_query`] and the incremental
+/// [`crate::progressive::ApproximationStream`], so the two paths can
+/// never diverge on what a target *means*.
+pub(crate) fn resolve_target(
+    store: &dyn Store,
+    target: &Target,
+) -> Result<ResolvedTarget, MdrError> {
+    match target {
+        Target::AbsError(eb) => Ok(ResolvedTarget::Abs(finite_nonneg(*eb, "error bound")?)),
+        Target::Rel(rel) => {
+            let rel = finite_nonneg(*rel, "relative bound")?;
+            let range = store.meta().value_range();
+            if range == 0.0 {
+                // Zero-range (constant) data: every relative bound
+                // scales to an absolute 0.0, which no finite plane count
+                // can *prove* — yet the archive floor reconstructs the
+                // constant exactly. Serve the floor and report it as
+                // trivially satisfied instead of Unsatisfiable.
+                Ok(ResolvedTarget::Lossless)
+            } else {
+                Ok(ResolvedTarget::Abs(rel * range))
+            }
+        }
+        Target::Rmse(t) => Ok(ResolvedTarget::Rmse(finite_nonneg(*t, "rmse target")?)),
+        Target::Lossless => Ok(ResolvedTarget::Lossless),
+        Target::Qoi(..) => Err(MdrError::Unsupported(
+            "QoI targets resolve through their own control loop".to_string(),
+        )),
+    }
+}
+
 // ---------------------------------------------------------------------
 // The reader
 // ---------------------------------------------------------------------
@@ -1349,7 +1382,7 @@ const PREFETCH_LOOKAHEAD: usize = 2;
 /// planned unit prefixes, reconstruct on `backend`, and report the
 /// achieved guarantee and bytes fetched. The one retrieval path behind
 /// both [`Reader`] and [`SharedReader`].
-fn serve_query<F: BitplaneFloat + Real + Default, B: Backend>(
+pub(crate) fn serve_query<F: BitplaneFloat + Real + Default, B: Backend>(
     store: &dyn Store,
     backend: &B,
     ctx: &ExecCtx,
@@ -1373,27 +1406,7 @@ fn serve_query<F: BitplaneFloat + Real + Default, B: Backend>(
             (data, shape, achieved, exhausted, *tau)
         }
         target => {
-            let resolved = match target {
-                Target::AbsError(eb) => ResolvedTarget::Abs(finite_nonneg(*eb, "error bound")?),
-                Target::Rel(rel) => {
-                    let rel = finite_nonneg(*rel, "relative bound")?;
-                    let range = store.meta().value_range();
-                    if range == 0.0 {
-                        // Zero-range (constant) data: every relative
-                        // bound scales to an absolute 0.0, which no
-                        // finite plane count can *prove* — yet the
-                        // archive floor reconstructs the constant
-                        // exactly. Serve the floor and report it as
-                        // trivially satisfied instead of Unsatisfiable.
-                        ResolvedTarget::Lossless
-                    } else {
-                        ResolvedTarget::Abs(rel * range)
-                    }
-                }
-                Target::Rmse(t) => ResolvedTarget::Rmse(finite_nonneg(*t, "rmse target")?),
-                Target::Lossless => ResolvedTarget::Lossless,
-                Target::Qoi(..) => unreachable!("handled above"),
-            };
+            let resolved = resolve_target(store, target)?;
             let t = resolved.threshold();
             let (data, shape, achieved, exhausted) = match &query.scope {
                 Scope::Full => {
@@ -1761,6 +1774,27 @@ impl<B: Backend> SharedReader<B> {
         query: &Query,
     ) -> Result<Approximation<F>, MdrError> {
         serve_query::<F, B>(&*self.store, &self.backend, &self.ctx, self.mode, query)
+    }
+
+    /// Open an incremental retrieval for `query`: an
+    /// [`ApproximationStream`](crate::progressive::ApproximationStream)
+    /// whose [`refine_next`](crate::progressive::ApproximationStream::refine_next)
+    /// yields a coarse [`Approximation`] first and then progressively
+    /// tighter ones, ending with a frame bit-identical to what
+    /// [`Self::retrieve`] returns for the same query. The stream holds a
+    /// clone of the shared store handle, so it outlives this reader and
+    /// runs concurrently with other clients.
+    pub fn stream<F: BitplaneFloat + Real + Default>(
+        &self,
+        query: &Query,
+    ) -> Result<crate::progressive::ApproximationStream<F, B>, MdrError> {
+        crate::progressive::ApproximationStream::open(
+            Arc::clone(&self.store),
+            self.backend.clone(),
+            Arc::clone(&self.ctx),
+            self.mode,
+            query.clone(),
+        )
     }
 }
 

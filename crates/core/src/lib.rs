@@ -91,6 +91,7 @@ pub mod ingest;
 pub mod multi_device;
 pub mod pipeline;
 pub mod prelude;
+pub mod progressive;
 pub mod qoi_retrieval;
 pub mod refactor;
 pub mod remote;
@@ -112,6 +113,7 @@ pub use hpmdr_exec::{Backend, ExecCtx, Isa, ParallelBackend, ScalarBackend, Simd
 pub use ingest::{
     ChunkSource, FileSource, FnSource, IngestElem, IngestOptions, IngestReport, SliceSource,
 };
+pub use progressive::{ApproximationStream, RefinementFrame};
 pub use qoi_retrieval::{
     retrieve_with_multi_qoi_control, retrieve_with_qoi_control, EbEstimator,
     MultiQoiRetrievalOutcome, QoiRetrievalOutcome,

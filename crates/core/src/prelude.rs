@@ -16,6 +16,7 @@ pub use crate::ingest::{
     ChunkSource, FileSource, FnSource, IngestElem, IngestOptions, IngestReport, SliceSource,
 };
 pub use crate::pipeline::PipelineMode;
+pub use crate::progressive::{ApproximationStream, RefinementFrame};
 pub use crate::qoi_retrieval::EbEstimator;
 pub use crate::refactor::{RefactorConfig, Refactored};
 pub use crate::remote::{RemoteStore, RemoteStoreConfig};

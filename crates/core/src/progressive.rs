@@ -1,0 +1,484 @@
+//! Incremental approximation: one query served as a *sequence* of
+//! [`Approximation`]s instead of a single answer.
+//!
+//! This is the paper's progressive promise made explicit in the API: a
+//! caller opens an [`ApproximationStream`] for a [`Query`] and pulls
+//! refinement frames with [`ApproximationStream::refine_next`] — a
+//! coarse reconstruction first, then progressively tighter ones, ending
+//! with a frame **bit-identical** to what [`SharedReader::retrieve`]
+//! returns for the same query. The wire server streams these frames to
+//! remote clients; an interactive client can stop pulling (or hang up)
+//! the moment the current bound is good enough.
+//!
+//! ## How the ladder refines
+//!
+//! The greedy planners ([`RetrievalPlan::for_error`] /
+//! [`RetrievalPlan::for_rmse`]) are deterministic: the sequence of
+//! "refine the worst group next" picks is fixed by the archive metadata,
+//! and a tighter target simply runs the same sequence longer. Plans for
+//! descending thresholds are therefore nested — each step's unit prefix
+//! extends the previous step's — so the stream fetches **only the
+//! delta** units per frame (through [`Store::load_units`] with a
+//! nonzero `skip`, which a [`crate::api::CachedStore`] turns into a
+//! prefix extension) and the achieved bound tightens monotonically.
+//!
+//! The final frame plans with the *exact* resolved target through the
+//! same planner closure the one-shot path uses, so its data, shape,
+//! achieved bound, and exhaustion flag cannot diverge from
+//! [`SharedReader::retrieve`] (asserted across the Target×Scope battery
+//! in `tests/tests/progressive_stream.rs`).
+//!
+//! QoI targets and resolution-scoped queries have no useful
+//! intermediate-frame semantics (QoI runs its own adaptive control
+//! loop; a coarse grid is already the "coarse answer"), so their
+//! streams degenerate to a single final frame.
+//!
+//! [`SharedReader::retrieve`]: crate::api::SharedReader::retrieve
+
+use crate::api::{
+    resolve_target, serve_query, Approximation, Query, ResolvedTarget, Store, Target,
+};
+use crate::error::MdrError;
+use crate::pipeline::PipelineMode;
+use crate::refactor::Refactored;
+use crate::retrieve::{RetrievalPlan, RetrievalSession};
+use crate::roi::{assemble_parts, Region, RoiPlan};
+use crate::Scope;
+use hpmdr_bitplane::BitplaneFloat;
+use hpmdr_exec::{Backend, ExecCtx, ScalarBackend};
+use hpmdr_mgard::Real;
+use std::sync::Arc;
+
+/// Geometric spacing of the intermediate refinement ladder: each step
+/// targets a bound this many times tighter than the previous one.
+const LADDER_RATIO: f64 = 4.0;
+
+/// Cap on intermediate steps (the final exact-target step is extra), so
+/// a near-zero target cannot generate an unbounded frame sequence.
+const MAX_INTERMEDIATE_STEPS: usize = 16;
+
+/// One refinement step of an [`ApproximationStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementFrame<F> {
+    /// The reconstruction at this step — the same contract as a one-shot
+    /// [`Approximation`], except `bytes_fetched` is cumulative since the
+    /// stream opened (so the final frame reports what the whole
+    /// progressive retrieval cost).
+    pub approximation: Approximation<F>,
+    /// Zero-based step index within the stream.
+    pub step: usize,
+    /// Whether this is the last frame: the approximation is now exactly
+    /// what [`SharedReader::retrieve`](crate::api::SharedReader::retrieve)
+    /// would have returned.
+    pub is_final: bool,
+}
+
+/// Per-chunk accumulation state: a payload-free skeleton clone whose
+/// unit payloads fill in as the ladder fetches deltas.
+struct OwnedChunk {
+    /// Linear chunk index in the grid.
+    index: usize,
+    /// The chunk with payloads present for the first `loaded[g]` units
+    /// of each group `g` (empty beyond).
+    chunk: Refactored,
+    /// Units whose payloads are resident, per group.
+    loaded: Vec<usize>,
+}
+
+/// How the stream produces its frames.
+enum Mode {
+    /// Abs / RMSE / Lossless targets over Full or Region scopes: the
+    /// descending-threshold ladder with delta fetches.
+    Ladder {
+        region: Region,
+        resolved: ResolvedTarget,
+        /// Intermediate thresholds, descending; the exact target comes
+        /// after they are spent.
+        thresholds: Vec<f64>,
+        cursor: usize,
+        owned: Vec<OwnedChunk>,
+        /// Unit matrix of the previously emitted frame (dedup: a ladder
+        /// step whose plan did not grow is skipped, not re-sent).
+        last_units: Option<Vec<Vec<usize>>>,
+    },
+    /// QoI targets and resolution scopes: one frame via the one-shot
+    /// path.
+    SingleShot,
+}
+
+/// A pull-based incremental retrieval: see the [module docs](self).
+///
+/// Created by [`SharedReader::stream`]; holds its own store handle, so
+/// it is independent of the reader it came from and of other streams.
+///
+/// [`SharedReader::stream`]: crate::api::SharedReader::stream
+pub struct ApproximationStream<F, B: Backend = ScalarBackend> {
+    store: Arc<dyn Store>,
+    backend: B,
+    ctx: Arc<ExecCtx>,
+    pipeline: PipelineMode,
+    query: Query,
+    mode: Mode,
+    bytes_at_open: usize,
+    step: usize,
+    done: bool,
+    _f: std::marker::PhantomData<F>,
+}
+
+impl<F: BitplaneFloat + Real + Default, B: Backend> ApproximationStream<F, B> {
+    /// Open a stream for `query` (the engine behind
+    /// [`SharedReader::stream`](crate::api::SharedReader::stream)).
+    /// Query validation happens here — a malformed query fails at open,
+    /// before any frame is produced.
+    pub(crate) fn open(
+        store: Arc<dyn Store>,
+        backend: B,
+        ctx: Arc<ExecCtx>,
+        pipeline: PipelineMode,
+        query: Query,
+    ) -> Result<Self, MdrError> {
+        {
+            let meta = store.meta();
+            if F::TYPE_NAME != meta.dtype {
+                return Err(MdrError::DtypeMismatch {
+                    stored: meta.dtype.clone(),
+                    requested: F::TYPE_NAME.to_string(),
+                });
+            }
+        }
+        let mode = match (&query.target, &query.scope) {
+            (Target::Qoi(..), _) | (_, Scope::Resolution(_)) => Mode::SingleShot,
+            (target, scope) => {
+                let resolved = resolve_target(&*store, target)?;
+                let meta = store.meta();
+                let region = match scope {
+                    Scope::Full => Region::whole(&meta.grid.shape),
+                    Scope::Region(region) => region.clone(),
+                    Scope::Resolution(_) => unreachable!("matched above"),
+                };
+                // The empty plan both validates the region and yields
+                // the zero-fetch bound the ladder descends from.
+                let init = RoiPlan::plan_with(meta, &region, f64::INFINITY, |r| match &resolved {
+                    ResolvedTarget::Rmse(_) => RetrievalPlan::for_rmse(r, f64::INFINITY),
+                    _ => RetrievalPlan::for_error(r, f64::INFINITY),
+                })?;
+                let b0 = init.bound();
+                // Where the ladder stops: the resolved target, or for
+                // lossless the archive's floor bound over this region.
+                let floor = match &resolved {
+                    ResolvedTarget::Abs(eb) => *eb,
+                    ResolvedTarget::Rmse(t) => *t,
+                    ResolvedTarget::Lossless => {
+                        RoiPlan::plan_with(meta, &region, f64::INFINITY, |r| {
+                            let plan = RetrievalPlan::full(r);
+                            let bound = r.error_bound_for_units(&plan.units);
+                            (plan, bound)
+                        })?
+                        .bound()
+                    }
+                };
+                let mut thresholds = Vec::new();
+                if b0.is_finite() && b0 > 0.0 {
+                    let floor = if floor.is_finite() && floor > 0.0 {
+                        floor
+                    } else {
+                        // Zero / degenerate floor: cap the descent depth
+                        // instead of chasing an unreachable threshold.
+                        b0 * LADDER_RATIO.powi(-(MAX_INTERMEDIATE_STEPS as i32))
+                    };
+                    let mut t = b0 / LADDER_RATIO;
+                    while t > floor && thresholds.len() < MAX_INTERMEDIATE_STEPS {
+                        thresholds.push(t);
+                        t /= LADDER_RATIO;
+                    }
+                }
+                let owned = init
+                    .chunks
+                    .iter()
+                    .map(|cp| {
+                        let chunk = meta.chunks[cp.chunk].clone();
+                        let groups = chunk.streams.len();
+                        OwnedChunk {
+                            index: cp.chunk,
+                            chunk,
+                            loaded: vec![0; groups],
+                        }
+                    })
+                    .collect();
+                Mode::Ladder {
+                    region,
+                    resolved,
+                    thresholds,
+                    cursor: 0,
+                    owned,
+                    last_units: None,
+                }
+            }
+        };
+        let bytes_at_open = store.bytes_fetched();
+        Ok(ApproximationStream {
+            store,
+            backend,
+            ctx,
+            pipeline,
+            query,
+            mode,
+            bytes_at_open,
+            step: 0,
+            done: false,
+            _f: std::marker::PhantomData,
+        })
+    }
+
+    /// Frames produced so far.
+    pub fn steps_emitted(&self) -> usize {
+        self.step
+    }
+
+    /// Whether the final frame has been produced.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Produce the next refinement frame, or `Ok(None)` once the final
+    /// frame has been delivered.
+    ///
+    /// Frames tighten monotonically: each frame's `achieved` is ≤ the
+    /// previous frame's, and the last frame (marked
+    /// [`RefinementFrame::is_final`]) carries exactly the data, shape,
+    /// achieved bound, and exhaustion flag of a one-shot
+    /// [`retrieve`](crate::api::SharedReader::retrieve) of the same
+    /// query. A strict query fails (with [`MdrError::Unsatisfiable`]) at
+    /// the final step, after the intermediate frames — callers that
+    /// stream strict queries get best-effort frames and then the typed
+    /// error, mirroring the one-shot contract.
+    pub fn refine_next(&mut self) -> Result<Option<RefinementFrame<F>>, MdrError> {
+        if self.done {
+            return Ok(None);
+        }
+        match &mut self.mode {
+            Mode::SingleShot => {
+                let approximation = serve_query::<F, B>(
+                    &*self.store,
+                    &self.backend,
+                    &self.ctx,
+                    self.pipeline,
+                    &self.query,
+                )?;
+                self.done = true;
+                let step = self.step;
+                self.step += 1;
+                Ok(Some(RefinementFrame {
+                    approximation,
+                    step,
+                    is_final: true,
+                }))
+            }
+            Mode::Ladder {
+                region,
+                resolved,
+                thresholds,
+                cursor,
+                owned,
+                last_units,
+            } => {
+                let meta = self.store.meta();
+                loop {
+                    let is_final = *cursor >= thresholds.len();
+                    let plan =
+                        if is_final {
+                            // The exact planner closure of the one-shot
+                            // path (`serve_region`): same plans, same
+                            // bounds, same exhaustion.
+                            RoiPlan::plan_with(meta, region, resolved.threshold(), |r| {
+                                match &*resolved {
+                                    ResolvedTarget::Abs(eb) => RetrievalPlan::for_error(r, *eb),
+                                    ResolvedTarget::Rmse(t) => RetrievalPlan::for_rmse(r, *t),
+                                    ResolvedTarget::Lossless => {
+                                        let plan = RetrievalPlan::full(r);
+                                        let bound = r.error_bound_for_units(&plan.units);
+                                        (plan, bound)
+                                    }
+                                }
+                            })?
+                        } else {
+                            let t = thresholds[*cursor];
+                            RoiPlan::plan_with(meta, region, t, |r| match &*resolved {
+                                ResolvedTarget::Rmse(_) => RetrievalPlan::for_rmse(r, t),
+                                _ => RetrievalPlan::for_error(r, t),
+                            })?
+                        };
+                    if !is_final {
+                        *cursor += 1;
+                        let units: Vec<Vec<usize>> =
+                            plan.chunks.iter().map(|c| c.plan.units.clone()).collect();
+                        // A ladder step that fetches nothing new is
+                        // skipped — frames always refine.
+                        if last_units.as_ref() == Some(&units) {
+                            continue;
+                        }
+                        *last_units = Some(units);
+                    } else {
+                        self.done = true;
+                    }
+
+                    // Fetch exactly the delta units into the owned
+                    // chunks (plans are nested, so `skip = loaded`).
+                    for (oc, cp) in owned.iter_mut().zip(&plan.chunks) {
+                        debug_assert_eq!(oc.index, cp.chunk);
+                        for (g, &want) in cp.plan.units.iter().enumerate() {
+                            let stored = oc.chunk.streams[g].units.len();
+                            let want = want.min(stored);
+                            let have = oc.loaded[g];
+                            if want > have {
+                                let fresh =
+                                    self.store.load_units(oc.index, g, have, want - have)?;
+                                for (j, payload) in fresh.into_iter().enumerate() {
+                                    oc.chunk.streams[g].units[have + j].payload = payload;
+                                }
+                                oc.loaded[g] = want;
+                            }
+                        }
+                    }
+
+                    let parts: Vec<Vec<F>> = owned
+                        .iter()
+                        .zip(&plan.chunks)
+                        .map(|(oc, cp)| {
+                            let mut sess =
+                                RetrievalSession::with_backend(&oc.chunk, self.backend.clone());
+                            sess.try_refine_to(&cp.plan)
+                                .map_err(|e| e.in_context(format!("chunk {}", cp.chunk)))?;
+                            Ok(sess.reconstruct::<F>())
+                        })
+                        .collect::<Result<_, MdrError>>()?;
+                    let res = assemble_parts(meta, &plan, parts)?;
+                    if is_final && self.query.strict && res.exhausted {
+                        return Err(MdrError::Unsatisfiable {
+                            target: resolved.threshold(),
+                            achieved: res.bound,
+                        });
+                    }
+                    let approximation = Approximation {
+                        data: res.data,
+                        shape: res.region.extent.clone(),
+                        achieved: res.bound,
+                        bytes_fetched: self.store.bytes_fetched() - self.bytes_at_open,
+                        exhausted: res.exhausted,
+                    };
+                    let step = self.step;
+                    self.step += 1;
+                    return Ok(Some(RefinementFrame {
+                        approximation,
+                        step,
+                        is_final,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{InMemoryStore, SharedReader};
+    use crate::chunked::{refactor_chunked, ChunkedConfig};
+
+    fn field(nx: usize, ny: usize) -> Vec<f32> {
+        let mut v = Vec::with_capacity(nx * ny);
+        for x in 0..nx {
+            for y in 0..ny {
+                v.push((x as f32 * 0.21).sin() * 3.0 + (y as f32 * 0.17).cos());
+            }
+        }
+        v
+    }
+
+    fn reader() -> SharedReader {
+        let data = field(30, 22);
+        let cr = refactor_chunked(&data, &[30, 22], &ChunkedConfig::with_extent(&[8, 8]));
+        SharedReader::new(Arc::new(InMemoryStore::from(cr)))
+    }
+
+    #[test]
+    fn stream_tightens_monotonically_and_ends_exact() {
+        let reader = reader();
+        let query = Query::full(Target::AbsError(1e-4));
+        let oneshot = reader.retrieve::<f32>(&query).unwrap();
+        let mut stream = reader.stream::<f32>(&query).unwrap();
+        let mut frames = Vec::new();
+        while let Some(frame) = stream.refine_next().unwrap() {
+            frames.push(frame);
+        }
+        assert!(frames.len() > 1, "expected a multi-frame refinement");
+        for pair in frames.windows(2) {
+            assert!(
+                pair[1].approximation.achieved <= pair[0].approximation.achieved,
+                "bound must tighten: {} then {}",
+                pair[0].approximation.achieved,
+                pair[1].approximation.achieved
+            );
+        }
+        let last = frames.last().unwrap();
+        assert!(last.is_final);
+        assert!(frames[..frames.len() - 1].iter().all(|f| !f.is_final));
+        assert_eq!(last.approximation.data, oneshot.data);
+        assert_eq!(last.approximation.shape, oneshot.shape);
+        assert_eq!(last.approximation.achieved, oneshot.achieved);
+        assert_eq!(last.approximation.exhausted, oneshot.exhausted);
+        assert!(stream.refine_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn loose_target_streams_one_exact_frame() {
+        let reader = reader();
+        // A bound far above the zero-fetch bound: the ladder is empty
+        // and the only frame is the final one.
+        let query = Query::full(Target::AbsError(1e9));
+        let mut stream = reader.stream::<f32>(&query).unwrap();
+        let frame = stream.refine_next().unwrap().unwrap();
+        assert!(frame.is_final);
+        assert!(stream.refine_next().unwrap().is_none());
+        let oneshot = reader.retrieve::<f32>(&query).unwrap();
+        assert_eq!(frame.approximation.data, oneshot.data);
+    }
+
+    #[test]
+    fn strict_unsatisfiable_errors_at_the_final_step() {
+        let reader = reader();
+        let query = Query::full(Target::AbsError(1e-300)).strict();
+        let mut stream = reader.stream::<f32>(&query).unwrap();
+        let mut saw_intermediate = false;
+        let err = loop {
+            match stream.refine_next() {
+                Ok(Some(frame)) => {
+                    assert!(!frame.is_final, "strict+unsatisfiable must not finalize");
+                    saw_intermediate = true;
+                }
+                Ok(None) => panic!("stream finished without erroring"),
+                Err(e) => break e,
+            }
+        };
+        assert!(saw_intermediate, "intermediate frames precede the error");
+        assert!(matches!(err, MdrError::Unsatisfiable { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_queries_fail_at_open() {
+        let reader = reader();
+        let bad_region = Query::region(Target::AbsError(1e-3), Region::new(&[29, 21], &[10, 10]));
+        assert!(matches!(
+            reader.stream::<f32>(&bad_region),
+            Err(MdrError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            reader.stream::<f64>(&Query::full(Target::AbsError(1e-3))),
+            Err(MdrError::DtypeMismatch { .. })
+        ));
+        assert!(matches!(
+            reader.stream::<f32>(&Query::full(Target::AbsError(-1.0))),
+            Err(MdrError::InvalidQuery(_))
+        ));
+    }
+}

@@ -51,4 +51,4 @@ pub use hpmdr_simd::Isa;
 pub use parallel::ParallelBackend;
 pub use scalar::ScalarBackend;
 pub use simd::SimdBackend;
-pub use stages::fan_ordered;
+pub use stages::{fan_ordered, CountingGate};

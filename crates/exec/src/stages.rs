@@ -22,16 +22,23 @@
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 
-/// Counting gate bounding how many produced items are in flight.
+/// Weighted counting gate bounding how much claimed work is in flight.
 ///
-/// `acquire` blocks while `in_flight == slots`; `release` retires one
-/// item. `abort` wakes every waiter and makes all further `acquire`
-/// calls fail, so an erroring stage can never strand the producer on a
-/// full gate.
-struct SlotGate {
+/// The ingest pipeline claims one unit per staged item ([`acquire`] /
+/// [`release`](Self::release) with weight 1, blocking while the gate is
+/// full); a server admitting requests against a byte budget claims each
+/// request's estimated size with the non-blocking
+/// [`try_claim`](Self::try_claim) and *sheds* instead of blocking. Both
+/// disciplines share this gate so "bounded in-flight work" has exactly
+/// one implementation. [`abort`](Self::abort) wakes every waiter and
+/// makes all further `acquire` calls fail, so an erroring stage can
+/// never strand a producer on a full gate.
+///
+/// [`acquire`]: Self::acquire
+pub struct CountingGate {
     state: Mutex<GateState>,
     cv: Condvar,
-    slots: usize,
+    capacity: usize,
 }
 
 struct GateState {
@@ -39,22 +46,36 @@ struct GateState {
     aborted: bool,
 }
 
-impl SlotGate {
-    fn new(slots: usize) -> Self {
-        SlotGate {
+impl CountingGate {
+    /// A gate admitting up to `capacity` units in flight (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        CountingGate {
             state: Mutex::new(GateState {
                 in_flight: 0,
                 aborted: false,
             }),
             cv: Condvar::new(),
-            slots: slots.max(1),
+            capacity: capacity.max(1),
         }
     }
 
-    /// Claim a slot; returns `false` if the pipeline aborted instead.
-    fn acquire(&self) -> bool {
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Units currently claimed (a snapshot; may be stale by the time the
+    /// caller acts on it).
+    pub fn occupancy(&self) -> usize {
+        self.state.lock().unwrap().in_flight
+    }
+
+    /// Claim one unit, blocking while the gate is full; returns `false`
+    /// if the gate aborted instead.
+    pub fn acquire(&self) -> bool {
         let mut st = self.state.lock().unwrap();
-        while st.in_flight >= self.slots && !st.aborted {
+        while st.in_flight >= self.capacity && !st.aborted {
             st = self.cv.wait(st).unwrap();
         }
         if st.aborted {
@@ -64,13 +85,39 @@ impl SlotGate {
         true
     }
 
-    fn release(&self) {
+    /// Claim `weight` units **without blocking**: `true` and the claim
+    /// is recorded, or `false` when it would overflow the capacity (or
+    /// the gate aborted) — the load-shedding primitive. A weight larger
+    /// than the whole capacity is only admitted into an *empty* gate,
+    /// so one oversized request cannot be starved forever.
+    pub fn try_claim(&self, weight: usize) -> bool {
         let mut st = self.state.lock().unwrap();
-        st.in_flight = st.in_flight.saturating_sub(1);
+        if st.aborted {
+            return false;
+        }
+        let fits = st.in_flight.checked_add(weight).is_some_and(|total| {
+            total <= self.capacity || (st.in_flight == 0 && weight > self.capacity)
+        });
+        if fits {
+            st.in_flight += weight;
+        }
+        fits
+    }
+
+    /// Retire one unit.
+    pub fn release(&self) {
+        self.release_weight(1);
+    }
+
+    /// Retire `weight` units (the pair of a [`try_claim`](Self::try_claim)).
+    pub fn release_weight(&self, weight: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight = st.in_flight.saturating_sub(weight);
         self.cv.notify_all();
     }
 
-    fn abort(&self) {
+    /// Wake every waiter and fail all further claims.
+    pub fn abort(&self) {
         let mut st = self.state.lock().unwrap();
         st.aborted = true;
         self.cv.notify_all();
@@ -107,14 +154,14 @@ where
     C: FnMut(B) -> Result<(), E> + Send,
 {
     let max_batch = max_batch.max(1);
-    let gate = SlotGate::new(slots);
+    let gate = CountingGate::new(slots);
     let gate = &gate;
 
     // If the transform stage panics, this unwinds before the scope
     // joins its threads; aborting the gate unblocks a producer parked
     // on a full pipeline so the join can complete. On the normal path
     // it fires after both threads have already exited — a no-op.
-    struct AbortOnDrop<'a>(&'a SlotGate);
+    struct AbortOnDrop<'a>(&'a CountingGate);
     impl Drop for AbortOnDrop<'_> {
         fn drop(&mut self) {
             self.0.abort();
@@ -327,6 +374,39 @@ mod tests {
                 Some(Ok(next - 1))
             }
         }
+    }
+
+    #[test]
+    fn try_claim_sheds_at_capacity_and_releases_restore_it() {
+        let gate = CountingGate::new(100);
+        assert_eq!(gate.capacity(), 100);
+        assert!(gate.try_claim(60));
+        assert!(gate.try_claim(40));
+        assert_eq!(gate.occupancy(), 100);
+        assert!(!gate.try_claim(1), "full gate must shed");
+        gate.release_weight(40);
+        assert_eq!(gate.occupancy(), 60);
+        assert!(gate.try_claim(40));
+        gate.release_weight(100);
+        assert_eq!(gate.occupancy(), 0);
+    }
+
+    #[test]
+    fn oversized_claim_admits_only_into_an_empty_gate() {
+        let gate = CountingGate::new(10);
+        assert!(gate.try_claim(25), "empty gate admits an oversized claim");
+        assert!(!gate.try_claim(1));
+        gate.release_weight(25);
+        assert!(gate.try_claim(1));
+        assert!(!gate.try_claim(25), "non-empty gate sheds oversized claims");
+    }
+
+    #[test]
+    fn aborted_gate_refuses_all_claims() {
+        let gate = CountingGate::new(4);
+        gate.abort();
+        assert!(!gate.try_claim(1));
+        assert!(!gate.acquire());
     }
 
     #[test]

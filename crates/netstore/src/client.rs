@@ -526,34 +526,29 @@ impl HttpClient {
 
 /// Arm the socket's read/write timeouts with the time left until
 /// `deadline`; an already-elapsed deadline is [`HttpError::Timeout`].
+/// Thin adapter over [`crate::wire::arm`], which owns the logic.
 fn arm(stream: &TcpStream, deadline: Instant) -> Result<(), HttpError> {
-    let remaining = deadline.checked_duration_since(Instant::now());
-    match remaining {
-        Some(r) if r > Duration::ZERO => {
-            stream.set_read_timeout(Some(r)).map_err(HttpError::Io)?;
-            stream.set_write_timeout(Some(r)).map_err(HttpError::Io)?;
-            Ok(())
-        }
-        _ => Err(HttpError::Timeout {
-            deadline: Duration::ZERO,
-        }),
-    }
+    crate::wire::arm(stream, deadline).map_err(|e| from_wire(e, Duration::ZERO))
 }
 
 /// Map an I/O error, turning timeout kinds into [`HttpError::Timeout`]
-/// when the deadline has indeed elapsed.
+/// when the deadline has indeed elapsed. Thin adapter over
+/// [`crate::wire::map_io`].
 fn map_io(deadline: Instant, configured: Duration) -> impl Fn(std::io::Error) -> HttpError {
-    move |e| {
-        let timed_out = matches!(
-            e.kind(),
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-        );
-        if timed_out && Instant::now() >= deadline {
-            HttpError::Timeout {
-                deadline: configured,
-            }
-        } else {
-            HttpError::Io(e)
+    move |e| from_wire(crate::wire::map_io(deadline)(e), configured)
+}
+
+/// Lift a transport-level wire error into this client's error type.
+fn from_wire(e: crate::wire::WireError, configured: Duration) -> HttpError {
+    use crate::wire::WireError;
+    match e {
+        WireError::Io(e) => HttpError::Io(e),
+        WireError::Timeout => HttpError::Timeout {
+            deadline: configured,
+        },
+        WireError::Malformed(why) => HttpError::Protocol(why),
+        WireError::Oversized { declared, limit } => {
+            HttpError::Protocol(format!("length {declared} exceeds limit {limit}"))
         }
     }
 }

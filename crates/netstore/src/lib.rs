@@ -15,6 +15,8 @@
 
 pub mod client;
 pub mod server;
+pub mod wire;
 
 pub use client::{ClientConfig, HttpClient, HttpError, Response, RetryPolicy, Url};
 pub use server::{FaultPlan, LoopbackShardServer};
+pub use wire::{Frame, FrameLimits, WireError, FRAME_MAGIC};

@@ -1,0 +1,402 @@
+//! Shared socket plumbing: deadline arming and length-prefixed frames.
+//!
+//! Two independent consumers need the same low-level socket care the
+//! HTTP client pioneered — arm read/write timeouts from an absolute
+//! deadline before every blocking call, and convert `WouldBlock`/
+//! `TimedOut` into a typed timeout once the deadline has genuinely
+//! elapsed. This module factors that out ([`arm`], [`map_io`],
+//! [`read_exact_deadline`], [`write_all_deadline`]) and layers the
+//! progressive-retrieval wire format on top: a length-prefixed frame
+//! with a one-byte kind tag, a small JSON header, and an opaque binary
+//! payload.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic (0xA5)
+//! 1       1     kind (protocol-defined tag)
+//! 2       4     header_len  (u32, little-endian)
+//! 6       8     payload_len (u64, little-endian)
+//! 14      H     header bytes (JSON, protocol-defined)
+//! 14+H    P     payload bytes (opaque binary)
+//! ```
+//!
+//! Both lengths are validated against [`FrameLimits`] *before* any
+//! allocation, so a hostile or broken peer declaring a 16 EiB payload
+//! costs a 14-byte read, not an OOM.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// First byte of every frame; anything else is a protocol violation.
+pub const FRAME_MAGIC: u8 = 0xA5;
+
+/// Fixed-size portion of a frame preceding the variable parts.
+pub const FRAME_PREAMBLE_BYTES: usize = 14;
+
+/// Why a wire operation failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The transport failed: connect, read, or write error.
+    Io(std::io::Error),
+    /// The deadline elapsed before the operation completed.
+    Timeout,
+    /// The peer violated the frame format (bad magic, truncated
+    /// preamble, short body).
+    Malformed(String),
+    /// A declared length exceeded the receiver's limit.
+    Oversized {
+        /// The length the peer declared.
+        declared: u64,
+        /// The receiver's configured cap.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Timeout => write!(f, "deadline elapsed"),
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            WireError::Oversized { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Receiver-side caps on the variable-length frame parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Largest accepted header, in bytes.
+    pub max_header: usize,
+    /// Largest accepted payload, in bytes.
+    pub max_payload: usize,
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        FrameLimits {
+            // Headers are small JSON documents; 64 KiB is generous.
+            max_header: 64 * 1024,
+            // Payloads carry reconstructed data; 256 MiB covers any
+            // dataset this reproduction serves while still bounding a
+            // hostile declaration.
+            max_payload: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// One decoded frame: kind tag, header bytes, payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-defined kind tag.
+    pub kind: u8,
+    /// Header bytes (JSON by convention; this layer doesn't parse it).
+    pub header: Vec<u8>,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with a header and no payload.
+    pub fn new(kind: u8, header: Vec<u8>) -> Self {
+        Frame {
+            kind,
+            header,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A frame with a header and a payload.
+    pub fn with_payload(kind: u8, header: Vec<u8>, payload: Vec<u8>) -> Self {
+        Frame {
+            kind,
+            header,
+            payload,
+        }
+    }
+}
+
+/// Arm the socket's read/write timeouts with the time left until
+/// `deadline`; an already-elapsed deadline is [`WireError::Timeout`].
+pub fn arm(stream: &TcpStream, deadline: Instant) -> Result<(), WireError> {
+    let remaining = deadline.checked_duration_since(Instant::now());
+    match remaining {
+        Some(r) if r > Duration::ZERO => {
+            stream.set_read_timeout(Some(r)).map_err(WireError::Io)?;
+            stream.set_write_timeout(Some(r)).map_err(WireError::Io)?;
+            Ok(())
+        }
+        _ => Err(WireError::Timeout),
+    }
+}
+
+/// Map an I/O error, turning timeout kinds into [`WireError::Timeout`]
+/// when `deadline` has indeed elapsed. (A `WouldBlock` *before* the
+/// deadline means the armed socket timeout raced a clock edge; that
+/// stays an I/O error so callers don't mis-blame their budget.)
+pub fn map_io(deadline: Instant) -> impl Fn(std::io::Error) -> WireError {
+    move |e| {
+        let timed_out = matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        );
+        if timed_out && Instant::now() >= deadline {
+            WireError::Timeout
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Fill `buf` from `stream`, re-arming the deadline around every read.
+/// EOF before `buf` fills is [`WireError::Malformed`] — the peer closed
+/// mid-message.
+pub fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<(), WireError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        arm(stream, deadline)?;
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(WireError::Malformed(format!(
+                    "connection closed after {got} of {} bytes",
+                    buf.len()
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(deadline)(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Write all of `buf` to `stream`, re-arming the deadline around every
+/// write.
+pub fn write_all_deadline(
+    stream: &mut TcpStream,
+    buf: &[u8],
+    deadline: Instant,
+) -> Result<(), WireError> {
+    let mut sent = 0usize;
+    while sent < buf.len() {
+        arm(stream, deadline)?;
+        match stream.write(&buf[sent..]) {
+            Ok(0) => {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                )))
+            }
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(deadline)(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame within `deadline`. The preamble and header go out as
+/// a single buffer; the payload (potentially large) follows separately
+/// so it is never copied.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    deadline: Instant,
+) -> Result<(), WireError> {
+    let mut head = Vec::with_capacity(FRAME_PREAMBLE_BYTES + frame.header.len());
+    head.push(FRAME_MAGIC);
+    head.push(frame.kind);
+    let header_len = u32::try_from(frame.header.len())
+        .map_err(|_| WireError::Malformed("header exceeds u32".into()))?;
+    head.extend_from_slice(&header_len.to_le_bytes());
+    head.extend_from_slice(&(frame.payload.len() as u64).to_le_bytes());
+    head.extend_from_slice(&frame.header);
+    write_all_deadline(stream, &head, deadline)?;
+    write_all_deadline(stream, &frame.payload, deadline)
+}
+
+/// Read one frame within `deadline`, enforcing `limits` before any
+/// allocation. `Ok(None)` means the peer closed the connection cleanly
+/// before the first byte — the normal end of a session. EOF anywhere
+/// *inside* a frame is [`WireError::Malformed`].
+pub fn read_frame(
+    stream: &mut TcpStream,
+    limits: &FrameLimits,
+    deadline: Instant,
+) -> Result<Option<Frame>, WireError> {
+    // The first byte is read alone so a clean close is distinguishable
+    // from a truncated frame.
+    let mut first = [0u8; 1];
+    loop {
+        arm(stream, deadline)?;
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(deadline)(e)),
+        }
+    }
+    if first[0] != FRAME_MAGIC {
+        return Err(WireError::Malformed(format!(
+            "bad magic byte 0x{:02x}",
+            first[0]
+        )));
+    }
+    let mut rest = [0u8; FRAME_PREAMBLE_BYTES - 1];
+    read_exact_deadline(stream, &mut rest, deadline)?;
+    let kind = rest[0];
+    let header_len = u32::from_le_bytes(rest[1..5].try_into().unwrap()) as u64;
+    let payload_len = u64::from_le_bytes(rest[5..13].try_into().unwrap());
+    if header_len > limits.max_header as u64 {
+        return Err(WireError::Oversized {
+            declared: header_len,
+            limit: limits.max_header as u64,
+        });
+    }
+    if payload_len > limits.max_payload as u64 {
+        return Err(WireError::Oversized {
+            declared: payload_len,
+            limit: limits.max_payload as u64,
+        });
+    }
+    let mut header = vec![0u8; header_len as usize];
+    read_exact_deadline(stream, &mut header, deadline)?;
+    let mut payload = vec![0u8; payload_len as usize];
+    read_exact_deadline(stream, &mut payload, deadline)?;
+    Ok(Some(Frame {
+        kind,
+        header,
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn frame_round_trips_header_and_payload() {
+        let (mut tx, mut rx) = pair();
+        let frame = Frame::with_payload(7, b"{\"q\":1}".to_vec(), vec![1, 2, 3, 4, 5]);
+        write_frame(&mut tx, &frame, soon()).unwrap();
+        let got = read_frame(&mut rx, &FrameLimits::default(), soon())
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn empty_header_and_payload_round_trip() {
+        let (mut tx, mut rx) = pair();
+        write_frame(&mut tx, &Frame::new(0, Vec::new()), soon()).unwrap();
+        let got = read_frame(&mut rx, &FrameLimits::default(), soon())
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.kind, 0);
+        assert!(got.header.is_empty() && got.payload.is_empty());
+    }
+
+    #[test]
+    fn clean_close_reads_as_none() {
+        let (tx, mut rx) = pair();
+        drop(tx);
+        assert!(read_frame(&mut rx, &FrameLimits::default(), soon())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_malformed() {
+        let (mut tx, mut rx) = pair();
+        tx.write_all(&[0x00u8; 14]).unwrap();
+        match read_frame(&mut rx, &FrameLimits::default(), soon()) {
+            Err(WireError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_malformed() {
+        let (mut tx, mut rx) = pair();
+        // A valid preamble declaring an 8-byte header, then close.
+        let mut head = vec![FRAME_MAGIC, 1];
+        head.extend_from_slice(&8u32.to_le_bytes());
+        head.extend_from_slice(&0u64.to_le_bytes());
+        tx.write_all(&head).unwrap();
+        drop(tx);
+        match read_frame(&mut rx, &FrameLimits::default(), soon()) {
+            Err(WireError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_fail_before_allocation() {
+        let limits = FrameLimits {
+            max_header: 16,
+            max_payload: 32,
+        };
+        for (header_len, payload_len) in [(17u32, 0u64), (0, 33), (u32::MAX, u64::MAX)] {
+            let (mut tx, mut rx) = pair();
+            let mut head = vec![FRAME_MAGIC, 1];
+            head.extend_from_slice(&header_len.to_le_bytes());
+            head.extend_from_slice(&payload_len.to_le_bytes());
+            tx.write_all(&head).unwrap();
+            match read_frame(&mut rx, &limits, soon()) {
+                Err(WireError::Oversized { .. }) => {}
+                other => panic!("expected Oversized, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn silent_peer_times_out() {
+        let (_tx, mut rx) = pair();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        match read_frame(&mut rx, &FrameLimits::default(), deadline) {
+            Err(WireError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_fails_fast() {
+        let (_tx, rx) = pair();
+        let past = Instant::now() - Duration::from_millis(1);
+        match arm(&rx, past) {
+            Err(WireError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+}

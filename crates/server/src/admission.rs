@@ -1,0 +1,138 @@
+//! Admission control: a global in-flight byte budget with typed load
+//! shedding.
+//!
+//! Each query is weighed by its estimated response size (dense scope
+//! elements × element size) and admitted through a non-blocking
+//! [`CountingGate::try_claim`]. A request that does not fit is *shed*
+//! — the caller sends a typed `OverBudget` reject instead of queueing,
+//! so under overload the server answers fast with a retryable error
+//! rather than letting latency collapse. An oversized single request
+//! (heavier than the whole budget) is still admitted when the server
+//! is idle, so no legal query is starved forever.
+
+use hpmdr_exec::CountingGate;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The server-wide admission gate; see the [module docs](self).
+pub struct Admission {
+    gate: CountingGate,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Admission {
+    /// A gate admitting up to `budget_bytes` estimated in-flight
+    /// response bytes (clamped to at least 1).
+    pub fn new(budget_bytes: usize) -> Self {
+        Admission {
+            gate: CountingGate::new(budget_bytes.max(1)),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.gate.capacity()
+    }
+
+    /// Estimated bytes currently admitted.
+    pub fn in_flight(&self) -> usize {
+        self.gate.occupancy()
+    }
+
+    /// Queries admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Queries shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Try to admit a query of `bytes` estimated response bytes. `None`
+    /// means the budget is full and the request must be shed; the
+    /// returned permit releases the claim on drop.
+    pub fn try_admit(&self, bytes: usize) -> Option<Permit<'_>> {
+        if self.gate.try_claim(bytes) {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            Some(Permit {
+                admission: self,
+                bytes,
+            })
+        } else {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn release(&self, bytes: usize) {
+        self.gate.release_weight(bytes);
+    }
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("budget", &self.budget())
+            .field("in_flight", &self.in_flight())
+            .field("accepted", &self.accepted())
+            .field("shed", &self.shed())
+            .finish()
+    }
+}
+
+/// An admitted query's claim on the byte budget; dropping it releases
+/// the claim.
+pub struct Permit<'a> {
+    admission: &'a Admission,
+    bytes: usize,
+}
+
+impl Permit<'_> {
+    /// The claimed estimate.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_admits_until_full_then_sheds_and_recovers() {
+        let adm = Admission::new(100);
+        let a = adm.try_admit(60).expect("fits");
+        let b = adm.try_admit(40).expect("fills exactly");
+        assert_eq!(adm.in_flight(), 100);
+        assert!(adm.try_admit(1).is_none(), "over budget is shed");
+        assert_eq!(adm.accepted(), 2);
+        assert_eq!(adm.shed(), 1);
+        drop(b);
+        assert_eq!(adm.in_flight(), 60);
+        let c = adm.try_admit(40).expect("released budget is reusable");
+        drop(a);
+        drop(c);
+        assert_eq!(adm.in_flight(), 0);
+    }
+
+    #[test]
+    fn oversized_requests_admit_only_into_an_idle_gate() {
+        let adm = Admission::new(10);
+        let small = adm.try_admit(1).unwrap();
+        assert!(adm.try_admit(1000).is_none(), "oversized sheds while busy");
+        drop(small);
+        let big = adm.try_admit(1000).expect("oversized admits when idle");
+        assert!(adm.try_admit(1).is_none(), "…and then excludes others");
+        drop(big);
+        assert_eq!(adm.in_flight(), 0);
+    }
+}

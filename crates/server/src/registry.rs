@@ -1,0 +1,143 @@
+//! The multi-dataset registry: names → cached store handles.
+//!
+//! Every registered store is wrapped in a [`CachedStore`] so repeated
+//! and progressive queries against the same dataset share one
+//! byte-budgeted prefix cache, and so the server can surface
+//! [`CacheStats`](hpmdr_core::prelude::CacheStats) per dataset through
+//! the STATS request. The registry
+//! is built before the server starts and immutable afterwards — no
+//! lock sits on the query path.
+
+use crate::protocol::DatasetStats;
+use hpmdr_core::prelude::{open_store, CachedStore, MdrError, Store, DEFAULT_CACHE_BUDGET};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Name → store map served by a
+/// [`ProgressiveServer`](crate::ProgressiveServer).
+#[derive(Default)]
+pub struct Registry {
+    datasets: BTreeMap<String, Arc<CachedStore<Box<dyn Store>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register `store` under `name` behind a cache of `cache_budget`
+    /// payload bytes, replacing any previous entry of that name.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        store: Box<dyn Store>,
+        cache_budget: usize,
+    ) {
+        self.datasets
+            .insert(name.into(), Arc::new(CachedStore::new(store, cache_budget)));
+    }
+
+    /// Register the archive at `path` (any flavor [`open_store`]
+    /// recognizes) under `name` with the [`DEFAULT_CACHE_BUDGET`].
+    pub fn open(&mut self, name: impl Into<String>, path: &Path) -> Result<(), MdrError> {
+        self.open_with_budget(name, path, DEFAULT_CACHE_BUDGET)
+    }
+
+    /// [`open`](Self::open) with an explicit cache budget.
+    pub fn open_with_budget(
+        &mut self,
+        name: impl Into<String>,
+        path: &Path,
+        cache_budget: usize,
+    ) -> Result<(), MdrError> {
+        let store = open_store(path)?;
+        self.register(name, store, cache_budget);
+        Ok(())
+    }
+
+    /// The cached store registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<CachedStore<Box<dyn Store>>>> {
+        self.datasets.get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.datasets.keys().cloned().collect()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Point-in-time per-dataset counters, in name order.
+    pub fn stats(&self) -> Vec<DatasetStats> {
+        self.datasets
+            .iter()
+            .map(|(name, store)| {
+                let cache = store.cache_stats();
+                DatasetStats {
+                    name: name.clone(),
+                    bytes_fetched: store.bytes_fetched(),
+                    requests: store.requests(),
+                    hits: cache.hits,
+                    misses: cache.misses,
+                    extensions: cache.extensions,
+                    cached_bytes: cache.cached_bytes,
+                    served_bytes: cache.served_bytes,
+                    hit_rate: cache.hit_rate(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmdr_core::prelude::*;
+
+    fn memory_store() -> Box<dyn Store> {
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.13).sin()).collect();
+        let cr = crate::test_util::chunked(&data, &[16, 16], &[8, 8]);
+        Box::new(InMemoryStore::from(cr))
+    }
+
+    #[test]
+    fn registered_datasets_resolve_and_list_in_name_order() {
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.register("zeta", memory_store(), 1 << 20);
+        reg.register("alpha", memory_store(), 1 << 20);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert!(reg.get("alpha").is_some());
+        assert!(reg.get("missing").is_none());
+
+        let stats = reg.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "alpha");
+        assert_eq!(stats[0].bytes_fetched, 0);
+    }
+
+    #[test]
+    fn queries_through_a_registry_entry_feed_its_cache_stats() {
+        let mut reg = Registry::new();
+        reg.register("field", memory_store(), 1 << 20);
+        let entry = reg.get("field").unwrap();
+        let reader = SharedReader::new(entry.clone() as Arc<dyn Store>);
+        reader
+            .retrieve::<f32>(&Query::full(Target::Rel(1e-3)))
+            .unwrap();
+        let stats = &reg.stats()[0];
+        assert!(stats.bytes_fetched > 0, "retrieval pays the backing store");
+        assert!(stats.misses > 0, "cold cache misses");
+    }
+}
