@@ -479,6 +479,8 @@ fn drive_open_loop(
                     let mut latencies = Vec::new();
                     let mut rejects = Vec::new();
                     loop {
+                        // ORDERING: work-stealing cursor; atomicity of
+                        // the increment is all the claim needs.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
                             break;

@@ -33,13 +33,20 @@ struct ArenaColumns {
     ptr: *mut u32,
     words: usize,
 }
+// SAFETY: the pointer targets a plain `u32` arena owned by the caller for
+// the whole scope; workers write disjoint slots (see `set`), so moving the
+// handle across threads cannot race.
 unsafe impl Send for ArenaColumns {}
+// SAFETY: shared use only performs `set` calls on disjoint (plane, word)
+// slots — no two threads ever touch the same address.
 unsafe impl Sync for ArenaColumns {}
 
 impl ArenaColumns {
     /// # Safety
     /// `plane` and `word` must be in-bounds and the slot written by only
     /// one thread.
+    // SAFETY: contract is on the caller — in-bounds indices, one writer
+    // per slot; the body is then a plain store into owned memory.
     #[inline]
     unsafe fn set(&self, plane: usize, word: usize, val: u32) {
         *self.ptr.add(plane * self.words + word) = val;
@@ -51,12 +58,18 @@ impl ArenaColumns {
 struct ElemWriter<F> {
     ptr: *mut F,
 }
+// SAFETY: the pointer targets a caller-owned buffer that outlives the
+// parallel scope; layout injectivity gives each element one writer.
 unsafe impl<F> Send for ElemWriter<F> {}
+// SAFETY: shared use only performs `write` calls on disjoint indices
+// (layouts are injective), so no address is ever written twice.
 unsafe impl<F> Sync for ElemWriter<F> {}
 
 impl<F> ElemWriter<F> {
     /// # Safety
     /// `idx` must be in-bounds and written by only one thread.
+    // SAFETY: contract is on the caller — in-bounds index, one writer per
+    // element; the body is then a plain store into owned memory.
     #[inline]
     unsafe fn write(&self, idx: usize, val: F) {
         *self.ptr.add(idx) = val;
@@ -181,18 +194,25 @@ fn store_tile(
     b_hi: usize,
     tr: TransposeFn,
 ) {
-    // Safety: `tr` was resolved from an available ISA by the caller.
+    // SAFETY: `tr` was resolved by `transpose32_fn` from an ISA the
+    // caller verified available, so the required target features exist.
     unsafe { tr(hi) };
     for (p, col) in hi.iter().rev().take(b_hi).enumerate() {
+        // SAFETY: `p < b_hi <= planes` and `u < words`; unit `u` is owned
+        // by exactly this worker, satisfying `ArenaColumns::set`.
         unsafe { cols.set(p, u, *col) };
     }
     if b > 32 {
-        // Safety: as above.
+        // SAFETY: same ISA-availability argument as the `hi` transpose.
         unsafe { tr(lo) };
         for (p, col) in lo.iter().rev().take(b - 32).enumerate() {
+            // SAFETY: `32 + p < b <= planes` and `u < words`, one writer
+            // per slot as above.
             unsafe { cols.set(32 + p, u, *col) };
         }
     }
+    // SAFETY: `u < words == signs.len()` and each unit writes only its
+    // own sign word.
     unsafe { signs_col.write(u, sign_word) };
 }
 
@@ -262,8 +282,8 @@ pub fn decode_prefix<F: BitplaneFloat>(
                 fixed |= midpoint;
             }
             let sign = (sign_word >> r) & 1 == 1;
-            // Safety: layouts are injective, so element `e` is written by
-            // exactly this unit.
+            // SAFETY: `e < n == out.len()` and layouts are injective, so
+            // element `e` is written by exactly this unit.
             unsafe { writer.write(e, F::from_fixed_scaled(sign, fixed, scale)) };
         }
     });

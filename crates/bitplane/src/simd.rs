@@ -70,6 +70,8 @@ pub fn transpose32_fn(isa: Isa) -> TransposeFn {
 /// # Safety
 /// None beyond the safe reference it wraps; `unsafe` only to match the
 /// function-pointer type.
+// SAFETY: no preconditions — the body is entirely safe code; `unsafe`
+// exists only to satisfy the `TransposeFn` signature.
 unsafe fn transpose32_ref(m: &mut [u32; 32]) {
     transpose32(m);
 }
@@ -78,7 +80,7 @@ unsafe fn transpose32_ref(m: &mut [u32; 32]) {
 /// benchmarks and tests use for single tiles.
 pub fn transpose32_with_isa(m: &mut [u32; 32], isa: Isa) {
     let f = transpose32_fn(isa.or_scalar());
-    // Safety: `or_scalar` guarantees the resolved kernel's instruction
+    // SAFETY: `or_scalar` guarantees the resolved kernel's instruction
     // set is available on this CPU.
     unsafe { f(m) };
 }
@@ -96,6 +98,8 @@ pub fn transpose32_with_isa(m: &mut [u32; 32], isa: Isa) {
 /// AVX2 must be available on the executing CPU.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: sole precondition is AVX2 availability, established by the
+// `Isa`-gated dispatch; all accesses go through the `&mut` array.
 unsafe fn transpose32_avx2(m: &mut [u32; 32]) {
     use std::arch::x86_64::*;
     let p = m.as_mut_ptr() as *mut __m256i;
@@ -169,6 +173,8 @@ unsafe fn transpose32_avx2(m: &mut [u32; 32]) {
 /// NEON must be available on the executing CPU (aarch64 baseline).
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
+// SAFETY: sole precondition is NEON availability (aarch64 baseline),
+// established by the `Isa`-gated dispatch; accesses stay in the array.
 unsafe fn transpose32_neon(m: &mut [u32; 32]) {
     use std::arch::aarch64::*;
     let p = m.as_mut_ptr();
@@ -228,10 +234,13 @@ unsafe fn transpose32_neon(m: &mut [u32; 32]) {
     }
 
     #[inline(always)]
+    // SAFETY: NEON-only intrinsic wrapper, called solely from the
+    // enclosing `#[target_feature(enable = "neon")]` kernel.
     unsafe fn partner2(r: uint32x4_t) -> uint32x4_t {
         vextq_u32::<2>(r, r)
     }
     #[inline(always)]
+    // SAFETY: as `partner2` — only reachable from the NEON kernel.
     unsafe fn partner1(r: uint32x4_t) -> uint32x4_t {
         vrev64q_u32(r)
     }
@@ -288,7 +297,7 @@ pub fn aligned_fixed_with_isa<F: BitplaneFloat>(
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => {
             if TypeId::of::<F>() == TypeId::of::<f32>() {
-                // Safety: F == f32 (checked above), so the slice cast is
+                // SAFETY: F == f32 (checked above), so the slice cast is
                 // a no-op reinterpretation; AVX2 availability is the
                 // dispatch precondition.
                 unsafe {
@@ -297,7 +306,8 @@ pub fn aligned_fixed_with_isa<F: BitplaneFloat>(
                 }
                 true
             } else if TypeId::of::<F>() == TypeId::of::<f64>() && b <= 51 {
-                // Safety: as above, with F == f64.
+                // SAFETY: as above, with F == f64; `b <= 51` keeps the
+                // magic-constant conversion exact.
                 unsafe {
                     let vals = std::slice::from_raw_parts(data.as_ptr() as *const f64, data.len());
                     aligned_fixed_f64_avx2(vals, exp, b, out);
@@ -310,14 +320,14 @@ pub fn aligned_fixed_with_isa<F: BitplaneFloat>(
         #[cfg(target_arch = "aarch64")]
         Isa::Neon => {
             if TypeId::of::<F>() == TypeId::of::<f32>() {
-                // Safety: F == f32; NEON is the aarch64 baseline.
+                // SAFETY: F == f32; NEON is the aarch64 baseline.
                 unsafe {
                     let vals = std::slice::from_raw_parts(data.as_ptr() as *const f32, data.len());
                     aligned_fixed_f32_neon(vals, exp, b, out);
                 }
                 true
             } else if TypeId::of::<F>() == TypeId::of::<f64>() {
-                // Safety: F == f64; NEON is the aarch64 baseline.
+                // SAFETY: F == f64; NEON is the aarch64 baseline.
                 unsafe {
                     let vals = std::slice::from_raw_parts(data.as_ptr() as *const f64, data.len());
                     aligned_fixed_f64_neon(vals, exp, b, out);
@@ -348,6 +358,9 @@ fn aligned_fixed_tail<F: BitplaneFloat>(data: &[F], exp: i32, b: usize, out: &mu
 /// AVX2 must be available on the executing CPU.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: precondition is AVX2 availability (dispatch-gated); pointer
+// arithmetic stays inside `data`/`out`, whose equal length is asserted
+// by the caller.
 unsafe fn aligned_fixed_f32_avx2(data: &[f32], exp: i32, b: usize, out: &mut [u64]) {
     use std::arch::x86_64::*;
     let scale = _mm256_set1_pd(crate::fixed::exp2(b as i32 - exp));
@@ -378,6 +391,8 @@ unsafe fn aligned_fixed_f32_avx2(data: &[f32], exp: i32, b: usize, out: &mut [u6
 /// `b ≤ 51`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: preconditions are AVX2 availability (dispatch-gated) and
+// `b <= 51` (checked by the dispatcher); accesses stay in-bounds.
 unsafe fn aligned_fixed_f64_avx2(data: &[f64], exp: i32, b: usize, out: &mut [u64]) {
     use std::arch::x86_64::*;
     let scale = _mm256_set1_pd(crate::fixed::exp2(b as i32 - exp));
@@ -407,6 +422,8 @@ unsafe fn aligned_fixed_f64_avx2(data: &[f64], exp: i32, b: usize, out: &mut [u6
 /// NEON must be available on the executing CPU.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
+// SAFETY: precondition is NEON availability (aarch64 baseline,
+// dispatch-gated); accesses stay inside `data`/`out`.
 unsafe fn aligned_fixed_f32_neon(data: &[f32], exp: i32, b: usize, out: &mut [u64]) {
     use std::arch::aarch64::*;
     let scale = crate::fixed::exp2(b as i32 - exp);
@@ -433,6 +450,8 @@ unsafe fn aligned_fixed_f32_neon(data: &[f32], exp: i32, b: usize, out: &mut [u6
 /// NEON must be available on the executing CPU.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
+// SAFETY: precondition is NEON availability (aarch64 baseline,
+// dispatch-gated); accesses stay inside `data`/`out`.
 unsafe fn aligned_fixed_f64_neon(data: &[f64], exp: i32, b: usize, out: &mut [u64]) {
     use std::arch::aarch64::*;
     let scale = crate::fixed::exp2(b as i32 - exp);

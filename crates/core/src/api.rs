@@ -707,7 +707,10 @@ impl Clone for InMemoryStore {
         InMemoryStore {
             full: self.full.clone(),
             meta: self.meta.clone(),
+            // ORDERING: statistics counter — no data is guarded, a
+            // slightly stale clone snapshot is acceptable.
             bytes_fetched: AtomicUsize::new(self.bytes_fetched.load(Ordering::Relaxed)),
+            // ORDERING: as above.
             requests: AtomicUsize::new(self.requests.load(Ordering::Relaxed)),
         }
     }
@@ -779,17 +782,21 @@ impl Store for InMemoryStore {
         if copied > 0 {
             // One contiguous copy per unit run, mirroring the sharded
             // store's one range read per group.
+            // ORDERING: statistics counter, guards nothing.
             self.requests.fetch_add(1, Ordering::Relaxed);
         }
+        // ORDERING: statistics counter, guards nothing.
         self.bytes_fetched.fetch_add(copied, Ordering::Relaxed);
         Ok(out)
     }
 
     fn bytes_fetched(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.bytes_fetched.load(Ordering::Relaxed)
     }
 
     fn requests(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.requests.load(Ordering::Relaxed)
     }
 
@@ -1106,8 +1113,9 @@ impl<S: Store> Store for CachedStore<S> {
             let Some((&key, _)) = state.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
-            let evicted = state.entries.remove(&key).expect("key just found");
-            state.cached_bytes -= evicted.bytes;
+            if let Some(evicted) = state.entries.remove(&key) {
+                state.cached_bytes -= evicted.bytes;
+            }
         }
         Ok(out)
     }

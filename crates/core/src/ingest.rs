@@ -70,6 +70,8 @@ pub trait IngestElem: BitplaneFloat + Real + Default {
 impl IngestElem for f32 {
     const BYTES: usize = 4;
     fn from_le(bytes: &[u8]) -> Self {
+        // lint:allow(L3): `bytes.len() >= Self::BYTES` is the trait
+        // contract, upheld by every in-crate caller.
         f32::from_le_bytes(bytes[..4].try_into().expect("4-byte f32"))
     }
     fn to_le(self, out: &mut Vec<u8>) {
@@ -80,6 +82,7 @@ impl IngestElem for f32 {
 impl IngestElem for f64 {
     const BYTES: usize = 8;
     fn from_le(bytes: &[u8]) -> Self {
+        // lint:allow(L3): as the f32 impl — slice length is the contract.
         f64::from_le_bytes(bytes[..8].try_into().expect("8-byte f64"))
     }
     fn to_le(self, out: &mut Vec<u8>) {

@@ -154,6 +154,8 @@ impl<F: BitplaneFloat + Real + Default, B: Backend> ApproximationStream<F, B> {
                 let region = match scope {
                     Scope::Full => Region::whole(&meta.grid.shape),
                     Scope::Region(region) => region.clone(),
+                    // lint:allow(L3): this arm is excluded by the enclosing
+                    // match, whose first arm captures every Resolution scope.
                     Scope::Resolution(_) => unreachable!("matched above"),
                 };
                 // The empty plan both validates the region and yields

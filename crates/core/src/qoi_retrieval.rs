@@ -212,6 +212,7 @@ pub fn retrieve_with_multi_qoi_control<F: BitplaneFloat + Real>(
         estimates = maxima.iter().map(|m| m.value).collect();
         let worst = (0..qois.len())
             .max_by(|&a, &b| (estimates[a] / qois[a].1).total_cmp(&(estimates[b] / qois[b].1)))
+            // lint:allow(L3): `qois` non-emptiness is asserted on entry.
             .expect("non-empty QoI set");
         if estimates.iter().zip(qois).all(|(e, (_, tau))| e <= tau) {
             break;

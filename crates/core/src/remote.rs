@@ -149,12 +149,15 @@ impl RemoteStore {
     /// [`Store::bytes_fetched`], which counts only the useful bytes so
     /// accounting stays identical across store flavors.
     pub fn transfer_bytes(&self) -> usize {
+        // ORDERING: statistics counters; the sum may be momentarily torn
+        // across the two loads, which accounting tolerates.
         self.useful_bytes.load(Ordering::Relaxed) + self.wasted_bytes.load(Ordering::Relaxed)
     }
 
     /// Gap bytes fetched only to merge ranges (≤ one
     /// [`RemoteStoreConfig::gap_threshold`] per merge).
     pub fn wasted_bytes(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.wasted_bytes.load(Ordering::Relaxed)
     }
 
@@ -232,6 +235,7 @@ impl Store for RemoteStore {
             return Ok(vec![Vec::new(); take]);
         }
         let buf = self.fetch_shard_range(chunk, start, nbytes)?;
+        // ORDERING: statistics counter, guards nothing.
         self.useful_bytes.fetch_add(nbytes, Ordering::Relaxed);
         Ok(split_units(&buf, &chunk_lens[group], skip, take))
     }
@@ -275,8 +279,10 @@ impl Store for RemoteStore {
             |_, range| self.fetch_shard_range(c, range.start, range.len),
         )?;
         self.useful_bytes
+            // ORDERING: statistics counter, guards nothing.
             .fetch_add(fetch.useful_bytes, Ordering::Relaxed);
         self.wasted_bytes
+            // ORDERING: statistics counter, guards nothing.
             .fetch_add(fetch.wasted_bytes, Ordering::Relaxed);
 
         let mut out = chunk.clone();
@@ -298,6 +304,7 @@ impl Store for RemoteStore {
     }
 
     fn bytes_fetched(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.useful_bytes.load(Ordering::Relaxed)
     }
 

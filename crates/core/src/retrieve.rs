@@ -259,6 +259,8 @@ impl<'a, B: Backend> RetrievalSession<'a, B> {
     /// instead — reads of damaged archives must never abort the process.
     pub fn refine_to(&mut self, plan: &RetrievalPlan) {
         self.try_refine_to(plan)
+            // lint:allow(L3): documented panic contract of this method; the
+            // fallible twin is `try_refine_to` (used by store readers).
             .expect("corrupt stream during refinement");
     }
 

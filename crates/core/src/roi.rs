@@ -463,6 +463,8 @@ where
         let chunk_region = cr.grid.chunk_region(cp.chunk);
         let inter = chunk_region
             .intersect(&plan.region)
+            // lint:allow(L3): planner invariant — `plan.chunks` holds only
+            // chunks the planner proved to intersect `plan.region`.
             .expect("planned chunks intersect the region");
         let src = inter.relative_to(&chunk_region.start);
         let dst = inter.relative_to(&plan.region.start);

@@ -174,6 +174,7 @@ impl HeaderMeta {
 /// Serialize a refactored variable to the portable byte format.
 pub fn to_bytes(r: &Refactored) -> Vec<u8> {
     let header = HeaderMeta::of(r);
+    // lint:allow(L3): serializing a plain in-memory struct cannot fail.
     let json = serde_json::to_vec(&header).expect("header serializes");
     let payload_len: usize = r
         .streams
@@ -205,6 +206,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Refactored, MdrError> {
     if &bytes[..8] != MAGIC {
         return Err(MdrError::corrupt("bad magic (not an HPMDR stream)"));
     }
+    // lint:allow(L3): infallible — `bytes.len() >= 16` was checked above.
     let json_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sized")) as usize;
     let header_end = 16usize
         .checked_add(json_len)

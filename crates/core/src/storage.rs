@@ -116,11 +116,13 @@ impl StoreReader {
 
     /// Payload bytes fetched from storage so far.
     pub fn bytes_read(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.bytes_read.load(Ordering::Relaxed)
     }
 
     /// Unit files opened so far.
     pub fn files_read(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.files_read.load(Ordering::Relaxed)
     }
 
@@ -155,7 +157,9 @@ impl StoreReader {
         for u in skip..skip + take {
             let path = unit_path(&self.dir, g, u);
             let bytes = std::fs::read(&path).map_err(|e| MdrError::io(&path, e))?;
+            // ORDERING: statistics counter, guards nothing.
             self.bytes_read.fetch_add(bytes.len(), Ordering::Relaxed);
+            // ORDERING: as above.
             self.files_read.fetch_add(1, Ordering::Relaxed);
             out.push(bytes);
         }
@@ -610,11 +614,13 @@ impl ChunkedStoreReader {
 
     /// Payload bytes fetched from storage so far.
     pub fn bytes_read(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.bytes_read.load(Ordering::Relaxed)
     }
 
     /// Byte ranges requested so far.
     pub fn ranges_read(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.ranges_read.load(Ordering::Relaxed)
     }
 
@@ -683,7 +689,9 @@ impl ChunkedStoreReader {
                 }
             })?;
         self.return_handle(c, file);
+        // ORDERING: statistics counter, guards nothing.
         self.bytes_read.fetch_add(nbytes, Ordering::Relaxed);
+        // ORDERING: as above.
         self.ranges_read.fetch_add(1, Ordering::Relaxed);
         Ok(split_units(&buf, &chunk_lens[g], skip, take))
     }

@@ -333,6 +333,8 @@ pub(crate) fn extend_words(out: &mut Vec<u8>, words: &[u32]) {
 /// Fill `out` from little-endian `bytes` (the inverse bulk copy).
 pub(crate) fn read_words(bytes: &[u8], out: &mut [u32]) {
     for (w, src) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        // lint:allow(L3): statically infallible — chunks_exact(4) yields
+        // exactly 4 bytes per chunk.
         *w = u32::from_le_bytes(src.try_into().expect("4-byte chunk"));
     }
 }

@@ -74,6 +74,7 @@ impl ParallelBackend {
             .num_threads(threads)
             .thread_name(|i| format!("hpmdr-exec-{i}"))
             .build()
+            // lint:allow(L3): the in-tree rayon shim's build is infallible.
             .expect("pool always builds");
         ParallelBackend {
             threads,

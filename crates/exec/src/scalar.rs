@@ -44,6 +44,7 @@ pub(crate) fn sequential_pool() -> &'static rayon::ThreadPool {
         rayon::ThreadPoolBuilder::new()
             .num_threads(1)
             .build()
+            // lint:allow(L3): the in-tree rayon shim's build is infallible.
             .expect("one-thread pool always builds")
     })
 }

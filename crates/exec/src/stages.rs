@@ -68,14 +68,18 @@ impl CountingGate {
     /// Units currently claimed (a snapshot; may be stale by the time the
     /// caller acts on it).
     pub fn occupancy(&self) -> usize {
+        // lint:allow(L3): lock-poisoning unwrap — a poisoned gate means a
+        // worker already panicked; propagating that panic is the contract.
         self.state.lock().unwrap().in_flight
     }
 
     /// Claim one unit, blocking while the gate is full; returns `false`
     /// if the gate aborted instead.
     pub fn acquire(&self) -> bool {
+        // lint:allow(L3): lock-poisoning unwrap, as `occupancy`.
         let mut st = self.state.lock().unwrap();
         while st.in_flight >= self.capacity && !st.aborted {
+            // lint:allow(L3): Condvar::wait only errs on poison.
             st = self.cv.wait(st).unwrap();
         }
         if st.aborted {
@@ -91,6 +95,7 @@ impl CountingGate {
     /// than the whole capacity is only admitted into an *empty* gate,
     /// so one oversized request cannot be starved forever.
     pub fn try_claim(&self, weight: usize) -> bool {
+        // lint:allow(L3): lock-poisoning unwrap, as `occupancy`.
         let mut st = self.state.lock().unwrap();
         if st.aborted {
             return false;
@@ -111,6 +116,7 @@ impl CountingGate {
 
     /// Retire `weight` units (the pair of a [`try_claim`](Self::try_claim)).
     pub fn release_weight(&self, weight: usize) {
+        // lint:allow(L3): lock-poisoning unwrap, as `occupancy`.
         let mut st = self.state.lock().unwrap();
         st.in_flight = st.in_flight.saturating_sub(weight);
         self.cv.notify_all();
@@ -118,6 +124,7 @@ impl CountingGate {
 
     /// Wake every waiter and fail all further claims.
     pub fn abort(&self) {
+        // lint:allow(L3): lock-poisoning unwrap, as `occupancy`.
         let mut st = self.state.lock().unwrap();
         st.aborted = true;
         self.cv.notify_all();
@@ -249,6 +256,8 @@ where
         drop(rx_a); // producer's next send fails -> it exits
         drop(tx_b); // consumer drains and exits
 
+        // lint:allow(L3): join fails only if the writer panicked — a bug,
+        // not an input condition; re-raising the panic is intended.
         let writer_result = writer.join().expect("ingest writer thread panicked");
         match transform_err {
             Some(e) => Err(e),
@@ -289,21 +298,30 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ORDERING: best-effort early-exit hint; results are
+                // published through the mutex slots and the scope join.
                 if failed.load(std::sync::atomic::Ordering::Relaxed) {
                     break;
                 }
+                // ORDERING: the fetch_add's atomicity alone dedups item
+                // claims; slot data is ordered by each slot's mutex.
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let result = f(i, item);
                 if result.is_err() {
+                    // ORDERING: hint flag only; the authoritative error is
+                    // read from the slots after the scope joins.
                     failed.store(true, std::sync::atomic::Ordering::Relaxed);
                 }
+                // lint:allow(L3): lock-poisoning unwrap; slots are
+                // private to this scope and only poisoned if `f` panicked.
                 *slots[i].lock().unwrap() = Some(result);
             });
         }
     });
     let mut out = Vec::with_capacity(items.len());
     for slot in slots {
+        // lint:allow(L3): into_inner errs only on poison (worker panic).
         match slot.into_inner().unwrap() {
             Some(Ok(r)) => out.push(r),
             Some(Err(e)) => return Err(e),

@@ -1,0 +1,17 @@
+//! Known-bad fixture: one L1, one L3, one L4 violation, each at a
+//! line the integration tests pin. Edit with care — the tests assert
+//! exact line numbers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn uncommented_unsafe(p: *const u8) -> u8 {
+    unsafe { *p } // L1: no SAFETY comment
+}
+
+pub fn panicky(x: Option<u8>) -> u8 {
+    x.unwrap() // L3: unwrap in library code of a panic-free crate
+}
+
+pub fn silent_relaxed(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::Relaxed); // L4: no ORDERING comment
+}

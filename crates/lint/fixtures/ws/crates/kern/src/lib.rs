@@ -1,0 +1,15 @@
+//! Known-bad fixture for L2: a `#[target_feature]` kernel called from
+//! a plain function in a module that is not a configured dispatch
+//! module. The SAFETY comments are present so only L2 fires here.
+
+#[target_feature(enable = "avx2")]
+// SAFETY: fixture kernel; real callers verify avx2 first.
+pub unsafe fn kernel(x: &mut [u32; 4]) {
+    x[0] = x[0].wrapping_add(1);
+}
+
+pub fn leaky_caller(x: &mut [u32; 4]) {
+    // SAFETY: deliberately wrong — this module is not a dispatch
+    // module, so this call must be flagged by L2.
+    unsafe { kernel(x) } // L2: tf kernel called outside dispatch
+}

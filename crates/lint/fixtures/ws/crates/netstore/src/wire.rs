@@ -1,0 +1,11 @@
+//! Known-bad fixture for the wire-path rules: an unchecked index (L3)
+//! and an unchecked wire-derived allocation (L5). Line numbers are
+//! pinned by the integration tests.
+
+pub fn unchecked_index(buf: &[u8], declared: usize) -> u8 {
+    buf[declared] // L3: index never bounds-related in this fn
+}
+
+pub fn unchecked_alloc(declared: usize) -> Vec<u8> {
+    vec![0u8; declared] // L5: wire-derived size, no limit check
+}

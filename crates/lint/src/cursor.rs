@@ -1,0 +1,558 @@
+//! Per-file analysis context over the token stream: code-token cursor,
+//! comment adjacency, attribute regions, and a lightweight scope map
+//! (functions, modules, `#[cfg(test)]` subtrees, `#[target_feature]`
+//! functions).
+//!
+//! Every rule consumes a [`FileCtx`], built once per file. The scope
+//! map is deliberately *not* a parser: it tracks item attributes and
+//! brace nesting, which is exactly enough to answer the three questions
+//! the rules ask — "is this token inside test-only code?", "which
+//! function body am I in?", and "is that function `#[target_feature]`,
+//! and for which ISA family?".
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// ISA family of a `#[target_feature(enable = "…")]` attribute, used by
+/// the containment rule: calls may only cross between functions of the
+/// same family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// x86/x86_64 vector features (avx*, sse*, fma, bmi*, …).
+    X86,
+    /// AArch64 vector features (neon, sve, …).
+    Arm,
+    /// Anything else: treated as its own family by feature name.
+    Other,
+}
+
+/// Map a feature string to its [`Family`].
+pub fn family_of(feature: &str) -> Family {
+    let f = feature.to_ascii_lowercase();
+    if f.starts_with("avx")
+        || f.starts_with("sse")
+        || f.starts_with("fma")
+        || f.starts_with("bmi")
+        || f == "pclmulqdq"
+        || f == "popcnt"
+    {
+        Family::X86
+    } else if f == "neon" || f.starts_with("sve") || f == "dotprod" {
+        Family::Arm
+    } else {
+        Family::Other
+    }
+}
+
+/// One brace-delimited scope opened by an item (`fn`, `mod`, `impl`,
+/// `trait`, or similar).
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Item keyword that opened this scope (`"fn"`, `"mod"`, …).
+    pub kind: String,
+    /// Item name, when one follows the keyword (`impl` blocks have
+    /// none worth resolving).
+    pub name: Option<String>,
+    /// Token index of the opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (or end of stream when
+    /// unbalanced).
+    pub close: usize,
+    /// True when this item — or any enclosing item — is test-only
+    /// (`#[cfg(test)]`, `#[test]`).
+    pub is_test: bool,
+    /// `Some(family)` when the item carries `#[target_feature]`.
+    pub target_feature: Option<Family>,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Full token stream, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Scopes in opening order (outer before inner).
+    pub scopes: Vec<Scope>,
+    /// Lines (1-based) whose only non-comment tokens belong to outer
+    /// attributes `#[…]`.
+    attr_lines: BTreeSet<u32>,
+    /// Lines that contain at least one comment and no code tokens.
+    comment_only_lines: BTreeSet<u32>,
+    /// Lines with at least one token of any kind.
+    occupied_lines: BTreeSet<u32>,
+    /// line → concatenated text of *plain* (non-doc) comments on it.
+    plain_comments: HashMap<u32, String>,
+}
+
+impl FileCtx {
+    /// Lex and analyze one file.
+    pub fn new(path: &str, src: &str) -> FileCtx {
+        let toks = lex(src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut occupied_lines = BTreeSet::new();
+        let mut comment_lines = BTreeSet::new();
+        let mut code_lines = BTreeSet::new();
+        let mut plain_comments: HashMap<u32, String> = HashMap::new();
+        for t in &toks {
+            for l in t.line..=t.end_line() {
+                occupied_lines.insert(l);
+            }
+            if t.is_comment() {
+                for l in t.line..=t.end_line() {
+                    comment_lines.insert(l);
+                }
+                if is_plain_comment(t) {
+                    for l in t.line..=t.end_line() {
+                        plain_comments.entry(l).or_default().push_str(&t.text);
+                    }
+                }
+            } else {
+                for l in t.line..=t.end_line() {
+                    code_lines.insert(l);
+                }
+            }
+        }
+
+        let attr_regions = find_attr_regions(&toks, &code);
+        // A line is attribute-only when every code token on it sits in
+        // some attribute region.
+        let mut attr_token_lines = BTreeSet::new();
+        let mut non_attr_code_lines = BTreeSet::new();
+        for (pos, &ti) in code.iter().enumerate() {
+            let in_attr = attr_regions.iter().any(|&(a, b)| (a..=b).contains(&pos));
+            for l in toks[ti].line..=toks[ti].end_line() {
+                if in_attr {
+                    attr_token_lines.insert(l);
+                } else {
+                    non_attr_code_lines.insert(l);
+                }
+            }
+        }
+        let attr_lines: BTreeSet<u32> = attr_token_lines
+            .difference(&non_attr_code_lines)
+            .copied()
+            .collect();
+        let comment_only_lines: BTreeSet<u32> =
+            comment_lines.difference(&code_lines).copied().collect();
+
+        let scopes = build_scopes(&toks, &code, &attr_regions);
+
+        FileCtx {
+            path: path.to_string(),
+            toks,
+            code,
+            scopes,
+            attr_lines,
+            comment_only_lines,
+            occupied_lines,
+            plain_comments,
+        }
+    }
+
+    /// The code token following `code[pos]`, if any.
+    pub fn next_code(&self, pos: usize, ahead: usize) -> Option<&Tok> {
+        self.code.get(pos + ahead).map(|&i| &self.toks[i])
+    }
+
+    /// The code token preceding `code[pos]` by `back` steps, if any.
+    pub fn prev_code(&self, pos: usize, back: usize) -> Option<&Tok> {
+        pos.checked_sub(back)
+            .and_then(|p| self.code.get(p))
+            .map(|&i| &self.toks[i])
+    }
+
+    /// Is there a plain `// MARKER` comment on `line`, or on the block
+    /// of comment/attribute lines *immediately* above it? A blank line
+    /// or an unrelated code line breaks the chain, so the marker really
+    /// is adjacent to the site it justifies. Doc comments (`///`,
+    /// `//!`) deliberately do not count: documentation is for callers,
+    /// these markers are auditable claims about the site itself.
+    pub fn has_adjacent_marker(&self, line: u32, marker: &str) -> bool {
+        if self.line_has_marker(line, marker) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if self.comment_only_lines.contains(&l) {
+                if self.line_has_marker(l, marker) {
+                    return true;
+                }
+            } else if !self.attr_lines.contains(&l) {
+                // Code line, blank line, or start of file: chain ends.
+                return false;
+            }
+            if !self.occupied_lines.contains(&l) {
+                return false;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// Concatenated text of all plain comments adjacent to `line`: the
+    /// line's own trailing comment plus the contiguous comment/attribute
+    /// block immediately above (same chain rule as
+    /// [`FileCtx::has_adjacent_marker`]).
+    pub fn adjacent_plain_comment_text(&self, line: u32) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if self.comment_only_lines.contains(&l) {
+                if let Some(text) = self.plain_comments.get(&l) {
+                    parts.push(text);
+                }
+            } else if !self.attr_lines.contains(&l) {
+                break;
+            }
+            l -= 1;
+        }
+        parts.reverse();
+        if let Some(text) = self.plain_comments.get(&line) {
+            parts.push(text);
+        }
+        parts.join("\n")
+    }
+
+    fn line_has_marker(&self, line: u32, marker: &str) -> bool {
+        self.plain_comments
+            .get(&line)
+            .is_some_and(|text| text.contains(marker))
+    }
+
+    /// Innermost scope containing code position `pos` (an index into
+    /// `self.code`), if any.
+    pub fn innermost_scope(&self, pos: usize) -> Option<&Scope> {
+        self.scopes.iter().rfind(|s| s.open < pos && pos < s.close)
+    }
+
+    /// True when the code position sits inside test-only code.
+    pub fn in_test(&self, pos: usize) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| s.is_test && s.open < pos && pos < s.close)
+    }
+
+    /// Innermost *function* scope containing code position `pos`.
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&Scope> {
+        self.scopes
+            .iter()
+            .rfind(|s| s.kind == "fn" && s.open < pos && pos < s.close)
+    }
+}
+
+/// True for `//`-comments that are not doc comments, and `/*`-comments
+/// that are not `/**`/`/*!` doc blocks.
+fn is_plain_comment(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::LineComment => !t.text.starts_with("///") && !t.text.starts_with("//!"),
+        TokKind::BlockComment => {
+            // `/**/` is empty-plain; `/**x` and `/*!` are doc blocks.
+            !(t.text.starts_with("/*!") || (t.text.starts_with("/**") && t.text.len() > 4))
+        }
+        _ => false,
+    }
+}
+
+/// Outer-attribute regions as inclusive `(start, end)` ranges over code
+/// *positions* (indices into the `code` vector): `#` `[` … `]` with
+/// bracket balancing. Inner attributes (`#![…]`) are included too —
+/// rules treat both as "attribute, not code".
+fn find_attr_regions(toks: &[Tok], code: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut pos = 0usize;
+    while pos < code.len() {
+        let t = &toks[code[pos]];
+        let next = |ahead: usize| code.get(pos + ahead).map(|&i| &toks[i]);
+        let open_at = if t.is_punct('#') {
+            if next(1).is_some_and(|t| t.is_punct('[')) {
+                Some(pos + 1)
+            } else if next(1).is_some_and(|t| t.is_punct('!'))
+                && next(2).is_some_and(|t| t.is_punct('['))
+            {
+                Some(pos + 2)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(open) = open_at {
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < code.len() {
+                let tj = &toks[code[j]];
+                if tj.is_punct('[') {
+                    depth += 1;
+                } else if tj.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            regions.push((pos, j.min(code.len().saturating_sub(1))));
+            pos = j + 1;
+        } else {
+            pos += 1;
+        }
+    }
+    regions
+}
+
+/// One parsed attribute: its code-position span and flattened ident
+/// stream (e.g. `["cfg", "test"]`, `["target_feature", "enable"]` plus
+/// the feature string resolved separately).
+struct Attr {
+    is_test: bool,
+    target_feature: Option<Family>,
+}
+
+fn parse_attr(toks: &[Tok], code: &[usize], span: (usize, usize)) -> Attr {
+    let hi = span.1.min(code.len().saturating_sub(1));
+    let items: Vec<&Tok> = (span.0..=hi).map(|p| &toks[code[p]]).collect();
+    let first_ident = items.iter().find(|t| t.kind == TokKind::Ident);
+    let mut is_test = false;
+    let mut target_feature = None;
+    match first_ident.map(|t| t.text.as_str()) {
+        Some("test") => is_test = true,
+        Some("cfg") => {
+            // `test` counts only outside a `not(…)` group.
+            let mut not_depth = 0usize;
+            let mut paren_stack: Vec<bool> = Vec::new();
+            let mut k = 0usize;
+            while k < items.len() {
+                let t = items[k];
+                if t.is_punct('(') {
+                    let negated = k > 0 && items[k - 1].is_ident("not");
+                    paren_stack.push(negated);
+                    if negated {
+                        not_depth += 1;
+                    }
+                } else if t.is_punct(')') {
+                    if let Some(negated) = paren_stack.pop() {
+                        if negated {
+                            not_depth -= 1;
+                        }
+                    }
+                } else if t.is_ident("test") && not_depth == 0 {
+                    is_test = true;
+                }
+                k += 1;
+            }
+        }
+        Some("target_feature") => {
+            // enable = "feat" — take the first string literal.
+            if let Some(s) = items.iter().find(|t| t.kind == TokKind::Str) {
+                let feat = s.text.trim_matches('"');
+                target_feature = Some(family_of(feat));
+            }
+        }
+        _ => {}
+    }
+    Attr {
+        is_test,
+        target_feature,
+    }
+}
+
+const ITEM_KEYWORDS: &[&str] = &["fn", "mod", "impl", "trait", "struct", "enum", "union"];
+
+/// Build the scope list: track pending outer attributes, bind them to
+/// the next item keyword, and open a scope at that item's body brace.
+fn build_scopes(toks: &[Tok], code: &[usize], attr_regions: &[(usize, usize)]) -> Vec<Scope> {
+    struct Open {
+        scope: Scope,
+        depth: usize,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut open_stack: Vec<Open> = Vec::new();
+    let mut pending_attrs: Vec<Attr> = Vec::new();
+    // (kind, name, is_test, tf) of an item seen but whose `{` has not
+    // arrived yet.
+    let mut pending_item: Option<(String, Option<String>, bool, Option<Family>)> = None;
+    let mut depth = 0usize;
+    // Paren/bracket nesting, so a `;` inside `[u32; 4]` or a default
+    // argument does not kill the pending item.
+    let mut delim = 0usize;
+    let mut region_iter = attr_regions.iter().peekable();
+
+    let mut pos = 0usize;
+    while pos < code.len() {
+        if let Some(&&(a, b)) = region_iter.peek() {
+            if pos == a {
+                pending_attrs.push(parse_attr(toks, code, (a, b)));
+                region_iter.next();
+                pos = b + 1;
+                continue;
+            }
+        }
+        let t = &toks[code[pos]];
+        if t.is_punct('(') || t.is_punct('[') {
+            delim += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            delim = delim.saturating_sub(1);
+        }
+        if t.kind == TokKind::Ident && ITEM_KEYWORDS.contains(&t.text.as_str()) {
+            // `fn` in a function-pointer type (`unsafe fn(…)`) has no
+            // name; only a named item opens a scope.
+            let name = match (t.text.as_str(), code.get(pos + 1).map(|&i| &toks[i])) {
+                ("impl", _) => None,
+                (_, Some(n)) if n.kind == TokKind::Ident => Some(n.text.clone()),
+                _ => None,
+            };
+            if t.text == "impl" || name.is_some() {
+                let is_test = pending_attrs.iter().any(|a| a.is_test);
+                let tf = pending_attrs.iter().find_map(|a| a.target_feature);
+                pending_item = Some((t.text.clone(), name, is_test, tf));
+            }
+            pending_attrs.clear();
+        } else if t.is_punct('{') {
+            depth += 1;
+            if let Some((kind, name, is_test, tf)) = pending_item.take() {
+                let inherited_test = open_stack.iter().any(|o| o.scope.is_test);
+                open_stack.push(Open {
+                    scope: Scope {
+                        kind,
+                        name,
+                        open: pos,
+                        close: code.len(),
+                        is_test: is_test || inherited_test,
+                        target_feature: tf,
+                    },
+                    depth: depth - 1,
+                });
+            }
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if open_stack.last().is_some_and(|o| o.depth == depth) {
+                let mut o = open_stack.pop().expect("guarded by is_some_and");
+                o.scope.close = pos;
+                scopes.push(o.scope);
+            }
+        } else if t.is_punct(';') && delim == 0 {
+            // `fn f();` in a trait, `struct S;`: the item never opens.
+            // A `;` nested in brackets (`[u32; 4]` in a signature) is
+            // part of the item, not its end.
+            pending_item = None;
+        }
+        pos += 1;
+    }
+    // Any scope left open (unbalanced braces) closes at EOF.
+    while let Some(mut o) = open_stack.pop() {
+        o.scope.close = code.len();
+        scopes.push(o.scope);
+    }
+    scopes.sort_by_key(|s| s.open);
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("test.rs", src)
+    }
+
+    #[test]
+    fn adjacent_marker_same_line_and_above() {
+        let c = ctx("// SAFETY: fine\nunsafe { x() };\nlet y = unsafe { z() }; // SAFETY: ok\n");
+        assert!(c.has_adjacent_marker(2, "SAFETY:"));
+        assert!(c.has_adjacent_marker(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn blank_line_breaks_marker_chain() {
+        let c = ctx("// SAFETY: far away\n\nunsafe { x() };\n");
+        assert!(!c.has_adjacent_marker(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn attributes_do_not_break_marker_chain() {
+        let c =
+            ctx("// SAFETY: isa checked\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n");
+        assert!(c.has_adjacent_marker(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_markers() {
+        let c = ctx(
+            "//! SAFETY: module docs\nunsafe fn k() {}\n/// SAFETY: outer doc\nunsafe fn j() {}\n",
+        );
+        assert!(!c.has_adjacent_marker(2, "SAFETY:"));
+        assert!(!c.has_adjacent_marker(4, "SAFETY:"));
+    }
+
+    #[test]
+    fn cfg_test_scopes_nest() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\n";
+        let c = ctx(src);
+        let lib_unwrap = c
+            .code
+            .iter()
+            .position(|&i| c.toks[i].is_ident("unwrap"))
+            .unwrap();
+        assert!(!c.in_test(lib_unwrap));
+        let test_unwrap = c
+            .code
+            .iter()
+            .rposition(|&i| c.toks[i].is_ident("unwrap"))
+            .unwrap();
+        assert!(c.in_test(test_unwrap));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let c = ctx("#[cfg(not(test))]\nmod real { fn f() { x.unwrap(); } }\n");
+        let p = c
+            .code
+            .iter()
+            .position(|&i| c.toks[i].is_ident("unwrap"))
+            .unwrap();
+        assert!(!c.in_test(p));
+    }
+
+    #[test]
+    fn target_feature_function_scope_carries_family() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn kern() { body(); }\n";
+        let c = ctx(src);
+        let body = c
+            .code
+            .iter()
+            .position(|&i| c.toks[i].is_ident("body"))
+            .unwrap();
+        let f = c.enclosing_fn(body).unwrap();
+        assert_eq!(f.target_feature, Some(Family::X86));
+        assert_eq!(f.name.as_deref(), Some("kern"));
+    }
+
+    #[test]
+    fn array_type_in_signature_keeps_the_item_pending() {
+        let src =
+            "#[target_feature(enable = \"avx2\")]\nunsafe fn kern(x: &mut [u32; 4]) { body(); }\n";
+        let c = ctx(src);
+        let body = c
+            .code
+            .iter()
+            .position(|&i| c.toks[i].is_ident("body"))
+            .unwrap();
+        let f = c.enclosing_fn(body).unwrap();
+        assert_eq!(f.target_feature, Some(Family::X86));
+        assert_eq!(f.name.as_deref(), Some("kern"));
+    }
+
+    #[test]
+    fn fn_pointer_type_opens_no_scope() {
+        let c = ctx("pub type F = unsafe fn(&mut [u32; 32]);\nfn real() {}\n");
+        assert_eq!(c.scopes.iter().filter(|s| s.kind == "fn").count(), 1);
+    }
+}

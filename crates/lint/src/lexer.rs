@@ -1,0 +1,446 @@
+//! A hand-rolled Rust lexer: just enough of the language to tell code
+//! from comments and strings, with line numbers on every token.
+//!
+//! The offline build has no `syn`/`proc-macro2`, and the lints in this
+//! crate only need a faithful *token* view — identifiers, punctuation,
+//! literals, and (crucially) comments kept as first-class tokens so the
+//! rules can check comment adjacency (`// SAFETY:`, `// ORDERING:`,
+//! waivers). The tricky parts a grep-based pass gets wrong are handled
+//! here once:
+//!
+//! - line comments vs `///` / `//!` doc comments (kept distinguishable
+//!   via the token text, which includes the comment sigil),
+//! - block comments with **nesting** (`/* a /* b */ c */`),
+//! - string literals with escapes, byte strings,
+//! - raw strings `r"…"` / `r#"…"#` (any hash depth) whose bodies may
+//!   contain `unsafe`, `unwrap()`, or comment sigils without producing
+//!   tokens,
+//! - char literals vs lifetimes (`'a'` vs `'a`), including escaped and
+//!   unicode chars,
+//! - raw identifiers (`r#match`).
+//!
+//! The lexer is infallible: unexpected bytes become one-character
+//! [`TokKind::Punct`] tokens and an unterminated literal simply runs to
+//! end of file. A lint must never panic on the code it audits.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are normalized, so
+    /// `r#match` lexes as the ident `match`).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String or byte-string literal, escapes resolved lexically
+    /// (the token text is the raw source slice including quotes).
+    Str,
+    /// Raw (byte) string literal, any hash depth.
+    RawStr,
+    /// Character or byte-character literal.
+    Char,
+    /// A `//…` comment, including `///` and `//!` doc comments; the
+    /// token text starts with the full sigil so consumers can tell
+    /// plain comments from doc comments.
+    LineComment,
+    /// A `/*…*/` comment (nesting handled); may span multiple lines.
+    BlockComment,
+    /// Any single punctuation character (`{`, `}`, `.`, `!`, …).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim source text, and 1-based line of its
+/// first character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier/keyword `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True for comment tokens of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Last 1-based line this token touches (tokens other than block
+    /// comments and multi-line strings are single-line).
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.bytes().filter(|&b| b == b'\n').count() as u32
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: malformed input degrades
+/// to `Punct` tokens or an end-of-file-terminated literal.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        s: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self, src: &str) -> Vec<Tok> {
+        while self.i < self.s.len() {
+            let start = self.i;
+            let line = self.line;
+            let b = self.s[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokKind::LineComment, src, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokKind::BlockComment, src, start, line);
+                }
+                b'r' | b'b' if self.raw_string_ahead() => {
+                    self.take_raw_string();
+                    self.push(TokKind::RawStr, src, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.i += 1;
+                    self.take_quoted(b'"');
+                    self.push(TokKind::Str, src, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.i += 1;
+                    self.take_quoted(b'\'');
+                    self.push(TokKind::Char, src, start, line);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.ident_start(2) => {
+                    // Raw identifier r#match: skip the sigil, lex the
+                    // ident, and store the normalized name.
+                    self.i += 2;
+                    let id_start = self.i;
+                    self.take_ident();
+                    let text = src[id_start..self.i].to_string();
+                    self.out.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+                b'"' => {
+                    self.take_quoted(b'"');
+                    self.push(TokKind::Str, src, start, line);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.i += 1;
+                        self.take_ident();
+                        self.push(TokKind::Lifetime, src, start, line);
+                    } else {
+                        self.take_quoted(b'\'');
+                        self.push(TokKind::Char, src, start, line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.take_number();
+                    self.push(TokKind::Num, src, start, line);
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.take_ident();
+                    self.push(TokKind::Ident, src, start, line);
+                }
+                _ => {
+                    self.i += 1;
+                    self.push(TokKind::Punct, src, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, src: &str, start: usize, line: u32) {
+        self.out.push(Tok {
+            kind,
+            text: src[start..self.i].to_string(),
+            line,
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.i + ahead).copied()
+    }
+
+    fn ident_start(&self, ahead: usize) -> bool {
+        matches!(self.peek(ahead), Some(c) if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80)
+    }
+
+    /// At `r` or `b`: does a raw string (`r"`, `r#`+…+`"`, `br"`, …)
+    /// start here? (`r#ident` is a raw identifier, not a raw string.)
+    fn raw_string_ahead(&self) -> bool {
+        let mut j = 0;
+        if self.peek(j) == Some(b'b') {
+            j += 1;
+        }
+        if self.peek(j) != Some(b'r') {
+            return false;
+        }
+        j += 1;
+        while self.peek(j) == Some(b'#') {
+            j += 1;
+        }
+        self.peek(j) == Some(b'"')
+    }
+
+    /// `'` starts a lifetime unless it is a char literal. A char
+    /// literal is `'x'`, `'\…'`, or `'🦀'`; a lifetime is `'` followed
+    /// by an identifier **not** closed by another `'`.
+    fn lifetime_ahead(&self) -> bool {
+        match self.peek(1) {
+            Some(b'\\') => false,
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+                // Scan the identifier; if it ends at a closing quote it
+                // was a char literal like 'a'.
+                let mut j = 1;
+                while matches!(self.peek(j), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                self.peek(j) != Some(b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.i < self.s.len() && self.s[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        // Consume `/*`, then run to the matching `*/` honoring nesting.
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.s.len() && depth > 0 {
+            match self.s[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn take_quoted(&mut self, quote: u8) {
+        // At the opening quote. Consume through the closing quote,
+        // honoring backslash escapes; unterminated runs to EOF.
+        self.i += 1;
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\\' => self.i = (self.i + 2).min(self.s.len()),
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c == quote => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn take_raw_string(&mut self) {
+        // At `r`/`b`. Count hashes, then run to `"` followed by that
+        // many hashes; no escapes inside.
+        if self.s[self.i] == b'b' {
+            self.i += 1;
+        }
+        self.i += 1; // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    let mut j = 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(j) == Some(b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    self.i += 1 + seen;
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn take_number(&mut self) {
+        // Digits, underscores, base prefixes, suffixes, and a fraction/
+        // exponent part. Precision beyond "it is one numeric token" is
+        // not needed by any rule.
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.i += 1;
+            }
+        }
+        // Exponent sign: `1e-5` leaves us after `e`? No — the alnum
+        // loop above consumed `e`; pick up a `+`/`-` digit tail.
+        if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && matches!(self.s.get(self.i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+            && matches!(self.peek(1), Some(c) if c.is_ascii_digit())
+        {
+            self.i += 1;
+            while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn take_ident(&mut self) {
+        while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_string_body_produces_no_tokens() {
+        let toks = kinds(r##"let s = r#"unsafe { unwrap() } // SAFETY:"#;"##);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStr));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = kinds("/* a /* unsafe */ b */ fn");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = lex("/* one\ntwo */\nfn x() {}\n");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line(), 2);
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds("'a 'static '_ 'x' '\\n' b'z'");
+        let got: Vec<TokKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            got,
+            [
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Lifetime,
+                TokKind::Char,
+                TokKind::Char,
+                TokKind::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_normalizes() {
+        let toks = kinds("r#unsafe");
+        assert_eq!(toks[0], (TokKind::Ident, "unsafe".into()));
+    }
+
+    #[test]
+    fn doc_comment_sigils_are_preserved() {
+        let toks = kinds("//! inner\n/// outer\n// plain\n");
+        assert!(toks[0].1.starts_with("//!"));
+        assert!(toks[1].1.starts_with("///"));
+        assert!(toks[2].1.starts_with("// "));
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak() {
+        let toks = kinds(r#"let s = "a \" unsafe \" b";"#);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn unterminated_literal_reaches_eof_without_panic() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().kind, TokKind::Str);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_suffixes() {
+        let toks = kinds("1.0e-5 0xFF_u32 1_000usize 2.5f64");
+        assert!(toks.iter().all(|(k, _)| *k == TokKind::Num));
+        assert_eq!(toks.len(), 4);
+    }
+}

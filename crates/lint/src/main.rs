@@ -1,0 +1,146 @@
+//! The `hpmdr-lint` binary: run the five workspace lints against the
+//! ratcheted baseline. See the library crate docs and ARCHITECTURE.md
+//! ("static analysis & safety contracts") for the rules themselves.
+
+use hpmdr_lint::{report::render_finding, run, Options};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+hpmdr-lint — workspace static analysis for the safety contracts
+
+USAGE:
+    hpmdr-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>         workspace root (default: auto-detected from cwd)
+    --baseline <FILE>    lint.toml path (default: <root>/lint.toml)
+    --update-baseline    rewrite lint.toml with current counts (ratchets
+                         down only; refuses to raise any entry)
+    --allow-growth       let --update-baseline raise counts — bootstrap
+                         for newly added rules only
+    --report <FILE>      write the full diagnostic report (CI artifact)
+    -h, --help           this text
+
+EXIT CODES:
+    0  clean, or within the accepted baseline
+    1  ratchet violation (or --update-baseline refused growth)
+    2  configuration or I/O error
+";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut allow_growth = false;
+    let mut report_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--update-baseline" => update_baseline = true,
+            "--allow-growth" => allow_growth = true,
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let root = match root.or_else(detect_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "could not find the workspace root (a directory with lint.toml or a \
+                 workspace Cargo.toml); pass --root"
+            );
+            return 2;
+        }
+    };
+    let mut opts = Options::new(root);
+    if let Some(b) = baseline {
+        opts.lint_toml = b;
+    }
+    opts.update_baseline = update_baseline;
+    opts.allow_growth = allow_growth;
+    opts.report_path = report_path;
+
+    let outcome = match run(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hpmdr-lint: {e}");
+            return 2;
+        }
+    };
+
+    // Violations print in full; accepted debt only as a summary line.
+    for group in outcome.ratchet.violations.values() {
+        for f in group {
+            println!("{}", render_finding(f));
+        }
+    }
+    if outcome.ratchet.failed() {
+        for ((rule, file), group) in &outcome.ratchet.violations {
+            eprintln!(
+                "ratchet violation: {} findings for {} in {file} (baseline allows fewer)",
+                group.len(),
+                rule.as_str()
+            );
+        }
+        if update_baseline && !allow_growth {
+            eprintln!(
+                "--update-baseline refused: counts may only decrease; fix the new \
+                       violations (or, when onboarding a new rule, use --allow-growth)"
+            );
+        }
+    } else {
+        let debt = outcome.findings.len();
+        println!(
+            "hpmdr-lint: OK — {} files scanned, {debt} finding(s), all within the \
+             baseline (budget {})",
+            outcome.files_scanned, outcome.baseline_total
+        );
+        for ((rule, file), cur, base) in &outcome.ratchet.improvements {
+            println!(
+                "  improvement: {} in {file}: {base} -> {cur} (run --update-baseline to lock in)",
+                rule.as_str()
+            );
+        }
+        for (rule, file) in &outcome.ratchet.stale {
+            println!(
+                "  stale baseline entry: {} in {file} is now clean (run --update-baseline)",
+                rule.as_str()
+            );
+        }
+    }
+    outcome.exit_code
+}
+
+/// Walk up from the current directory to a directory containing
+/// `lint.toml`, or failing that a workspace-root `Cargo.toml`.
+fn detect_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    let mut dir: &std::path::Path = &cwd;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+        }
+        dir = dir.parent()?;
+    }
+}

@@ -1,0 +1,205 @@
+//! Diagnostic rendering and the ratchet comparison.
+//!
+//! Findings are grouped per `(rule, file)` and compared against the
+//! baseline: groups over budget are **violations** (their findings
+//! print and the run fails), groups at budget are accepted debt (they
+//! appear only in the full report), and groups under budget are
+//! improvements the baseline should be refreshed to lock in.
+
+use crate::baseline::DebtKey;
+use crate::rules::{Finding, RuleId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Outcome of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Groups whose count exceeds the baseline, with every finding in
+    /// the group (token-level analysis cannot tell old debt from the
+    /// new violation, so the whole group prints for triage).
+    pub violations: BTreeMap<DebtKey, Vec<Finding>>,
+    /// Groups strictly under their baseline: `(key, current, baseline)`.
+    pub improvements: Vec<(DebtKey, u64, u64)>,
+    /// Baseline entries whose file no longer has findings at all.
+    pub stale: Vec<DebtKey>,
+}
+
+impl Ratchet {
+    /// Compare `findings` against `baseline`.
+    pub fn compare(findings: &[Finding], baseline: &BTreeMap<DebtKey, u64>) -> Ratchet {
+        let mut counts: BTreeMap<DebtKey, Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            counts
+                .entry((f.rule, f.file.clone()))
+                .or_default()
+                .push(f.clone());
+        }
+        let mut out = Ratchet::default();
+        for (key, group) in &counts {
+            let budget = baseline.get(key).copied().unwrap_or(0);
+            let cur = group.len() as u64;
+            if cur > budget {
+                out.violations.insert(key.clone(), group.clone());
+            } else if cur < budget {
+                out.improvements.push((key.clone(), cur, budget));
+            }
+        }
+        for key in baseline.keys() {
+            if !counts.contains_key(key) {
+                out.stale.push(key.clone());
+            }
+        }
+        out
+    }
+
+    /// True when the run should fail.
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// The debt map a `--update-baseline` run would write: current
+    /// counts, with stale entries dropped. Returns `None` when any
+    /// group grew and growth is not allowed — the ratchet refuses.
+    pub fn updated_debt(
+        &self,
+        findings: &[Finding],
+        allow_growth: bool,
+    ) -> Option<BTreeMap<DebtKey, u64>> {
+        if self.failed() && !allow_growth {
+            return None;
+        }
+        let mut counts: BTreeMap<DebtKey, u64> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule, f.file.clone())).or_default() += 1;
+        }
+        Some(counts)
+    }
+}
+
+/// Render one finding as a single diagnostic line.
+pub fn render_finding(f: &Finding) -> String {
+    format!(
+        "{}:{}: [{}] {}\n    fix: {}",
+        f.file,
+        f.line,
+        f.rule.as_str(),
+        f.message,
+        f.hint
+    )
+}
+
+/// Render the full report: every finding (including accepted debt),
+/// per-rule totals, and the ratchet verdict. This is what CI uploads as
+/// an artifact.
+pub fn render_report(
+    findings: &[Finding],
+    ratchet: &Ratchet,
+    files_scanned: usize,
+    baseline_total: u64,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "hpmdr-lint report");
+    let _ = writeln!(s, "=================");
+    let _ = writeln!(
+        s,
+        "files scanned: {files_scanned}; findings: {} (baseline budget: {baseline_total})",
+        findings.len()
+    );
+    let mut per_rule: BTreeMap<RuleId, usize> = BTreeMap::new();
+    for f in findings {
+        *per_rule.entry(f.rule).or_default() += 1;
+    }
+    for (rule, n) in &per_rule {
+        let _ = writeln!(s, "  {} {}: {n}", rule.as_str(), rule.name());
+    }
+    if !findings.is_empty() {
+        let _ = writeln!(s, "\nall findings (accepted debt included):");
+        for f in findings {
+            let _ = writeln!(s, "{}", render_finding(f));
+        }
+    }
+    if ratchet.failed() {
+        let _ = writeln!(s, "\nRATCHET VIOLATIONS (count exceeds baseline):");
+        for ((rule, file), group) in &ratchet.violations {
+            let _ = writeln!(s, "  {} in {file}: {} findings", rule.as_str(), group.len());
+        }
+    }
+    if !ratchet.improvements.is_empty() {
+        let _ = writeln!(s, "\nimprovements (refresh the baseline to lock in):");
+        for ((rule, file), cur, base) in &ratchet.improvements {
+            let _ = writeln!(s, "  {} in {file}: {base} -> {cur}", rule.as_str());
+        }
+    }
+    if !ratchet.stale.is_empty() {
+        let _ = writeln!(s, "\nstale baseline entries (file now clean):");
+        for (rule, file) in &ratchet.stale {
+            let _ = writeln!(s, "  {} in {file}", rule.as_str());
+        }
+    }
+    if findings.is_empty() && !ratchet.failed() {
+        let _ = writeln!(s, "\nclean: no findings anywhere, no baseline debt in use.");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            hint: "h".to_string(),
+        }
+    }
+
+    #[test]
+    fn over_budget_group_is_a_violation() {
+        let findings = vec![
+            finding(RuleId::L3, "a.rs", 1),
+            finding(RuleId::L3, "a.rs", 2),
+        ];
+        let mut baseline = BTreeMap::new();
+        baseline.insert((RuleId::L3, "a.rs".to_string()), 1);
+        let r = Ratchet::compare(&findings, &baseline);
+        assert!(r.failed());
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn at_budget_is_quiet_under_budget_improves() {
+        let findings = vec![finding(RuleId::L4, "b.rs", 3)];
+        let mut baseline = BTreeMap::new();
+        baseline.insert((RuleId::L4, "b.rs".to_string()), 1);
+        let r = Ratchet::compare(&findings, &baseline);
+        assert!(!r.failed() && r.improvements.is_empty());
+
+        baseline.insert((RuleId::L4, "b.rs".to_string()), 5);
+        let r = Ratchet::compare(&findings, &baseline);
+        assert!(!r.failed());
+        assert_eq!(r.improvements.len(), 1);
+    }
+
+    #[test]
+    fn update_refuses_growth_without_flag() {
+        let findings = vec![finding(RuleId::L1, "c.rs", 1)];
+        let baseline = BTreeMap::new();
+        let r = Ratchet::compare(&findings, &baseline);
+        assert!(r.updated_debt(&findings, false).is_none());
+        let grown = r.updated_debt(&findings, true).unwrap();
+        assert_eq!(grown[&(RuleId::L1, "c.rs".to_string())], 1);
+    }
+
+    #[test]
+    fn update_drops_stale_entries() {
+        let findings: Vec<Finding> = Vec::new();
+        let mut baseline = BTreeMap::new();
+        baseline.insert((RuleId::L5, "gone.rs".to_string()), 2);
+        let r = Ratchet::compare(&findings, &baseline);
+        assert_eq!(r.stale.len(), 1);
+        assert!(r.updated_debt(&findings, false).unwrap().is_empty());
+    }
+}

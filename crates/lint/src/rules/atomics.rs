@@ -1,0 +1,154 @@
+//! **L4 — atomics-ordering audit.** `Ordering::Relaxed` is correct for
+//! monotonic counters and gauges, and subtly wrong the moment the value
+//! *guards other data* — then the load/store needs Acquire/Release so
+//! the data it protects is visible. With 50+ relaxed operations across
+//! the ingest pipeline and server, "which ones are counters?" must be
+//! answerable without re-deriving the proof: every `Ordering::Relaxed`
+//! carries an adjacent `// ORDERING:` comment naming why relaxed is
+//! enough, or the site is a finding.
+//!
+//! Importing `Relaxed` directly (`use …::Ordering::Relaxed`) would hide
+//! call sites from this audit, so the import itself is a finding: the
+//! project convention is to write `Ordering::Relaxed` at the site.
+
+use super::{emit, Finding, RuleId};
+use crate::cursor::FileCtx;
+
+/// Run L4 over one file. `allow_files` lists workspace-relative paths
+/// whose relaxed sites are accepted wholesale (empty in this repo —
+/// annotations are the norm).
+pub fn check(ctx: &FileCtx, allow_files: &[String], out: &mut Vec<Finding>) {
+    if allow_files.iter().any(|f| f == &ctx.path) {
+        return;
+    }
+    for pos in 0..ctx.code.len() {
+        let Some(t) = ctx.next_code(pos, 0) else {
+            break;
+        };
+        if !t.is_ident("Relaxed") {
+            continue;
+        }
+        if ctx.in_test(pos) {
+            continue;
+        }
+        // Part of a `use` import? Walk back to the statement head.
+        let mut back = 1usize;
+        let mut is_import = false;
+        while back <= 24 {
+            match ctx.prev_code(pos, back) {
+                Some(p) if p.is_ident("use") => {
+                    is_import = true;
+                    break;
+                }
+                Some(p) if p.is_punct(';') => break,
+                Some(_) => back += 1,
+                None => break,
+            }
+        }
+        if is_import {
+            emit(
+                out,
+                ctx,
+                Finding {
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    rule: RuleId::L4,
+                    message: "`Relaxed` imported directly; call sites become invisible to \
+                              the ordering audit"
+                        .to_string(),
+                    hint: "import `Ordering` and write `Ordering::Relaxed` at each site so \
+                           every relaxed operation is auditable in place"
+                        .to_string(),
+                },
+            );
+            continue;
+        }
+        // Only qualified uses count as operations: `Ordering::Relaxed`.
+        let qualified = ctx.prev_code(pos, 1).is_some_and(|p| p.is_punct(':'))
+            && ctx.prev_code(pos, 2).is_some_and(|p| p.is_punct(':'))
+            && ctx
+                .prev_code(pos, 3)
+                .is_some_and(|p| p.is_ident("Ordering"));
+        if !qualified {
+            continue;
+        }
+        if ctx.has_adjacent_marker(t.line, "ORDERING:") {
+            continue;
+        }
+        emit(
+            out,
+            ctx,
+            Finding {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: RuleId::L4,
+                message: "`Ordering::Relaxed` without an adjacent `// ORDERING:` \
+                          justification"
+                    .to_string(),
+                hint: "say why relaxed suffices (counter/gauge, no data guarded) in a \
+                       `// ORDERING:` comment — or upgrade to Acquire/Release if this \
+                       value publishes other writes"
+                    .to_string(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, &[], &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_relaxed_is_flagged_with_line() {
+        let f = run("fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (RuleId::L4, 2));
+    }
+
+    #[test]
+    fn ordering_comment_same_line_or_above_passes() {
+        let above =
+            "fn f(c: &AtomicU64) {\n    // ORDERING: monotonic counter, guards nothing\n    \
+                     c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(run(above).is_empty());
+        let trailing =
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); // ORDERING: counter\n}\n";
+        assert!(run(trailing).is_empty());
+    }
+
+    #[test]
+    fn relaxed_in_test_code_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn direct_import_is_flagged() {
+        let f = run("use std::sync::atomic::Ordering::Relaxed;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("imported directly"));
+    }
+
+    #[test]
+    fn allow_file_suppresses() {
+        let ctx = FileCtx::new(
+            "t.rs",
+            "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n",
+        );
+        let mut out = Vec::new();
+        check(&ctx, &["t.rs".to_string()], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn other_orderings_are_untouched() {
+        assert!(run("fn f(c: &AtomicU64) { c.load(Ordering::Acquire); }\n").is_empty());
+    }
+}

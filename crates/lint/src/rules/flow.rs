@@ -1,0 +1,487 @@
+//! Tiny intra-function dataflow helpers shared by the panic-freedom
+//! indexing check (L3) and the wire-allocation rule (L5).
+//!
+//! The unit of reasoning is a **path**: a maximal `a.b.c` / `a::b`
+//! identifier chain, normalized to dot-separated text. A path is
+//! *checked* inside a function when it appears in a comparison (or a
+//! `.min(…)` clamp) before use; it is *limit-like* when its name or
+//! shape marks it as a bound rather than a payload-derived quantity —
+//! a `SCREAMING_CASE` constant, a `max_*`/`*_limit`-style name, a
+//! numeric literal, or a `.len()` of an already-materialized buffer.
+//!
+//! This is a heuristic, not a proof: it is tuned so that the idiomatic
+//! check-before-allocate shape (`if n > limits.max_payload { reject }`
+//! … `vec![0u8; n]`) passes, and an allocation from an unvalidated
+//! wire-read length does not. Findings it gets wrong are waivable with
+//! a justified `lint:allow`.
+
+use crate::cursor::FileCtx;
+use crate::lexer::TokKind;
+use std::collections::HashSet;
+
+/// One path occurrence inside a token range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathOcc {
+    /// Normalized dot-separated text (`limits.max_header`).
+    pub text: String,
+    /// Code position (index into `FileCtx::code`) of the first segment.
+    pub start: usize,
+    /// Code position just *after* the last segment.
+    pub end: usize,
+    /// True when the path is immediately called (`foo(…)`, `x.len(…)`).
+    pub is_call: bool,
+}
+
+const PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char", "str",
+];
+
+const NON_PATH_KEYWORDS: &[&str] = &[
+    "as", "if", "else", "in", "mut", "ref", "let", "return", "match", "for", "while", "loop",
+    "true", "false", "fn", "move", "unsafe", "dyn", "impl", "where", "break", "continue",
+];
+
+fn is_separator(ctx: &FileCtx, pos: usize) -> Option<usize> {
+    // `.` is one token; `::` is two `:` puncts. Returns how many code
+    // tokens the separator occupies.
+    let t = ctx.next_code(pos, 0)?;
+    if t.is_punct('.') {
+        Some(1)
+    } else if t.is_punct(':') && ctx.next_code(pos, 1).is_some_and(|n| n.is_punct(':')) {
+        Some(2)
+    } else {
+        None
+    }
+}
+
+/// Read a path starting at code position `pos`; `None` when `pos` is
+/// not an identifier usable as a path head.
+pub fn read_path(ctx: &FileCtx, pos: usize) -> Option<PathOcc> {
+    let head = ctx.next_code(pos, 0)?;
+    if head.kind != TokKind::Ident || NON_PATH_KEYWORDS.contains(&head.text.as_str()) {
+        return None;
+    }
+    let mut segs = vec![head.text.clone()];
+    let mut p = pos + 1;
+    while let Some(sep) = is_separator(ctx, p) {
+        let Some(next) = ctx.next_code(p, sep) else {
+            break;
+        };
+        if next.kind != TokKind::Ident {
+            break;
+        }
+        segs.push(next.text.clone());
+        p += sep + 1;
+    }
+    let is_call = ctx.next_code(p, 0).is_some_and(|t| t.is_punct('('));
+    Some(PathOcc {
+        text: segs.join("."),
+        start: pos,
+        end: p,
+        is_call,
+    })
+}
+
+/// Does this name look like a bound rather than a payload quantity?
+pub fn limitish_name(path: &str) -> bool {
+    path.split('.').any(|seg| {
+        let screaming = seg.len() >= 2
+            && seg.chars().any(|c| c.is_ascii_uppercase())
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+        let lower = seg.to_ascii_lowercase();
+        screaming
+            || lower.contains("max")
+            || lower.contains("limit")
+            || lower.contains("cap")
+            || lower.contains("bound")
+            || lower.contains("budget")
+    })
+}
+
+/// One comparison operand: a path, a literal, or nothing recognizable.
+#[derive(Debug, Clone)]
+pub enum Operand {
+    /// A path (possibly a call like `buf.len()`).
+    Path(PathOcc),
+    /// A numeric literal.
+    Literal,
+    /// Unrecognized shape (complex expression).
+    Opaque,
+}
+
+impl Operand {
+    /// Is this operand a bound the other side can be checked against?
+    pub fn is_limitish(&self) -> bool {
+        match self {
+            Operand::Literal => true,
+            Operand::Path(p) => {
+                // `buf.len()` counts: the length of already-allocated
+                // data is itself bounded.
+                limitish_name(&p.text) || (p.is_call && p.text.ends_with(".len"))
+            }
+            Operand::Opaque => false,
+        }
+    }
+
+    fn checked_text(&self) -> Option<&str> {
+        match self {
+            Operand::Path(p) if !p.is_call => Some(&p.text),
+            _ => None,
+        }
+    }
+}
+
+/// Read the operand that *ends* just before code position `pos`
+/// (exclusive), skipping one trailing `as <type>` cast and one balanced
+/// call-parens group.
+fn operand_back(ctx: &FileCtx, pos: usize) -> Operand {
+    let mut p = pos;
+    // `x as u64 <` — step back over the cast.
+    if p >= 2
+        && ctx
+            .prev_code(p, 1)
+            .is_some_and(|t| t.kind == TokKind::Ident && PRIMITIVES.contains(&t.text.as_str()))
+        && ctx.prev_code(p, 2).is_some_and(|t| t.is_ident("as"))
+    {
+        p -= 2;
+    }
+    let Some(prev) = ctx.prev_code(p, 1) else {
+        return Operand::Opaque;
+    };
+    if prev.kind == TokKind::Num {
+        return Operand::Literal;
+    }
+    let mut is_call = false;
+    if prev.is_punct(')') {
+        // Walk back over the balanced group to the call name.
+        let mut depth = 0i32;
+        let mut back = 1usize;
+        loop {
+            let Some(t) = ctx.prev_code(p, back) else {
+                return Operand::Opaque;
+            };
+            if t.is_punct(')') {
+                depth += 1;
+            } else if t.is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            back += 1;
+        }
+        p -= back;
+        is_call = true;
+    }
+    // Now expect the last path segment just before `p`; walk segments
+    // backward.
+    let Some(tail) = ctx.prev_code(p, 1) else {
+        return Operand::Opaque;
+    };
+    if tail.kind != TokKind::Ident || NON_PATH_KEYWORDS.contains(&tail.text.as_str()) {
+        return Operand::Opaque;
+    }
+    let mut start = p - 1;
+    loop {
+        // A separator before the current head extends the path back.
+        let sep_len = if start >= 1 && ctx.prev_code(start, 1).is_some_and(|t| t.is_punct('.')) {
+            1
+        } else if start >= 2
+            && ctx.prev_code(start, 1).is_some_and(|t| t.is_punct(':'))
+            && ctx.prev_code(start, 2).is_some_and(|t| t.is_punct(':'))
+        {
+            2
+        } else {
+            break;
+        };
+        let Some(before) = ctx.prev_code(start, sep_len + 1) else {
+            break;
+        };
+        if before.kind != TokKind::Ident || NON_PATH_KEYWORDS.contains(&before.text.as_str()) {
+            break;
+        }
+        start -= sep_len + 1;
+    }
+    // Collect the segments between `start` and the boundary `p`
+    // directly — re-reading forward would greedily run past `p` (for a
+    // receiver like `declared` in `declared.min(…)`).
+    let segs: Vec<String> = (start..p)
+        .filter_map(|q| ctx.next_code(q, 0))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect();
+    if segs.is_empty() {
+        return Operand::Opaque;
+    }
+    Operand::Path(PathOcc {
+        text: segs.join("."),
+        start,
+        end: p,
+        is_call,
+    })
+}
+
+/// Read the operand starting at code position `pos`.
+fn operand_fwd(ctx: &FileCtx, pos: usize) -> Operand {
+    match ctx.next_code(pos, 0) {
+        Some(t) if t.kind == TokKind::Num => Operand::Literal,
+        Some(t) if t.kind == TokKind::Ident => match read_path(ctx, pos) {
+            Some(occ) => Operand::Path(occ),
+            None => Operand::Opaque,
+        },
+        _ => Operand::Opaque,
+    }
+}
+
+/// How permissive the checked-path collection is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strictness {
+    /// Any comparison marks both sides checked, and `for` loop
+    /// variables count. Used for the indexing check, where *any* bounds
+    /// relationship in the function is accepted.
+    Loose,
+    /// Only a comparison against a limit-like operand marks the other
+    /// side, and only limit-like `.min(…)` clamps count. Used for
+    /// allocation sizes, where the check must be against a real cap.
+    Strict,
+}
+
+/// Collect the paths that are bounds-checked anywhere inside the code
+/// position range `lo..hi` (typically a function body).
+pub fn checked_paths(
+    ctx: &FileCtx,
+    lo: usize,
+    hi: usize,
+    strictness: Strictness,
+) -> HashSet<String> {
+    let mut checked: HashSet<String> = HashSet::new();
+    let mut pos = lo;
+    while pos < hi {
+        let Some(t) = ctx.next_code(pos, 0) else {
+            break;
+        };
+        // for <ident> in …  (loop variable is range-bounded)
+        if strictness == Strictness::Loose && t.is_ident("for") {
+            if let Some(var) = ctx.next_code(pos, 1) {
+                if var.kind == TokKind::Ident
+                    && ctx.next_code(pos, 2).is_some_and(|t| t.is_ident("in"))
+                {
+                    checked.insert(var.text.clone());
+                }
+            }
+        }
+        // receiver.min(limit)
+        if t.is_ident("min")
+            && ctx.prev_code(pos, 1).is_some_and(|p| p.is_punct('.'))
+            && ctx.next_code(pos, 1).is_some_and(|n| n.is_punct('('))
+        {
+            let inner = operand_fwd(ctx, pos + 2);
+            if strictness == Strictness::Loose || inner.is_limitish() {
+                if let Some(text) = operand_back(ctx, pos - 1).checked_text() {
+                    checked.insert(text.to_string());
+                }
+            }
+        }
+        // Comparison operators. `<`/`>` single tokens; composites are
+        // handled from their first character.
+        let is_cmp_head = |c: char| -> Option<usize> {
+            // Returns operand-forward offset past the operator.
+            let next_eq = ctx.next_code(pos, 1).is_some_and(|n| n.is_punct('='));
+            match c {
+                '<' | '>' => {
+                    let prev = ctx.prev_code(pos, 1);
+                    let next = ctx.next_code(pos, 1);
+                    let shift =
+                        prev.is_some_and(|p| p.is_punct(c)) || next.is_some_and(|n| n.is_punct(c));
+                    let arrow =
+                        c == '>' && prev.is_some_and(|p| p.is_punct('-') || p.is_punct('='));
+                    if shift || arrow {
+                        None
+                    } else {
+                        Some(if next_eq { 2 } else { 1 })
+                    }
+                }
+                '=' | '!' => {
+                    let prev_is_op = ctx.prev_code(pos, 1).is_some_and(|p| {
+                        p.is_punct('=') || p.is_punct('!') || p.is_punct('<') || p.is_punct('>')
+                    });
+                    if next_eq && !prev_is_op {
+                        Some(2)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        };
+        if t.kind == TokKind::Punct {
+            let c = t.text.chars().next().unwrap_or(' ');
+            if let Some(skip) = is_cmp_head(c) {
+                let left = operand_back(ctx, pos);
+                let right = operand_fwd(ctx, pos + skip);
+                match strictness {
+                    Strictness::Loose => {
+                        for op in [&left, &right] {
+                            if let Some(text) = op.checked_text() {
+                                checked.insert(text.to_string());
+                            }
+                        }
+                    }
+                    Strictness::Strict => {
+                        if right.is_limitish() {
+                            if let Some(text) = left.checked_text() {
+                                checked.insert(text.to_string());
+                            }
+                        }
+                        if left.is_limitish() {
+                            if let Some(text) = right.checked_text() {
+                                checked.insert(text.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pos += 1;
+    }
+    checked
+}
+
+/// Paths inside `lo..hi` that would need a bounds check: lowercase,
+/// non-call, non-limit-like identifiers chains.
+pub fn suspect_paths(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<PathOcc> {
+    let mut out = Vec::new();
+    let mut pos = lo;
+    while pos < hi {
+        if let Some(occ) = read_path(ctx, pos) {
+            let head_lower = occ
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+            let primitive = occ.text.split('.').all(|s| PRIMITIVES.contains(&s));
+            if head_lower && !primitive && !occ.is_call && !limitish_name(&occ.text) {
+                pos = occ.end;
+                out.push(occ);
+                continue;
+            }
+            pos = occ.end.max(pos + 1);
+        } else {
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Find the code position of the matching closer for the opener at
+/// `open` (`(`/`)`, `[`/`]`, `{`/`}`). Returns `None` when unbalanced.
+pub fn matching_close(ctx: &FileCtx, open: usize) -> Option<usize> {
+    let (o, c) = match ctx.next_code(open, 0)? {
+        t if t.is_punct('(') => ('(', ')'),
+        t if t.is_punct('[') => ('[', ']'),
+        t if t.is_punct('{') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    let mut pos = open;
+    loop {
+        let t = ctx.next_code(pos, 0)?;
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(pos);
+            }
+        }
+        pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::FileCtx;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("t.rs", src)
+    }
+
+    fn fn_range(c: &FileCtx) -> (usize, usize) {
+        let s = c.scopes.iter().find(|s| s.kind == "fn").unwrap();
+        (s.open, s.close)
+    }
+
+    #[test]
+    fn guard_against_limit_field_marks_checked() {
+        let c = ctx(
+            "fn f() { if header_len > limits.max_header as u64 { return; } \
+             let v = vec![0u8; header_len as usize]; }",
+        );
+        let (lo, hi) = fn_range(&c);
+        let checked = checked_paths(&c, lo, hi, Strictness::Strict);
+        assert!(checked.contains("header_len"), "checked = {checked:?}");
+    }
+
+    #[test]
+    fn guard_against_screaming_const_marks_checked() {
+        let c = ctx("fn f() { if n <= MAX_BODY { let v = vec![0u8; n]; } }");
+        let (lo, hi) = fn_range(&c);
+        assert!(checked_paths(&c, lo, hi, Strictness::Strict).contains("n"));
+    }
+
+    #[test]
+    fn comparison_against_plain_variable_is_not_a_strict_check() {
+        let c = ctx("fn f() { if n > other { } let v = vec![0u8; n]; }");
+        let (lo, hi) = fn_range(&c);
+        assert!(!checked_paths(&c, lo, hi, Strictness::Strict).contains("n"));
+        assert!(checked_paths(&c, lo, hi, Strictness::Loose).contains("n"));
+    }
+
+    #[test]
+    fn len_call_is_a_valid_bound() {
+        let c = ctx("fn f(buf: &[u8]) { while got < buf.len() { t(&buf[got..]); } }");
+        let (lo, hi) = fn_range(&c);
+        assert!(checked_paths(&c, lo, hi, Strictness::Strict).contains("got"));
+    }
+
+    #[test]
+    fn min_clamp_counts_as_strict_check() {
+        let c = ctx("fn f() { let n = declared.min(MAX_TAKE); }");
+        let (lo, hi) = fn_range(&c);
+        assert!(checked_paths(&c, lo, hi, Strictness::Strict).contains("declared"));
+    }
+
+    #[test]
+    fn shift_operators_are_not_comparisons() {
+        let c = ctx("fn f() { let x = a << b; let y = c >> d; }");
+        let (lo, hi) = fn_range(&c);
+        assert!(checked_paths(&c, lo, hi, Strictness::Loose).is_empty());
+    }
+
+    #[test]
+    fn suspects_exclude_constants_and_calls() {
+        let c = ctx("fn f() { g(FRAME_BYTES + frame.header.len() + payload_len); }");
+        let (lo, hi) = fn_range(&c);
+        let suspects: Vec<String> = suspect_paths(&c, lo, hi)
+            .into_iter()
+            .map(|p| p.text)
+            .collect();
+        assert_eq!(suspects, ["payload_len"]);
+    }
+
+    #[test]
+    fn field_paths_normalize_across_dot_and_colons() {
+        let c = ctx("fn f() { a.b.c; x::y::z; }");
+        let (lo, hi) = fn_range(&c);
+        let texts: Vec<String> = suspect_paths(&c, lo, hi)
+            .into_iter()
+            .map(|p| p.text)
+            .collect();
+        assert!(texts.contains(&"a.b.c".to_string()));
+        assert!(texts.contains(&"x.y.z".to_string()));
+    }
+}

@@ -1,0 +1,188 @@
+//! The five project-specific rules and their shared analysis helpers.
+//!
+//! Each rule is a pure function from a [`FileCtx`] (plus workspace-wide
+//! context where needed) to a list of [`Finding`]s. Rules never panic
+//! and never read files themselves — the runner owns I/O.
+//!
+//! ## Waivers
+//!
+//! Any finding can be suppressed at the site with a justified waiver
+//! comment, adjacent the same way `// SAFETY:` must be:
+//!
+//! ```text
+//! // lint:allow(L3): lock poisoning is unrecoverable; propagating
+//! // would poison every caller with an impossible error arm.
+//! let guard = self.inner.lock().unwrap();
+//! ```
+//!
+//! A waiver **must** carry a reason after the `):` — a bare
+//! `lint:allow(L3)` does not suppress, it produces a finding asking for
+//! the justification. Waivers are for debt that is *correct but
+//! unprovable to the lint*; wrong code should be fixed, and tolerated
+//! legacy debt belongs in the ratcheted baseline instead.
+
+pub mod atomics;
+pub mod flow;
+pub mod panic_freedom;
+pub mod target_feature;
+pub mod unsafe_comment;
+pub mod wire_alloc;
+
+use crate::cursor::FileCtx;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `unsafe` without an adjacent `// SAFETY:` comment.
+    L1,
+    /// `#[target_feature]` function called outside its ISA family and
+    /// outside an allowlisted dispatch module.
+    L2,
+    /// Panicking construct in library code of a panic-free crate.
+    L3,
+    /// `Ordering::Relaxed` without an adjacent `// ORDERING:`
+    /// justification.
+    L4,
+    /// Wire-derived allocation size without a preceding limit check.
+    L5,
+}
+
+impl RuleId {
+    /// Stable string form (`"L1"` … `"L5"`), used in reports, waivers,
+    /// and the baseline file.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
+            RuleId::L3 => "L3",
+            RuleId::L4 => "L4",
+            RuleId::L5 => "L5",
+        }
+    }
+
+    /// Parse the string form back; `None` for unknown ids.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "L1" => Some(RuleId::L1),
+            "L2" => Some(RuleId::L2),
+            "L3" => Some(RuleId::L3),
+            "L4" => Some(RuleId::L4),
+            "L5" => Some(RuleId::L5),
+            _ => None,
+        }
+    }
+
+    /// Human name of the rule, for report headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::L1 => "unsafe-safety-comment",
+            RuleId::L2 => "target-feature-containment",
+            RuleId::L3 => "panic-freedom",
+            RuleId::L4 => "atomics-ordering-audit",
+            RuleId::L5 => "wire-allocation-hygiene",
+        }
+    }
+}
+
+/// One diagnostic: where, which rule, what, and how to fix it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// What is wrong, specifically.
+    pub message: String,
+    /// How to make the finding go away legitimately.
+    pub hint: String,
+}
+
+/// Result of looking for a waiver at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waiver {
+    /// No waiver comment for this rule at the site.
+    None,
+    /// A `lint:allow(rule): reason` with a non-empty reason.
+    Justified,
+    /// A `lint:allow(rule)` with no reason text — not honored.
+    MissingReason,
+}
+
+/// Check for a `lint:allow(…)` waiver adjacent to `line` (same
+/// placement rules as `// SAFETY:` markers). The rule id must be listed
+/// inside the parens and a non-empty reason must follow.
+pub fn waiver_at(ctx: &FileCtx, line: u32, rule: RuleId) -> Waiver {
+    let text = ctx.adjacent_plain_comment_text(line);
+    let mut best = Waiver::None;
+    let mut rest = text.as_str();
+    while let Some(at) = rest.find("lint:allow(") {
+        let after = &rest[at + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else { break };
+        let ids = &after[..close];
+        let listed = ids.split(',').any(|id| RuleId::parse(id) == Some(rule));
+        if listed {
+            let reason = after[close + 1..]
+                .trim_start_matches(':')
+                .chars()
+                .any(|c| c.is_alphanumeric());
+            if reason {
+                return Waiver::Justified;
+            }
+            best = Waiver::MissingReason;
+        }
+        rest = &after[close + 1..];
+    }
+    best
+}
+
+/// Push `finding` unless a justified waiver covers it; a waiver missing
+/// its reason converts the finding into a demand for the reason.
+pub fn emit(out: &mut Vec<Finding>, ctx: &FileCtx, mut finding: Finding) {
+    match waiver_at(ctx, finding.line, finding.rule) {
+        Waiver::Justified => {}
+        Waiver::MissingReason => {
+            finding.message = format!(
+                "{} (waiver present but missing its reason)",
+                finding.message
+            );
+            finding.hint =
+                "a waiver must justify itself: `// lint:allow(RULE): reason`".to_string();
+            out.push(finding);
+        }
+        Waiver::None => out.push(finding),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("t.rs", src)
+    }
+
+    #[test]
+    fn waiver_requires_listed_rule_and_reason() {
+        let c = ctx("// lint:allow(L3): lock poisoning is unrecoverable\nx.unwrap();\n");
+        assert_eq!(waiver_at(&c, 2, RuleId::L3), Waiver::Justified);
+        assert_eq!(waiver_at(&c, 2, RuleId::L4), Waiver::None);
+
+        let c = ctx("// lint:allow(L3)\nx.unwrap();\n");
+        assert_eq!(waiver_at(&c, 2, RuleId::L3), Waiver::MissingReason);
+    }
+
+    #[test]
+    fn waiver_accepts_rule_lists() {
+        let c = ctx("// lint:allow(L3, L5): fixture data, size is a test constant\nx.unwrap();\n");
+        assert_eq!(waiver_at(&c, 2, RuleId::L3), Waiver::Justified);
+        assert_eq!(waiver_at(&c, 2, RuleId::L5), Waiver::Justified);
+    }
+
+    #[test]
+    fn waiver_in_doc_comment_does_not_count() {
+        let c = ctx("/// lint:allow(L3): docs are not waivers\nx.unwrap();\n");
+        assert_eq!(waiver_at(&c, 2, RuleId::L3), Waiver::None);
+    }
+}

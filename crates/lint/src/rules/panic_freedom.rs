@@ -1,0 +1,210 @@
+//! **L3 — panic-freedom.** The `core`/`netstore`/`server`/`exec`
+//! crates promise "typed error, never a panic" to their callers — the
+//! server literally streams typed REJECT frames for every failure mode.
+//! A stray `unwrap()` in those crates turns a malformed request or a
+//! poisoned shard into a worker-thread abort.
+//!
+//! Forbidden in non-test library code of the configured crates:
+//! `.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unimplemented!`,
+//! `unreachable!`. In wire/protocol modules, slice indexing with an
+//! index that is never bounds-related anywhere in the function is
+//! flagged too (`buf[got..]` under a `got < buf.len()` loop guard is
+//! fine; `buf[declared_len]` with no relation to any bound is not).
+//!
+//! Lock-poisoning `unwrap`s on `std::sync::Mutex` are the sanctioned
+//! exception: waive them with `// lint:allow(L3): …` naming why
+//! propagation is worse (the project convention is that a poisoned
+//! lock is a crashed peer thread — already a bug — and unwinding the
+//! gate is the least-bad response).
+
+use super::flow::{checked_paths, matching_close, suspect_paths, Strictness};
+use super::{emit, Finding, RuleId};
+use crate::cursor::FileCtx;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Run L3 over one file. `wire_module` additionally enables the
+/// indexing check (the caller decides from configuration).
+pub fn check(ctx: &FileCtx, wire_module: bool, out: &mut Vec<Finding>) {
+    for pos in 0..ctx.code.len() {
+        let Some(t) = ctx.next_code(pos, 0) else {
+            break;
+        };
+        if ctx.in_test(pos) {
+            continue;
+        }
+        // .unwrap() / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && ctx.prev_code(pos, 1).is_some_and(|p| p.is_punct('.'))
+            && ctx.next_code(pos, 1).is_some_and(|n| n.is_punct('('))
+        {
+            emit(
+                out,
+                ctx,
+                Finding {
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    rule: RuleId::L3,
+                    message: format!("`.{}(…)` in non-test library code", t.text),
+                    hint: "propagate a typed error (`MdrError`/`HttpError`/`WireError`) \
+                           instead; a mechanical lock-poisoning unwrap may be waived with \
+                           `// lint:allow(L3): reason`"
+                        .to_string(),
+                },
+            );
+            continue;
+        }
+        // panic!/todo!/unimplemented!/unreachable!
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && ctx.next_code(pos, 1).is_some_and(|n| n.is_punct('!'))
+        {
+            emit(
+                out,
+                ctx,
+                Finding {
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    rule: RuleId::L3,
+                    message: format!("`{}!` in non-test library code", t.text),
+                    hint: "return a typed error variant; if the state is truly impossible, \
+                           prove it to the reader with `// lint:allow(L3): reason`"
+                        .to_string(),
+                },
+            );
+            continue;
+        }
+        // Indexing in wire/protocol modules.
+        if wire_module && t.is_punct('[') {
+            // After these keywords a `[` opens an array literal, not an
+            // index expression (`for x in [..]`, `return [..]`, …).
+            const EXPR_KEYWORDS: &[&str] = &[
+                "in", "return", "if", "else", "match", "break", "while", "loop", "let", "move",
+            ];
+            let indexes_value = ctx.prev_code(pos, 1).is_some_and(|p| {
+                (p.kind == crate::lexer::TokKind::Ident
+                    && !EXPR_KEYWORDS.contains(&p.text.as_str()))
+                    || p.is_punct(')')
+                    || p.is_punct(']')
+            });
+            // `#[…]` attributes and `vec![…]` are not index expressions.
+            let attr_or_macro = ctx
+                .prev_code(pos, 1)
+                .is_some_and(|p| p.is_punct('#') || p.is_punct('!'));
+            if !indexes_value || attr_or_macro {
+                continue;
+            }
+            let Some(close) = matching_close(ctx, pos) else {
+                continue;
+            };
+            let suspects = suspect_paths(ctx, pos + 1, close);
+            if suspects.is_empty() {
+                continue;
+            }
+            let Some(f) = ctx.enclosing_fn(pos) else {
+                continue;
+            };
+            let checked = checked_paths(ctx, f.open, f.close, Strictness::Loose);
+            let unchecked: Vec<String> = suspects
+                .iter()
+                .filter(|s| !checked.contains(&s.text))
+                .map(|s| s.text.clone())
+                .collect();
+            if unchecked.is_empty() {
+                continue;
+            }
+            emit(
+                out,
+                ctx,
+                Finding {
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    rule: RuleId::L3,
+                    message: format!(
+                        "slice indexing with unchecked value(s) {} in a wire/protocol path",
+                        unchecked.join(", ")
+                    ),
+                    hint: "use `.get(…)` and return a typed error, or establish the bound \
+                           in this function before indexing"
+                        .to_string(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, wire: bool) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, wire, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_in_library_code_are_flagged() {
+        let f = run(
+            "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n}\n",
+            false,
+        );
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].rule, f[0].line), (RuleId::L3, 2));
+        assert_eq!((f[1].rule, f[1].line), (RuleId::L3, 3));
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let f = run("fn f() { panic!(\"boom\"); todo!(); }\n", false);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_in_string_literal_is_not_flagged() {
+        assert!(run("fn f() { let s = \"call .unwrap() later\"; }\n", false).is_empty());
+    }
+
+    #[test]
+    fn waived_lock_poisoning_unwrap_passes() {
+        let src =
+            "fn f() {\n    // lint:allow(L3): poisoned lock means a peer already crashed\n    \
+                   let g = m.lock().unwrap();\n}\n";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn unchecked_wire_index_is_flagged_only_in_wire_modules() {
+        let src = "fn f(buf: &[u8], declared: usize) { let b = buf[declared]; }\n";
+        assert_eq!(run(src, true).len(), 1);
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn loop_guarded_index_passes() {
+        let src =
+            "fn f(buf: &mut [u8]) { let mut got = 0; while got < buf.len() { t(&mut buf[got..]); } }\n";
+        assert!(run(src, true).is_empty());
+    }
+
+    #[test]
+    fn literal_index_passes() {
+        assert!(run(
+            "fn f(rest: &[u8]) { let k = rest[0]; let r = &rest[1..5]; }\n",
+            true
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn array_literal_after_keyword_is_not_indexing() {
+        let src = "fn f(s: &S) {\n    for (c, b) in [(&s.fail_first, 1), (&s.drop_first, 2)] {\n        t(c, b);\n    }\n}\n";
+        assert!(run(src, true).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! **L1 — unsafe-safety-comment.** Every `unsafe` block, function,
+//! trait, or impl must be immediately preceded (or trailed on the same
+//! line) by a plain `// SAFETY:` comment stating the invariant being
+//! relied on and who upholds it.
+//!
+//! `unsafe` appearing in a function-*pointer type* (`unsafe fn(…)`)
+//! carries no obligation at the type itself — the obligation sits at
+//! the call through the pointer — so it is exempt. Doc comments do not
+//! satisfy the rule: `//! SAFETY` documents a module for readers,
+//! `// SAFETY:` is an auditable claim bound to one site.
+
+use super::{emit, Finding, RuleId};
+use crate::cursor::FileCtx;
+
+/// Run L1 over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for pos in 0..ctx.code.len() {
+        let Some(t) = ctx.next_code(pos, 0) else {
+            break;
+        };
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let next = ctx.next_code(pos, 1);
+        // `unsafe fn(…)` with no name = function-pointer type.
+        if next.is_some_and(|n| n.is_ident("fn"))
+            && ctx.next_code(pos, 2).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let site = match next {
+            Some(n) if n.is_ident("fn") => "unsafe fn",
+            Some(n) if n.is_ident("impl") => "unsafe impl",
+            Some(n) if n.is_ident("trait") => "unsafe trait",
+            Some(n) if n.is_punct('{') => "unsafe block",
+            _ => "unsafe",
+        };
+        if ctx.has_adjacent_marker(t.line, "SAFETY:") {
+            continue;
+        }
+        emit(
+            out,
+            ctx,
+            Finding {
+                file: ctx.path.clone(),
+                line: t.line,
+                rule: RuleId::L1,
+                message: format!("{site} without an adjacent `// SAFETY:` comment"),
+                hint: "state the invariant this site relies on and who upholds it in a \
+                       `// SAFETY:` comment on the line above (attributes may sit between)"
+                    .to_string(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged_with_line() {
+        let f = run("fn f() {\n    unsafe { g() };\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::L1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn adjacent_safety_comment_passes() {
+        assert!(run("// SAFETY: g has no preconditions here\nunsafe { g() };\n").is_empty());
+        assert!(run("let x = unsafe { g() }; // SAFETY: trailing form\n").is_empty());
+    }
+
+    #[test]
+    fn module_doc_safety_does_not_count() {
+        let f = run("//! SAFETY: module-wide claims are not site claims\nunsafe fn k() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_is_exempt() {
+        assert!(run("pub type F = unsafe fn(&mut [u32; 32]);\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_and_trait_need_comments() {
+        let f = run("unsafe impl Send for X {}\nunsafe trait T {}\n");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("unsafe impl"));
+        assert!(f[1].message.contains("unsafe trait"));
+    }
+
+    #[test]
+    fn unsafe_in_raw_string_is_not_a_site() {
+        assert!(run(r###"fn f() { let s = r#"unsafe { x }"#; }"###).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_attributes_passes() {
+        let src = "// SAFETY: caller verified avx2 via Isa dispatch\n\
+                   #[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! **L5 — wire-allocation hygiene.** In protocol/wire modules, the
+//! check-before-allocate contract: any allocation whose size comes from
+//! a wire-read value (`Vec::with_capacity(n)`, `vec![0u8; n]`,
+//! `buf.resize(n, 0)`, `reserve(n)`) must be preceded, in the same
+//! function, by a comparison of that value against a limit — a
+//! `MAX_*`/`*_limit`-named constant or field, a numeric literal cap, or
+//! a `.min(LIMIT)` clamp. A hostile peer declaring a 16 EiB payload
+//! must cost a preamble read, not an OOM.
+//!
+//! Sizes built purely from literals, `SCREAMING_CASE` constants, and
+//! `.len()` of already-materialized buffers are exempt: those cannot be
+//! attacker-amplified beyond memory the process already holds.
+
+use super::flow::{checked_paths, matching_close, suspect_paths, Strictness};
+use super::{emit, Finding, RuleId};
+use crate::cursor::FileCtx;
+
+/// Run L5 over one wire/protocol file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for pos in 0..ctx.code.len() {
+        let Some(t) = ctx.next_code(pos, 0) else {
+            break;
+        };
+        if ctx.in_test(pos) {
+            continue;
+        }
+        // with_capacity(expr) / resize(expr, fill) / reserve(expr)
+        let callish = (t.is_ident("with_capacity")
+            || t.is_ident("resize")
+            || t.is_ident("reserve")
+            || t.is_ident("reserve_exact"))
+            && ctx.next_code(pos, 1).is_some_and(|n| n.is_punct('('));
+        if callish {
+            let Some(close) = matching_close(ctx, pos + 1) else {
+                continue;
+            };
+            // For resize, only the first argument is the size.
+            let mut hi = close;
+            if t.is_ident("resize") {
+                let mut depth = 0i32;
+                for p in pos + 1..close {
+                    let Some(tok) = ctx.next_code(p, 0) else {
+                        break;
+                    };
+                    if tok.is_punct('(') || tok.is_punct('[') {
+                        depth += 1;
+                    } else if tok.is_punct(')') || tok.is_punct(']') {
+                        depth -= 1;
+                    } else if tok.is_punct(',') && depth == 1 {
+                        hi = p;
+                        break;
+                    }
+                }
+            }
+            audit_size_expr(ctx, pos, pos + 2, hi, &t.text.clone(), out);
+            continue;
+        }
+        // vec![elem; size]
+        if t.is_ident("vec")
+            && ctx.next_code(pos, 1).is_some_and(|n| n.is_punct('!'))
+            && ctx.next_code(pos, 2).is_some_and(|n| n.is_punct('['))
+        {
+            let Some(close) = matching_close(ctx, pos + 2) else {
+                continue;
+            };
+            // Find the top-level `;` separating element from count.
+            let mut depth = 0i32;
+            let mut semi = None;
+            for p in pos + 2..close {
+                let Some(tok) = ctx.next_code(p, 0) else {
+                    break;
+                };
+                if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                    depth += 1;
+                } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+                    depth -= 1;
+                } else if tok.is_punct(';') && depth == 1 {
+                    semi = Some(p);
+                    break;
+                }
+            }
+            if let Some(semi) = semi {
+                audit_size_expr(ctx, pos, semi + 1, close, "vec![_; n]", out);
+            }
+        }
+    }
+}
+
+fn audit_size_expr(
+    ctx: &FileCtx,
+    site: usize,
+    lo: usize,
+    hi: usize,
+    what: &str,
+    out: &mut Vec<Finding>,
+) {
+    let suspects = suspect_paths(ctx, lo, hi);
+    if suspects.is_empty() {
+        return;
+    }
+    let checked = match ctx.enclosing_fn(site) {
+        Some(f) => checked_paths(ctx, f.open, f.close, Strictness::Strict),
+        None => Default::default(),
+    };
+    let unchecked: Vec<String> = suspects
+        .iter()
+        .filter(|s| !checked.contains(&s.text))
+        .map(|s| s.text.clone())
+        .collect();
+    if unchecked.is_empty() {
+        return;
+    }
+    let line = ctx.next_code(site, 0).map(|t| t.line).unwrap_or(1);
+    emit(
+        out,
+        ctx,
+        Finding {
+            file: ctx.path.clone(),
+            line,
+            rule: RuleId::L5,
+            message: format!(
+                "`{what}` sized by unchecked value(s) {} in a wire/protocol module",
+                unchecked.join(", ")
+            ),
+            hint: "compare the size against a MAX_*/limit constant (or clamp with \
+                   `.min(LIMIT)`) before allocating — check-before-allocate"
+                .to_string(),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("t.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unchecked_wire_length_allocation_is_flagged() {
+        let f = run("fn f(declared: usize) -> Vec<u8> { vec![0u8; declared] }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::L5);
+        assert!(f[0].message.contains("declared"));
+    }
+
+    #[test]
+    fn checked_allocation_passes() {
+        let src = "fn f(n: u64, limits: &Limits) -> Result<Vec<u8>, E> {\n\
+                   if n > limits.max_payload as u64 { return Err(E::Too); }\n\
+                   Ok(vec![0u8; n as usize])\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn screaming_const_guard_passes() {
+        let src = "fn f(n: usize) -> Vec<u8> { assert!(n <= MAX_BODY); vec![0u8; n] }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn min_clamp_passes() {
+        let src = "fn f(n: usize) -> Vec<u8> { let n = n.min(MAX_BODY); Vec::with_capacity(n) }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn literal_and_const_sizes_are_exempt() {
+        let src = "fn f(h: &[u8]) -> Vec<u8> { let mut v = Vec::with_capacity(256 + h.len()); \
+                   v.resize(FRAME_PREAMBLE_BYTES, 0); v }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn resize_size_argument_is_audited() {
+        let f = run("fn f(buf: &mut Vec<u8>, n: usize) { buf.resize(n, 0); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("resize"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(n: usize) { let _ = vec![0u8; n]; }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let src = "fn f(n: usize) -> Vec<u8> {\n    // lint:allow(L5): n is the element count \
+                   of an in-memory plan, not wire data\n    vec![0u8; n]\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

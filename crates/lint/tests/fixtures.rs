@@ -1,0 +1,207 @@
+//! End-to-end tests over the known-bad fixture workspace in
+//! `fixtures/ws`: every rule must fire with the right id at the pinned
+//! line, the binary must exit non-zero, and the ratcheted baseline
+//! must block growth while locking in improvements.
+
+use hpmdr_lint::{run, Options};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hpmdr-lint"))
+}
+
+/// Copy the fixture workspace into a scratch directory the test may
+/// mutate (baseline rewrites, injected violations).
+fn scratch_copy(name: &str) -> PathBuf {
+    let dst = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dst.exists() {
+        std::fs::remove_dir_all(&dst).expect("clear stale scratch copy");
+    }
+    copy_tree(&fixture_ws(), &dst);
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create scratch dir");
+    for entry in std::fs::read_dir(src).expect("read fixture dir") {
+        let entry = entry.expect("fixture dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy fixture file");
+        }
+    }
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_workspace() {
+    let outcome = run(&Options::new(fixture_ws())).expect("fixture run");
+    assert_eq!(
+        outcome.exit_code, 1,
+        "empty baseline must make the run fail"
+    );
+    let got: Vec<(String, String, u32)> = outcome
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str().to_string(), f.file.clone(), f.line))
+        .collect();
+    let expect = [
+        ("L1", "crates/core/src/lib.rs", 8u32),
+        ("L2", "crates/kern/src/lib.rs", 14),
+        ("L3", "crates/core/src/lib.rs", 12),
+        ("L3", "crates/netstore/src/wire.rs", 6),
+        ("L4", "crates/core/src/lib.rs", 16),
+        ("L5", "crates/netstore/src/wire.rs", 10),
+    ];
+    for (rule, file, line) in expect {
+        assert!(
+            got.contains(&(rule.to_string(), file.to_string(), line)),
+            "expected {rule} at {file}:{line}, got {got:?}"
+        );
+    }
+    assert_eq!(got.len(), expect.len(), "no extra findings: {got:?}");
+}
+
+#[test]
+fn binary_exits_nonzero_and_writes_the_report() {
+    let report = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fixture-report.txt");
+    let out = bin()
+        .args(["--root"])
+        .arg(fixture_ws())
+        .args(["--report"])
+        .arg(&report)
+        .output()
+        .expect("spawn hpmdr-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = std::fs::read_to_string(&report).expect("report written");
+    for tag in ["[L1]", "[L2]", "[L3]", "[L4]", "[L5]"] {
+        assert!(text.contains(tag), "report missing {tag}:\n{text}");
+    }
+    assert!(text.contains("RATCHET VIOLATIONS"));
+}
+
+#[test]
+fn allow_growth_bootstraps_a_baseline_then_the_run_is_clean() {
+    let ws = scratch_copy("lint-bootstrap");
+    let toml = ws.join("lint.toml");
+
+    // Plain --update-baseline must refuse: every entry would grow.
+    let refused = bin()
+        .args(["--root"])
+        .arg(&ws)
+        .args(["--update-baseline"])
+        .output()
+        .expect("spawn");
+    assert_eq!(refused.status.code(), Some(1));
+    let before = std::fs::read_to_string(&toml).expect("read lint.toml");
+    assert!(
+        !before.contains("[[debt]]"),
+        "refused update must not write debt"
+    );
+
+    // --allow-growth bootstraps the debt and the run goes green.
+    let grown = bin()
+        .args(["--root"])
+        .arg(&ws)
+        .args(["--update-baseline", "--allow-growth"])
+        .output()
+        .expect("spawn");
+    assert_eq!(grown.status.code(), Some(0));
+    let after = std::fs::read_to_string(&toml).expect("read lint.toml");
+    assert!(after.contains("[[debt]]"));
+
+    let clean = bin().args(["--root"]).arg(&ws).output().expect("spawn");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "debt within baseline is accepted"
+    );
+}
+
+#[test]
+fn ratchet_blocks_a_new_violation() {
+    let ws = scratch_copy("lint-ratchet");
+    let grown = bin()
+        .args(["--root"])
+        .arg(&ws)
+        .args(["--update-baseline", "--allow-growth"])
+        .output()
+        .expect("spawn");
+    assert_eq!(grown.status.code(), Some(0));
+
+    // Inject one more L3 into an already-indebted file.
+    let lib = ws.join("crates/core/src/lib.rs");
+    let mut src = std::fs::read_to_string(&lib).expect("read fixture lib.rs");
+    src.push_str("\npub fn extra(y: Option<u8>) -> u8 {\n    y.unwrap()\n}\n");
+    std::fs::write(&lib, src).expect("inject violation");
+
+    let out = bin().args(["--root"]).arg(&ws).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "growth past baseline must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[L3]"), "violation group prints: {stdout}");
+
+    // And --update-baseline still refuses to absorb it.
+    let toml_before = std::fs::read_to_string(ws.join("lint.toml")).expect("read");
+    let refused = bin()
+        .args(["--root"])
+        .arg(&ws)
+        .args(["--update-baseline"])
+        .output()
+        .expect("spawn");
+    assert_eq!(refused.status.code(), Some(1));
+    let toml_after = std::fs::read_to_string(ws.join("lint.toml")).expect("read");
+    assert_eq!(
+        toml_before, toml_after,
+        "refused update must not touch lint.toml"
+    );
+}
+
+#[test]
+fn update_baseline_locks_in_an_improvement() {
+    let ws = scratch_copy("lint-improve");
+    let grown = bin()
+        .args(["--root"])
+        .arg(&ws)
+        .args(["--update-baseline", "--allow-growth"])
+        .output()
+        .expect("spawn");
+    assert_eq!(grown.status.code(), Some(0));
+
+    // Fix the L3 unwrap in core.
+    let lib = ws.join("crates/core/src/lib.rs");
+    let src = std::fs::read_to_string(&lib).expect("read fixture lib.rs");
+    let fixed = src.replace(
+        "x.unwrap() // L3: unwrap in library code of a panic-free crate",
+        "x.unwrap_or(0)",
+    );
+    assert_ne!(src, fixed, "fixture unwrap line must exist");
+    std::fs::write(&lib, &fixed).expect("write fix");
+
+    let locked = bin()
+        .args(["--root"])
+        .arg(&ws)
+        .args(["--update-baseline"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        locked.status.code(),
+        Some(0),
+        "ratcheting down is always allowed"
+    );
+    let toml = std::fs::read_to_string(ws.join("lint.toml")).expect("read");
+    assert!(
+        !toml.contains("rule = \"L3\"\nfile = \"crates/core/src/lib.rs\""),
+        "clean (rule, file) entry must be dropped:\n{toml}"
+    );
+
+    // Reintroducing the unwrap now trips the tightened ratchet.
+    std::fs::write(&lib, &src).expect("restore violation");
+    let out = bin().args(["--root"]).arg(&ws).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -123,7 +123,7 @@ pub fn histogram_with_isa(data: &[u8], isa: Isa) -> [u64; 256] {
         Isa::Avx2 => data
             .par_chunks(1 << 20)
             .map(|chunk| {
-                // Safety: the `or_scalar` gate above proves AVX2 is
+                // SAFETY: the `or_scalar` gate above proves AVX2 is
                 // available on this CPU.
                 unsafe { histogram_chunk_avx2(chunk) }
             })
@@ -140,7 +140,7 @@ pub fn histogram_with_isa(data: &[u8], isa: Isa) -> [u64; 256] {
         Isa::Neon => data
             .par_chunks(1 << 20)
             .map(|chunk| {
-                // Safety: NEON availability established by `or_scalar`.
+                // SAFETY: NEON availability established by `or_scalar`.
                 unsafe { histogram_chunk_neon(chunk) }
             })
             .reduce(
@@ -179,6 +179,8 @@ fn merge_lanes(lanes: &[[u32; 256]; 4], zeros: u64) -> [u64; 256] {
 /// AVX2 must be available on the executing CPU.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: sole precondition is AVX2 availability (dispatch-gated); all
+// loads stay inside `chunk`.
 unsafe fn histogram_chunk_avx2(chunk: &[u8]) -> [u64; 256] {
     use std::arch::x86_64::*;
     let zero = _mm256_setzero_si256();
@@ -214,6 +216,8 @@ unsafe fn histogram_chunk_avx2(chunk: &[u8]) -> [u64; 256] {
 /// NEON must be available on the executing CPU.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
+// SAFETY: sole precondition is NEON availability (aarch64 baseline,
+// dispatch-gated); all loads stay inside `chunk`.
 unsafe fn histogram_chunk_neon(chunk: &[u8]) -> [u64; 256] {
     use std::arch::aarch64::*;
     let zero = vdupq_n_u8(0);

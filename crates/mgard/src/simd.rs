@@ -110,38 +110,42 @@ fn quantize_into<F: Real, const ZIGZAG: bool>(
     #[cfg(target_arch = "x86_64")]
     if isa == Isa::Avx2 {
         if TypeId::of::<F>() == TypeId::of::<f32>() {
-            // SAFETY: F is f32 (TypeId match); same layout, same lifetime.
-            let v =
-                unsafe { std::slice::from_raw_parts(values.as_ptr() as *const f32, values.len()) };
-            // SAFETY: Avx2 was verified available by the Isa dispatch.
-            unsafe { quantize_f32_avx2::<ZIGZAG>(v, inv, out) };
+            // SAFETY: F is f32 (TypeId match), so the slice cast is a
+            // layout no-op; Avx2 was verified available by the dispatch.
+            unsafe {
+                let v = std::slice::from_raw_parts(values.as_ptr() as *const f32, values.len());
+                quantize_f32_avx2::<ZIGZAG>(v, inv, out);
+            }
             return true;
         }
         if TypeId::of::<F>() == TypeId::of::<f64>() {
-            // SAFETY: F is f64 (TypeId match); same layout, same lifetime.
-            let v =
-                unsafe { std::slice::from_raw_parts(values.as_ptr() as *const f64, values.len()) };
-            // SAFETY: Avx2 was verified available by the Isa dispatch.
-            unsafe { quantize_f64_avx2::<ZIGZAG>(v, inv, out) };
+            // SAFETY: F is f64 (TypeId match), so the slice cast is a
+            // layout no-op; Avx2 was verified available by the dispatch.
+            unsafe {
+                let v = std::slice::from_raw_parts(values.as_ptr() as *const f64, values.len());
+                quantize_f64_avx2::<ZIGZAG>(v, inv, out);
+            }
             return true;
         }
     }
     #[cfg(target_arch = "aarch64")]
     if isa == Isa::Neon {
         if TypeId::of::<F>() == TypeId::of::<f32>() {
-            // SAFETY: F is f32 (TypeId match); same layout, same lifetime.
-            let v =
-                unsafe { std::slice::from_raw_parts(values.as_ptr() as *const f32, values.len()) };
-            // SAFETY: Neon was verified available by the Isa dispatch.
-            unsafe { quantize_f32_neon::<ZIGZAG>(v, inv, out) };
+            // SAFETY: F is f32 (TypeId match), so the slice cast is a
+            // layout no-op; Neon was verified available by the dispatch.
+            unsafe {
+                let v = std::slice::from_raw_parts(values.as_ptr() as *const f32, values.len());
+                quantize_f32_neon::<ZIGZAG>(v, inv, out);
+            }
             return true;
         }
         if TypeId::of::<F>() == TypeId::of::<f64>() {
-            // SAFETY: F is f64 (TypeId match); same layout, same lifetime.
-            let v =
-                unsafe { std::slice::from_raw_parts(values.as_ptr() as *const f64, values.len()) };
-            // SAFETY: Neon was verified available by the Isa dispatch.
-            unsafe { quantize_f64_neon::<ZIGZAG>(v, inv, out) };
+            // SAFETY: F is f64 (TypeId match), so the slice cast is a
+            // layout no-op; Neon was verified available by the dispatch.
+            unsafe {
+                let v = std::slice::from_raw_parts(values.as_ptr() as *const f64, values.len());
+                quantize_f64_neon::<ZIGZAG>(v, inv, out);
+            }
             return true;
         }
     }
@@ -155,38 +159,42 @@ fn dequantize_into<F: Real>(q: &[i64], eb: f64, isa: Isa, out: &mut [F]) -> bool
     #[cfg(target_arch = "x86_64")]
     if isa == Isa::Avx2 {
         if TypeId::of::<F>() == TypeId::of::<f32>() {
-            // SAFETY: F is f32 (TypeId match); same layout, same lifetime.
-            let o =
-                unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f32, out.len()) };
-            // SAFETY: Avx2 was verified available by the Isa dispatch.
-            unsafe { dequantize_f32_avx2(q, eb, o) };
+            // SAFETY: F is f32 (TypeId match), so the slice cast is a
+            // layout no-op; Avx2 was verified available by the dispatch.
+            unsafe {
+                let o = std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f32, out.len());
+                dequantize_f32_avx2(q, eb, o);
+            }
             return true;
         }
         if TypeId::of::<F>() == TypeId::of::<f64>() {
-            // SAFETY: F is f64 (TypeId match); same layout, same lifetime.
-            let o =
-                unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f64, out.len()) };
-            // SAFETY: Avx2 was verified available by the Isa dispatch.
-            unsafe { dequantize_f64_avx2(q, eb, o) };
+            // SAFETY: F is f64 (TypeId match), so the slice cast is a
+            // layout no-op; Avx2 was verified available by the dispatch.
+            unsafe {
+                let o = std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f64, out.len());
+                dequantize_f64_avx2(q, eb, o);
+            }
             return true;
         }
     }
     #[cfg(target_arch = "aarch64")]
     if isa == Isa::Neon {
         if TypeId::of::<F>() == TypeId::of::<f32>() {
-            // SAFETY: F is f32 (TypeId match); same layout, same lifetime.
-            let o =
-                unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f32, out.len()) };
-            // SAFETY: Neon was verified available by the Isa dispatch.
-            unsafe { dequantize_f32_neon(q, eb, o) };
+            // SAFETY: F is f32 (TypeId match), so the slice cast is a
+            // layout no-op; Neon was verified available by the dispatch.
+            unsafe {
+                let o = std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f32, out.len());
+                dequantize_f32_neon(q, eb, o);
+            }
             return true;
         }
         if TypeId::of::<F>() == TypeId::of::<f64>() {
-            // SAFETY: F is f64 (TypeId match); same layout, same lifetime.
-            let o =
-                unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f64, out.len()) };
-            // SAFETY: Neon was verified available by the Isa dispatch.
-            unsafe { dequantize_f64_neon(q, eb, o) };
+            // SAFETY: F is f64 (TypeId match), so the slice cast is a
+            // layout no-op; Neon was verified available by the dispatch.
+            unsafe {
+                let o = std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f64, out.len());
+                dequantize_f64_neon(q, eb, o);
+            }
             return true;
         }
     }
@@ -219,6 +227,7 @@ mod x86 {
     /// # Safety
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
+    // SAFETY: precondition is AVX2 availability, dispatch-established.
     pub(super) unsafe fn round_away_convert(s: __m256d) -> (__m256i, bool) {
         let neg_zero = _mm256_set1_pd(-0.0);
         let r = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(s);
@@ -248,6 +257,7 @@ mod x86 {
     /// # Safety
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
+    // SAFETY: precondition is AVX2 availability, dispatch-established.
     pub(super) unsafe fn zigzag(q: __m256i) -> __m256i {
         _mm256_xor_si256(
             _mm256_slli_epi64::<1>(q),
@@ -258,6 +268,8 @@ mod x86 {
     /// # Safety
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
+    // SAFETY: precondition is AVX2 availability (dispatch-gated); all
+    // accesses stay inside the argument slices.
     pub(super) unsafe fn quantize_f64<const ZIGZAG: bool>(
         values: &[f64],
         inv: f64,
@@ -288,6 +300,8 @@ mod x86 {
     /// # Safety
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
+    // SAFETY: precondition is AVX2 availability (dispatch-gated); all
+    // accesses stay inside the argument slices.
     pub(super) unsafe fn quantize_f32<const ZIGZAG: bool>(
         values: &[f32],
         inv: f64,
@@ -321,6 +335,8 @@ mod x86 {
     /// # Safety
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
+    // SAFETY: precondition is AVX2 availability (dispatch-gated); all
+    // accesses stay inside the argument slices.
     pub(super) unsafe fn dequantize_f64(q: &[i64], eb: f64, out: &mut [f64]) {
         let magic_pd = _mm256_set1_pd(f64::from_bits(MAGIC_BITS as u64));
         let magic_si = _mm256_set1_epi64x(MAGIC_BITS);
@@ -353,6 +369,8 @@ mod x86 {
     /// # Safety
     /// Caller must ensure AVX2 is available.
     #[target_feature(enable = "avx2")]
+    // SAFETY: precondition is AVX2 availability (dispatch-gated); all
+    // accesses stay inside the argument slices.
     pub(super) unsafe fn dequantize_f32(q: &[i64], eb: f64, out: &mut [f32]) {
         let magic_pd = _mm256_set1_pd(f64::from_bits(MAGIC_BITS as u64));
         let magic_si = _mm256_set1_epi64x(MAGIC_BITS);
@@ -398,6 +416,8 @@ mod arm {
     /// # Safety
     /// Caller must ensure NEON is available.
     #[target_feature(enable = "neon")]
+    // SAFETY: precondition is NEON availability (aarch64 baseline,
+    // dispatch-gated); all accesses stay inside the argument slices.
     pub(super) unsafe fn quantize_f64<const ZIGZAG: bool>(
         values: &[f64],
         inv: f64,
@@ -425,6 +445,8 @@ mod arm {
     /// # Safety
     /// Caller must ensure NEON is available.
     #[target_feature(enable = "neon")]
+    // SAFETY: precondition is NEON availability (aarch64 baseline,
+    // dispatch-gated); all accesses stay inside the argument slices.
     pub(super) unsafe fn quantize_f32<const ZIGZAG: bool>(
         values: &[f32],
         inv: f64,
@@ -451,6 +473,8 @@ mod arm {
     /// # Safety
     /// Caller must ensure NEON is available.
     #[target_feature(enable = "neon")]
+    // SAFETY: precondition is NEON availability (aarch64 baseline,
+    // dispatch-gated); all accesses stay inside the argument slices.
     pub(super) unsafe fn dequantize_f64(q: &[i64], eb: f64, out: &mut [f64]) {
         let n = q.len() & !1;
         for i in (0..n).step_by(2) {
@@ -468,6 +492,8 @@ mod arm {
     /// # Safety
     /// Caller must ensure NEON is available.
     #[target_feature(enable = "neon")]
+    // SAFETY: precondition is NEON availability (aarch64 baseline,
+    // dispatch-gated); all accesses stay inside the argument slices.
     pub(super) unsafe fn dequantize_f32(q: &[i64], eb: f64, out: &mut [f32]) {
         let n = q.len() & !1;
         for i in (0..n).step_by(2) {

@@ -17,10 +17,15 @@ use rayon::prelude::*;
 /// Soundness: each line id of one axis pass touches a disjoint set of
 /// elements (lines differ in at least one non-axis coordinate).
 struct SyncPtr<F>(*mut F);
+// SAFETY: the pointer targets the caller's buffer for the duration of one
+// axis pass; each worker touches only its own line's elements.
 unsafe impl<F> Send for SyncPtr<F> {}
+// SAFETY: concurrent access is confined to disjoint element sets (lines
+// of one axis pass never share an element), so no location races.
 unsafe impl<F> Sync for SyncPtr<F> {}
 
 impl<F> SyncPtr<F> {
+    // SAFETY: caller must pass an in-bounds `i` belonging to its own line.
     #[inline]
     unsafe fn read(&self, i: usize) -> F
     where
@@ -28,6 +33,7 @@ impl<F> SyncPtr<F> {
     {
         *self.0.add(i)
     }
+    // SAFETY: caller must pass an in-bounds `i` belonging to its own line.
     #[inline]
     unsafe fn write(&self, i: usize, v: F) {
         *self.0.add(i) = v;
@@ -71,7 +77,7 @@ fn axis_pass<F: Real>(
                 }
                 // Gather, transform, scatter.
                 for (i, slot) in buf.iter_mut().enumerate() {
-                    // Safety: disjoint lines; in-bounds by construction.
+                    // SAFETY: disjoint lines; in-bounds by construction.
                     *slot = unsafe { ptr.read(base + i * axis_stride) };
                 }
                 if decompose_dir {
@@ -80,6 +86,8 @@ fn axis_pass<F: Real>(
                     recompose_line(buf, scratch, correct);
                 }
                 for (i, &v) in buf.iter().enumerate() {
+                    // SAFETY: same indices the gather above read — disjoint
+                    // across lines and in-bounds by construction.
                     unsafe { ptr.write(base + i * axis_stride, v) };
                 }
             },

@@ -175,6 +175,10 @@ pub struct ClientConfig {
     pub deadline: Duration,
     /// The bounded-retry schedule.
     pub retry: RetryPolicy,
+    /// Largest `Content-Length` accepted before the body buffer is
+    /// allocated — the check-before-allocate guard against a hostile or
+    /// confused server declaring an absurd body.
+    pub max_body: usize,
 }
 
 impl Default for ClientConfig {
@@ -182,6 +186,7 @@ impl Default for ClientConfig {
         ClientConfig {
             deadline: Duration::from_secs(10),
             retry: RetryPolicy::default(),
+            max_body: 1 << 30,
         }
     }
 }
@@ -205,7 +210,7 @@ impl Url {
             ))
         })?;
         let (host, path) = match rest.find('/') {
-            Some(i) => (&rest[..i], &rest[i..]),
+            Some(i) => rest.split_at(i),
             None => (rest, "/"),
         };
         if host.is_empty() {
@@ -279,16 +284,19 @@ impl HttpClient {
 
     /// HTTP requests sent so far (each retry counts).
     pub fn requests(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.requests.load(Ordering::Relaxed)
     }
 
     /// Retries performed so far.
     pub fn retries(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.retries.load(Ordering::Relaxed)
     }
 
     /// Body bytes received across successful responses.
     pub fn bytes_received(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.bytes_received.load(Ordering::Relaxed)
     }
 
@@ -318,16 +326,16 @@ impl HttpClient {
             }
             // Range-oblivious server: take the slice ourselves.
             200 => {
-                let end = start
+                let slice = start
                     .checked_add(len)
-                    .filter(|&e| e <= response.body.len())
+                    .and_then(|end| response.body.get(start..end))
                     .ok_or_else(|| {
                         HttpError::Protocol(format!(
                             "range {start}+{len} exceeds the {}-byte resource",
                             response.body.len()
                         ))
                     })?;
-                Ok(response.body[start..end].to_vec())
+                Ok(slice.to_vec())
             }
             status => Err(HttpError::Status {
                 status,
@@ -343,6 +351,7 @@ impl HttpClient {
         let mut last: Option<HttpError> = None;
         for attempt in 1..=max {
             if attempt > 1 {
+                // ORDERING: statistics counter, guards nothing.
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(self.config.retry.backoff(attempt - 1, self.next_jitter()));
             }
@@ -354,7 +363,9 @@ impl HttpClient {
         }
         Err(HttpError::RetriesExhausted {
             attempts: max,
-            last: Box::new(last.expect("loop ran at least once")),
+            last: Box::new(
+                last.unwrap_or_else(|| HttpError::Protocol("retry loop made no attempt".into())),
+            ),
         })
     }
 
@@ -373,10 +384,12 @@ impl HttpClient {
             Some(stream) => stream,
             None => self.connect(&parsed.authority, deadline)?,
         };
+        // ORDERING: statistics counter, guards nothing.
         self.requests.fetch_add(1, Ordering::Relaxed);
         let result = self.roundtrip(&mut stream, parsed, url, range, deadline);
         if let Ok((response, keep_alive)) = &result {
             self.bytes_received
+                // ORDERING: statistics counter, guards nothing.
                 .fetch_add(response.body.len(), Ordering::Relaxed);
             if *keep_alive {
                 self.keep(&parsed.authority, stream);
@@ -456,6 +469,12 @@ impl HttpClient {
         }
         let expected = content_length
             .ok_or_else(|| HttpError::Protocol("response carries no Content-Length".into()))?;
+        if expected > self.config.max_body {
+            return Err(HttpError::Protocol(format!(
+                "Content-Length {expected} exceeds the configured max_body ({})",
+                self.config.max_body
+            )));
+        }
 
         let mut body = vec![0u8; expected];
         let mut got = 0usize;
@@ -515,10 +534,13 @@ impl HttpClient {
 
     /// Next jitter word (xorshift64*; deterministic, dependency-free).
     fn next_jitter(&self) -> u64 {
+        // ORDERING: jitter state is advisory randomness — racing
+        // updates only interleave the sequence, never corrupt data.
         let mut x = self.jitter.load(Ordering::Relaxed);
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
+        // ORDERING: as the load above — advisory randomness only.
         self.jitter.store(x, Ordering::Relaxed);
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }

@@ -66,6 +66,8 @@ impl ServerState {
     fn next_behavior(&self) -> Behavior {
         if self
             .spare_first
+            // ORDERING: fault budgets are independent counters claimed by
+            // CAS; no other memory is published through them.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
             .is_ok()
         {
@@ -77,6 +79,7 @@ impl ServerState {
             (&self.truncate_first, Behavior::Truncate),
         ] {
             if counter
+                // ORDERING: same independent-counter argument as above.
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok()
             {
@@ -86,6 +89,10 @@ impl ServerState {
         Behavior::Serve
     }
 }
+
+/// Largest body one request may ask the loopback server to buffer —
+/// the check-before-allocate guard on the (wire-derived) range length.
+const MAX_SERVE_BYTES: u64 = 1 << 30;
 
 /// A running loopback server; dropping it (or calling
 /// [`shutdown`](Self::shutdown)) stops the accept loop.
@@ -123,6 +130,8 @@ impl LoopbackShardServer {
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
+                // ORDERING: shutdown is a latch flag; the accept loop
+                // only needs to observe it eventually.
                 if accept_state.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
@@ -145,17 +154,21 @@ impl LoopbackShardServer {
 
     /// Requests received so far (faulted ones included).
     pub fn requests(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.state.requests.load(Ordering::Relaxed)
     }
 
     /// Body bytes actually written to clients.
     pub fn bytes_served(&self) -> usize {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.state.bytes_served.load(Ordering::Relaxed)
     }
 
     /// Stop accepting connections. In-flight requests finish; idle
     /// keep-alive connections are closed at their next request.
     pub fn shutdown(&mut self) {
+        // ORDERING: latch flag; the throwaway connection below forces
+        // the accept loop around to observe it, nothing else is ordered.
         if self.state.shutdown.swap(true, Ordering::Relaxed) {
             return;
         }
@@ -185,12 +198,14 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
     });
     let mut stream = stream;
     loop {
+        // ORDERING: latch flag, observed eventually; no data guarded.
         if state.shutdown.load(Ordering::Relaxed) {
             return;
         }
         let Some(request) = read_request(&mut reader) else {
             return;
         };
+        // ORDERING: statistics counter, guards nothing.
         state.requests.fetch_add(1, Ordering::Relaxed);
         if !state.latency.is_zero() {
             std::thread::sleep(state.latency);
@@ -210,6 +225,7 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>) {
                     // purpose; close it like a crashed server would.
                     Ok(_) if truncate => return,
                     Ok(n) => {
+                        // ORDERING: statistics counter, guards nothing.
                         state.bytes_served.fetch_add(n, Ordering::Relaxed);
                     }
                     Err(_) => return,
@@ -301,6 +317,10 @@ fn serve_file(
         }
         None => (200, 0, file_len),
     };
+    if len > MAX_SERVE_BYTES {
+        respond(stream, 413, "Payload Too Large", b"range too large")?;
+        return Ok(0);
+    }
     file.seek(SeekFrom::Start(start))?;
     let mut body = vec![0u8; len as usize];
     file.read_exact(&mut body)?;
@@ -322,6 +342,8 @@ fn serve_file(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     let send = if truncate { body.len() / 2 } else { body.len() };
+    // lint:allow(L3): in-bounds by arithmetic — `send` is `body.len()` or
+    // half of it.
     stream.write_all(&body[..send])?;
     stream.flush()?;
     Ok(send)

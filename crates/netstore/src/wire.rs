@@ -263,7 +263,10 @@ pub fn read_frame(
     let mut rest = [0u8; FRAME_PREAMBLE_BYTES - 1];
     read_exact_deadline(stream, &mut rest, deadline)?;
     let kind = rest[0];
+    // lint:allow(L3): statically infallible — constant subranges of the
+    // fixed [u8; 12] preamble are exactly 4 and 8 bytes.
     let header_len = u32::from_le_bytes(rest[1..5].try_into().unwrap()) as u64;
+    // lint:allow(L3): as above.
     let payload_len = u64::from_le_bytes(rest[5..13].try_into().unwrap());
     if header_len > limits.max_header as u64 {
         return Err(WireError::Oversized {

@@ -43,11 +43,13 @@ impl Admission {
 
     /// Queries admitted so far.
     pub fn accepted(&self) -> u64 {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.accepted.load(Ordering::Relaxed)
     }
 
     /// Queries shed so far.
     pub fn shed(&self) -> u64 {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.shed.load(Ordering::Relaxed)
     }
 
@@ -56,12 +58,15 @@ impl Admission {
     /// returned permit releases the claim on drop.
     pub fn try_admit(&self, bytes: usize) -> Option<Permit<'_>> {
         if self.gate.try_claim(bytes) {
+            // ORDERING: statistics counter; the claim itself is ordered
+            // by the gate's occupancy CAS, not by this add.
             self.accepted.fetch_add(1, Ordering::Relaxed);
             Some(Permit {
                 admission: self,
                 bytes,
             })
         } else {
+            // ORDERING: statistics counter, guards nothing.
             self.shed.fetch_add(1, Ordering::Relaxed);
             None
         }

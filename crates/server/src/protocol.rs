@@ -350,6 +350,8 @@ impl WireFloat for f32 {
         Some(
             bytes
                 .chunks_exact(Self::SIZE)
+                // lint:allow(L3): statically infallible — chunks_exact
+                // yields exactly SIZE bytes per chunk.
                 .map(|c| f32::from_le_bytes(c.try_into().expect("chunk size")))
                 .collect(),
         )
@@ -374,6 +376,8 @@ impl WireFloat for f64 {
         Some(
             bytes
                 .chunks_exact(Self::SIZE)
+                // lint:allow(L3): statically infallible — chunks_exact
+                // yields exactly SIZE bytes per chunk.
                 .map(|c| f64::from_le_bytes(c.try_into().expect("chunk size")))
                 .collect(),
         )

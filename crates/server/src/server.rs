@@ -80,6 +80,7 @@ impl ServerState {
             budget_bytes: self.admission.budget(),
             accepted: self.admission.accepted(),
             shed: self.admission.shed(),
+            // ORDERING: statistics snapshot; staleness is acceptable.
             served_frames: self.served_frames.load(Ordering::Relaxed),
         }
     }
@@ -110,6 +111,8 @@ impl ProgressiveServer {
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
+                // ORDERING: shutdown is a latch flag; the accept loop
+                // only needs to observe it eventually.
                 if accept_state.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
@@ -138,6 +141,7 @@ impl ProgressiveServer {
 
     /// Approximation frames written since the server started.
     pub fn served_frames(&self) -> u64 {
+        // ORDERING: monotone statistics read; no ordering with other data.
         self.state.served_frames.load(Ordering::Relaxed)
     }
 
@@ -156,6 +160,8 @@ impl ProgressiveServer {
     /// Stop accepting connections. In-flight streams finish; idle
     /// keep-alive connections close at their next request.
     pub fn shutdown(&mut self) {
+        // ORDERING: latch flag; the throwaway connection below forces
+        // the accept loop around to observe it, nothing else is ordered.
         if self.state.shutdown.swap(true, Ordering::Relaxed) {
             return;
         }
@@ -214,6 +220,7 @@ fn serve_connection(mut stream: TcpStream, state: Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
     let limits = protocol::request_limits();
     loop {
+        // ORDERING: latch flag, observed eventually; no data guarded.
         if state.shutdown.load(Ordering::Relaxed) {
             return;
         }
@@ -344,7 +351,14 @@ fn handle_query(stream: &mut TcpStream, state: &ServerState, frame: &Frame) -> b
     let keep = match req.dtype.as_str() {
         "f32" => stream_query::<f32>(stream, state, store, &query, deadline),
         "f64" => stream_query::<f64>(stream, state, store, &query, deadline),
-        _ => unreachable!("dtype_size admitted `{}`", req.dtype),
+        // dtype_size admitted only f32/f64 above; if that ever drifts,
+        // reject the query — the server must not panic on request data.
+        other => send_reject(
+            stream,
+            RejectCode::InvalidQuery,
+            format!("unsupported dtype {other:?}"),
+        )
+        .is_ok(),
     };
     drop(permit);
     keep
@@ -392,6 +406,7 @@ fn stream_query<F: BitplaneFloat + Real + Default + WireFloat>(
                 F::write_le(&frame.approximation.data, &mut payload);
                 // Counted before the write so a client that has drained
                 // the stream never observes a lagging counter.
+                // ORDERING: statistics counter, guards nothing.
                 state.served_frames.fetch_add(1, Ordering::Relaxed);
                 // Frames are atomic: once a write starts it gets a
                 // bounded grace past the request deadline, so expiry is

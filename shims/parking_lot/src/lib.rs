@@ -152,7 +152,7 @@ fn take_guard<'a, T>(
     slot: &mut MutexGuard<'a, T>,
     f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
 ) {
-    // Safety: `slot` is valid for reads; we forget the hole before any
+    // SAFETY: `slot` is valid for reads; we forget the hole before any
     // unwind can double-drop, and write the replacement before returning.
     unsafe {
         let guard = std::ptr::read(slot);

@@ -50,6 +50,7 @@ fn quick_client(max_attempts: u32) -> ClientConfig {
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(5),
         },
+        ..ClientConfig::default()
     }
 }
 
